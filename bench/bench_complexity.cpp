@@ -1,0 +1,95 @@
+//===- bench/bench_complexity.cpp - E5: the §6.3 complexity claim ---------===//
+//
+// Paper §6.3: the fixpoint complexity is h*n(c+p+l) — at most quadratic —
+// but "practice shows that complexity is rarely quadratic", staying near
+// linear except for tightly-coupled recursive programs like McCarthy_k.
+// Two sweeps:
+//   1. sequential loop chains of growing size       -> near-linear time,
+//   2. the McCarthy_k generalization for growing k  -> super-linear time
+//      (the unfolded size itself grows quadratically with k).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/AbstractDebugger.h"
+#include "frontend/PaperPrograms.h"
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+using namespace syntox;
+
+namespace {
+
+/// K sequential counting loops over distinct variables.
+std::string loopChain(unsigned K) {
+  std::string Out = "program gen;\nvar\n";
+  for (unsigned I = 0; I < K; ++I)
+    Out += "  v" + std::to_string(I) + " : integer;\n";
+  Out += "begin\n";
+  for (unsigned I = 0; I < K; ++I) {
+    std::string V = "v" + std::to_string(I);
+    Out += "  " + V + " := 0;\n";
+    Out += "  while " + V + " < 100 do " + V + " := " + V + " + 1;\n";
+  }
+  Out += "  v0 := 0\nend.\n";
+  return Out;
+}
+
+struct Measurement {
+  unsigned Points = 0;
+  double Seconds = 0;
+};
+
+Measurement measure(const std::string &Source) {
+  DiagnosticsEngine Diags;
+  auto Dbg = AbstractDebugger::create(Source, Diags);
+  Measurement M;
+  if (!Dbg) {
+    std::printf("frontend error\n%s", Diags.str().c_str());
+    return M;
+  }
+  double Best = 1e9;
+  for (int I = 0; I < 3; ++I) {
+    auto Start = std::chrono::steady_clock::now();
+    Dbg->analyze();
+    Best = std::min(Best, std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - Start)
+                              .count());
+  }
+  M.Points = static_cast<unsigned>(Dbg->stats().ControlPoints);
+  M.Seconds = Best;
+  return M;
+}
+
+} // namespace
+
+int main() {
+  std::printf("==== E5: analysis complexity (paper 6.3) ====\n\n");
+
+  std::printf("-- Loop chains (expected: near-linear time in size) --\n");
+  std::printf("%8s %10s %12s %16s\n", "loops", "points", "time (s)",
+              "us per point");
+  Measurement Prev;
+  for (unsigned K : {5u, 10u, 20u, 40u, 80u, 160u}) {
+    Measurement M = measure(loopChain(K));
+    std::printf("%8u %10u %12.5f %16.2f\n", K, M.Points, M.Seconds,
+                1e6 * M.Seconds / M.Points);
+    Prev = M;
+  }
+  std::printf("(a flat us-per-point column = linear scaling)\n\n");
+
+  std::printf("-- McCarthy_k (expected: super-linear, the paper's "
+              "pathological case) --\n");
+  std::printf("%8s %10s %12s %16s\n", "k", "points", "time (s)",
+              "us per point");
+  for (unsigned K : {3u, 6u, 9u, 12u, 18u, 24u, 30u}) {
+    Measurement M = measure(paper::mcCarthyK(K));
+    std::printf("%8u %10u %12.5f %16.2f\n", K, M.Points, M.Seconds,
+                1e6 * M.Seconds / M.Points);
+  }
+  std::printf("(points grow ~quadratically with k: the unfolded call "
+              "graph has k+1 instances\n of a body whose size is itself "
+              "proportional to k)\n");
+  return 0;
+}

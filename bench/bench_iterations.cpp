@@ -1,0 +1,65 @@
+//===- bench/bench_iterations.cpp - E2: the Figure 2 session statistics ---===//
+//
+// Regenerates the statistics panel of the Syntox session shown in
+// Figure 2 (program McCarthy): per-phase widening/narrowing iteration
+// counts, CPU, memory, control points, equations, unions and widenings.
+// The paper's screenshot shows (on a DEC 5000/200):
+//     *** Forward analysis:        widening (84),  narrowing (56)
+//     *** Intermittent assertions: widening (140), narrowing (28)
+//     *** [Backward] analysis:     widening (81),  narrowing (28)
+//     *** CPU: 0.6 seconds, Memory: 46 Kb, Control points: 32 [source]
+//     *** Equations: 448 (2104 unions, 814 widenings)
+// Absolute counts depend on the exact equation encoding; the shape to
+// compare: a few iterations per equation per phase, unions an order of
+// magnitude above the equation count, sub-second CPU.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/AbstractDebugger.h"
+#include "frontend/PaperPrograms.h"
+
+#include <cstdio>
+
+using namespace syntox;
+
+static void session(const char *Title, const std::string &Source,
+                    bool TerminationGoal) {
+  std::printf("---- %s ----\n", Title);
+  DiagnosticsEngine Diags;
+  AbstractDebugger::Options Opts;
+  Opts.Analysis.TerminationGoal = TerminationGoal;
+  auto Dbg = AbstractDebugger::create(Source, Diags, Opts);
+  if (!Dbg) {
+    std::printf("frontend error\n%s", Diags.str().c_str());
+    return;
+  }
+  Dbg->analyze();
+  std::printf("%s", Dbg->stats().str().c_str());
+  const AnalysisStats &S = Dbg->stats();
+  double StepsPerEquation =
+      S.Equations == 0
+          ? 0.0
+          : static_cast<double>([&] {
+              uint64_t Total = 0;
+              for (const PhaseStats &P : S.Phases)
+                Total += P.WideningSteps + P.NarrowingSteps;
+              return Total;
+            }()) / S.Equations;
+  std::printf("*** Complexity: %.1f evaluations per equation "
+              "(paper: ~4 per phase)\n\n",
+              StepsPerEquation);
+}
+
+int main() {
+  std::printf("==== E2: Figure 2 analysis statistics ====\n\n");
+
+  std::string McIntermittent = paper::McCarthyProgram;
+  McIntermittent.insert(McIntermittent.find("writeln(m)"),
+                        "intermittent(m = 91);\n  ");
+
+  session("McCarthy (plain)", paper::McCarthyProgram, false);
+  session("McCarthy with invariant n <= 101", paper::McCarthyWithInvariant,
+          false);
+  session("McCarthy with intermittent m = 91", McIntermittent, false);
+  return 0;
+}

@@ -1,0 +1,104 @@
+//===- examples/exception_handling.cpp - Non-local jumps as exceptions ----===//
+//
+// Paper §5 shows the copy-in/copy-out semantics "allows for the treatment
+// of the setjmp and longjmp primitives of C": a jump to a non-local label
+// unwinds the activations in between, exactly like raising an exception
+// to a handler. This example analyzes a parser-like program that bails
+// out to an error handler from deep inside a recursive routine — the
+// abstract debugger tracks the abstract state *through the unwinding* and
+// proves what holds at the handler.
+//
+// Build & run:  ./build/examples/exception_handling
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/AbstractDebugger.h"
+#include "interp/Interpreter.h"
+
+#include <cstdio>
+
+using namespace syntox;
+
+/// A tiny "parser" that reads tokens until 0 (end) and "raises" on a
+/// negative token by jumping out of two activation levels straight to the
+/// handler label. errorcode is only ever assigned right before the jump,
+/// so at the handler it is provably in [1, 99].
+static const char *const Program = R"pas(
+program parser;
+label 99;
+var errorcode, count, tok : integer;
+
+procedure fail(code : integer);
+begin
+  if code < 1 then
+    errorcode := 1
+  else if code > 99 then
+    errorcode := 99
+  else
+    errorcode := code;
+  goto 99
+end;
+
+procedure parseitem;
+begin
+  read(tok);
+  if tok < 0 then
+    fail(-tok)
+  else if tok > 1000 then
+    fail(98);
+  count := count + 1
+end;
+
+begin
+  errorcode := 0;
+  count := 0;
+  tok := 1;
+  while tok <> 0 do
+    parseitem;
+  writeln(count);
+
+  99:
+  if errorcode > 0 then
+    writeln(-errorcode)
+end.
+)pas";
+
+int main() {
+  std::printf("=== Exceptions via non-local goto (paper section 5) ===\n\n");
+  std::printf("%s\n", Program);
+
+  DiagnosticsEngine Diags;
+  auto Dbg = AbstractDebugger::create(Program, Diags);
+  if (!Dbg) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 1;
+  }
+  Dbg->analyze();
+
+  std::printf("--- Abstract state at the handler ---\n%s\n",
+              Dbg->stateReport("label 99").c_str());
+  std::printf("The analysis proves errorcode in [0, 99] at the handler:\n"
+              "0 on normal exit through the loop, [1, 99] when any\n"
+              "activation of fail() raised — the jump unwinds parseitem\n"
+              "and fail, and the copied-out state flows to the label.\n\n");
+
+  // Concrete confirmation.
+  Interpreter I(Dbg->program());
+  struct Run {
+    const char *What;
+    std::vector<int64_t> Inputs;
+  } Runs[] = {
+      {"clean input (3 items)", {5, 7, 9, 0}},
+      {"negative token raises", {5, -42, 9, 0}},
+      {"oversized token raises", {5, 2000, 0}},
+  };
+  for (const Run &R : Runs) {
+    Interpreter::Options Opts;
+    Opts.Inputs = R.Inputs;
+    Interpreter::Result Res = I.run(Opts);
+    std::printf("  %-24s -> %s: %s", R.What,
+                Res.St == Interpreter::Status::Ok ? "ok" : "error",
+                Res.Output.c_str());
+  }
+  return 0;
+}

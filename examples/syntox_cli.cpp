@@ -1,0 +1,113 @@
+//===- examples/syntox_cli.cpp - Command-line abstract debugger -----------===//
+//
+// A CLI replica of the Syntox session of Figure 2: give it a Pascal file
+// (or pipe source to stdin) and it prints the derived necessary
+// conditions, invariant warnings, check classification, abstract states
+// and the analysis statistics.
+//
+// Usage:
+//   syntox_cli [options] [file.pas]
+//     --terminate     add the goal "the program must terminate"
+//     --rounds=N      backward/forward refinement rounds (default 1)
+//     --states        print the abstract state at every program point
+//     --no-backward   forward analysis only
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/AbstractDebugger.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+using namespace syntox;
+
+static void usage() {
+  std::fprintf(stderr,
+               "usage: syntox_cli [--terminate] [--rounds=N] [--states] "
+               "[--no-backward] [file.pas]\n");
+}
+
+int main(int Argc, char **Argv) {
+  AbstractDebugger::Options Opts;
+  bool PrintStates = false;
+  std::string Path;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--terminate") {
+      Opts.Analysis.TerminationGoal = true;
+    } else if (Arg.rfind("--rounds=", 0) == 0) {
+      Opts.Analysis.BackwardRounds =
+          static_cast<unsigned>(std::atoi(Arg.c_str() + 9));
+    } else if (Arg == "--states") {
+      PrintStates = true;
+    } else if (Arg == "--no-backward") {
+      Opts.Analysis.UseBackward = false;
+    } else if (Arg == "--help" || Arg == "-h") {
+      usage();
+      return 0;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      usage();
+      return 2;
+    } else {
+      Path = Arg;
+    }
+  }
+
+  std::string Source;
+  if (Path.empty()) {
+    std::ostringstream Buffer;
+    Buffer << std::cin.rdbuf();
+    Source = Buffer.str();
+  } else {
+    std::ifstream In(Path);
+    if (!In) {
+      std::fprintf(stderr, "syntox_cli: cannot open '%s'\n", Path.c_str());
+      return 2;
+    }
+    std::ostringstream Buffer;
+    Buffer << In.rdbuf();
+    Source = Buffer.str();
+  }
+
+  DiagnosticsEngine Diags;
+  auto Dbg = AbstractDebugger::create(Source, Diags, Opts);
+  for (const Diagnostic &D : Diags.diagnostics())
+    std::fprintf(stderr, "%s\n", D.str().c_str());
+  if (!Dbg)
+    return 1;
+
+  Dbg->analyze();
+
+  std::printf("*** Checking syntax... ok\n");
+  if (!Dbg->someExecutionMaySatisfySpec())
+    std::printf("*** NO execution satisfies the specification: the "
+                "program certainly loops or fails\n");
+
+  std::printf("*** Correctness conditions\n");
+  for (const NecessaryCondition &C : Dbg->conditions())
+    std::printf("  %s\n", C.str().c_str());
+  if (Dbg->conditions().empty())
+    std::printf("  (none)\n");
+
+  std::printf("*** Invariant assertions\n");
+  for (const InvariantWarning &W : Dbg->invariantWarnings())
+    std::printf("  %s: warning: %s\n", W.Loc.str().c_str(),
+                W.Message.c_str());
+  if (Dbg->invariantWarnings().empty())
+    std::printf("  (all discharged)\n");
+
+  std::printf("*** Runtime checks\n");
+  for (const CheckResult &R : Dbg->checks().results())
+    std::printf("  %s\n",
+                R.str(Dbg->analyzer().storeOps().domain()).c_str());
+
+  if (PrintStates)
+    std::printf("*** Abstract states\n%s", Dbg->stateReport().c_str());
+
+  std::printf("%s", Dbg->stats().str().c_str());
+  return 0;
+}

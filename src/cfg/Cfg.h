@@ -1,0 +1,292 @@
+//===- cfg/Cfg.h - Control-flow graphs and semantic actions -----*- C++ -*-===//
+//
+// Part of Syntox++, a reproduction of Bourdoncle's abstract debugger
+// (PLDI 1993). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Control-flow graphs for the analyses. Each routine is lowered into a
+/// graph of *control points* connected by edges carrying semantic
+/// *actions* — the abstract primitives of paper §4 ([x := e], [i < 100],
+/// read, runtime checks, calls). The forward system of semantic equations
+/// follows directly from this graph, and the backward systems are its
+/// "trivial inversion".
+///
+/// Expressions on actions are call-free: the builder flattens nested
+/// function calls into temporaries, so a Call action is always a
+/// dedicated edge. Runtime checks (array bounds, subrange assignments,
+/// division by zero, case coverage) are materialized as Check actions —
+/// they act as the *permanent invariant assertions* of paper §6.5.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYNTOX_CFG_CFG_H
+#define SYNTOX_CFG_CFG_H
+
+#include "frontend/Ast.h"
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace syntox {
+
+/// What a runtime check verifies.
+enum class CheckKind {
+  ArrayBound,   ///< array index within the declared bounds
+  SubrangeBound,///< value assigned to a subrange-typed variable fits
+  DivByZero,    ///< divisor (or modulus) is non-zero
+  CaseMatch,    ///< case selector is covered by some arm
+};
+
+const char *checkKindName(CheckKind Kind);
+
+/// A runtime check site. Forward semantics: meet the checked expression
+/// with the required set; an empty result means the check *must* fail.
+/// The checks library classifies each site as statically-safe or not.
+struct CheckInfo {
+  unsigned Id = 0;
+  CheckKind Kind = CheckKind::ArrayBound;
+  SourceLoc Loc;
+  /// The checked (call-free) expression: the index, the assigned value,
+  /// or the divisor.
+  Expr *Value = nullptr;
+  /// Required range for ArrayBound/SubrangeBound/CaseMatch; for
+  /// DivByZero the requirement is "not 0".
+  int64_t Lo = 0;
+  int64_t Hi = 0;
+  /// Human-readable subject, e.g. "index of T" or "assignment to n".
+  std::string Subject;
+  /// True for the validation of a value coming from `read`: such a check
+  /// can never be discharged statically (the input is arbitrary) and is
+  /// excluded from the §6.5 elimination claims.
+  bool InputValidation = false;
+};
+
+/// One semantic action attached to a CFG edge.
+struct Action {
+  enum class Kind {
+    Nop,        ///< no state change (gotos, joins)
+    Assign,     ///< Var := Value (scalar strong update)
+    ArrayStore, ///< Var[Index] := Value (weak update of the summary)
+    ReadScalar, ///< read(Var): Var gets an arbitrary input
+    ReadArray,  ///< read(Var[Index]): summary gets an arbitrary input
+    Assume,     ///< control passes only if Value evaluates to Sense
+    Check,      ///< runtime check (see CheckInfo)
+    Invariant,  ///< user invariant assertion (paper §1)
+    Call,       ///< call of Call->routine(); result into ResultVar if set
+  };
+
+  Kind K = Kind::Nop;
+  VarDecl *Var = nullptr;   ///< Assign/Read target or array variable
+  Expr *Value = nullptr;    ///< assigned value / condition / checked expr
+  Expr *Index = nullptr;    ///< array index (ArrayStore/ReadArray)
+  bool Sense = true;        ///< Assume polarity
+  unsigned CheckId = 0;     ///< Check: index into ProgramCfg::checks()
+  CallExpr *Call = nullptr; ///< Call action payload
+  VarDecl *ResultVar = nullptr; ///< temp receiving a function result
+
+  static Action nop() { return Action(); }
+  static Action assign(VarDecl *Var, Expr *Value) {
+    Action A;
+    A.K = Kind::Assign;
+    A.Var = Var;
+    A.Value = Value;
+    return A;
+  }
+  static Action arrayStore(VarDecl *Array, Expr *Index, Expr *Value) {
+    Action A;
+    A.K = Kind::ArrayStore;
+    A.Var = Array;
+    A.Index = Index;
+    A.Value = Value;
+    return A;
+  }
+  static Action readScalar(VarDecl *Var) {
+    Action A;
+    A.K = Kind::ReadScalar;
+    A.Var = Var;
+    return A;
+  }
+  static Action readArray(VarDecl *Array, Expr *Index) {
+    Action A;
+    A.K = Kind::ReadArray;
+    A.Var = Array;
+    A.Index = Index;
+    return A;
+  }
+  static Action assume(Expr *Cond, bool Sense) {
+    Action A;
+    A.K = Kind::Assume;
+    A.Value = Cond;
+    A.Sense = Sense;
+    return A;
+  }
+  static Action check(unsigned CheckId, Expr *Value) {
+    Action A;
+    A.K = Kind::Check;
+    A.CheckId = CheckId;
+    A.Value = Value;
+    return A;
+  }
+  static Action invariant(Expr *Cond) {
+    Action A;
+    A.K = Kind::Invariant;
+    A.Value = Cond;
+    return A;
+  }
+  static Action call(CallExpr *CE, VarDecl *ResultVar) {
+    Action A;
+    A.K = Kind::Call;
+    A.Call = CE;
+    A.ResultVar = ResultVar;
+    return A;
+  }
+};
+
+/// A CFG edge From --Action--> To.
+struct CfgEdge {
+  unsigned From = 0;
+  unsigned To = 0;
+  Action Act;
+};
+
+/// An intermittent assertion attached to a control point (paper §1): the
+/// program must *eventually* reach this point with Cond holding.
+struct IntermittentAssertion {
+  unsigned Point = 0;
+  Expr *Cond = nullptr;
+  SourceLoc Loc;
+};
+
+/// A non-local exit channel: control leaving a routine by jumping to
+/// label Label declared in routine Target (an ancestor).
+struct Channel {
+  const RoutineDecl *Target = nullptr;
+  int64_t Label = 0;
+
+  bool operator<(const Channel &Other) const {
+    if (Target != Other.Target)
+      return Target < Other.Target;
+    return Label < Other.Label;
+  }
+  bool operator==(const Channel &Other) const = default;
+};
+
+/// The control-flow graph of one routine.
+class RoutineCfg {
+public:
+  explicit RoutineCfg(RoutineDecl *Routine) : Routine(Routine) {}
+
+  RoutineDecl *routine() const { return Routine; }
+
+  unsigned addPoint(SourceLoc Loc, std::string Desc) {
+    Locs.push_back(Loc);
+    Descs.push_back(std::move(Desc));
+    return static_cast<unsigned>(Locs.size() - 1);
+  }
+  unsigned numPoints() const { return static_cast<unsigned>(Locs.size()); }
+  SourceLoc pointLoc(unsigned P) const { return Locs[P]; }
+  const std::string &pointDesc(unsigned P) const { return Descs[P]; }
+
+  void addEdge(unsigned From, unsigned To, Action A) {
+    Edges.push_back(CfgEdge{From, To, std::move(A)});
+  }
+  const std::vector<CfgEdge> &edges() const { return Edges; }
+
+  unsigned entry() const { return Entry; }
+  unsigned exit() const { return Exit; }
+  void setEntry(unsigned P) { Entry = P; }
+  void setExit(unsigned P) { Exit = P; }
+
+  /// Exit point for non-local jumps into channel \p C, created on demand.
+  unsigned channelExit(const Channel &C) {
+    auto It = ChannelExits.find(C);
+    if (It != ChannelExits.end())
+      return It->second;
+    unsigned P = addPoint(SourceLoc(), "channel exit " +
+                                           std::to_string(C.Label) + " of " +
+                                           C.Target->name());
+    ChannelExits[C] = P;
+    return P;
+  }
+  const std::map<Channel, unsigned> &channelExits() const {
+    return ChannelExits;
+  }
+  bool hasChannel(const Channel &C) const { return ChannelExits.count(C); }
+
+  /// Point of a local labeled statement.
+  void setLabelPoint(int64_t Label, unsigned P) { LabelPoints[Label] = P; }
+  const std::map<int64_t, unsigned> &labelPoints() const {
+    return LabelPoints;
+  }
+
+  const std::vector<IntermittentAssertion> &intermittents() const {
+    return Intermittents;
+  }
+  void addIntermittent(IntermittentAssertion A) {
+    Intermittents.push_back(std::move(A));
+  }
+
+private:
+  RoutineDecl *Routine;
+  std::vector<SourceLoc> Locs;
+  std::vector<std::string> Descs;
+  std::vector<CfgEdge> Edges;
+  unsigned Entry = 0;
+  unsigned Exit = 0;
+  std::map<Channel, unsigned> ChannelExits;
+  std::map<int64_t, unsigned> LabelPoints;
+  std::vector<IntermittentAssertion> Intermittents;
+};
+
+/// CFGs for a whole program plus the shared check table.
+class ProgramCfg {
+public:
+  RoutineCfg *cfgFor(const RoutineDecl *R) {
+    auto It = Cfgs.find(R);
+    return It == Cfgs.end() ? nullptr : It->second.get();
+  }
+  const RoutineCfg *cfgFor(const RoutineDecl *R) const {
+    auto It = Cfgs.find(R);
+    return It == Cfgs.end() ? nullptr : It->second.get();
+  }
+  RoutineCfg *createCfg(RoutineDecl *R) {
+    auto Owned = std::make_unique<RoutineCfg>(R);
+    RoutineCfg *Ptr = Owned.get();
+    Cfgs[R] = std::move(Owned);
+    Order.push_back(Ptr);
+    return Ptr;
+  }
+  /// Routine CFGs in declaration order (program first).
+  const std::vector<RoutineCfg *> &cfgs() const { return Order; }
+
+  unsigned registerCheck(CheckInfo Info) {
+    Info.Id = static_cast<unsigned>(Checks.size());
+    Checks.push_back(std::move(Info));
+    return Checks.back().Id;
+  }
+  const std::vector<CheckInfo> &checks() const { return Checks; }
+  const CheckInfo &check(unsigned Id) const { return Checks[Id]; }
+
+  /// Total control points over all routine CFGs (before unfolding).
+  unsigned totalPoints() const {
+    unsigned N = 0;
+    for (const RoutineCfg *C : Order)
+      N += C->numPoints();
+    return N;
+  }
+
+private:
+  std::map<const RoutineDecl *, std::unique_ptr<RoutineCfg>> Cfgs;
+  std::vector<RoutineCfg *> Order;
+  std::vector<CheckInfo> Checks;
+};
+
+} // namespace syntox
+
+#endif // SYNTOX_CFG_CFG_H

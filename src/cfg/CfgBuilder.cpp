@@ -1,0 +1,691 @@
+//===- cfg/CfgBuilder.cpp - AST to CFG lowering ---------------------------===//
+
+#include "cfg/CfgBuilder.h"
+
+#include <cassert>
+
+using namespace syntox;
+
+const char *syntox::checkKindName(CheckKind Kind) {
+  switch (Kind) {
+  case CheckKind::ArrayBound:
+    return "array bound";
+  case CheckKind::SubrangeBound:
+    return "subrange bound";
+  case CheckKind::DivByZero:
+    return "division by zero";
+  case CheckKind::CaseMatch:
+    return "case coverage";
+  }
+  return "check";
+}
+
+//===----------------------------------------------------------------------===//
+// Expression helpers
+//===----------------------------------------------------------------------===//
+
+VarRefExpr *CfgBuilder::varRef(VarDecl *V) {
+  auto *Ref = Ctx.create<VarRefExpr>(V->loc(), V->name());
+  Ref->setVarDecl(V);
+  Ref->setType(V->type());
+  return Ref;
+}
+
+Expr *CfgBuilder::intLit(int64_t V) {
+  auto *Lit = Ctx.create<IntLiteralExpr>(SourceLoc(), V);
+  Lit->setType(Ctx.integerType());
+  return Lit;
+}
+
+Expr *CfgBuilder::cmp(BinaryOp Op, Expr *L, Expr *R) {
+  auto *E = Ctx.create<BinaryExpr>(L->loc(), Op, L, R);
+  E->setType(Ctx.booleanType());
+  return E;
+}
+
+Expr *CfgBuilder::conj(Expr *L, Expr *R) {
+  if (!L)
+    return R;
+  if (!R)
+    return L;
+  auto *E = Ctx.create<BinaryExpr>(L->loc(), BinaryOp::And, L, R);
+  E->setType(Ctx.booleanType());
+  return E;
+}
+
+Expr *CfgBuilder::disj(Expr *L, Expr *R) {
+  if (!L)
+    return R;
+  if (!R)
+    return L;
+  auto *E = Ctx.create<BinaryExpr>(L->loc(), BinaryOp::Or, L, R);
+  E->setType(Ctx.booleanType());
+  return E;
+}
+
+VarDecl *CfgBuilder::makeTemp(const Type *Ty) {
+  auto *Temp = Ctx.create<VarDecl>(
+      SourceLoc(), "$t" + std::to_string(TempCounter++), Ty, VarKind::Local);
+  Temp->setOwner(CurRoutine);
+  Temp->setIndexInOwner(CurRoutine->ownedVars().size());
+  CurRoutine->addOwnedVar(Temp);
+  return Temp;
+}
+
+unsigned CfgBuilder::newPoint(SourceLoc Loc, const std::string &Desc) {
+  return Cur->addPoint(Loc, Desc);
+}
+
+unsigned CfgBuilder::labelPoint(int64_t Label) {
+  auto It = PendingLabels.find(Label);
+  if (It != PendingLabels.end())
+    return It->second;
+  unsigned P = newPoint(SourceLoc(), "label " + std::to_string(Label));
+  PendingLabels[Label] = P;
+  Cur->setLabelPoint(Label, P);
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// Expression flattening
+//===----------------------------------------------------------------------===//
+
+Expr *CfgBuilder::flattenExpr(Expr *E, unsigned &At) {
+  if (!E)
+    return nullptr;
+  switch (E->kind()) {
+  case Expr::Kind::IntLiteral:
+  case Expr::Kind::BoolLiteral:
+  case Expr::Kind::StringLiteral:
+  case Expr::Kind::VarRef:
+    return E;
+  case Expr::Kind::Index: {
+    auto *I = cast<IndexExpr>(E);
+    Expr *Index = flattenExpr(I->index(), At);
+    const auto *ArrTy = dyn_cast<ArrayType>(I->base()->type());
+    if (ArrTy) {
+      unsigned Id = Prog->registerCheck(
+          CheckInfo{0, CheckKind::ArrayBound, E->loc(), Index,
+                    ArrTy->indexLo(), ArrTy->indexHi(),
+                    "index of " + I->base()->name()});
+      unsigned Next = newPoint(E->loc(), "bound check");
+      Cur->addEdge(At, Next, Action::check(Id, Index));
+      At = Next;
+    }
+    auto *NewIndex = Ctx.create<IndexExpr>(E->loc(), I->base(), Index);
+    NewIndex->setType(E->type());
+    return NewIndex;
+  }
+  case Expr::Kind::Call: {
+    auto *CE = cast<CallExpr>(E);
+    if (CE->builtin() != BuiltinFn::None) {
+      std::vector<Expr *> Args;
+      for (Expr *Arg : CE->args())
+        Args.push_back(flattenExpr(Arg, At));
+      auto *NewCall =
+          Ctx.create<CallExpr>(E->loc(), CE->callee(), std::move(Args));
+      NewCall->setBuiltin(CE->builtin());
+      NewCall->setType(E->type());
+      return NewCall;
+    }
+    VarDecl *Result = nullptr;
+    At = lowerCall(CE, At, &Result);
+    assert(Result && "function call without result");
+    return varRef(Result);
+  }
+  case Expr::Kind::Unary: {
+    auto *U = cast<UnaryExpr>(E);
+    Expr *Sub = flattenExpr(U->subExpr(), At);
+    auto *NewU = Ctx.create<UnaryExpr>(E->loc(), U->op(), Sub);
+    NewU->setType(E->type());
+    return NewU;
+  }
+  case Expr::Kind::Binary: {
+    auto *B = cast<BinaryExpr>(E);
+    Expr *Lhs = flattenExpr(B->lhs(), At);
+    Expr *Rhs = flattenExpr(B->rhs(), At);
+    if (B->op() == BinaryOp::Div || B->op() == BinaryOp::Mod) {
+      unsigned Id = Prog->registerCheck(
+          CheckInfo{0, CheckKind::DivByZero, E->loc(), Rhs, 0, 0,
+                    B->op() == BinaryOp::Div ? "divisor" : "modulus"});
+      unsigned Next = newPoint(E->loc(), "div check");
+      Cur->addEdge(At, Next, Action::check(Id, Rhs));
+      At = Next;
+    }
+    auto *NewB = Ctx.create<BinaryExpr>(E->loc(), B->op(), Lhs, Rhs);
+    NewB->setType(E->type());
+    return NewB;
+  }
+  }
+  return E;
+}
+
+/// Lowers a routine call: flattens arguments, emits subrange checks for
+/// the copy-in, the Call edge, and copy-out subrange checks for var
+/// parameters. Returns the point after the call; *ResultOut receives the
+/// temp holding a function result (if the callee is a function).
+unsigned CfgBuilder::lowerCall(CallExpr *CE, unsigned At,
+                               VarDecl **ResultOut) {
+  RoutineDecl *Callee = CE->routine();
+  assert(Callee && "unresolved call");
+
+  std::vector<Expr *> Args;
+  const std::vector<VarDecl *> &Formals = Callee->params();
+  for (size_t I = 0; I < CE->args().size(); ++I) {
+    Expr *Arg = flattenExpr(CE->args()[I], At);
+    Args.push_back(Arg);
+    if (I >= Formals.size())
+      continue;
+    // Copy-in subrange check for the formal's declared range.
+    if (const auto *Sub = dyn_cast<SubrangeType>(Formals[I]->type())) {
+      unsigned Id = Prog->registerCheck(
+          CheckInfo{0, CheckKind::SubrangeBound, Arg->loc(), Arg, Sub->lo(),
+                    Sub->hi(), "argument for " + Formals[I]->name()});
+      unsigned Next = newPoint(Arg->loc(), "subrange check");
+      Cur->addEdge(At, Next, Action::check(Id, Arg));
+      At = Next;
+    }
+  }
+
+  auto *NewCall = Ctx.create<CallExpr>(CE->loc(), CE->callee(), Args);
+  NewCall->setRoutine(Callee);
+  NewCall->setCallSiteId(CE->callSiteId());
+  NewCall->setType(CE->type());
+
+  VarDecl *Result = nullptr;
+  if (Callee->isFunction())
+    Result = makeTemp(Callee->resultType());
+  if (ResultOut)
+    *ResultOut = Result;
+
+  unsigned After = newPoint(CE->loc(), "after call " + Callee->name());
+  Cur->addEdge(At, After, Action::call(NewCall, Result));
+  At = After;
+
+  // Copy-out subrange checks: a var-param actual with a subrange type may
+  // have received an out-of-range value from the callee.
+  for (size_t I = 0; I < Args.size() && I < Formals.size(); ++I) {
+    if (!Formals[I]->isVarParam())
+      continue;
+    auto *Ref = dyn_cast<VarRefExpr>(Args[I]);
+    if (!Ref || !Ref->varDecl())
+      continue;
+    const auto *Sub = dyn_cast<SubrangeType>(Ref->varDecl()->type());
+    if (!Sub)
+      continue;
+    unsigned Id = Prog->registerCheck(
+        CheckInfo{0, CheckKind::SubrangeBound, Ref->loc(), Ref, Sub->lo(),
+                  Sub->hi(), "var argument " + Ref->name() + " after call"});
+    unsigned Next = newPoint(Ref->loc(), "subrange check");
+    Cur->addEdge(At, Next, Action::check(Id, Ref));
+    At = Next;
+  }
+  return At;
+}
+
+//===----------------------------------------------------------------------===//
+// Statement lowering
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Conservative: may executing \p S change \p V? Any routine call counts
+/// as modifying everything (it may reach globals or pass V by
+/// reference).
+bool exprHasRoutineCall(const Expr *E) {
+  if (!E)
+    return false;
+  switch (E->kind()) {
+  case Expr::Kind::Call: {
+    const auto *C = cast<CallExpr>(E);
+    if (C->builtin() == BuiltinFn::None)
+      return true;
+    for (const Expr *Arg : C->args())
+      if (exprHasRoutineCall(Arg))
+        return true;
+    return false;
+  }
+  case Expr::Kind::Index:
+    return exprHasRoutineCall(cast<IndexExpr>(E)->index());
+  case Expr::Kind::Unary:
+    return exprHasRoutineCall(cast<UnaryExpr>(E)->subExpr());
+  case Expr::Kind::Binary:
+    return exprHasRoutineCall(cast<BinaryExpr>(E)->lhs()) ||
+           exprHasRoutineCall(cast<BinaryExpr>(E)->rhs());
+  default:
+    return false;
+  }
+}
+
+} // namespace
+
+bool syntox::mayModifyVar(const Stmt *S, const VarDecl *V) {
+  if (!S)
+    return false;
+  switch (S->kind()) {
+  case Stmt::Kind::Assign: {
+    const auto *A = cast<AssignStmt>(S);
+    if (const auto *Ref = dyn_cast<VarRefExpr>(A->target()))
+      if (Ref->varDecl() == V)
+        return true;
+    return exprHasRoutineCall(A->value()) ||
+           exprHasRoutineCall(A->target());
+  }
+  case Stmt::Kind::Compound: {
+    for (const Stmt *Sub : cast<CompoundStmt>(S)->body())
+      if (mayModifyVar(Sub, V))
+        return true;
+    return false;
+  }
+  case Stmt::Kind::If: {
+    const auto *I = cast<IfStmt>(S);
+    return exprHasRoutineCall(I->cond()) || mayModifyVar(I->thenStmt(), V) ||
+           mayModifyVar(I->elseStmt(), V);
+  }
+  case Stmt::Kind::While: {
+    const auto *W = cast<WhileStmt>(S);
+    return exprHasRoutineCall(W->cond()) || mayModifyVar(W->body(), V);
+  }
+  case Stmt::Kind::Repeat: {
+    const auto *R = cast<RepeatStmt>(S);
+    for (const Stmt *Sub : R->body())
+      if (mayModifyVar(Sub, V))
+        return true;
+    return exprHasRoutineCall(R->cond());
+  }
+  case Stmt::Kind::For: {
+    const auto *F = cast<ForStmt>(S);
+    if (F->var()->varDecl() == V)
+      return true;
+    return exprHasRoutineCall(F->from()) || exprHasRoutineCall(F->to()) ||
+           mayModifyVar(F->body(), V);
+  }
+  case Stmt::Kind::Case: {
+    const auto *C = cast<CaseStmt>(S);
+    if (exprHasRoutineCall(C->selector()))
+      return true;
+    for (const CaseArm &Arm : C->arms())
+      if (mayModifyVar(Arm.Body, V))
+        return true;
+    return mayModifyVar(C->elseStmt(), V);
+  }
+  case Stmt::Kind::Call:
+    return true; // conservatively clobbers everything
+  case Stmt::Kind::Read: {
+    for (const Expr *T : cast<ReadStmt>(S)->targets()) {
+      if (const auto *Ref = dyn_cast<VarRefExpr>(T))
+        if (Ref->varDecl() == V)
+          return true;
+      if (exprHasRoutineCall(T))
+        return true;
+    }
+    return false;
+  }
+  case Stmt::Kind::Write: {
+    for (const Expr *E : cast<WriteStmt>(S)->values())
+      if (exprHasRoutineCall(E))
+        return true;
+    return false;
+  }
+  case Stmt::Kind::Goto:
+  case Stmt::Kind::Empty:
+    return false;
+  case Stmt::Kind::Labeled:
+    return mayModifyVar(cast<LabeledStmt>(S)->subStmt(), V);
+  case Stmt::Kind::Assert:
+    return exprHasRoutineCall(cast<AssertStmt>(S)->cond());
+  }
+  return true;
+}
+
+unsigned CfgBuilder::lowerScalarAssign(SourceLoc Loc, VarDecl *Target,
+                                       Expr *Value, unsigned At) {
+  if (const auto *Sub = dyn_cast<SubrangeType>(Target->type())) {
+    unsigned Id = Prog->registerCheck(
+        CheckInfo{0, CheckKind::SubrangeBound, Loc, Value, Sub->lo(),
+                  Sub->hi(), "assignment to " + Target->name()});
+    unsigned Next = newPoint(Loc, "subrange check");
+    Cur->addEdge(At, Next, Action::check(Id, Value));
+    At = Next;
+  }
+  unsigned Next = newPoint(Loc, "after " + Target->name() + " :=");
+  Cur->addEdge(At, Next, Action::assign(Target, Value));
+  return Next;
+}
+
+unsigned CfgBuilder::lowerStmt(Stmt *S, unsigned At) {
+  if (!S)
+    return At;
+  switch (S->kind()) {
+  case Stmt::Kind::Assign: {
+    auto *A = cast<AssignStmt>(S);
+    if (auto *Ref = dyn_cast<VarRefExpr>(A->target())) {
+      Expr *Value = flattenExpr(A->value(), At);
+      assert(Ref->varDecl() && "unresolved assignment target");
+      return lowerScalarAssign(S->loc(), Ref->varDecl(), Value, At);
+    }
+    auto *Idx = cast<IndexExpr>(A->target());
+    VarDecl *Array = Idx->base()->varDecl();
+    assert(Array && "unresolved array");
+    Expr *Index = flattenExpr(Idx->index(), At);
+    const auto *ArrTy = cast<ArrayType>(Array->type());
+    unsigned Id = Prog->registerCheck(
+        CheckInfo{0, CheckKind::ArrayBound, S->loc(), Index, ArrTy->indexLo(),
+                  ArrTy->indexHi(), "index of " + Array->name()});
+    unsigned AfterCheck = newPoint(S->loc(), "bound check");
+    Cur->addEdge(At, AfterCheck, Action::check(Id, Index));
+    At = AfterCheck;
+    Expr *Value = flattenExpr(A->value(), At);
+    if (const auto *Sub = dyn_cast<SubrangeType>(ArrTy->elementType())) {
+      unsigned CheckId = Prog->registerCheck(
+          CheckInfo{0, CheckKind::SubrangeBound, S->loc(), Value, Sub->lo(),
+                    Sub->hi(), "element of " + Array->name()});
+      unsigned Next = newPoint(S->loc(), "subrange check");
+      Cur->addEdge(At, Next, Action::check(CheckId, Value));
+      At = Next;
+    }
+    unsigned Next = newPoint(S->loc(), "after store to " + Array->name());
+    Cur->addEdge(At, Next, Action::arrayStore(Array, Index, Value));
+    return Next;
+  }
+  case Stmt::Kind::Compound: {
+    for (Stmt *Sub : cast<CompoundStmt>(S)->body())
+      At = lowerStmt(Sub, At);
+    return At;
+  }
+  case Stmt::Kind::If: {
+    auto *I = cast<IfStmt>(S);
+    Expr *Cond = flattenExpr(I->cond(), At);
+    unsigned ThenStart = newPoint(I->thenStmt()->loc(), "then");
+    Cur->addEdge(At, ThenStart, Action::assume(Cond, true));
+    unsigned ThenEnd = lowerStmt(I->thenStmt(), ThenStart);
+    unsigned Join = newPoint(S->loc(), "endif");
+    Cur->addEdge(ThenEnd, Join, Action::nop());
+    if (I->elseStmt()) {
+      unsigned ElseStart = newPoint(I->elseStmt()->loc(), "else");
+      Cur->addEdge(At, ElseStart, Action::assume(Cond, false));
+      unsigned ElseEnd = lowerStmt(I->elseStmt(), ElseStart);
+      Cur->addEdge(ElseEnd, Join, Action::nop());
+    } else {
+      Cur->addEdge(At, Join, Action::assume(Cond, false));
+    }
+    return Join;
+  }
+  case Stmt::Kind::While: {
+    auto *W = cast<WhileStmt>(S);
+    unsigned Head = newPoint(S->loc(), "while head");
+    Cur->addEdge(At, Head, Action::nop());
+    unsigned CondPt = Head;
+    Expr *Cond = flattenExpr(W->cond(), CondPt);
+    unsigned BodyStart = newPoint(W->body()->loc(), "while body");
+    Cur->addEdge(CondPt, BodyStart, Action::assume(Cond, true));
+    unsigned BodyEnd = lowerStmt(W->body(), BodyStart);
+    Cur->addEdge(BodyEnd, Head, Action::nop());
+    unsigned After = newPoint(S->loc(), "after while");
+    Cur->addEdge(CondPt, After, Action::assume(Cond, false));
+    return After;
+  }
+  case Stmt::Kind::Repeat: {
+    auto *Rep = cast<RepeatStmt>(S);
+    unsigned BodyStart = newPoint(S->loc(), "repeat body");
+    Cur->addEdge(At, BodyStart, Action::nop());
+    unsigned P = BodyStart;
+    for (Stmt *Sub : Rep->body())
+      P = lowerStmt(Sub, P);
+    Expr *Cond = flattenExpr(Rep->cond(), P);
+    Cur->addEdge(P, BodyStart, Action::assume(Cond, false));
+    unsigned After = newPoint(S->loc(), "after repeat");
+    Cur->addEdge(P, After, Action::assume(Cond, true));
+    return After;
+  }
+  case Stmt::Kind::For: {
+    auto *F = cast<ForStmt>(S);
+    VarDecl *Var = F->var()->varDecl();
+    assert(Var && "unresolved for variable");
+    Expr *FromE = flattenExpr(F->from(), At);
+    Expr *ToE = flattenExpr(F->to(), At);
+    // Pascal evaluates the final bound once. When it is a constant or a
+    // variable the body cannot change, use it directly — this keeps the
+    // loop tests talking about the *program's* variable, which is what
+    // lets backward propagation factorize conditions like "n <= 100"
+    // onto n itself (paper §2). Otherwise materialize a temp.
+    Expr *ToUse = ToE;
+    bool Direct = false;
+    if (isa<IntLiteralExpr>(ToE)) {
+      Direct = true;
+    } else if (const auto *Ref = dyn_cast<VarRefExpr>(ToE)) {
+      Direct = Ref->constDecl() ||
+               (Ref->varDecl() && Ref->varDecl() != Var &&
+                !mayModifyVar(F->body(), Ref->varDecl()));
+    }
+    if (!Direct) {
+      VarDecl *ToTemp = makeTemp(Ctx.integerType());
+      unsigned P = newPoint(S->loc(), "for to");
+      Cur->addEdge(At, P, Action::assign(ToTemp, ToE));
+      At = P;
+      ToUse = varRef(ToTemp);
+    }
+    // A compound initial bound gets a temp too, so the loop-entry test
+    // refines the very value assigned to the loop variable (refining
+    // `n div 2 >= 1` cannot tighten a re-evaluation of `n div 2`).
+    Expr *FromUse = FromE;
+    if (!isa<IntLiteralExpr>(FromE) && !isa<VarRefExpr>(FromE)) {
+      VarDecl *FromTemp = makeTemp(Ctx.integerType());
+      unsigned P = newPoint(S->loc(), "for from");
+      Cur->addEdge(At, P, Action::assign(FromTemp, FromE));
+      At = P;
+      FromUse = varRef(FromTemp);
+    }
+
+    bool Down = F->isDownward();
+    Expr *Enter = cmp(Down ? BinaryOp::Ge : BinaryOp::Le, FromUse, ToUse);
+    unsigned After = newPoint(S->loc(), "after for");
+    Cur->addEdge(At, After, Action::assume(Enter, false));
+    unsigned InitPt = newPoint(S->loc(), "for init");
+    Cur->addEdge(At, InitPt, Action::assume(Enter, true));
+    unsigned Head = lowerScalarAssign(S->loc(), Var, FromUse, InitPt);
+    // Head: body runs with Var in [from, to].
+    unsigned BodyEnd = lowerStmt(F->body(), Head);
+    Expr *Continue =
+        cmp(Down ? BinaryOp::Gt : BinaryOp::Lt, varRef(Var), ToUse);
+    Cur->addEdge(BodyEnd, After, Action::assume(Continue, false));
+    unsigned IncPt = newPoint(S->loc(), "for step");
+    Cur->addEdge(BodyEnd, IncPt, Action::assume(Continue, true));
+    auto *Step = Ctx.create<BinaryExpr>(S->loc(),
+                                        Down ? BinaryOp::Sub : BinaryOp::Add,
+                                        varRef(Var), intLit(1));
+    Step->setType(Ctx.integerType());
+    unsigned BackPt = lowerScalarAssign(S->loc(), Var, Step, IncPt);
+    Cur->addEdge(BackPt, Head, Action::nop());
+    return After;
+  }
+  case Stmt::Kind::Case: {
+    auto *C = cast<CaseStmt>(S);
+    Expr *Sel = flattenExpr(C->selector(), At);
+    VarDecl *SelTemp = makeTemp(Ctx.integerType());
+    unsigned P = newPoint(S->loc(), "case selector");
+    Cur->addEdge(At, P, Action::assign(SelTemp, Sel));
+    unsigned Join = newPoint(S->loc(), "after case");
+    Expr *NoMatch = nullptr;
+    int64_t MinLabel = INT64_MAX, MaxLabel = INT64_MIN;
+    for (const CaseArm &Arm : C->arms()) {
+      Expr *Match = nullptr;
+      for (int64_t L : Arm.Labels) {
+        Match = disj(Match, cmp(BinaryOp::Eq, varRef(SelTemp), intLit(L)));
+        NoMatch = conj(NoMatch, cmp(BinaryOp::Ne, varRef(SelTemp), intLit(L)));
+        MinLabel = std::min(MinLabel, L);
+        MaxLabel = std::max(MaxLabel, L);
+      }
+      if (!Match)
+        continue;
+      unsigned ArmStart = newPoint(Arm.Body->loc(), "case arm");
+      Cur->addEdge(P, ArmStart, Action::assume(Match, true));
+      unsigned ArmEnd = lowerStmt(Arm.Body, ArmStart);
+      Cur->addEdge(ArmEnd, Join, Action::nop());
+    }
+    if (C->elseStmt()) {
+      unsigned ElseStart = newPoint(C->elseStmt()->loc(), "case else");
+      if (NoMatch)
+        Cur->addEdge(P, ElseStart, Action::assume(NoMatch, true));
+      else
+        Cur->addEdge(P, ElseStart, Action::nop());
+      unsigned ElseEnd = lowerStmt(C->elseStmt(), ElseStart);
+      Cur->addEdge(ElseEnd, Join, Action::nop());
+    } else if (NoMatch) {
+      // No else: falling through every arm is a runtime error. The check
+      // requires membership in an empty set, so any state surviving the
+      // no-match assumption is reported.
+      unsigned ErrPt = newPoint(S->loc(), "case fallthrough");
+      Cur->addEdge(P, ErrPt, Action::assume(NoMatch, true));
+      unsigned Id = Prog->registerCheck(
+          CheckInfo{0, CheckKind::CaseMatch, S->loc(), varRef(SelTemp),
+                    MinLabel, MaxLabel, "case selector"});
+      Cur->addEdge(ErrPt, Join, Action::check(Id, varRef(SelTemp)));
+    }
+    return Join;
+  }
+  case Stmt::Kind::Call: {
+    auto *CS = cast<CallStmt>(S);
+    return lowerCall(CS->call(), At, nullptr);
+  }
+  case Stmt::Kind::Read: {
+    auto *RS = cast<ReadStmt>(S);
+    for (Expr *Target : RS->targets()) {
+      if (auto *Ref = dyn_cast<VarRefExpr>(Target)) {
+        VarDecl *Var = Ref->varDecl();
+        assert(Var && "unresolved read target");
+        unsigned Next = newPoint(S->loc(), "after read " + Var->name());
+        Cur->addEdge(At, Next, Action::readScalar(Var));
+        At = Next;
+        if (const auto *Sub = dyn_cast<SubrangeType>(Var->type())) {
+          unsigned Id = Prog->registerCheck(
+              CheckInfo{0, CheckKind::SubrangeBound, Target->loc(),
+                        varRef(Var), Sub->lo(), Sub->hi(),
+                        "read into " + Var->name(),
+                        /*InputValidation=*/true});
+          unsigned P = newPoint(S->loc(), "subrange check");
+          Cur->addEdge(At, P, Action::check(Id, varRef(Var)));
+          At = P;
+        }
+        continue;
+      }
+      auto *Idx = cast<IndexExpr>(Target);
+      VarDecl *Array = Idx->base()->varDecl();
+      Expr *Index = flattenExpr(Idx->index(), At);
+      const auto *ArrTy = cast<ArrayType>(Array->type());
+      unsigned Id = Prog->registerCheck(
+          CheckInfo{0, CheckKind::ArrayBound, Target->loc(), Index,
+                    ArrTy->indexLo(), ArrTy->indexHi(),
+                    "index of " + Array->name()});
+      unsigned P = newPoint(S->loc(), "bound check");
+      Cur->addEdge(At, P, Action::check(Id, Index));
+      unsigned Next = newPoint(S->loc(), "after read " + Array->name());
+      Cur->addEdge(P, Next, Action::readArray(Array, Index));
+      At = Next;
+    }
+    return At;
+  }
+  case Stmt::Kind::Write: {
+    auto *WS = cast<WriteStmt>(S);
+    for (Expr *Value : WS->values()) {
+      if (isa<StringLiteralExpr>(Value))
+        continue;
+      // Evaluation can trigger checks and calls; the value is discarded.
+      (void)flattenExpr(Value, At);
+    }
+    return At;
+  }
+  case Stmt::Kind::Goto: {
+    auto *G = cast<GotoStmt>(S);
+    assert(G->targetRoutine() && "unresolved goto");
+    if (G->targetRoutine() == CurRoutine) {
+      Cur->addEdge(At, labelPoint(G->label()), Action::nop());
+    } else {
+      Channel C{G->targetRoutine(), G->label()};
+      Cur->addEdge(At, Cur->channelExit(C), Action::nop());
+    }
+    // Code after an unconditional jump is unreachable.
+    return newPoint(S->loc(), "after goto");
+  }
+  case Stmt::Kind::Labeled: {
+    auto *L = cast<LabeledStmt>(S);
+    unsigned LP = labelPoint(L->label());
+    Cur->addEdge(At, LP, Action::nop());
+    return lowerStmt(L->subStmt(), LP);
+  }
+  case Stmt::Kind::Empty:
+    return At;
+  case Stmt::Kind::Assert: {
+    auto *A = cast<AssertStmt>(S);
+    Expr *Cond = flattenExpr(A->cond(), At);
+    if (A->isIntermittent()) {
+      Cur->addIntermittent(IntermittentAssertion{At, Cond, S->loc()});
+      return At;
+    }
+    unsigned Next = newPoint(S->loc(), "after invariant");
+    Cur->addEdge(At, Next, Action::invariant(Cond));
+    return Next;
+  }
+  }
+  return At;
+}
+
+//===----------------------------------------------------------------------===//
+// Routine and program lowering
+//===----------------------------------------------------------------------===//
+
+void CfgBuilder::buildRoutine(RoutineDecl *R) {
+  Cur = Prog->createCfg(R);
+  CurRoutine = R;
+  PendingLabels.clear();
+
+  unsigned Entry = Cur->addPoint(R->loc(), "entry of " + R->name());
+  Cur->setEntry(Entry);
+  unsigned End = Entry;
+  if (R->block() && R->block()->Body)
+    End = lowerStmt(R->block()->Body, Entry);
+  unsigned Exit = Cur->addPoint(R->loc(), "exit of " + R->name());
+  Cur->addEdge(End, Exit, Action::nop());
+  Cur->setExit(Exit);
+
+  if (R->block())
+    for (RoutineDecl *Nested : R->block()->Routines)
+      buildRoutine(Nested);
+  Cur = Prog->cfgFor(R); // restore after recursion for safety
+  CurRoutine = R;
+}
+
+void CfgBuilder::propagateChannels() {
+  // A routine that calls a routine with channel (A, L) inherits that
+  // channel unless it *is* A (then the jump lands on the local label).
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (RoutineCfg *C : Prog->cfgs()) {
+      for (const CfgEdge &E : C->edges()) {
+        if (E.Act.K != Action::Kind::Call)
+          continue;
+        RoutineCfg *CalleeCfg = Prog->cfgFor(E.Act.Call->routine());
+        if (!CalleeCfg)
+          continue;
+        for (const auto &[Chan, Point] : CalleeCfg->channelExits()) {
+          (void)Point;
+          if (Chan.Target == C->routine())
+            continue; // handled locally at instantiation
+          if (!C->hasChannel(Chan)) {
+            C->channelExit(Chan);
+            Changed = true;
+          }
+        }
+      }
+    }
+  }
+}
+
+std::unique_ptr<ProgramCfg> CfgBuilder::build(RoutineDecl *Program) {
+  Prog = std::make_unique<ProgramCfg>();
+  TempCounter = 0;
+  buildRoutine(Program);
+  propagateChannels();
+  return std::move(Prog);
+}

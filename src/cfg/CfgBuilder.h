@@ -1,0 +1,82 @@
+//===- cfg/CfgBuilder.h - AST to CFG lowering -------------------*- C++ -*-===//
+//
+// Part of Syntox++, a reproduction of Bourdoncle's abstract debugger
+// (PLDI 1993). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers a semantically-checked program into per-routine CFGs:
+///  - nested calls are flattened into temporaries so every call is its
+///    own edge,
+///  - runtime checks (array bounds, subranges, div-by-zero, case
+///    coverage) are materialized as Check edges in evaluation order,
+///  - `for` and `case` are desugared into tests and assignments,
+///  - local gotos become edges; non-local gotos become exits through the
+///    routine's *channels*, which are propagated over the call graph so a
+///    caller of a routine that may jump non-locally owns the matching
+///    re-raise channel.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYNTOX_CFG_CFGBUILDER_H
+#define SYNTOX_CFG_CFGBUILDER_H
+
+#include "cfg/Cfg.h"
+#include "frontend/Ast.h"
+#include "support/Diagnostics.h"
+
+#include <map>
+#include <memory>
+
+namespace syntox {
+
+/// Conservative side-effect query: may executing \p S modify \p V?
+/// Any routine call is assumed to clobber everything.
+bool mayModifyVar(const Stmt *S, const VarDecl *V);
+
+class CfgBuilder {
+public:
+  CfgBuilder(AstContext &Ctx, DiagnosticsEngine &Diags)
+      : Ctx(Ctx), Diags(Diags) {}
+
+  /// Builds CFGs for the program and every nested routine, including the
+  /// channel fixpoint over the call graph.
+  std::unique_ptr<ProgramCfg> build(RoutineDecl *Program);
+
+private:
+  void buildRoutine(RoutineDecl *R);
+  void propagateChannels();
+
+  unsigned lowerStmt(Stmt *S, unsigned Cur);
+  unsigned lowerScalarAssign(SourceLoc Loc, VarDecl *Target, Expr *Value,
+                             unsigned Cur);
+  unsigned lowerCall(CallExpr *CE, unsigned Cur, VarDecl **ResultOut);
+
+  /// Flattens \p E starting at *Cur: emits Call and Check edges and
+  /// returns a call-free expression equivalent to E.
+  Expr *flattenExpr(Expr *E, unsigned &Cur);
+
+  VarDecl *makeTemp(const Type *Ty);
+  unsigned newPoint(SourceLoc Loc, const std::string &Desc);
+  unsigned labelPoint(int64_t Label);
+
+  // Typed expression construction helpers.
+  VarRefExpr *varRef(VarDecl *V);
+  Expr *intLit(int64_t V);
+  Expr *cmp(BinaryOp Op, Expr *L, Expr *R);
+  Expr *conj(Expr *L, Expr *R); ///< null-tolerant 'and'
+  Expr *disj(Expr *L, Expr *R); ///< null-tolerant 'or'
+
+  AstContext &Ctx;
+  DiagnosticsEngine &Diags;
+  std::unique_ptr<ProgramCfg> Prog;
+  RoutineCfg *Cur = nullptr;       ///< CFG being built
+  RoutineDecl *CurRoutine = nullptr;
+  unsigned TempCounter = 0;
+  std::map<int64_t, unsigned> PendingLabels; ///< label -> point (per routine)
+};
+
+} // namespace syntox
+
+#endif // SYNTOX_CFG_CFGBUILDER_H

@@ -1,0 +1,100 @@
+//===- cfg/CfgDot.cpp - Graphviz dumpers -----------------------------------===//
+
+#include "cfg/CfgDot.h"
+
+#include "frontend/PrettyPrinter.h"
+
+using namespace syntox;
+
+static std::string escape(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    Out += C;
+  }
+  return Out;
+}
+
+std::string syntox::actionLabel(const Action &A, const ProgramCfg *Checks) {
+  switch (A.K) {
+  case Action::Kind::Nop:
+    return "";
+  case Action::Kind::Assign:
+    return A.Var->name() + " := " + printExpr(A.Value);
+  case Action::Kind::ArrayStore:
+    return A.Var->name() + "[" + printExpr(A.Index) +
+           "] := " + printExpr(A.Value);
+  case Action::Kind::ReadScalar:
+    return "read(" + A.Var->name() + ")";
+  case Action::Kind::ReadArray:
+    return "read(" + A.Var->name() + "[" + printExpr(A.Index) + "])";
+  case Action::Kind::Assume:
+    return std::string("[") + (A.Sense ? "" : "not ") + printExpr(A.Value) +
+           "]";
+  case Action::Kind::Check: {
+    std::string Label = "check " + printExpr(A.Value);
+    if (Checks) {
+      const CheckInfo &Info = Checks->check(A.CheckId);
+      if (Info.Kind == CheckKind::DivByZero)
+        Label += " <> 0";
+      else
+        Label += " in [" + std::to_string(Info.Lo) + ", " +
+                 std::to_string(Info.Hi) + "]";
+    }
+    return Label;
+  }
+  case Action::Kind::Invariant:
+    return "invariant " + printExpr(A.Value);
+  case Action::Kind::Call: {
+    std::string Label = "call " + A.Call->callee();
+    if (A.ResultVar)
+      Label = A.ResultVar->name() + " := " + Label;
+    return Label;
+  }
+  }
+  return "?";
+}
+
+static void renderRoutine(const RoutineCfg &Cfg, const ProgramCfg *Checks,
+                          const std::string &Prefix, std::string &Out) {
+  for (unsigned P = 0; P < Cfg.numPoints(); ++P) {
+    Out += "  " + Prefix + std::to_string(P) + " [label=\"" +
+           std::to_string(P) + ": " + escape(Cfg.pointDesc(P)) + "\"";
+    if (P == Cfg.entry())
+      Out += ", shape=box";
+    if (P == Cfg.exit())
+      Out += ", shape=doublecircle";
+    Out += "];\n";
+  }
+  for (const CfgEdge &E : Cfg.edges()) {
+    Out += "  " + Prefix + std::to_string(E.From) + " -> " + Prefix +
+           std::to_string(E.To);
+    std::string Label = actionLabel(E.Act, Checks);
+    if (!Label.empty())
+      Out += " [label=\"" + escape(Label) + "\"]";
+    Out += ";\n";
+  }
+}
+
+std::string syntox::toDot(const RoutineCfg &Cfg) {
+  std::string Out = "digraph \"" + escape(Cfg.routine()->name()) + "\" {\n";
+  renderRoutine(Cfg, nullptr, "n", Out);
+  Out += "}\n";
+  return Out;
+}
+
+std::string syntox::toDot(const ProgramCfg &Cfg) {
+  std::string Out = "digraph program {\n";
+  unsigned Index = 0;
+  for (const RoutineCfg *Routine : Cfg.cfgs()) {
+    std::string Prefix = "r" + std::to_string(Index++) + "_";
+    Out += "  subgraph \"cluster_" + escape(Routine->routine()->name()) +
+           "\" {\n  label=\"" + escape(Routine->routine()->name()) +
+           "\";\n";
+    renderRoutine(*Routine, &Cfg, Prefix, Out);
+    Out += "  }\n";
+  }
+  Out += "}\n";
+  return Out;
+}

@@ -1,0 +1,36 @@
+//===- cfg/CfgDot.h - Graphviz dumpers --------------------------*- C++ -*-===//
+//
+// Part of Syntox++, a reproduction of Bourdoncle's abstract debugger
+// (PLDI 1993). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Graphviz renderers for the per-routine CFGs — handy for debugging the
+/// lowering and for documentation. The supergraph has its own dumper in
+/// the semantics layer (it needs instance information).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYNTOX_CFG_CFGDOT_H
+#define SYNTOX_CFG_CFGDOT_H
+
+#include "cfg/Cfg.h"
+
+#include <string>
+
+namespace syntox {
+
+/// Renders one routine's CFG as a Graphviz digraph.
+std::string toDot(const RoutineCfg &Cfg);
+
+/// Renders every routine of the program, one cluster per routine.
+std::string toDot(const ProgramCfg &Cfg);
+
+/// One-line description of an action, e.g. "i := i + 1", "[i < 100]",
+/// "check idx in [1,100]".
+std::string actionLabel(const Action &A, const ProgramCfg *Checks);
+
+} // namespace syntox
+
+#endif // SYNTOX_CFG_CFGDOT_H

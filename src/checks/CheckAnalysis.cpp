@@ -1,0 +1,149 @@
+//===- checks/CheckAnalysis.cpp - Static check classification -------------===//
+
+#include "checks/CheckAnalysis.h"
+
+using namespace syntox;
+
+const char *syntox::checkVerdictName(CheckVerdict Verdict) {
+  switch (Verdict) {
+  case CheckVerdict::Safe:
+    return "safe";
+  case CheckVerdict::Unreachable:
+    return "unreachable";
+  case CheckVerdict::MustFail:
+    return "must fail";
+  case CheckVerdict::MayFail:
+    return "may fail";
+  }
+  return "?";
+}
+
+std::string CheckResult::str(const IntervalDomain &D) const {
+  std::string Out = Info->Loc.str();
+  Out += ": ";
+  Out += checkKindName(Info->Kind);
+  Out += " check on ";
+  Out += Info->Subject;
+  Out += ": ";
+  Out += checkVerdictName(Verdict);
+  if (Verdict != CheckVerdict::Unreachable) {
+    Out += " (observed ";
+    Out += D.str(Observed);
+    if (Info->Kind != CheckKind::DivByZero) {
+      Out += ", required [" + std::to_string(Info->Lo) + ", " +
+             std::to_string(Info->Hi) + "]";
+    } else {
+      Out += ", required <> 0";
+    }
+    Out += ")";
+  }
+  return Out;
+}
+
+CheckAnalysis::CheckAnalysis(const Analyzer &An) : An(An) {
+  const SuperGraph &G = An.graph();
+  const StoreOps &Ops = An.storeOps();
+  const IntervalDomain &D = Ops.domain();
+  const ExprSemantics &Exprs = An.exprSemantics();
+
+  // Aggregate the checked value over every instance of every check edge.
+  struct PerCheck {
+    Interval Observed = Interval::bottom();
+    bool SeenReachable = false;
+  };
+  const ProgramCfg *Cfg = nullptr;
+  std::vector<PerCheck> Per;
+
+  for (const SuperEdge &E : G.edges()) {
+    if (E.K != SuperEdge::Kind::Local ||
+        E.Act->K != Action::Kind::Check)
+      continue;
+    const Instance &Inst = G.instanceOf(E.From);
+    // All instances share the same ProgramCfg; recover it lazily from
+    // the check table sizes via the Analyzer-provided stores only.
+    const AbstractStore &In = An.forwardAt(E.From);
+    if (Per.size() <= E.Act->CheckId)
+      Per.resize(E.Act->CheckId + 1);
+    PerCheck &P = Per[E.Act->CheckId];
+    if (In.isBottom())
+      continue;
+    P.SeenReachable = true;
+    P.Observed = D.join(P.Observed, Exprs.evalInt(E.Act->Value, In,
+                                                  Inst.Frame));
+  }
+  (void)Cfg;
+
+  // Build results from the check table of the CFG (recovered through the
+  // analyzer's graph: every check id below Per.size() or in the table).
+  const std::vector<CheckInfo> &Table = An.checkTable();
+  Results.reserve(Table.size());
+  for (const CheckInfo &Info : Table) {
+    CheckResult R;
+    R.Info = &Info;
+    PerCheck P = Info.Id < Per.size() ? Per[Info.Id] : PerCheck();
+    R.Observed = P.Observed;
+    if (!P.SeenReachable || P.Observed.isBottom()) {
+      R.Verdict = CheckVerdict::Unreachable;
+    } else {
+      switch (Info.Kind) {
+      case CheckKind::ArrayBound:
+      case CheckKind::SubrangeBound: {
+        Interval Required = D.make(Info.Lo, Info.Hi);
+        if (D.leq(P.Observed, Required))
+          R.Verdict = CheckVerdict::Safe;
+        else if (D.meet(P.Observed, Required).isBottom())
+          R.Verdict = CheckVerdict::MustFail;
+        else
+          R.Verdict = CheckVerdict::MayFail;
+        break;
+      }
+      case CheckKind::DivByZero:
+        if (!P.Observed.contains(0))
+          R.Verdict = CheckVerdict::Safe;
+        else if (P.Observed.isSingleton())
+          R.Verdict = CheckVerdict::MustFail;
+        else
+          R.Verdict = CheckVerdict::MayFail;
+        break;
+      case CheckKind::CaseMatch:
+        // Reaching the fallthrough is itself the error.
+        R.Verdict = CheckVerdict::MustFail;
+        break;
+      }
+    }
+    Results.push_back(R);
+  }
+}
+
+CheckSummary CheckAnalysis::summary() const {
+  CheckSummary S;
+  S.Total = static_cast<unsigned>(Results.size());
+  for (const CheckResult &R : Results) {
+    switch (R.Verdict) {
+    case CheckVerdict::Safe:
+      ++S.Safe;
+      break;
+    case CheckVerdict::Unreachable:
+      ++S.Unreachable;
+      break;
+    case CheckVerdict::MustFail:
+      ++S.MustFail;
+      break;
+    case CheckVerdict::MayFail:
+      ++S.MayFail;
+      break;
+    }
+  }
+  return S;
+}
+
+bool CheckAnalysis::allSafe() const {
+  for (const CheckResult &R : Results) {
+    if (R.Info->InputValidation)
+      continue; // input checks are inherently dynamic
+    if (R.Verdict == CheckVerdict::MayFail ||
+        R.Verdict == CheckVerdict::MustFail)
+      return false;
+  }
+  return true;
+}

@@ -1,0 +1,83 @@
+//===- checks/CheckAnalysis.h - Static check classification -----*- C++ -*-===//
+//
+// Part of Syntox++, a reproduction of Bourdoncle's abstract debugger
+// (PLDI 1993). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Classifies every runtime check site against the forward analysis:
+/// statically safe (the compiler can drop the check — paper §6.5's array
+/// bound check elimination), unreachable, certainly failing, or possibly
+/// failing. Classification uses the *pure forward* invariant, never the
+/// backward-refined envelope: eliminating a check must not assume that
+/// the program meets its specification.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYNTOX_CHECKS_CHECKANALYSIS_H
+#define SYNTOX_CHECKS_CHECKANALYSIS_H
+
+#include "semantics/Analyzer.h"
+
+#include <string>
+#include <vector>
+
+namespace syntox {
+
+/// Verdict for one check site.
+enum class CheckVerdict {
+  Safe,        ///< proved to pass on every execution reaching it
+  Unreachable, ///< no execution reaches the check
+  MustFail,    ///< every execution reaching it fails
+  MayFail,     ///< not proved either way
+};
+
+const char *checkVerdictName(CheckVerdict Verdict);
+
+/// Classification of one check site, aggregated over every activation
+/// instance containing it.
+struct CheckResult {
+  const CheckInfo *Info = nullptr;
+  CheckVerdict Verdict = CheckVerdict::MayFail;
+  /// Join of the checked expression's values over all reaching states.
+  Interval Observed;
+
+  std::string str(const IntervalDomain &D) const;
+};
+
+/// Summary counters for a program.
+struct CheckSummary {
+  unsigned Total = 0;
+  unsigned Safe = 0;
+  unsigned Unreachable = 0;
+  unsigned MustFail = 0;
+  unsigned MayFail = 0;
+
+  /// Fraction of checks a compiler can remove (safe + unreachable).
+  double eliminationRatio() const {
+    return Total == 0 ? 1.0
+                      : static_cast<double>(Safe + Unreachable) / Total;
+  }
+};
+
+/// Runs the classification against a finished Analyzer.
+class CheckAnalysis {
+public:
+  explicit CheckAnalysis(const Analyzer &An);
+
+  const std::vector<CheckResult> &results() const { return Results; }
+  CheckSummary summary() const;
+
+  /// True when every check in the program is statically discharged
+  /// (paper §6.5: "every array access statically correct").
+  bool allSafe() const;
+
+private:
+  const Analyzer &An;
+  std::vector<CheckResult> Results;
+};
+
+} // namespace syntox
+
+#endif // SYNTOX_CHECKS_CHECKANALYSIS_H

@@ -1,0 +1,186 @@
+//===- core/AbstractDebugger.cpp - Public abstract-debugging API ----------===//
+
+#include "core/AbstractDebugger.h"
+
+#include "cfg/CfgBuilder.h"
+#include "frontend/Lexer.h"
+#include "frontend/Parser.h"
+#include "frontend/Sema.h"
+
+#include <set>
+
+using namespace syntox;
+
+std::unique_ptr<AbstractDebugger>
+AbstractDebugger::create(const std::string &Source, DiagnosticsEngine &Diags,
+                         Options Opts) {
+  auto Ctx = std::make_unique<AstContext>();
+  Lexer Lex(Source, Diags);
+  Parser P(Lex.lexAll(), *Ctx, Diags);
+  RoutineDecl *Program = P.parseProgram();
+  if (!Program || Diags.hasErrors())
+    return nullptr;
+  Sema S(*Ctx, Diags);
+  if (!S.analyze(Program))
+    return nullptr;
+  CfgBuilder Builder(*Ctx, Diags);
+  auto Cfg = Builder.build(Program);
+  if (Diags.hasErrors())
+    return nullptr;
+
+  std::unique_ptr<AbstractDebugger> Dbg(new AbstractDebugger());
+  Dbg->Ctx = std::move(Ctx);
+  Dbg->Cfg = std::move(Cfg);
+  Dbg->Program = Program;
+  Dbg->Opts = Opts;
+  Dbg->An =
+      std::make_unique<Analyzer>(*Dbg->Cfg, Program, Opts.Analysis);
+  return Dbg;
+}
+
+AbstractDebugger::~AbstractDebugger() = default;
+
+void AbstractDebugger::analyze() {
+  An->run();
+  Checks = std::make_unique<CheckAnalysis>(*An);
+  deriveConditions();
+  deriveInvariantWarnings();
+}
+
+bool AbstractDebugger::someExecutionMaySatisfySpec() const {
+  return !An->envelopeAt(An->graph().mainEntry()).isBottom();
+}
+
+/// All predecessor nodes of \p Node in the supergraph (including the
+/// frozen-frame side input of call returns).
+static std::vector<unsigned> predecessors(const SuperGraph &G,
+                                          unsigned Node) {
+  std::vector<unsigned> Out;
+  for (unsigned EdgeIdx : G.inEdges(Node)) {
+    const SuperEdge &E = G.edges()[EdgeIdx];
+    Out.push_back(E.From);
+    if (E.K == SuperEdge::Kind::CallOut ||
+        E.K == SuperEdge::Kind::ChannelOut)
+      Out.push_back(G.links()[E.Link].NodeP);
+  }
+  return Out;
+}
+
+void AbstractDebugger::deriveConditions() {
+  Conditions.clear();
+  const SuperGraph &G = An->graph();
+  const StoreOps &Ops = An->storeOps();
+  const IntervalDomain &D = Ops.domain();
+  std::set<std::string> Dedup;
+
+  // Is the envelope strictly below the forward value for (Node, Var)?
+  auto Tighter = [&](unsigned Node, const VarDecl *V) {
+    AbsValue Env = Ops.get(An->envelopeAt(Node), V);
+    AbsValue Fwd = Ops.get(An->forwardAt(Node), V);
+    return Ops.leqValues(Env, Fwd) && !Ops.leqValues(Fwd, Env);
+  };
+
+  for (unsigned Node = 0; Node < G.numNodes(); ++Node) {
+    const AbstractStore &Fwd = An->forwardAt(Node);
+    const AbstractStore &Env = An->envelopeAt(Node);
+    if (Fwd.isBottom())
+      continue; // not reachable at all: nothing to report
+    const Instance &Inst = G.instanceOf(Node);
+    unsigned Point = G.pointOf(Node);
+    SourceLoc Loc = Inst.Cfg->pointLoc(Point);
+
+    if (Env.isBottom()) {
+      // The whole point is excluded by the specification: report the
+      // frontier only (first such point on a path).
+      bool IsFrontier = true;
+      for (unsigned Pred : predecessors(G, Node))
+        IsFrontier &= !(An->envelopeAt(Pred).isBottom() &&
+                        !An->forwardAt(Pred).isBottom());
+      if (!IsFrontier || !Loc.isValid())
+        continue;
+      NecessaryCondition C;
+      C.Loc = Loc;
+      C.Condition = "this point is never reached in any execution "
+                    "satisfying the specification";
+      C.PointDesc = Inst.Cfg->pointDesc(Point);
+      if (Dedup.insert(C.str()).second)
+        Conditions.push_back(std::move(C));
+      continue;
+    }
+
+    for (const auto &[V, EnvVal] : Env.entries()) {
+      if (!V->name().empty() && V->name()[0] == '$')
+        continue; // analysis temporaries
+      if (!Tighter(Node, V))
+        continue;
+      // Report only at the origin: no predecessor already carries the
+      // same tightening for this variable.
+      bool IsFrontier = true;
+      for (unsigned Pred : predecessors(G, Node)) {
+        if (An->forwardAt(Pred).isBottom())
+          continue;
+        if (An->envelopeAt(Pred).isBottom() || Tighter(Pred, V))
+          IsFrontier = false;
+      }
+      if (!IsFrontier || !Loc.isValid())
+        continue;
+      NecessaryCondition C;
+      C.Loc = Loc;
+      C.Var = V->name();
+      if (EnvVal.isInt())
+        C.Condition = V->name() + " in " + D.str(EnvVal.asInt());
+      else
+        C.Condition = V->name() + " = " + EnvVal.asBool().str();
+      C.PointDesc = Inst.Cfg->pointDesc(Point);
+      if (Dedup.insert(C.str()).second)
+        Conditions.push_back(std::move(C));
+    }
+  }
+}
+
+void AbstractDebugger::deriveInvariantWarnings() {
+  InvariantWarnings.clear();
+  const SuperGraph &G = An->graph();
+  const ExprSemantics &Exprs = An->exprSemantics();
+  std::set<std::string> Dedup;
+  for (const SuperEdge &E : G.edges()) {
+    if (E.K != SuperEdge::Kind::Local ||
+        E.Act->K != Action::Kind::Invariant)
+      continue;
+    const AbstractStore &In = An->forwardAt(E.From);
+    if (In.isBottom())
+      continue;
+    const Instance &Inst = G.instanceOf(E.From);
+    BoolLattice V = Exprs.evalBool(E.Act->Value, In, Inst.Frame);
+    if (!V.mayBeFalse())
+      continue;
+    InvariantWarning W;
+    W.Loc = E.Act->Value->loc();
+    W.Message = V.mayBeTrue()
+                    ? "invariant assertion may be violated"
+                    : "invariant assertion is always violated here";
+    std::string Key = W.Loc.str() + W.Message;
+    if (Dedup.insert(Key).second)
+      InvariantWarnings.push_back(std::move(W));
+  }
+}
+
+std::string AbstractDebugger::stateReport(const std::string &DescFilter) const {
+  const SuperGraph &G = An->graph();
+  const StoreOps &Ops = An->storeOps();
+  const Instance &Main = G.instances()[0];
+  std::string Out;
+  for (unsigned P = 0; P < Main.Cfg->numPoints(); ++P) {
+    const std::string &Desc = Main.Cfg->pointDesc(P);
+    if (!DescFilter.empty() && Desc.find(DescFilter) == std::string::npos)
+      continue;
+    unsigned Node = G.node(Main, P);
+    Out += Main.Cfg->pointLoc(P).str();
+    Out += " ";
+    Out += Desc;
+    Out += ": ";
+    Out += Ops.str(An->envelopeAt(Node));
+    Out += '\n';
+  }
+  return Out;
+}

@@ -1,0 +1,125 @@
+//===- core/AbstractDebugger.h - Public abstract-debugging API --*- C++ -*-===//
+//
+// Part of Syntox++, a reproduction of Bourdoncle's abstract debugger
+// (PLDI 1993). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The top-level API of the abstract debugger: load a Pascal program,
+/// run the iterated forward/backward analyses, then query
+///  - derived *necessary conditions of correctness* at their origin
+///    (paper §2: conditions are back-propagated as far as possible and
+///    reported once, e.g. "n <= 100 right after read(n)" rather than a
+///    warning at every array access),
+///  - possibly-violated invariant assertions,
+///  - the classification of every runtime check,
+///  - the abstract memory state at any statement (the paper's
+///    click-on-a-statement inspector, Figure 2),
+///  - the Figure 2 analysis statistics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYNTOX_CORE_ABSTRACTDEBUGGER_H
+#define SYNTOX_CORE_ABSTRACTDEBUGGER_H
+
+#include "checks/CheckAnalysis.h"
+#include "frontend/Ast.h"
+#include "semantics/Analyzer.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace syntox {
+
+/// A derived necessary condition of correctness: unless the condition
+/// holds at the given point, the program will certainly violate its
+/// specification later (loop, fail a check, or miss an intermittent
+/// assertion).
+struct NecessaryCondition {
+  SourceLoc Loc;
+  std::string Var;       ///< variable the condition constrains
+  std::string Condition; ///< e.g. "n in [-oo, 100]" or "b = false"
+  std::string PointDesc; ///< description of the control point
+
+  std::string str() const {
+    return Loc.str() + ": necessary condition: " + Condition + " (" +
+           PointDesc + ")";
+  }
+};
+
+/// A possibly-violated user invariant assertion.
+struct InvariantWarning {
+  SourceLoc Loc;
+  std::string Message;
+};
+
+class AbstractDebugger {
+public:
+  struct Options {
+    Analyzer::Options Analysis;
+  };
+
+  /// Parses, checks, lowers and prepares \p Source. Returns null (with
+  /// diagnostics in \p Diags) when the program has frontend errors.
+  static std::unique_ptr<AbstractDebugger>
+  create(const std::string &Source, DiagnosticsEngine &Diags,
+         Options Opts = Options());
+
+  ~AbstractDebugger();
+
+  /// Runs the analysis schedule; must be called before the queries.
+  void analyze();
+
+  /// The whole-program verdict: false when the analysis proved that *no*
+  /// input can satisfy the specification (envelope empty at entry).
+  bool someExecutionMaySatisfySpec() const;
+
+  /// Derived necessary conditions at their origin points.
+  const std::vector<NecessaryCondition> &conditions() const {
+    return Conditions;
+  }
+
+  /// Invariant assertions the forward analysis could not discharge.
+  const std::vector<InvariantWarning> &invariantWarnings() const {
+    return InvariantWarnings;
+  }
+
+  /// Classification of every runtime check (needs analyze()).
+  const CheckAnalysis &checks() const { return *Checks; }
+
+  /// Renders the abstract memory state (the final invariant) at every
+  /// control point of the main routine whose description contains
+  /// \p DescFilter — the paper's statement inspector.
+  std::string stateReport(const std::string &DescFilter = "") const;
+
+  /// Figure 2 statistics.
+  const AnalysisStats &stats() const { return An->stats(); }
+
+  RoutineDecl *program() const { return Program; }
+  const Analyzer &analyzer() const { return *An; }
+  Analyzer &analyzer() { return *An; }
+  const ProgramCfg &cfg() const { return *Cfg; }
+  AstContext &context() { return *Ctx; }
+
+private:
+  AbstractDebugger() = default;
+  void deriveConditions();
+  void deriveInvariantWarnings();
+
+  std::unique_ptr<AstContext> Ctx;
+  std::unique_ptr<ProgramCfg> Cfg;
+  std::unique_ptr<Analyzer> An;
+  std::unique_ptr<CheckAnalysis> Checks;
+  RoutineDecl *Program = nullptr;
+  Options Opts;
+  std::vector<NecessaryCondition> Conditions;
+  std::vector<InvariantWarning> InvariantWarnings;
+};
+
+} // namespace syntox
+
+#endif // SYNTOX_CORE_ABSTRACTDEBUGGER_H

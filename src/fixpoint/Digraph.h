@@ -1,0 +1,69 @@
+//===- fixpoint/Digraph.h - Simple directed graph ---------------*- C++ -*-===//
+//
+// Part of Syntox++, a reproduction of Bourdoncle's abstract debugger
+// (PLDI 1993). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal adjacency-list digraph used as the dependency graph of
+/// equation systems (nodes = equations, edge u -> v when v depends on u).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYNTOX_FIXPOINT_DIGRAPH_H
+#define SYNTOX_FIXPOINT_DIGRAPH_H
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace syntox {
+
+class Digraph {
+public:
+  Digraph() = default;
+  explicit Digraph(unsigned NumNodes) { resize(NumNodes); }
+
+  unsigned addNode() {
+    Succs.emplace_back();
+    Preds.emplace_back();
+    return static_cast<unsigned>(Succs.size() - 1);
+  }
+
+  void resize(unsigned NumNodes) {
+    Succs.resize(NumNodes);
+    Preds.resize(NumNodes);
+  }
+
+  void addEdge(unsigned From, unsigned To) {
+    assert(From < Succs.size() && To < Succs.size() && "node out of range");
+    Succs[From].push_back(To);
+    Preds[To].push_back(From);
+  }
+
+  unsigned numNodes() const { return static_cast<unsigned>(Succs.size()); }
+  const std::vector<unsigned> &succs(unsigned Node) const {
+    return Succs[Node];
+  }
+  const std::vector<unsigned> &preds(unsigned Node) const {
+    return Preds[Node];
+  }
+
+  /// Returns the graph with every edge reversed.
+  Digraph reversed() const {
+    Digraph R(numNodes());
+    for (unsigned U = 0; U < numNodes(); ++U)
+      for (unsigned V : Succs[U])
+        R.addEdge(V, U);
+    return R;
+  }
+
+private:
+  std::vector<std::vector<unsigned>> Succs;
+  std::vector<std::vector<unsigned>> Preds;
+};
+
+} // namespace syntox
+
+#endif // SYNTOX_FIXPOINT_DIGRAPH_H

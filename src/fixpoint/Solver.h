@@ -1,0 +1,268 @@
+//===- fixpoint/Solver.h - Chaotic iteration with widening ------*- C++ -*-===//
+//
+// Part of Syntox++, a reproduction of Bourdoncle's abstract debugger
+// (PLDI 1993). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A generic equation-system solver implementing the fixpoint machinery
+/// of paper §4:
+///  - least fixpoints: an ascending *widening phase* from bottom followed
+///    by a descending *narrowing phase* (a configurable number of
+///    passes),
+///  - greatest fixpoints: a single narrowing phase starting from top.
+///
+/// Two chaotic iteration strategies from the companion FMPA'93 paper are
+/// provided: the *recursive* strategy, which stabilizes every WTO
+/// component before leaving it, and the *worklist* strategy, which picks
+/// pending equations in WTO order. Widening/narrowing is applied at the
+/// WTO component heads, which cut every dependency cycle.
+///
+/// The System type parameter supplies the lattice and the equations:
+///
+///   struct System {
+///     using Value = ...;
+///     unsigned numNodes() const;
+///     const Digraph &graph() const;          // dependency graph
+///     std::vector<unsigned> roots() const;   // where iteration starts
+///     Value initialValue(unsigned Node, bool FromTop) const;
+///     // Evaluate the RHS of equation Node given current values.
+///     Value evaluate(unsigned Node, const std::vector<Value> &X) const;
+///     bool leq(const Value &A, const Value &B) const;
+///     bool equal(const Value &A, const Value &B) const;
+///     Value widen(const Value &A, const Value &B) const;
+///     Value narrow(const Value &A, const Value &B) const;
+///   };
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYNTOX_FIXPOINT_SOLVER_H
+#define SYNTOX_FIXPOINT_SOLVER_H
+
+#include "fixpoint/Digraph.h"
+#include "fixpoint/Wto.h"
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+namespace syntox {
+
+/// Which fixpoint to approximate.
+enum class FixpointKind {
+  /// Least fixpoint: ascending widening phase from bottom, then
+  /// descending narrowing passes.
+  Lfp,
+  /// Greatest fixpoint: single descending narrowing phase from top
+  /// (paper §4).
+  Gfp,
+};
+
+/// Chaotic iteration strategy (paper §6.3 / FMPA'93).
+enum class IterationStrategy {
+  Recursive, ///< stabilize each WTO component before moving on
+  Worklist,  ///< WTO-ordered worklist
+};
+
+/// Counters reported by one solver run.
+struct SolverStats {
+  uint64_t AscendingSteps = 0;  ///< equation evaluations while ascending
+  uint64_t DescendingSteps = 0; ///< equation evaluations while descending
+  uint64_t Widenings = 0;
+  uint64_t Narrowings = 0;
+};
+
+template <typename System> class FixpointSolver {
+public:
+  using Value = typename System::Value;
+
+  struct Options {
+    FixpointKind Kind = FixpointKind::Lfp;
+    IterationStrategy Strategy = IterationStrategy::Recursive;
+    /// Descending passes after the ascending phase (Lfp only). The
+    /// paper's Syntox runs one narrowing phase per analysis.
+    unsigned NarrowingPasses = 1;
+  };
+
+  FixpointSolver(const System &Sys, Options Opts)
+      : Sys(Sys), Opts(Opts), Order(Sys.graph(), Sys.roots()) {}
+
+  /// Runs the solver and returns the per-node solution.
+  std::vector<Value> solve() {
+    unsigned N = Sys.numNodes();
+    X.clear();
+    X.reserve(N);
+    bool FromTop = Opts.Kind == FixpointKind::Gfp;
+    for (unsigned Node = 0; Node < N; ++Node)
+      X.push_back(Sys.initialValue(Node, FromTop));
+
+    if (Opts.Kind == FixpointKind::Lfp) {
+      if (Opts.Strategy == IterationStrategy::Recursive)
+        ascendRecursive();
+      else
+        ascendWorklist();
+      for (unsigned Pass = 0; Pass < Opts.NarrowingPasses; ++Pass)
+        if (!descendOnce())
+          break;
+    } else {
+      // Gfp: descending narrowing iterations until stable. The sweep
+      // bound is a safety net; narrowing at the heads makes the chain
+      // finite in practice long before it triggers.
+      for (unsigned Sweep = 0; Sweep < MaxGfpSweeps; ++Sweep)
+        if (!descendOnce())
+          break;
+    }
+    return X;
+  }
+
+  const SolverStats &stats() const { return Stats; }
+  const Wto &wto() const { return Order; }
+
+private:
+  //===--------------------------------------------------------------------===//
+  // Ascending phase (recursive strategy)
+  //===--------------------------------------------------------------------===//
+
+  void ascendRecursive() {
+    for (const WtoElement &E : Order.elements())
+      ascendElement(E);
+  }
+
+  /// Resets every vertex of a component (head and body, recursively) to
+  /// its ascending start value.
+  void resetComponent(const WtoElement &E) {
+    X[E.Vertex] = Sys.initialValue(E.Vertex, /*FromTop=*/false);
+    for (const WtoElement &Sub : E.Body)
+      if (Sub.IsComponent)
+        resetComponent(Sub);
+      else
+        X[Sub.Vertex] = Sys.initialValue(Sub.Vertex, /*FromTop=*/false);
+  }
+
+  void ascendElement(const WtoElement &E) {
+    if (!E.IsComponent) {
+      ++Stats.AscendingSteps;
+      X[E.Vertex] = Sys.evaluate(E.Vertex, X);
+      return;
+    }
+    // Restart *leaf* components from bottom: when an enclosing component
+    // iterates, re-widening this head against values from the previous
+    // outer iteration mixes unrelated ascents and overshoots on the
+    // outer loop's variables (they look unstable here even though they
+    // are invariant within this component). A clean local ascent per
+    // outer iteration avoids that. Only leaves are restarted: resetting
+    // at every nesting level would multiply the work of each level into
+    // its parents (exponential in nesting depth, which deeply recursive
+    // programs like McCarthy_30 cannot afford), while the leaf loops are
+    // where the loss shows up in practice (see the Matrix program of
+    // paper §6.5).
+    bool IsLeaf = true;
+    for (const WtoElement &Sub : E.Body)
+      IsLeaf &= !Sub.IsComponent;
+    if (IsLeaf)
+      resetComponent(E);
+    // Stabilize: body then head, widening at the head, until the head's
+    // equation is satisfied. The body runs first so that equations with
+    // their own sources inside the component (e.g. intermittent
+    // assertion seeds in the backward system) are picked up even when
+    // the head starts out stable.
+    for (;;) {
+      for (const WtoElement &Sub : E.Body)
+        ascendElement(Sub);
+      ++Stats.AscendingSteps;
+      Value New = Sys.evaluate(E.Vertex, X);
+      if (Sys.leq(New, X[E.Vertex]))
+        break;
+      ++Stats.Widenings;
+      X[E.Vertex] = Sys.widen(X[E.Vertex], New);
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Ascending phase (worklist strategy)
+  //===--------------------------------------------------------------------===//
+
+  void ascendWorklist() {
+    auto ByPosition = [this](unsigned A, unsigned B) {
+      unsigned PA = Order.position(A), PB = Order.position(B);
+      if (PA != PB)
+        return PA < PB;
+      return A < B;
+    };
+    std::set<unsigned, decltype(ByPosition)> Pending(ByPosition);
+    for (unsigned Node = 0; Node < Sys.numNodes(); ++Node)
+      Pending.insert(Node);
+    while (!Pending.empty()) {
+      unsigned Node = *Pending.begin();
+      Pending.erase(Pending.begin());
+      ++Stats.AscendingSteps;
+      Value New = Sys.evaluate(Node, X);
+      if (Sys.leq(New, X[Node]))
+        continue;
+      if (Order.isHead(Node)) {
+        ++Stats.Widenings;
+        X[Node] = Sys.widen(X[Node], New);
+      } else {
+        X[Node] = New;
+      }
+      for (unsigned Succ : Sys.graph().succs(Node))
+        Pending.insert(Succ);
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Descending phase (shared by Lfp narrowing and Gfp)
+  //===--------------------------------------------------------------------===//
+
+  /// One full descending sweep in WTO order, stabilizing components with
+  /// narrowing at their heads. Returns true when any value changed.
+  bool descendOnce() {
+    bool Changed = false;
+    for (const WtoElement &E : Order.elements())
+      descendElement(E, Changed);
+    return Changed;
+  }
+
+  void descendElement(const WtoElement &E, bool &Changed) {
+    if (!E.IsComponent) {
+      ++Stats.DescendingSteps;
+      Value New = Sys.evaluate(E.Vertex, X);
+      if (!Sys.equal(New, X[E.Vertex])) {
+        X[E.Vertex] = New;
+        Changed = true;
+      }
+      return;
+    }
+    // Stabilize the component: iterate while the head *or* its body
+    // still changes. Termination: every cycle passes through a head, and
+    // heads use narrowing (finite chains); between heads the body is
+    // acyclic. The sweep bound is a safety net only.
+    for (unsigned Sweep = 0; Sweep < MaxComponentSweeps; ++Sweep) {
+      ++Stats.DescendingSteps;
+      Value New = Sys.evaluate(E.Vertex, X);
+      ++Stats.Narrowings;
+      Value Narrowed = Sys.narrow(X[E.Vertex], New);
+      bool SweepChanged = !Sys.equal(Narrowed, X[E.Vertex]);
+      X[E.Vertex] = Narrowed;
+      for (const WtoElement &Sub : E.Body)
+        descendElement(Sub, SweepChanged);
+      Changed |= SweepChanged;
+      if (!SweepChanged)
+        break;
+    }
+  }
+
+  static constexpr unsigned MaxGfpSweeps = 1000;
+  static constexpr unsigned MaxComponentSweeps = 1000;
+
+  const System &Sys;
+  Options Opts;
+  Wto Order;
+  std::vector<Value> X;
+  SolverStats Stats;
+};
+
+} // namespace syntox
+
+#endif // SYNTOX_FIXPOINT_SOLVER_H

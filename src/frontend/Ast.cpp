@@ -1,0 +1,114 @@
+//===- frontend/Ast.cpp - AST support code --------------------------------===//
+
+#include "frontend/Ast.h"
+
+using namespace syntox;
+
+AstNode::~AstNode() = default;
+
+std::string Type::str() const {
+  switch (K) {
+  case Kind::Integer:
+    return "integer";
+  case Kind::Boolean:
+    return "boolean";
+  case Kind::Subrange: {
+    const auto *S = cast<SubrangeType>(this);
+    return std::to_string(S->lo()) + ".." + std::to_string(S->hi());
+  }
+  case Kind::Array: {
+    const auto *A = cast<ArrayType>(this);
+    return "array [" + std::to_string(A->indexLo()) + ".." +
+           std::to_string(A->indexHi()) + "] of " + A->elementType()->str();
+  }
+  }
+  return "<invalid type>";
+}
+
+const char *syntox::binaryOpName(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Add:
+    return "+";
+  case BinaryOp::Sub:
+    return "-";
+  case BinaryOp::Mul:
+    return "*";
+  case BinaryOp::Div:
+    return "div";
+  case BinaryOp::Mod:
+    return "mod";
+  case BinaryOp::And:
+    return "and";
+  case BinaryOp::Or:
+    return "or";
+  case BinaryOp::Eq:
+    return "=";
+  case BinaryOp::Ne:
+    return "<>";
+  case BinaryOp::Lt:
+    return "<";
+  case BinaryOp::Le:
+    return "<=";
+  case BinaryOp::Gt:
+    return ">";
+  case BinaryOp::Ge:
+    return ">=";
+  }
+  return "?";
+}
+
+bool syntox::isComparisonOp(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Eq:
+  case BinaryOp::Ne:
+  case BinaryOp::Lt:
+  case BinaryOp::Le:
+  case BinaryOp::Gt:
+  case BinaryOp::Ge:
+    return true;
+  default:
+    return false;
+  }
+}
+
+namespace {
+
+/// Plain type nodes for the two builtin scalar types.
+class BuiltinType final : public Type {
+public:
+  explicit BuiltinType(Kind K) : Type(K) {}
+};
+
+} // namespace
+
+AstContext::AstContext() {
+  IntegerTy = create<BuiltinType>(Type::Kind::Integer);
+  BooleanTy = create<BuiltinType>(Type::Kind::Boolean);
+}
+
+const SubrangeType *AstContext::getSubrangeType(int64_t Lo, int64_t Hi) {
+  for (const SubrangeType *S : SubrangeTypes)
+    if (S->lo() == Lo && S->hi() == Hi)
+      return S;
+  const SubrangeType *S = create<SubrangeType>(Lo, Hi);
+  SubrangeTypes.push_back(S);
+  return S;
+}
+
+const ArrayType *AstContext::getArrayType(int64_t IndexLo, int64_t IndexHi,
+                                          const Type *Element) {
+  for (const ArrayType *A : ArrayTypes)
+    if (A->indexLo() == IndexLo && A->indexHi() == IndexHi &&
+        A->elementType() == Element)
+      return A;
+  const ArrayType *A = create<ArrayType>(IndexLo, IndexHi, Element);
+  ArrayTypes.push_back(A);
+  return A;
+}
+
+size_t AstContext::approximateBytes() const {
+  // Rough estimate: node count times an average node footprint. Exact
+  // accounting is not needed; the Figure 4 memory column only compares
+  // orders of magnitude between programs.
+  return Nodes.size() * 96;
+}

@@ -1,0 +1,375 @@
+//===- frontend/Lexer.cpp - Pascal lexer ----------------------------------===//
+
+#include "frontend/Lexer.h"
+
+#include <cassert>
+#include <cctype>
+#include <unordered_map>
+
+using namespace syntox;
+
+const char *syntox::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::EndOfFile:
+    return "end of file";
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::IntLiteral:
+    return "integer literal";
+  case TokenKind::StringLiteral:
+    return "string literal";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Assign:
+    return "':='";
+  case TokenKind::Equal:
+    return "'='";
+  case TokenKind::NotEqual:
+    return "'<>'";
+  case TokenKind::Less:
+    return "'<'";
+  case TokenKind::LessEq:
+    return "'<='";
+  case TokenKind::Greater:
+    return "'>'";
+  case TokenKind::GreaterEq:
+    return "'>='";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Semicolon:
+    return "';'";
+  case TokenKind::Colon:
+    return "':'";
+  case TokenKind::Dot:
+    return "'.'";
+  case TokenKind::DotDot:
+    return "'..'";
+  case TokenKind::KwProgram:
+    return "'program'";
+  case TokenKind::KwLabel:
+    return "'label'";
+  case TokenKind::KwConst:
+    return "'const'";
+  case TokenKind::KwType:
+    return "'type'";
+  case TokenKind::KwVar:
+    return "'var'";
+  case TokenKind::KwProcedure:
+    return "'procedure'";
+  case TokenKind::KwFunction:
+    return "'function'";
+  case TokenKind::KwBegin:
+    return "'begin'";
+  case TokenKind::KwEnd:
+    return "'end'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwThen:
+    return "'then'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwWhile:
+    return "'while'";
+  case TokenKind::KwDo:
+    return "'do'";
+  case TokenKind::KwRepeat:
+    return "'repeat'";
+  case TokenKind::KwUntil:
+    return "'until'";
+  case TokenKind::KwFor:
+    return "'for'";
+  case TokenKind::KwTo:
+    return "'to'";
+  case TokenKind::KwDownto:
+    return "'downto'";
+  case TokenKind::KwCase:
+    return "'case'";
+  case TokenKind::KwOf:
+    return "'of'";
+  case TokenKind::KwGoto:
+    return "'goto'";
+  case TokenKind::KwDiv:
+    return "'div'";
+  case TokenKind::KwMod:
+    return "'mod'";
+  case TokenKind::KwAnd:
+    return "'and'";
+  case TokenKind::KwOr:
+    return "'or'";
+  case TokenKind::KwNot:
+    return "'not'";
+  case TokenKind::KwArray:
+    return "'array'";
+  case TokenKind::KwTrue:
+    return "'true'";
+  case TokenKind::KwFalse:
+    return "'false'";
+  case TokenKind::KwInvariant:
+    return "'invariant'";
+  case TokenKind::KwIntermittent:
+    return "'intermittent'";
+  case TokenKind::Unknown:
+    return "invalid character";
+  }
+  return "token";
+}
+
+static const std::unordered_map<std::string, TokenKind> &keywordTable() {
+  static const std::unordered_map<std::string, TokenKind> Table = {
+      {"program", TokenKind::KwProgram},
+      {"label", TokenKind::KwLabel},
+      {"const", TokenKind::KwConst},
+      {"type", TokenKind::KwType},
+      {"var", TokenKind::KwVar},
+      {"procedure", TokenKind::KwProcedure},
+      {"function", TokenKind::KwFunction},
+      {"begin", TokenKind::KwBegin},
+      {"end", TokenKind::KwEnd},
+      {"if", TokenKind::KwIf},
+      {"then", TokenKind::KwThen},
+      {"else", TokenKind::KwElse},
+      {"while", TokenKind::KwWhile},
+      {"do", TokenKind::KwDo},
+      {"repeat", TokenKind::KwRepeat},
+      {"until", TokenKind::KwUntil},
+      {"for", TokenKind::KwFor},
+      {"to", TokenKind::KwTo},
+      {"downto", TokenKind::KwDownto},
+      {"case", TokenKind::KwCase},
+      {"of", TokenKind::KwOf},
+      {"goto", TokenKind::KwGoto},
+      {"div", TokenKind::KwDiv},
+      {"mod", TokenKind::KwMod},
+      {"and", TokenKind::KwAnd},
+      {"or", TokenKind::KwOr},
+      {"not", TokenKind::KwNot},
+      {"array", TokenKind::KwArray},
+      {"true", TokenKind::KwTrue},
+      {"false", TokenKind::KwFalse},
+      {"invariant", TokenKind::KwInvariant},
+      {"assert", TokenKind::KwInvariant},
+      {"intermittent", TokenKind::KwIntermittent},
+  };
+  return Table;
+}
+
+char Lexer::peek(unsigned Ahead) const {
+  return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+}
+
+char Lexer::advance() {
+  assert(!atEnd() && "advancing past end of input");
+  char C = Source[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Column = 1;
+  } else {
+    ++Column;
+  }
+  return C;
+}
+
+void Lexer::skipWhitespaceAndComments() {
+  while (!atEnd()) {
+    char C = peek();
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      advance();
+      continue;
+    }
+    if (C == '{') {
+      SourceLoc Start = loc();
+      advance();
+      while (!atEnd() && peek() != '}')
+        advance();
+      if (atEnd()) {
+        Diags.error(Start, "unterminated '{' comment");
+        return;
+      }
+      advance(); // consume '}'
+      continue;
+    }
+    if (C == '(' && peek(1) == '*') {
+      SourceLoc Start = loc();
+      advance();
+      advance();
+      while (!atEnd() && !(peek() == '*' && peek(1) == ')'))
+        advance();
+      if (atEnd()) {
+        Diags.error(Start, "unterminated '(*' comment");
+        return;
+      }
+      advance();
+      advance();
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::lexOne() {
+  skipWhitespaceAndComments();
+  Token Tok;
+  Tok.Loc = loc();
+  if (atEnd()) {
+    Tok.Kind = TokenKind::EndOfFile;
+    return Tok;
+  }
+
+  char C = peek();
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+    std::string Text;
+    while (!atEnd() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                        peek() == '_'))
+      Text += static_cast<char>(
+          std::tolower(static_cast<unsigned char>(advance())));
+    auto It = keywordTable().find(Text);
+    Tok.Kind = It != keywordTable().end() ? It->second : TokenKind::Identifier;
+    Tok.Text = std::move(Text);
+    return Tok;
+  }
+
+  if (std::isdigit(static_cast<unsigned char>(C))) {
+    std::string Text;
+    bool Overflow = false;
+    __int128 Value = 0;
+    while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek()))) {
+      char Digit = advance();
+      Text += Digit;
+      Value = Value * 10 + (Digit - '0');
+      if (Value > INT64_MAX) {
+        Overflow = true;
+        Value = INT64_MAX;
+      }
+    }
+    if (Overflow)
+      Diags.error(Tok.Loc, "integer literal '" + Text + "' is too large");
+    Tok.Kind = TokenKind::IntLiteral;
+    Tok.Text = std::move(Text);
+    Tok.IntValue = static_cast<int64_t>(Value);
+    return Tok;
+  }
+
+  if (C == '\'') {
+    advance();
+    std::string Text;
+    for (;;) {
+      if (atEnd() || peek() == '\n') {
+        Diags.error(Tok.Loc, "unterminated string literal");
+        break;
+      }
+      char Ch = advance();
+      if (Ch == '\'') {
+        if (peek() == '\'') { // '' escapes a quote
+          Text += '\'';
+          advance();
+          continue;
+        }
+        break;
+      }
+      Text += Ch;
+    }
+    Tok.Kind = TokenKind::StringLiteral;
+    Tok.Text = std::move(Text);
+    return Tok;
+  }
+
+  advance();
+  switch (C) {
+  case '+':
+    Tok.Kind = TokenKind::Plus;
+    return Tok;
+  case '-':
+    Tok.Kind = TokenKind::Minus;
+    return Tok;
+  case '*':
+    Tok.Kind = TokenKind::Star;
+    return Tok;
+  case '/':
+    Tok.Kind = TokenKind::Slash;
+    return Tok;
+  case '(':
+    Tok.Kind = TokenKind::LParen;
+    return Tok;
+  case ')':
+    Tok.Kind = TokenKind::RParen;
+    return Tok;
+  case '[':
+    Tok.Kind = TokenKind::LBracket;
+    return Tok;
+  case ']':
+    Tok.Kind = TokenKind::RBracket;
+    return Tok;
+  case ',':
+    Tok.Kind = TokenKind::Comma;
+    return Tok;
+  case ';':
+    Tok.Kind = TokenKind::Semicolon;
+    return Tok;
+  case '=':
+    Tok.Kind = TokenKind::Equal;
+    return Tok;
+  case ':':
+    if (peek() == '=') {
+      advance();
+      Tok.Kind = TokenKind::Assign;
+    } else {
+      Tok.Kind = TokenKind::Colon;
+    }
+    return Tok;
+  case '<':
+    if (peek() == '=') {
+      advance();
+      Tok.Kind = TokenKind::LessEq;
+    } else if (peek() == '>') {
+      advance();
+      Tok.Kind = TokenKind::NotEqual;
+    } else {
+      Tok.Kind = TokenKind::Less;
+    }
+    return Tok;
+  case '>':
+    if (peek() == '=') {
+      advance();
+      Tok.Kind = TokenKind::GreaterEq;
+    } else {
+      Tok.Kind = TokenKind::Greater;
+    }
+    return Tok;
+  case '.':
+    if (peek() == '.') {
+      advance();
+      Tok.Kind = TokenKind::DotDot;
+    } else {
+      Tok.Kind = TokenKind::Dot;
+    }
+    return Tok;
+  default:
+    Diags.error(Tok.Loc, std::string("stray character '") + C + "' in input");
+    Tok.Kind = TokenKind::Unknown;
+    Tok.Text = std::string(1, C);
+    return Tok;
+  }
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  for (;;) {
+    Tokens.push_back(lexOne());
+    if (Tokens.back().is(TokenKind::EndOfFile))
+      return Tokens;
+  }
+}

@@ -1,0 +1,54 @@
+//===- frontend/Lexer.h - Pascal lexer --------------------------*- C++ -*-===//
+//
+// Part of Syntox++, a reproduction of Bourdoncle's abstract debugger
+// (PLDI 1993). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for the Pascal subset. Supports `{ ... }` and
+/// `(* ... *)` comments, case-insensitive keywords, and decimal integer
+/// literals. Errors (stray characters, overflowing literals, unterminated
+/// comments) are reported through the DiagnosticsEngine and produce
+/// TokenKind::Unknown / truncated tokens, so parsing can keep going.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYNTOX_FRONTEND_LEXER_H
+#define SYNTOX_FRONTEND_LEXER_H
+
+#include "frontend/Token.h"
+#include "support/Diagnostics.h"
+
+#include <string>
+#include <vector>
+
+namespace syntox {
+
+/// Lexes a whole buffer into a token vector (ending with EndOfFile).
+class Lexer {
+public:
+  Lexer(std::string Source, DiagnosticsEngine &Diags)
+      : Source(std::move(Source)), Diags(Diags) {}
+
+  /// Lexes every token; always appends a final EndOfFile token.
+  std::vector<Token> lexAll();
+
+private:
+  Token lexOne();
+  char peek(unsigned Ahead = 0) const;
+  char advance();
+  bool atEnd() const { return Pos >= Source.size(); }
+  SourceLoc loc() const { return SourceLoc(Line, Column); }
+  void skipWhitespaceAndComments();
+
+  std::string Source;
+  DiagnosticsEngine &Diags;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Column = 1;
+};
+
+} // namespace syntox
+
+#endif // SYNTOX_FRONTEND_LEXER_H

@@ -1,0 +1,398 @@
+//===- frontend/PaperPrograms.cpp - The paper's example programs ----------===//
+
+#include "frontend/PaperPrograms.h"
+
+using namespace syntox;
+
+const char *const paper::ForProgram = R"pas(
+program forprog;
+var i, n : integer;
+    T : array [1..100] of integer;
+begin
+  read(n);
+  for i := 0 to n do
+    read(T[i])
+end.
+)pas";
+
+const char *const paper::ForProgram1ToN = R"pas(
+program forprog;
+var i, n : integer;
+    T : array [1..100] of integer;
+begin
+  read(n);
+  for i := 1 to n do
+    read(T[i])
+end.
+)pas";
+
+const char *const paper::WhileProgram = R"pas(
+program whileprog;
+var i : integer;
+    b : boolean;
+begin
+  i := 0;
+  read(b);
+  while b and (i < 100) do
+    i := i - 1
+end.
+)pas";
+
+const char *const paper::FactProgram = R"pas(
+program fact;
+var x, y : integer;
+function f(n : integer) : integer;
+begin
+  if n = 0 then
+    f := 1
+  else
+    f := n * f(n - 1)
+end;
+begin
+  read(x);
+  y := f(x)
+end.
+)pas";
+
+const char *const paper::SelectProgram = R"pas(
+program selectprog;
+var n, s : integer;
+function select(n : integer) : integer;
+begin
+  if n > 10 then
+    select := select(n + 1)
+  else if n = 10 then
+    select := 1
+  else
+    select := 0
+end;
+begin
+  read(n);
+  s := select(n);
+  writeln(s)
+end.
+)pas";
+
+const char *const paper::IntermittentProgram = R"pas(
+program intermit;
+var i : integer;
+begin
+  read(i);
+  while i < 100 do
+  begin
+    i := i + 1;
+    intermittent(i = 10)
+  end
+end.
+)pas";
+
+const char *const paper::IntermittentProgramPlain = R"pas(
+program intermit;
+var i : integer;
+begin
+  read(i);
+  while i < 100 do
+    i := i + 1
+end.
+)pas";
+
+const char *const paper::McCarthyProgram = R"pas(
+program mccarthy;
+var m, n : integer;
+function mc(n : integer) : integer;
+begin
+  if n > 100 then
+    mc := n - 10
+  else
+    mc := mc(mc(mc(mc(mc(mc(mc(mc(mc(n + 81)))))))))
+end;
+begin
+  read(n);
+  m := mc(n);
+  writeln(m)
+end.
+)pas";
+
+const char *const paper::McCarthyWithInvariant = R"pas(
+program mccarthy;
+var m, n : integer;
+function mc(n : integer) : integer;
+begin
+  invariant(n <= 101);
+  if n > 100 then
+    mc := n - 10
+  else
+    mc := mc(mc(mc(mc(mc(mc(mc(mc(mc(n + 81)))))))))
+end;
+begin
+  read(n);
+  m := mc(n);
+  writeln(m)
+end.
+)pas";
+
+const char *const paper::McCarthyBuggy = R"pas(
+program mccarthy;
+var m, n : integer;
+function mc(n : integer) : integer;
+begin
+  if n > 100 then
+    mc := n - 10
+  else
+    mc := mc(mc(mc(mc(mc(mc(mc(mc(mc(n + 71)))))))))
+end;
+begin
+  read(n);
+  m := mc(n);
+  writeln(m)
+end.
+)pas";
+
+std::string paper::mcCarthyK(unsigned K) {
+  std::string Inner = "n + " + std::to_string(10 * K - 9);
+  std::string Call = Inner;
+  for (unsigned I = 0; I < K; ++I)
+    Call = "mc(" + Call + ")";
+  std::string Out = "program mccarthy;\n"
+                    "var m, n : integer;\n"
+                    "function mc(n : integer) : integer;\n"
+                    "begin\n"
+                    "  if n > 100 then\n"
+                    "    mc := n - 10\n"
+                    "  else\n"
+                    "    mc := ";
+  Out += Call;
+  Out += "\nend;\n"
+         "begin\n"
+         "  read(n);\n"
+         "  m := mc(n);\n"
+         "  writeln(m)\n"
+         "end.\n";
+  return Out;
+}
+
+const char *const paper::BinarySearchProgram = R"pas(
+program binarysearch;
+type index = 1..100;
+var n : index;
+    key : integer;
+    i : integer;
+    T : array [index] of integer;
+function find(key : integer) : boolean;
+var m, left, right : integer;
+begin
+  left := 1;
+  right := n;
+  repeat
+    m := (left + right) div 2;
+    if key < T[m] then
+      right := m - 1
+    else
+      left := m + 1
+  until (key = T[m]) or (left > right);
+  find := key = T[m]
+end;
+begin
+  read(n, key);
+  for i := 1 to n do
+    read(T[i]);
+  writeln(find(key))
+end.
+)pas";
+
+const char *const paper::AckermannProgram = R"pas(
+program ackermann;
+var m, n, r : integer;
+function ack(m : integer; n : integer) : integer;
+begin
+  if m = 0 then
+    ack := n + 1
+  else if n = 0 then
+    ack := ack(m - 1, 1)
+  else
+    ack := ack(m - 1, ack(m, n - 1))
+end;
+begin
+  read(m, n);
+  r := ack(m, n);
+  writeln(r)
+end.
+)pas";
+
+const char *const paper::QuickSortProgram = R"pas(
+program quicksort;
+type index = 1..100;
+var a : array [index] of integer;
+    n : index;
+    k : integer;
+procedure sort(l : integer; r : integer);
+var i, j, x, w : integer;
+begin
+  i := l;
+  j := r;
+  x := a[(l + r) div 2];
+  repeat
+    while a[i] < x do
+      i := i + 1;
+    while x < a[j] do
+      j := j - 1;
+    if i <= j then
+    begin
+      w := a[i];
+      a[i] := a[j];
+      a[j] := w;
+      i := i + 1;
+      j := j - 1
+    end
+  until i > j;
+  if l < j then
+    sort(l, j);
+  if i < r then
+    sort(i, r)
+end;
+begin
+  read(n);
+  for k := 1 to n do
+    read(a[k]);
+  sort(1, n);
+  for k := 1 to n do
+    writeln(a[k])
+end.
+)pas";
+
+const char *const paper::HeapSortProgram = R"pas(
+program heapsort;
+type index = 1..100;
+var a : array [index] of integer;
+    n : index;
+    i : integer;
+    temp : integer;
+procedure sift(l : index; r : index);
+var j, x : integer;
+    cont : boolean;
+begin
+  x := a[l];
+  j := 2 * l;
+  cont := true;
+  while (j <= r) and cont do
+  begin
+    if j < r then
+      if a[j] < a[j + 1] then
+        j := j + 1;
+    if x < a[j] then
+    begin
+      a[j div 2] := a[j];
+      j := 2 * j
+    end
+    else
+      cont := false
+  end;
+  a[j div 2] := x
+end;
+begin
+  read(n);
+  for i := 1 to n do
+    read(a[i]);
+  for i := n div 2 downto 1 do
+    sift(i, n);
+  for i := n downto 2 do
+  begin
+    temp := a[1];
+    a[1] := a[i];
+    a[i] := temp;
+    sift(1, i - 1)
+  end;
+  for i := 1 to n do
+    writeln(a[i])
+end.
+)pas";
+
+const char *const paper::BubbleSortProgram = R"pas(
+program bubblesort;
+type index = 1..100;
+var a : array [index] of integer;
+    n : index;
+    i, j, t : integer;
+begin
+  read(n);
+  for i := 1 to n do
+    read(a[i]);
+  for i := 1 to n - 1 do
+    for j := 1 to n - i do
+      if a[j] > a[j + 1] then
+      begin
+        t := a[j];
+        a[j] := a[j + 1];
+        a[j + 1] := t
+      end;
+  for i := 1 to n do
+    writeln(a[i])
+end.
+)pas";
+
+const char *const paper::MatrixProgram = R"pas(
+program matrix;
+type index = 1..100;
+var a, b, c : array [index] of integer;
+    i, j, k, s : integer;
+begin
+  for i := 1 to 10 do
+    for j := 1 to 10 do
+      read(a[(i - 1) * 10 + j]);
+  for i := 1 to 10 do
+    for j := 1 to 10 do
+      read(b[(i - 1) * 10 + j]);
+  for i := 1 to 10 do
+    for j := 1 to 10 do
+    begin
+      s := 0;
+      for k := 1 to 10 do
+        s := s + a[(i - 1) * 10 + k] * b[(k - 1) * 10 + j];
+      c[(i - 1) * 10 + j] := s
+    end;
+  for i := 1 to 10 do
+    for j := 1 to 10 do
+      writeln(c[(i - 1) * 10 + j])
+end.
+)pas";
+
+const char *const paper::ShuttleProgram = R"pas(
+program shuttle;
+type index = 1..100;
+var a : array [index] of integer;
+    n : index;
+    i, lo, hi, t : integer;
+    swapped : boolean;
+begin
+  read(n);
+  for i := 1 to n do
+    read(a[i]);
+  lo := 1;
+  hi := n;
+  swapped := true;
+  while swapped and (lo < hi) do
+  begin
+    swapped := false;
+    for i := lo to hi - 1 do
+      if a[i] > a[i + 1] then
+      begin
+        t := a[i];
+        a[i] := a[i + 1];
+        a[i + 1] := t;
+        swapped := true
+      end;
+    hi := hi - 1;
+    for i := hi downto lo + 1 do
+      if a[i - 1] > a[i] then
+      begin
+        t := a[i - 1];
+        a[i - 1] := a[i];
+        a[i] := t;
+        swapped := true
+      end;
+    lo := lo + 1
+  end;
+  for i := 1 to n do
+    writeln(a[i])
+end.
+)pas";

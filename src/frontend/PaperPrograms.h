@@ -1,0 +1,99 @@
+//===- frontend/PaperPrograms.h - The paper's example programs --*- C++ -*-===//
+//
+// Part of Syntox++, a reproduction of Bourdoncle's abstract debugger
+// (PLDI 1993). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pascal sources for every program of the paper's evaluation: the six
+/// Figure 1 examples, BinarySearch (Figure 3), and the Figure 4 benchmark
+/// programs (Ackermann, QuickSort, HeapSort, McCarthy_k). Tests, examples
+/// and benchmarks all share these fixtures.
+///
+/// The Figure 1 `Select` function body is partially garbled in the
+/// archival OCR of the paper; the reconstruction here is chosen so that
+/// *all three* behaviors the paper reports hold: termination iff n <= 10,
+/// result = 1 iff n = 10, and "terminates without reaching the n = 10 arm"
+/// iff n < 10.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYNTOX_FRONTEND_PAPERPROGRAMS_H
+#define SYNTOX_FRONTEND_PAPERPROGRAMS_H
+
+#include <string>
+
+namespace syntox {
+namespace paper {
+
+/// Figure 1, program For: reads n and fills T[0..n] of a 1..100 array.
+/// Bugs: T[0] is always out of bounds when the loop runs; T[101..] when
+/// n > 100.
+extern const char *const ForProgram;
+
+/// Variant of For with the loop running from 1 to n (only the n <= 100
+/// condition remains, paper §2).
+extern const char *const ForProgram1ToN;
+
+/// Figure 1, program While: loops forever unless b = false.
+extern const char *const WhileProgram;
+
+/// Figure 1, program Fact: recursive factorial; loops unless x >= 0.
+extern const char *const FactProgram;
+
+/// Figure 1, program Select (reconstructed, see file comment).
+extern const char *const SelectProgram;
+
+/// Figure 1, program Intermittent: counts i up to 100, with the paper's
+/// `i = 10` intermittent assertion inserted after the increment.
+extern const char *const IntermittentProgram;
+/// Same program without any assertion.
+extern const char *const IntermittentProgramPlain;
+
+/// Figure 1, program McCarthy: the k = 9 generalization MC9 of McCarthy's
+/// 91 function (else-branch applies MC 9 times to n + 81).
+extern const char *const McCarthyProgram;
+
+/// McCarthy with the invariant assertion n <= 101 at function entry
+/// (paper §6.5: proves m = 91 at the end).
+extern const char *const McCarthyWithInvariant;
+
+/// The *buggy* McCarthy generalization of §6.5: 81 replaced by 71; loops
+/// for every n <= 100.
+extern const char *const McCarthyBuggy;
+
+/// Returns the McCarthy_k program for any k >= 1 (Figure 4 uses k = 9 and
+/// k = 30): else-branch applies MC k times to n + (10k - 9).
+std::string mcCarthyK(unsigned K);
+
+/// Figure 3: BinarySearch. Every array access is statically safe.
+extern const char *const BinarySearchProgram;
+
+/// Figure 4 benchmark: Ackermann(m, n) via recursion on scalars.
+extern const char *const AckermannProgram;
+
+/// Figure 4 benchmark: QuickSort over a global array with recursion.
+extern const char *const QuickSortProgram;
+
+/// Figure 4 benchmark: HeapSort over a global array (paper §6.5: every
+/// access statically safe).
+extern const char *const HeapSortProgram;
+
+/// Simple extra sort used by the bound-check study: BubbleSort.
+extern const char *const BubbleSortProgram;
+
+/// §6.5 Markstein comparison: "every array access in programs Matrix and
+/// Shuttle of Markstein et al. is statically proven correct by Syntox".
+/// Matrix: 10x10 matrix multiplication over arrays flattened to 1..100
+/// (the analysis must bound (i-1)*10 + j through the multiplication).
+extern const char *const MatrixProgram;
+
+/// §6.5 Markstein comparison, Shuttle: a bidirectional (cocktail) sort
+/// whose window [lo, hi] shrinks from both ends.
+extern const char *const ShuttleProgram;
+
+} // namespace paper
+} // namespace syntox
+
+#endif // SYNTOX_FRONTEND_PAPERPROGRAMS_H

@@ -1,0 +1,106 @@
+//===- frontend/Parser.h - Pascal parser ------------------------*- C++ -*-===//
+//
+// Part of Syntox++, a reproduction of Bourdoncle's abstract debugger
+// (PLDI 1993). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for the Pascal subset. Like classic one-pass
+/// Pascal compilers it folds constants and resolves type names while
+/// parsing (both must be declared before use), so subrange bounds like
+/// `1..n` with `const n = 100` work. Name resolution and type checking of
+/// expressions and statements are done later by Sema.
+///
+/// On a syntax error, the parser reports a diagnostic and synchronizes to
+/// the next statement boundary, so one broken statement does not hide the
+/// rest of the file.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYNTOX_FRONTEND_PARSER_H
+#define SYNTOX_FRONTEND_PARSER_H
+
+#include "frontend/Ast.h"
+#include "frontend/Token.h"
+#include "support/Diagnostics.h"
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace syntox {
+
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, AstContext &Ctx, DiagnosticsEngine &Diags)
+      : Tokens(std::move(Tokens)), Ctx(Ctx), Diags(Diags) {}
+
+  /// Parses a whole `program ... .` unit. Returns null when errors make
+  /// the tree unusable; partial errors still return a best-effort tree
+  /// with diagnostics reported.
+  RoutineDecl *parseProgram();
+
+private:
+  // Token stream helpers.
+  const Token &peek(unsigned Ahead = 0) const;
+  const Token &current() const { return peek(); }
+  Token advance();
+  bool check(TokenKind K) const { return current().is(K); }
+  bool match(TokenKind K);
+  /// Consumes a token of kind \p K or reports "expected ...".
+  bool expect(TokenKind K, const char *Context);
+  void syncToStatementBoundary();
+
+  // Grammar productions.
+  Block *parseBlock(RoutineDecl *Owner);
+  void parseLabelSection(Block *B);
+  void parseConstSection(Block *B);
+  void parseTypeSection(Block *B);
+  void parseVarSection(Block *B);
+  RoutineDecl *parseRoutine();
+  std::vector<VarDecl *> parseFormalParams();
+  const Type *parseTypeExpr();
+  const Type *parseNamedType();
+  std::optional<int64_t> parseConstValue();
+
+  CompoundStmt *parseCompound();
+  Stmt *parseStatement();
+  Stmt *parseUnlabeledStatement();
+  Stmt *parseIdentifierStatement();
+  Stmt *parseIf();
+  Stmt *parseWhile();
+  Stmt *parseRepeat();
+  Stmt *parseFor();
+  Stmt *parseCase();
+  Stmt *parseGoto();
+  Stmt *parseAssert(bool Intermittent);
+  std::vector<Stmt *> parseStatementList(
+      std::initializer_list<TokenKind> Terminators);
+
+  Expr *parseExpr();
+  Expr *parseSimpleExpr();
+  Expr *parseTerm();
+  Expr *parseFactor();
+  std::vector<Expr *> parseArgs();
+
+  // Single-pass scopes for constants and type names.
+  struct Scope {
+    std::unordered_map<std::string, const ConstDecl *> Consts;
+    std::unordered_map<std::string, const Type *> Types;
+  };
+  void pushScope() { Scopes.emplace_back(); }
+  void popScope() { Scopes.pop_back(); }
+  const ConstDecl *lookupConst(const std::string &Name) const;
+  const Type *lookupType(const std::string &Name) const;
+
+  std::vector<Token> Tokens;
+  AstContext &Ctx;
+  DiagnosticsEngine &Diags;
+  size_t Pos = 0;
+  std::vector<Scope> Scopes;
+};
+
+} // namespace syntox
+
+#endif // SYNTOX_FRONTEND_PARSER_H

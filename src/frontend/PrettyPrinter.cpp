@@ -1,0 +1,374 @@
+//===- frontend/PrettyPrinter.cpp - AST to Pascal source ------------------===//
+
+#include "frontend/PrettyPrinter.h"
+
+#include <cassert>
+
+using namespace syntox;
+
+namespace {
+
+class Printer {
+public:
+  std::string Out;
+
+  void printRoutine(const RoutineDecl *R, unsigned Indent);
+  void printBlock(const Block *B, unsigned Indent);
+  void printStmt(const Stmt *S, unsigned Indent);
+  void printStmtList(const std::vector<Stmt *> &Body, unsigned Indent);
+  void expr(const Expr *E);
+
+  void line(unsigned Indent, const std::string &Text) {
+    Out.append(Indent * 2, ' ');
+    Out += Text;
+    Out += '\n';
+  }
+  void indentOnly(unsigned Indent) { Out.append(Indent * 2, ' '); }
+};
+
+/// Precedence levels matching the grammar: relation < additive < term <
+/// factor.
+unsigned precedence(const Expr *E) {
+  const auto *B = dyn_cast<BinaryExpr>(E);
+  if (!B)
+    return 4;
+  switch (B->op()) {
+  case BinaryOp::Eq:
+  case BinaryOp::Ne:
+  case BinaryOp::Lt:
+  case BinaryOp::Le:
+  case BinaryOp::Gt:
+  case BinaryOp::Ge:
+    return 1;
+  case BinaryOp::Add:
+  case BinaryOp::Sub:
+  case BinaryOp::Or:
+    return 2;
+  default:
+    return 3;
+  }
+}
+
+std::string exprToString(const Expr *E);
+
+void exprInto(std::string &Out, const Expr *E, unsigned MinPrec) {
+  bool Paren = precedence(E) < MinPrec;
+  if (Paren)
+    Out += '(';
+  switch (E->kind()) {
+  case Expr::Kind::IntLiteral:
+    Out += std::to_string(cast<IntLiteralExpr>(E)->value());
+    break;
+  case Expr::Kind::BoolLiteral:
+    Out += cast<BoolLiteralExpr>(E)->value() ? "true" : "false";
+    break;
+  case Expr::Kind::StringLiteral: {
+    Out += '\'';
+    for (char C : cast<StringLiteralExpr>(E)->value()) {
+      Out += C;
+      if (C == '\'')
+        Out += '\'';
+    }
+    Out += '\'';
+    break;
+  }
+  case Expr::Kind::VarRef:
+    Out += cast<VarRefExpr>(E)->name();
+    break;
+  case Expr::Kind::Index: {
+    const auto *I = cast<IndexExpr>(E);
+    Out += I->base()->name();
+    Out += '[';
+    exprInto(Out, I->index(), 0);
+    Out += ']';
+    break;
+  }
+  case Expr::Kind::Call: {
+    const auto *C = cast<CallExpr>(E);
+    Out += C->callee();
+    Out += '(';
+    bool First = true;
+    for (const Expr *Arg : C->args()) {
+      if (!First)
+        Out += ", ";
+      First = false;
+      exprInto(Out, Arg, 0);
+    }
+    Out += ')';
+    break;
+  }
+  case Expr::Kind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    Out += U->op() == UnaryOp::Neg ? "-" : "not ";
+    exprInto(Out, U->subExpr(), 4);
+    break;
+  }
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    unsigned Prec = precedence(E);
+    exprInto(Out, B->lhs(), Prec);
+    Out += ' ';
+    Out += binaryOpName(B->op());
+    Out += ' ';
+    // Left-associative: the right operand needs strictly higher precedence.
+    exprInto(Out, B->rhs(), Prec + 1);
+    break;
+  }
+  }
+  if (Paren)
+    Out += ')';
+}
+
+std::string exprToString(const Expr *E) {
+  std::string Out;
+  exprInto(Out, E, 0);
+  return Out;
+}
+
+void Printer::expr(const Expr *E) { exprInto(Out, E, 0); }
+
+void Printer::printStmtList(const std::vector<Stmt *> &Body,
+                            unsigned Indent) {
+  for (size_t I = 0; I < Body.size(); ++I) {
+    printStmt(Body[I], Indent);
+    if (I + 1 < Body.size()) {
+      // The separator goes at the end of the previous line.
+      assert(!Out.empty() && Out.back() == '\n');
+      Out.pop_back();
+      Out += ";\n";
+    }
+  }
+}
+
+void Printer::printStmt(const Stmt *S, unsigned Indent) {
+  switch (S->kind()) {
+  case Stmt::Kind::Assign: {
+    const auto *A = cast<AssignStmt>(S);
+    indentOnly(Indent);
+    expr(A->target());
+    Out += " := ";
+    expr(A->value());
+    Out += '\n';
+    return;
+  }
+  case Stmt::Kind::Compound: {
+    line(Indent, "begin");
+    printStmtList(cast<CompoundStmt>(S)->body(), Indent + 1);
+    line(Indent, "end");
+    return;
+  }
+  case Stmt::Kind::If: {
+    const auto *I = cast<IfStmt>(S);
+    indentOnly(Indent);
+    Out += "if ";
+    expr(I->cond());
+    Out += " then\n";
+    printStmt(I->thenStmt(), Indent + 1);
+    if (I->elseStmt()) {
+      line(Indent, "else");
+      printStmt(I->elseStmt(), Indent + 1);
+    }
+    return;
+  }
+  case Stmt::Kind::While: {
+    const auto *W = cast<WhileStmt>(S);
+    indentOnly(Indent);
+    Out += "while ";
+    expr(W->cond());
+    Out += " do\n";
+    printStmt(W->body(), Indent + 1);
+    return;
+  }
+  case Stmt::Kind::Repeat: {
+    const auto *Rep = cast<RepeatStmt>(S);
+    line(Indent, "repeat");
+    printStmtList(Rep->body(), Indent + 1);
+    indentOnly(Indent);
+    Out += "until ";
+    expr(Rep->cond());
+    Out += '\n';
+    return;
+  }
+  case Stmt::Kind::For: {
+    const auto *F = cast<ForStmt>(S);
+    indentOnly(Indent);
+    Out += "for " + F->var()->name() + " := ";
+    expr(F->from());
+    Out += F->isDownward() ? " downto " : " to ";
+    expr(F->to());
+    Out += " do\n";
+    printStmt(F->body(), Indent + 1);
+    return;
+  }
+  case Stmt::Kind::Case: {
+    const auto *C = cast<CaseStmt>(S);
+    indentOnly(Indent);
+    Out += "case ";
+    expr(C->selector());
+    Out += " of\n";
+    for (const CaseArm &Arm : C->arms()) {
+      indentOnly(Indent + 1);
+      for (size_t I = 0; I < Arm.Labels.size(); ++I) {
+        if (I)
+          Out += ", ";
+        Out += std::to_string(Arm.Labels[I]);
+      }
+      Out += ":\n";
+      printStmt(Arm.Body, Indent + 2);
+      Out.pop_back();
+      Out += ";\n";
+    }
+    if (C->elseStmt()) {
+      line(Indent + 1, "else");
+      printStmt(C->elseStmt(), Indent + 2);
+    }
+    line(Indent, "end");
+    return;
+  }
+  case Stmt::Kind::Call: {
+    const auto *CS = cast<CallStmt>(S);
+    indentOnly(Indent);
+    const CallExpr *Call = CS->call();
+    if (Call->args().empty()) {
+      Out += Call->callee();
+      Out += '\n';
+    } else {
+      expr(Call);
+      Out += '\n';
+    }
+    return;
+  }
+  case Stmt::Kind::Read: {
+    const auto *RS = cast<ReadStmt>(S);
+    indentOnly(Indent);
+    Out += "read(";
+    bool First = true;
+    for (const Expr *T : RS->targets()) {
+      if (!First)
+        Out += ", ";
+      First = false;
+      expr(T);
+    }
+    Out += ")\n";
+    return;
+  }
+  case Stmt::Kind::Write: {
+    const auto *WS = cast<WriteStmt>(S);
+    indentOnly(Indent);
+    Out += "writeln(";
+    bool First = true;
+    for (const Expr *V : WS->values()) {
+      if (!First)
+        Out += ", ";
+      First = false;
+      expr(V);
+    }
+    Out += ")\n";
+    return;
+  }
+  case Stmt::Kind::Goto:
+    line(Indent, "goto " + std::to_string(cast<GotoStmt>(S)->label()));
+    return;
+  case Stmt::Kind::Labeled: {
+    const auto *L = cast<LabeledStmt>(S);
+    line(Indent, std::to_string(L->label()) + ":");
+    printStmt(L->subStmt(), Indent);
+    return;
+  }
+  case Stmt::Kind::Empty:
+    line(Indent, "");
+    return;
+  case Stmt::Kind::Assert: {
+    const auto *A = cast<AssertStmt>(S);
+    indentOnly(Indent);
+    Out += A->isIntermittent() ? "intermittent(" : "invariant(";
+    expr(A->cond());
+    Out += ")\n";
+    return;
+  }
+  }
+}
+
+void Printer::printBlock(const Block *B, unsigned Indent) {
+  if (!B->Labels.empty()) {
+    indentOnly(Indent);
+    Out += "label ";
+    for (size_t I = 0; I < B->Labels.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += std::to_string(B->Labels[I]);
+    }
+    Out += ";\n";
+  }
+  if (!B->Consts.empty()) {
+    line(Indent, "const");
+    for (const ConstDecl *C : B->Consts) {
+      indentOnly(Indent + 1);
+      Out += C->name() + " = ";
+      if (C->isBool())
+        Out += C->value() ? "true" : "false";
+      else
+        Out += std::to_string(C->value());
+      Out += ";\n";
+    }
+  }
+  if (!B->TypeAliases.empty()) {
+    line(Indent, "type");
+    for (const TypeAliasDecl *T : B->TypeAliases)
+      line(Indent + 1, T->name() + " = " + T->type()->str() + ";");
+  }
+  if (!B->Vars.empty()) {
+    line(Indent, "var");
+    for (const VarDecl *V : B->Vars)
+      line(Indent + 1, V->name() + " : " + V->type()->str() + ";");
+  }
+  for (const RoutineDecl *R : B->Routines)
+    printRoutine(R, Indent);
+  // The body keyword lines are emitted by the caller-side: we emit the
+  // compound here.
+  printStmt(B->Body, Indent);
+}
+
+void Printer::printRoutine(const RoutineDecl *R, unsigned Indent) {
+  indentOnly(Indent);
+  if (R->isProgram()) {
+    Out += "program " + R->name() + ";\n";
+  } else {
+    Out += R->isFunction() ? "function " : "procedure ";
+    Out += R->name();
+    if (!R->params().empty()) {
+      Out += '(';
+      for (size_t I = 0; I < R->params().size(); ++I) {
+        const VarDecl *P = R->params()[I];
+        if (I)
+          Out += "; ";
+        if (P->isVarParam())
+          Out += "var ";
+        Out += P->name() + " : " + P->type()->str();
+      }
+      Out += ')';
+    }
+    if (R->isFunction())
+      Out += " : " + R->resultType()->str();
+    Out += ";\n";
+  }
+  printBlock(R->block(), Indent);
+  if (R->isProgram()) {
+    assert(!Out.empty() && Out.back() == '\n');
+    Out.pop_back();
+    Out += ".\n";
+  } else {
+    Out.pop_back();
+    Out += ";\n";
+  }
+}
+
+} // namespace
+
+std::string syntox::printProgram(const RoutineDecl *Program) {
+  Printer P;
+  P.printRoutine(Program, 0);
+  return P.Out;
+}
+
+std::string syntox::printExpr(const Expr *E) { return exprToString(E); }

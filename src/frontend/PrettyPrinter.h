@@ -1,0 +1,32 @@
+//===- frontend/PrettyPrinter.h - AST to Pascal source ----------*- C++ -*-===//
+//
+// Part of Syntox++, a reproduction of Bourdoncle's abstract debugger
+// (PLDI 1993). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders an AST back to compilable Pascal source. Round-tripping
+/// (parse -> print -> parse -> print) is a fixpoint, which the golden
+/// tests rely on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYNTOX_FRONTEND_PRETTYPRINTER_H
+#define SYNTOX_FRONTEND_PRETTYPRINTER_H
+
+#include "frontend/Ast.h"
+
+#include <string>
+
+namespace syntox {
+
+/// Renders \p Program as Pascal source text.
+std::string printProgram(const RoutineDecl *Program);
+
+/// Renders a single expression (used in diagnostics and reports).
+std::string printExpr(const Expr *E);
+
+} // namespace syntox
+
+#endif // SYNTOX_FRONTEND_PRETTYPRINTER_H

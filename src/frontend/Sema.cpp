@@ -1,0 +1,614 @@
+//===- frontend/Sema.cpp - Semantic analysis ------------------------------===//
+
+#include "frontend/Sema.h"
+
+#include <cassert>
+
+using namespace syntox;
+
+static bool typesCompatible(const Type *A, const Type *B) {
+  if (!A || !B)
+    return true; // error recovery: don't cascade
+  if (A->isIntegerLike() && B->isIntegerLike())
+    return true;
+  if (A->isBoolean() && B->isBoolean())
+    return true;
+  return false;
+}
+
+bool Sema::analyze(RoutineDecl *Program) {
+  if (!Program)
+    return false;
+  AllRoutines.clear();
+  Scopes.clear();
+  NextRoutineId = 0;
+  NextCallSiteId = 1;
+  LabelTable.clear();
+  DeclaredLabels.clear();
+  analyzeRoutine(Program, /*Parent=*/nullptr);
+  return !Diags.hasErrors();
+}
+
+VarDecl *Sema::lookupVar(const std::string &Name) const {
+  for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+    auto Found = It->Vars.find(Name);
+    if (Found != It->Vars.end())
+      return Found->second;
+  }
+  return nullptr;
+}
+
+RoutineDecl *Sema::lookupRoutine(const std::string &Name) const {
+  for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+    auto Found = It->Routines.find(Name);
+    if (Found != It->Routines.end())
+      return Found->second;
+  }
+  return nullptr;
+}
+
+const ConstDecl *Sema::lookupConst(const std::string &Name) const {
+  for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+    auto Found = It->Consts.find(Name);
+    if (Found != It->Consts.end())
+      return Found->second;
+  }
+  return nullptr;
+}
+
+void Sema::declareBlock(RoutineDecl *R) {
+  Scope &S = Scopes.back();
+  S.Owner = R;
+  Block *B = R->block();
+  if (!B)
+    return;
+  for (const ConstDecl *C : B->Consts)
+    S.Consts[C->name()] = C;
+  // Parameters and the function result are owned first, then locals; the
+  // per-routine variable index is the position in ownedVars().
+  auto Own = [&](VarDecl *V) {
+    V->setOwner(R);
+    V->setIndexInOwner(R->ownedVars().size());
+    R->addOwnedVar(V);
+  };
+  for (VarDecl *P : R->params()) {
+    if (S.Vars.count(P->name()))
+      Diags.error(P->loc(), "duplicate parameter '" + P->name() + "'");
+    S.Vars[P->name()] = P;
+    Own(P);
+    if (P->type() && P->type()->isArray())
+      Diags.error(P->loc(), "array parameters are not supported");
+  }
+  if (R->isFunction()) {
+    auto *Result = Ctx.create<VarDecl>(R->loc(), R->name(), R->resultType(),
+                                       VarKind::FunctionResult);
+    R->setResultVar(Result);
+    Own(Result);
+    if (R->resultType() && !R->resultType()->isScalar())
+      Diags.error(R->loc(), "function result must be a scalar type");
+  }
+  for (VarDecl *V : B->Vars) {
+    if (S.Vars.count(V->name()))
+      Diags.error(V->loc(), "duplicate variable '" + V->name() + "'");
+    S.Vars[V->name()] = V;
+    Own(V);
+  }
+  DeclaredLabels[R] = B->Labels;
+}
+
+void Sema::analyzeRoutine(RoutineDecl *R, RoutineDecl *Parent) {
+  R->setParent(Parent);
+  R->setLevel(Parent ? Parent->level() + 1 : 0);
+  R->setRoutineId(NextRoutineId++);
+  AllRoutines.push_back(R);
+
+  Scopes.emplace_back();
+  declareBlock(R);
+
+  Block *B = R->block();
+  if (B) {
+    // Declare nested routines before analyzing bodies so that mutual
+    // visibility follows Pascal's declare-before-use rule per routine,
+    // while recursion inside a routine's own body always works.
+    for (RoutineDecl *Nested : B->Routines) {
+      if (Scopes.back().Routines.count(Nested->name()))
+        Diags.error(Nested->loc(),
+                    "duplicate routine '" + Nested->name() + "'");
+      Scopes.back().Routines[Nested->name()] = Nested;
+    }
+    // Collect this routine's labels before analyzing nested routines so
+    // that their (non-local) gotos can resolve against them.
+    if (B->Body)
+      collectLabels(R, B->Body);
+    for (RoutineDecl *Nested : B->Routines)
+      analyzeRoutine(Nested, R);
+    if (B->Body) {
+      checkStmt(B->Body, R);
+      resolveGotos(B->Body, R);
+    }
+  }
+  Scopes.pop_back();
+}
+
+//===----------------------------------------------------------------------===//
+// Labels
+//===----------------------------------------------------------------------===//
+
+void Sema::collectLabels(RoutineDecl *R, Stmt *S) {
+  if (!S)
+    return;
+  switch (S->kind()) {
+  case Stmt::Kind::Labeled: {
+    auto *L = cast<LabeledStmt>(S);
+    const std::vector<int64_t> &Declared = DeclaredLabels[R];
+    bool IsDeclared = false;
+    for (int64_t D : Declared)
+      IsDeclared |= (D == L->label());
+    if (!IsDeclared)
+      Diags.error(L->loc(), "label " + std::to_string(L->label()) +
+                                " was not declared in a label section");
+    auto &Table = LabelTable[R];
+    if (Table.count(L->label()))
+      Diags.error(L->loc(),
+                  "duplicate label " + std::to_string(L->label()));
+    Table[L->label()] = L;
+    collectLabels(R, L->subStmt());
+    return;
+  }
+  case Stmt::Kind::Compound:
+    for (Stmt *Sub : cast<CompoundStmt>(S)->body())
+      collectLabels(R, Sub);
+    return;
+  case Stmt::Kind::If: {
+    auto *I = cast<IfStmt>(S);
+    collectLabels(R, I->thenStmt());
+    collectLabels(R, I->elseStmt());
+    return;
+  }
+  case Stmt::Kind::While:
+    collectLabels(R, cast<WhileStmt>(S)->body());
+    return;
+  case Stmt::Kind::Repeat:
+    for (Stmt *Sub : cast<RepeatStmt>(S)->body())
+      collectLabels(R, Sub);
+    return;
+  case Stmt::Kind::For:
+    collectLabels(R, cast<ForStmt>(S)->body());
+    return;
+  case Stmt::Kind::Case: {
+    auto *C = cast<CaseStmt>(S);
+    for (const CaseArm &Arm : C->arms())
+      collectLabels(R, Arm.Body);
+    collectLabels(R, C->elseStmt());
+    return;
+  }
+  default:
+    return;
+  }
+}
+
+void Sema::resolveGotos(Stmt *S, RoutineDecl *R) {
+  if (!S)
+    return;
+  switch (S->kind()) {
+  case Stmt::Kind::Goto: {
+    auto *G = cast<GotoStmt>(S);
+    // Search the enclosing routines innermost-first; a hit in an outer
+    // routine makes this a non-local jump (paper §5).
+    for (RoutineDecl *Target = R; Target; Target = Target->parent()) {
+      auto TableIt = LabelTable.find(Target);
+      if (TableIt == LabelTable.end())
+        continue;
+      auto Found = TableIt->second.find(G->label());
+      if (Found == TableIt->second.end())
+        continue;
+      G->setTarget(Found->second);
+      G->setTargetRoutine(Target);
+      return;
+    }
+    Diags.error(G->loc(),
+                "undefined label " + std::to_string(G->label()));
+    return;
+  }
+  case Stmt::Kind::Labeled:
+    resolveGotos(cast<LabeledStmt>(S)->subStmt(), R);
+    return;
+  case Stmt::Kind::Compound:
+    for (Stmt *Sub : cast<CompoundStmt>(S)->body())
+      resolveGotos(Sub, R);
+    return;
+  case Stmt::Kind::If: {
+    auto *I = cast<IfStmt>(S);
+    resolveGotos(I->thenStmt(), R);
+    resolveGotos(I->elseStmt(), R);
+    return;
+  }
+  case Stmt::Kind::While:
+    resolveGotos(cast<WhileStmt>(S)->body(), R);
+    return;
+  case Stmt::Kind::Repeat:
+    for (Stmt *Sub : cast<RepeatStmt>(S)->body())
+      resolveGotos(Sub, R);
+    return;
+  case Stmt::Kind::For:
+    resolveGotos(cast<ForStmt>(S)->body(), R);
+    return;
+  case Stmt::Kind::Case: {
+    auto *C = cast<CaseStmt>(S);
+    for (const CaseArm &Arm : C->arms())
+      resolveGotos(Arm.Body, R);
+    resolveGotos(C->elseStmt(), R);
+    return;
+  }
+  default:
+    return;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+void Sema::checkStmt(Stmt *S, RoutineDecl *R) {
+  if (!S)
+    return;
+  switch (S->kind()) {
+  case Stmt::Kind::Assign:
+    checkAssign(cast<AssignStmt>(S), R);
+    return;
+  case Stmt::Kind::Compound:
+    for (Stmt *Sub : cast<CompoundStmt>(S)->body())
+      checkStmt(Sub, R);
+    return;
+  case Stmt::Kind::If: {
+    auto *I = cast<IfStmt>(S);
+    const Type *CondTy = checkExpr(I->cond(), R);
+    if (CondTy && !CondTy->isBoolean())
+      Diags.error(I->cond()->loc(), "if condition must be boolean");
+    checkStmt(I->thenStmt(), R);
+    checkStmt(I->elseStmt(), R);
+    return;
+  }
+  case Stmt::Kind::While: {
+    auto *W = cast<WhileStmt>(S);
+    const Type *CondTy = checkExpr(W->cond(), R);
+    if (CondTy && !CondTy->isBoolean())
+      Diags.error(W->cond()->loc(), "while condition must be boolean");
+    checkStmt(W->body(), R);
+    return;
+  }
+  case Stmt::Kind::Repeat: {
+    auto *Rep = cast<RepeatStmt>(S);
+    for (Stmt *Sub : Rep->body())
+      checkStmt(Sub, R);
+    const Type *CondTy = checkExpr(Rep->cond(), R);
+    if (CondTy && !CondTy->isBoolean())
+      Diags.error(Rep->cond()->loc(), "until condition must be boolean");
+    return;
+  }
+  case Stmt::Kind::For: {
+    auto *F = cast<ForStmt>(S);
+    const Type *VarTy = checkVarRef(F->var(), R, /*IsAssignTarget=*/true);
+    if (VarTy && !VarTy->isIntegerLike())
+      Diags.error(F->var()->loc(), "for loop variable must be an integer");
+    if (F->var()->constDecl())
+      Diags.error(F->var()->loc(), "for loop variable cannot be a constant");
+    const Type *FromTy = checkExpr(F->from(), R);
+    const Type *ToTy = checkExpr(F->to(), R);
+    if ((FromTy && !FromTy->isIntegerLike()) ||
+        (ToTy && !ToTy->isIntegerLike()))
+      Diags.error(F->loc(), "for loop bounds must be integers");
+    checkStmt(F->body(), R);
+    return;
+  }
+  case Stmt::Kind::Case: {
+    auto *C = cast<CaseStmt>(S);
+    const Type *SelTy = checkExpr(C->selector(), R);
+    if (SelTy && !SelTy->isIntegerLike())
+      Diags.error(C->selector()->loc(), "case selector must be an integer");
+    for (const CaseArm &Arm : C->arms())
+      checkStmt(Arm.Body, R);
+    checkStmt(C->elseStmt(), R);
+    return;
+  }
+  case Stmt::Kind::Call: {
+    auto *CS = cast<CallStmt>(S);
+    checkCall(CS->call(), R, /*AsStatement=*/true);
+    return;
+  }
+  case Stmt::Kind::Read: {
+    auto *RS = cast<ReadStmt>(S);
+    for (Expr *Target : RS->targets()) {
+      const Type *Ty = checkLValue(Target, R);
+      if (Ty && !Ty->isIntegerLike() && !Ty->isBoolean())
+        Diags.error(Target->loc(), "read target must be a scalar variable");
+    }
+    return;
+  }
+  case Stmt::Kind::Write: {
+    auto *WS = cast<WriteStmt>(S);
+    for (Expr *Value : WS->values()) {
+      if (isa<StringLiteralExpr>(Value))
+        continue;
+      checkExpr(Value, R);
+    }
+    return;
+  }
+  case Stmt::Kind::Goto:
+    return; // resolved in resolveGotos
+  case Stmt::Kind::Labeled:
+    checkStmt(cast<LabeledStmt>(S)->subStmt(), R);
+    return;
+  case Stmt::Kind::Empty:
+    return;
+  case Stmt::Kind::Assert: {
+    auto *A = cast<AssertStmt>(S);
+    const Type *CondTy = checkExpr(A->cond(), R);
+    if (CondTy && !CondTy->isBoolean())
+      Diags.error(A->cond()->loc(), "assertion condition must be boolean");
+    return;
+  }
+  }
+}
+
+void Sema::checkAssign(AssignStmt *S, RoutineDecl *R) {
+  const Type *TargetTy = checkLValue(S->target(), R);
+  const Type *ValueTy = checkExpr(S->value(), R);
+  if (TargetTy && ValueTy && !typesCompatible(TargetTy, ValueTy))
+    Diags.error(S->loc(), "cannot assign " + ValueTy->str() + " to " +
+                              TargetTy->str());
+}
+
+const Type *Sema::checkLValue(Expr *E, RoutineDecl *R) {
+  if (auto *Ref = dyn_cast<VarRefExpr>(E)) {
+    const Type *Ty = checkVarRef(Ref, R, /*IsAssignTarget=*/true);
+    if (Ref->constDecl()) {
+      Diags.error(E->loc(),
+                  "cannot assign to constant '" + Ref->name() + "'");
+      return nullptr;
+    }
+    if (Ty && Ty->isArray()) {
+      Diags.error(E->loc(), "whole-array assignment is not supported");
+      return nullptr;
+    }
+    return Ty;
+  }
+  if (auto *Idx = dyn_cast<IndexExpr>(E))
+    return checkIndex(Idx, R);
+  Diags.error(E->loc(), "expression is not assignable");
+  checkExpr(E, R);
+  return nullptr;
+}
+
+void Sema::checkCall(CallExpr *Call, RoutineDecl *R, bool AsStatement) {
+  // Builtins first.
+  if (Call->callee() == "abs" || Call->callee() == "sqr" ||
+      Call->callee() == "odd") {
+    BuiltinFn Fn = Call->callee() == "abs"   ? BuiltinFn::Abs
+                   : Call->callee() == "sqr" ? BuiltinFn::Sqr
+                                             : BuiltinFn::Odd;
+    Call->setBuiltin(Fn);
+    if (Call->args().size() != 1) {
+      Diags.error(Call->loc(),
+                  "'" + Call->callee() + "' takes exactly one argument");
+    } else {
+      const Type *ArgTy = checkExpr(Call->args()[0], R);
+      if (ArgTy && !ArgTy->isIntegerLike())
+        Diags.error(Call->args()[0]->loc(),
+                    "'" + Call->callee() + "' needs an integer argument");
+    }
+    Call->setType(Fn == BuiltinFn::Odd ? Ctx.booleanType()
+                                       : Ctx.integerType());
+    if (AsStatement)
+      Diags.error(Call->loc(),
+                  "'" + Call->callee() + "' is a function, not a procedure");
+    return;
+  }
+
+  RoutineDecl *Callee = lookupRoutine(Call->callee());
+  if (!Callee) {
+    Diags.error(Call->loc(), "unknown routine '" + Call->callee() + "'");
+    Call->setType(Ctx.integerType());
+    return;
+  }
+  Call->setRoutine(Callee);
+  Call->setCallSiteId(NextCallSiteId++);
+  if (AsStatement && Callee->isFunction())
+    Diags.warning(Call->loc(), "function '" + Call->callee() +
+                                   "' called as a procedure; result ignored");
+  if (!AsStatement && !Callee->isFunction())
+    Diags.error(Call->loc(),
+                "procedure '" + Call->callee() + "' used in an expression");
+
+  const std::vector<VarDecl *> &Formals = Callee->params();
+  if (Call->args().size() != Formals.size()) {
+    Diags.error(Call->loc(), "'" + Call->callee() + "' expects " +
+                                 std::to_string(Formals.size()) +
+                                 " argument(s), got " +
+                                 std::to_string(Call->args().size()));
+  }
+  size_t N = std::min(Call->args().size(), Formals.size());
+  for (size_t I = 0; I < N; ++I) {
+    Expr *Arg = Call->args()[I];
+    VarDecl *Formal = Formals[I];
+    if (Formal->isVarParam()) {
+      // A reference argument must be a scalar variable (this is what
+      // creates aliasing; the analysis tracks it exactly via tokens).
+      auto *Ref = dyn_cast<VarRefExpr>(Arg);
+      const Type *ArgTy = Ref ? checkVarRef(Ref, R, /*IsAssignTarget=*/true)
+                              : checkExpr(Arg, R);
+      if (!Ref || !Ref->varDecl()) {
+        Diags.error(Arg->loc(),
+                    "argument for 'var' parameter '" + Formal->name() +
+                        "' must be a variable");
+        continue;
+      }
+      if (!typesCompatible(ArgTy, Formal->type()))
+        Diags.error(Arg->loc(), "type mismatch for 'var' parameter '" +
+                                    Formal->name() + "'");
+      if (ArgTy && ArgTy->isArray())
+        Diags.error(Arg->loc(), "array 'var' parameters are not supported");
+    } else {
+      const Type *ArgTy = checkExpr(Arg, R);
+      if (!typesCompatible(ArgTy, Formal->type()))
+        Diags.error(Arg->loc(), "type mismatch for parameter '" +
+                                    Formal->name() + "'");
+    }
+  }
+  Call->setType(Callee->isFunction() ? Callee->resultType()
+                                     : Ctx.integerType());
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+const Type *Sema::checkVarRef(VarRefExpr *E, RoutineDecl *R,
+                              bool IsAssignTarget) {
+  // Inside function F, the target `F := ...` denotes the result variable.
+  if (IsAssignTarget) {
+    for (RoutineDecl *Fn = R; Fn; Fn = Fn->parent()) {
+      if (Fn->isFunction() && Fn->name() == E->name()) {
+        // Only assignable from within the function itself (not from
+        // routines nested inside it, per ISO Pascal it is allowed from
+        // nested routines too; we allow it as well — Fn is found by
+        // innermost-first search either way).
+        E->setVarDecl(Fn->resultVar());
+        E->setType(Fn->resultType());
+        return Fn->resultType();
+      }
+      if (lookupVar(E->name()))
+        break; // shadowed by a variable
+    }
+  }
+  if (VarDecl *V = lookupVar(E->name())) {
+    E->setVarDecl(V);
+    E->setType(V->type());
+    return V->type();
+  }
+  if (const ConstDecl *C = lookupConst(E->name())) {
+    E->setConstDecl(C);
+    const Type *Ty = C->isBool() ? Ctx.booleanType() : Ctx.integerType();
+    E->setType(Ty);
+    return Ty;
+  }
+  Diags.error(E->loc(), "unknown identifier '" + E->name() + "'");
+  E->setType(Ctx.integerType());
+  return Ctx.integerType();
+}
+
+const Type *Sema::checkIndex(IndexExpr *E, RoutineDecl *R) {
+  const Type *BaseTy = checkVarRef(E->base(), R, /*IsAssignTarget=*/false);
+  const Type *IndexTy = checkExpr(E->index(), R);
+  if (IndexTy && !IndexTy->isIntegerLike())
+    Diags.error(E->index()->loc(), "array index must be an integer");
+  if (!BaseTy || !BaseTy->isArray()) {
+    if (BaseTy)
+      Diags.error(E->loc(),
+                  "'" + E->base()->name() + "' is not an array");
+    E->setType(Ctx.integerType());
+    return Ctx.integerType();
+  }
+  const Type *ElemTy = cast<ArrayType>(BaseTy)->elementType();
+  E->setType(ElemTy);
+  return ElemTy;
+}
+
+const Type *Sema::checkExpr(Expr *E, RoutineDecl *R) {
+  if (!E)
+    return nullptr;
+  switch (E->kind()) {
+  case Expr::Kind::IntLiteral:
+    E->setType(Ctx.integerType());
+    return E->type();
+  case Expr::Kind::BoolLiteral:
+    E->setType(Ctx.booleanType());
+    return E->type();
+  case Expr::Kind::StringLiteral:
+    Diags.error(E->loc(), "string literals are only allowed in write");
+    E->setType(Ctx.integerType());
+    return E->type();
+  case Expr::Kind::VarRef: {
+    auto *Ref = cast<VarRefExpr>(E);
+    // A bare identifier naming a visible function is a parameterless
+    // recursive or ordinary call in standard Pascal — but only when the
+    // name is not shadowed by a variable or constant.
+    if (!lookupVar(Ref->name()) && !lookupConst(Ref->name())) {
+      if (RoutineDecl *Fn = lookupRoutine(Ref->name())) {
+        if (Fn->isFunction() && Fn->params().empty()) {
+          Diags.error(E->loc(),
+                      "parameterless function call '" + Ref->name() +
+                          "' must use explicit parentheses: '" +
+                          Ref->name() + "()'");
+          E->setType(Fn->resultType());
+          return E->type();
+        }
+      }
+    }
+    return checkVarRef(Ref, R, /*IsAssignTarget=*/false);
+  }
+  case Expr::Kind::Index:
+    return checkIndex(cast<IndexExpr>(E), R);
+  case Expr::Kind::Call: {
+    auto *Call = cast<CallExpr>(E);
+    checkCall(Call, R, /*AsStatement=*/false);
+    return Call->type();
+  }
+  case Expr::Kind::Unary: {
+    auto *U = cast<UnaryExpr>(E);
+    const Type *SubTy = checkExpr(U->subExpr(), R);
+    if (U->op() == UnaryOp::Neg) {
+      if (SubTy && !SubTy->isIntegerLike())
+        Diags.error(E->loc(), "unary '-' needs an integer operand");
+      E->setType(Ctx.integerType());
+    } else {
+      if (SubTy && !SubTy->isBoolean())
+        Diags.error(E->loc(), "'not' needs a boolean operand");
+      E->setType(Ctx.booleanType());
+    }
+    return E->type();
+  }
+  case Expr::Kind::Binary: {
+    auto *B = cast<BinaryExpr>(E);
+    const Type *LhsTy = checkExpr(B->lhs(), R);
+    const Type *RhsTy = checkExpr(B->rhs(), R);
+    switch (B->op()) {
+    case BinaryOp::Add:
+    case BinaryOp::Sub:
+    case BinaryOp::Mul:
+    case BinaryOp::Div:
+    case BinaryOp::Mod:
+      if ((LhsTy && !LhsTy->isIntegerLike()) ||
+          (RhsTy && !RhsTy->isIntegerLike()))
+        Diags.error(E->loc(), std::string("'") + binaryOpName(B->op()) +
+                                  "' needs integer operands");
+      E->setType(Ctx.integerType());
+      return E->type();
+    case BinaryOp::And:
+    case BinaryOp::Or:
+      if ((LhsTy && !LhsTy->isBoolean()) || (RhsTy && !RhsTy->isBoolean()))
+        Diags.error(E->loc(), std::string("'") + binaryOpName(B->op()) +
+                                  "' needs boolean operands");
+      E->setType(Ctx.booleanType());
+      return E->type();
+    case BinaryOp::Eq:
+    case BinaryOp::Ne:
+    case BinaryOp::Lt:
+    case BinaryOp::Le:
+    case BinaryOp::Gt:
+    case BinaryOp::Ge:
+      if (LhsTy && RhsTy && !typesCompatible(LhsTy, RhsTy))
+        Diags.error(E->loc(), "comparison of incompatible types " +
+                                  LhsTy->str() + " and " + RhsTy->str());
+      if (LhsTy && LhsTy->isBoolean() && B->op() != BinaryOp::Eq &&
+          B->op() != BinaryOp::Ne)
+        Diags.error(E->loc(), "booleans can only be compared with = and <>");
+      E->setType(Ctx.booleanType());
+      return E->type();
+    }
+    E->setType(Ctx.integerType());
+    return E->type();
+  }
+  }
+  return Ctx.integerType();
+}

@@ -1,0 +1,93 @@
+//===- frontend/Sema.h - Semantic analysis ----------------------*- C++ -*-===//
+//
+// Part of Syntox++, a reproduction of Bourdoncle's abstract debugger
+// (PLDI 1993). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Semantic analysis for the Pascal subset: name resolution (variables,
+/// constants, routines, function results), type checking, label and goto
+/// resolution (including jumps to *non-local* labels), and assignment of
+/// the dense ids the analyses rely on (routine ids, per-routine variable
+/// indices, call-site ids).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYNTOX_FRONTEND_SEMA_H
+#define SYNTOX_FRONTEND_SEMA_H
+
+#include "frontend/Ast.h"
+#include "support/Diagnostics.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace syntox {
+
+class Sema {
+public:
+  Sema(AstContext &Ctx, DiagnosticsEngine &Diags) : Ctx(Ctx), Diags(Diags) {}
+
+  /// Analyzes the whole program; returns true on success (no errors).
+  bool analyze(RoutineDecl *Program);
+
+  /// All routines in declaration order (program first), filled by analyze.
+  const std::vector<RoutineDecl *> &routines() const { return AllRoutines; }
+
+  /// Number of call sites found (call-site ids are 1..numCallSites()).
+  unsigned numCallSites() const { return NextCallSiteId - 1; }
+
+private:
+  struct Scope {
+    std::unordered_map<std::string, VarDecl *> Vars;
+    std::unordered_map<std::string, RoutineDecl *> Routines;
+    std::unordered_map<std::string, const ConstDecl *> Consts;
+    RoutineDecl *Owner = nullptr;
+  };
+
+  void analyzeRoutine(RoutineDecl *R, RoutineDecl *Parent);
+  void declareBlock(RoutineDecl *R);
+
+  VarDecl *lookupVar(const std::string &Name) const;
+  RoutineDecl *lookupRoutine(const std::string &Name) const;
+  const ConstDecl *lookupConst(const std::string &Name) const;
+
+  // Statement checking.
+  void checkStmt(Stmt *S, RoutineDecl *R);
+  void checkAssign(AssignStmt *S, RoutineDecl *R);
+  void checkCall(CallExpr *Call, RoutineDecl *R, bool AsStatement);
+
+  // Expression checking; returns the expression type (never null — error
+  // recovery substitutes integer).
+  const Type *checkExpr(Expr *E, RoutineDecl *R);
+  const Type *checkVarRef(VarRefExpr *E, RoutineDecl *R, bool IsAssignTarget);
+  const Type *checkIndex(IndexExpr *E, RoutineDecl *R);
+
+  /// Resolves an lvalue (assignment or read target). Returns its type or
+  /// null on error.
+  const Type *checkLValue(Expr *E, RoutineDecl *R);
+
+  // Label handling.
+  void collectLabels(RoutineDecl *R, Stmt *S);
+  void resolveGotos(Stmt *S, RoutineDecl *R);
+
+  AstContext &Ctx;
+  DiagnosticsEngine &Diags;
+  std::vector<Scope> Scopes;
+  std::vector<RoutineDecl *> AllRoutines;
+  unsigned NextRoutineId = 0;
+  unsigned NextCallSiteId = 1;
+
+  /// Labeled statements per routine: routine -> label -> statement.
+  std::unordered_map<const RoutineDecl *,
+                     std::unordered_map<int64_t, LabeledStmt *>>
+      LabelTable;
+  /// Labels declared in each routine's `label` section.
+  std::unordered_map<const RoutineDecl *, std::vector<int64_t>> DeclaredLabels;
+};
+
+} // namespace syntox
+
+#endif // SYNTOX_FRONTEND_SEMA_H

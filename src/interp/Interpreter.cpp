@@ -1,0 +1,654 @@
+//===- interp/Interpreter.cpp - Concrete Pascal interpreter ---------------===//
+
+#include "interp/Interpreter.h"
+
+#include <cassert>
+#include <deque>
+#include <map>
+
+using namespace syntox;
+
+namespace {
+
+/// Saturating concrete arithmetic matching the abstract domain's Z_b.
+int64_t satAdd64(int64_t A, int64_t B) {
+  __int128 R = static_cast<__int128>(A) + B;
+  return R < INT64_MIN ? INT64_MIN : R > INT64_MAX ? INT64_MAX : (int64_t)R;
+}
+int64_t satSub64(int64_t A, int64_t B) {
+  __int128 R = static_cast<__int128>(A) - B;
+  return R < INT64_MIN ? INT64_MIN : R > INT64_MAX ? INT64_MAX : (int64_t)R;
+}
+int64_t satMul64(int64_t A, int64_t B) {
+  __int128 R = static_cast<__int128>(A) * B;
+  return R < INT64_MIN ? INT64_MIN : R > INT64_MAX ? INT64_MAX : (int64_t)R;
+}
+
+/// The runtime range-check routine. Deliberately not inlinable: a
+/// checked Pascal compiler emits a call into the RTS for every range
+/// check, and that call is precisely the cost the Figure 3 experiment
+/// measures. Returns true when the value is in range.
+__attribute__((noinline)) bool rtsRangeCheck(int64_t Value, int64_t Lo,
+                                             int64_t Hi) {
+  bool Ok = Value >= Lo && Value <= Hi;
+  // Defeat interprocedural const-prop so the call is never elided.
+  asm volatile("" : "+r"(Ok));
+  return Ok;
+}
+
+/// Storage location: a scalar cell or an array block.
+struct Location {
+  bool IsArray = false;
+  size_t Index = 0; ///< into Scalars or Arrays
+};
+
+/// One activation record.
+struct Frame {
+  const RoutineDecl *R = nullptr;
+  std::map<const VarDecl *, Location> Locals;
+};
+
+/// How a statement finished.
+struct Flow {
+  enum Kind { Normal, Jump, Fail } K = Normal;
+  const RoutineDecl *JumpRoutine = nullptr;
+  int64_t JumpLabel = 0;
+};
+
+class Machine {
+public:
+  Machine(const RoutineDecl *Program, const Interpreter::Options &Opts)
+      : Opts(Opts), Program(Program) {}
+
+  Interpreter::Result run() {
+    pushFrame(Program);
+    Flow F = execBlock(Program);
+    if (F.K == Flow::Jump && Res.St == Interpreter::Status::Ok)
+      fail(SourceLoc(), "jump to a label that was never reached");
+    Res.Steps = Steps;
+    return Res;
+  }
+
+private:
+  //===--------------------------------------------------------------------===//
+  // Storage
+  //===--------------------------------------------------------------------===//
+
+  void pushFrame(const RoutineDecl *R) {
+    Frames.emplace_back();
+    Frames.back().R = R;
+  }
+
+  void allocate(Frame &F, const VarDecl *V) {
+    Location Loc;
+    if (const auto *Arr = dyn_cast<ArrayType>(V->type())) {
+      Loc.IsArray = true;
+      Loc.Index = Arrays.size();
+      Arrays.emplace_back(
+          static_cast<size_t>(Arr->indexHi() - Arr->indexLo() + 1), 0);
+    } else {
+      Loc.Index = Scalars.size();
+      Scalars.push_back(0);
+    }
+    F.Locals[V] = Loc;
+  }
+
+  /// Resolves the storage of \p V from the current frame, following the
+  /// static chain for uplevel variables.
+  Location *lookup(const VarDecl *V) {
+    // Search the current frame, then the frames of the owner routine
+    // (most recent activation), Pascal display-style.
+    auto It = Frames.back().Locals.find(V);
+    if (It != Frames.back().Locals.end())
+      return &It->second;
+    for (auto FrameIt = Frames.rbegin(); FrameIt != Frames.rend(); ++FrameIt) {
+      if (FrameIt->R != V->owner())
+        continue;
+      auto Found = FrameIt->Locals.find(V);
+      if (Found != FrameIt->Locals.end())
+        return &Found->second;
+    }
+    return nullptr;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Failure plumbing
+  //===--------------------------------------------------------------------===//
+
+  Flow fail(SourceLoc Loc, std::string Message) {
+    if (Res.St == Interpreter::Status::Ok) {
+      Res.St = Interpreter::Status::RuntimeError;
+      Res.Error = std::move(Message);
+      Res.ErrorLoc = Loc;
+    }
+    Flow F;
+    F.K = Flow::Fail;
+    return F;
+  }
+
+  Flow failWith(Interpreter::Status St, SourceLoc Loc, std::string Message) {
+    if (Res.St == Interpreter::Status::Ok) {
+      Res.St = St;
+      Res.Error = std::move(Message);
+      Res.ErrorLoc = Loc;
+    }
+    Flow F;
+    F.K = Flow::Fail;
+    return F;
+  }
+
+  bool running() const { return Res.St == Interpreter::Status::Ok; }
+
+  //===--------------------------------------------------------------------===//
+  // Expressions
+  //===--------------------------------------------------------------------===//
+
+  /// Evaluates \p E; on error sets the failure state and returns 0.
+  int64_t eval(const Expr *E) {
+    if (!running())
+      return 0;
+    switch (E->kind()) {
+    case Expr::Kind::IntLiteral:
+      return cast<IntLiteralExpr>(E)->value();
+    case Expr::Kind::BoolLiteral:
+      return cast<BoolLiteralExpr>(E)->value() ? 1 : 0;
+    case Expr::Kind::StringLiteral:
+      fail(E->loc(), "string used as a value");
+      return 0;
+    case Expr::Kind::VarRef: {
+      const auto *Ref = cast<VarRefExpr>(E);
+      if (const ConstDecl *C = Ref->constDecl())
+        return C->value();
+      Location *Loc = lookup(Ref->varDecl());
+      if (!Loc) {
+        fail(E->loc(), "variable '" + Ref->name() + "' has no storage");
+        return 0;
+      }
+      return Scalars[Loc->Index];
+    }
+    case Expr::Kind::Index: {
+      const auto *I = cast<IndexExpr>(E);
+      int64_t Idx = eval(I->index());
+      if (!running())
+        return 0;
+      Location *Loc = lookup(I->base()->varDecl());
+      const auto *Arr = cast<ArrayType>(I->base()->varDecl()->type());
+      if (!checkIndex(E->loc(), I->base()->name(), Idx, Arr))
+        return 0;
+      size_t Offset = clampOffset(Idx, Arr, Arrays[Loc->Index].size());
+      return Arrays[Loc->Index][Offset];
+    }
+    case Expr::Kind::Call: {
+      const auto *C = cast<CallExpr>(E);
+      if (C->builtin() != BuiltinFn::None) {
+        int64_t Arg = eval(C->args()[0]);
+        switch (C->builtin()) {
+        case BuiltinFn::Abs:
+          return Arg < 0 ? satSub64(0, Arg) : Arg;
+        case BuiltinFn::Sqr:
+          return satMul64(Arg, Arg);
+        case BuiltinFn::Odd:
+          return (Arg % 2) != 0 ? 1 : 0;
+        case BuiltinFn::None:
+          break;
+        }
+        return 0;
+      }
+      return call(C);
+    }
+    case Expr::Kind::Unary: {
+      const auto *U = cast<UnaryExpr>(E);
+      int64_t Sub = eval(U->subExpr());
+      return U->op() == UnaryOp::Neg ? satSub64(0, Sub) : (Sub == 0 ? 1 : 0);
+    }
+    case Expr::Kind::Binary: {
+      const auto *B = cast<BinaryExpr>(E);
+      // Pascal's 'and'/'or' evaluate both operands (no short-circuit).
+      int64_t L = eval(B->lhs());
+      int64_t R = eval(B->rhs());
+      if (!running())
+        return 0;
+      switch (B->op()) {
+      case BinaryOp::Add:
+        return satAdd64(L, R);
+      case BinaryOp::Sub:
+        return satSub64(L, R);
+      case BinaryOp::Mul:
+        return satMul64(L, R);
+      case BinaryOp::Div:
+        if (R == 0) {
+          fail(E->loc(), "division by zero");
+          return 0;
+        }
+        if (L == INT64_MIN && R == -1)
+          return INT64_MAX;
+        return L / R;
+      case BinaryOp::Mod:
+        if (R == 0) {
+          fail(E->loc(), "modulus is zero");
+          return 0;
+        }
+        if (L == INT64_MIN && R == -1)
+          return 0;
+        return L % R;
+      case BinaryOp::And:
+        return (L != 0 && R != 0) ? 1 : 0;
+      case BinaryOp::Or:
+        return (L != 0 || R != 0) ? 1 : 0;
+      case BinaryOp::Eq:
+        return L == R;
+      case BinaryOp::Ne:
+        return L != R;
+      case BinaryOp::Lt:
+        return L < R;
+      case BinaryOp::Le:
+        return L <= R;
+      case BinaryOp::Gt:
+        return L > R;
+      case BinaryOp::Ge:
+        return L >= R;
+      }
+      return 0;
+    }
+    }
+    return 0;
+  }
+
+  bool checkIndex(SourceLoc Loc, const std::string &Name, int64_t Idx,
+                  const ArrayType *Arr) {
+    if (Opts.EnableChecks) {
+      ++Res.ChecksExecuted;
+      if (!rtsRangeCheck(Idx, Arr->indexLo(), Arr->indexHi())) {
+        fail(Loc, "index " + std::to_string(Idx) + " out of bounds " +
+                      std::to_string(Arr->indexLo()) + ".." +
+                      std::to_string(Arr->indexHi()) + " of " + Name);
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Memory-safety clamp used when checks are disabled: out-of-range
+  /// offsets wrap into the block, matching what an unchecked program
+  /// would read from adjacent memory (a deliberate wrong answer, never a
+  /// crash).
+  static size_t clampOffset(int64_t Idx, const ArrayType *Arr, size_t Size) {
+    int64_t Offset = Idx - Arr->indexLo();
+    return static_cast<size_t>(Offset) % Size;
+  }
+
+  bool checkSubrange(SourceLoc Loc, const VarDecl *V, int64_t Value) {
+    if (!Opts.EnableChecks)
+      return true;
+    const auto *Sub = dyn_cast<SubrangeType>(V->type());
+    if (!Sub)
+      return true;
+    ++Res.ChecksExecuted;
+    if (!rtsRangeCheck(Value, Sub->lo(), Sub->hi())) {
+      fail(Loc, "value " + std::to_string(Value) + " out of range " +
+                    std::to_string(Sub->lo()) + ".." +
+                    std::to_string(Sub->hi()) + " of " + V->name());
+      return false;
+    }
+    return true;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Calls
+  //===--------------------------------------------------------------------===//
+
+  int64_t call(const CallExpr *C) {
+    const RoutineDecl *Callee = C->routine();
+    if (Frames.size() >= Opts.MaxFrames) {
+      failWith(Interpreter::Status::FrameLimit, C->loc(),
+               "recursion too deep");
+      return 0;
+    }
+    // Evaluate arguments in the caller's frame.
+    Frame NewFrame;
+    NewFrame.R = Callee;
+    const std::vector<VarDecl *> &Formals = Callee->params();
+    for (size_t I = 0; I < Formals.size() && I < C->args().size(); ++I) {
+      VarDecl *Formal = Formals[I];
+      if (Formal->isVarParam()) {
+        const auto *Ref = cast<VarRefExpr>(C->args()[I]);
+        Location *Loc = lookup(Ref->varDecl());
+        if (!Loc) {
+          fail(C->loc(), "missing storage for var argument");
+          return 0;
+        }
+        NewFrame.Locals[Formal] = *Loc; // true aliasing
+      } else {
+        int64_t V = eval(C->args()[I]);
+        if (!running())
+          return 0;
+        if (!checkSubrange(C->args()[I]->loc(), Formal, V))
+          return 0;
+        Location Loc;
+        Loc.Index = Scalars.size();
+        Scalars.push_back(V);
+        NewFrame.Locals[Formal] = Loc;
+      }
+    }
+    Frames.push_back(std::move(NewFrame));
+    Flow F = execBlock(Callee);
+    int64_t Result = 0;
+    if (running() && Callee->isFunction()) {
+      Location *Loc = &Frames.back().Locals[Callee->resultVar()];
+      Result = Scalars[Loc->Index];
+    }
+    Frames.pop_back();
+    if (F.K == Flow::Jump) {
+      // Non-local jump: keep unwinding by re-raising through the current
+      // routine (execStmtList loops check for it).
+      PendingJump = F;
+    }
+    return Result;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Statements
+  //===--------------------------------------------------------------------===//
+
+  Flow execBlock(const RoutineDecl *R) {
+    Frame &F = Frames.back();
+    if (R->isFunction())
+      allocate(F, R->resultVar());
+    if (R->block()) {
+      for (VarDecl *V : R->block()->Vars)
+        allocate(F, V);
+    }
+    // Temps created by the CFG builder are not in block()->Vars; the
+    // interpreter never sees them (it walks the original AST).
+    if (!R->block() || !R->block()->Body)
+      return Flow();
+    Flow Result = execStmt(R->block()->Body);
+    if (Result.K == Flow::Jump && Result.JumpRoutine == R) {
+      // A jump to one of our own labels that was not handled inside
+      // execStmt: restart scanning from the labeled statement at the
+      // outermost level.
+      return jumpWithin(R, Result);
+    }
+    return Result;
+  }
+
+  /// Handles a pending jump whose target label lives at the outermost
+  /// statement level of \p R's body.
+  Flow jumpWithin(const RoutineDecl *R, Flow Jump) {
+    const CompoundStmt *Body = R->block()->Body;
+    while (running() && Jump.K == Flow::Jump && Jump.JumpRoutine == R) {
+      const auto &List = Body->body();
+      size_t Target = List.size();
+      for (size_t I = 0; I < List.size(); ++I) {
+        const auto *L = dyn_cast<LabeledStmt>(List[I]);
+        if (L && L->label() == Jump.JumpLabel) {
+          Target = I;
+          break;
+        }
+      }
+      if (Target == List.size())
+        return fail(SourceLoc(), "goto target label " +
+                                     std::to_string(Jump.JumpLabel) +
+                                     " must be at the outermost level");
+      Jump = Flow();
+      for (size_t I = Target; I < List.size(); ++I) {
+        Flow F = execStmt(List[I]);
+        if (F.K != Flow::Normal) {
+          Jump = F;
+          break;
+        }
+      }
+      if (Jump.K == Flow::Jump && Jump.JumpRoutine != R)
+        return Jump;
+    }
+    return Jump;
+  }
+
+  Flow execStmtList(const std::vector<Stmt *> &List) {
+    for (const Stmt *S : List) {
+      Flow F = execStmt(S);
+      if (F.K != Flow::Normal)
+        return F;
+    }
+    return Flow();
+  }
+
+  Flow step(SourceLoc Loc) {
+    if (++Steps > Opts.MaxSteps)
+      return failWith(Interpreter::Status::StepLimit, Loc, "step limit");
+    return Flow();
+  }
+
+  Flow execStmt(const Stmt *S) {
+    if (!running())
+      return Flow{Flow::Fail, nullptr, 0};
+    if (Flow F = step(S->loc()); F.K != Flow::Normal)
+      return F;
+    switch (S->kind()) {
+    case Stmt::Kind::Assign: {
+      const auto *A = cast<AssignStmt>(S);
+      int64_t V = eval(A->value());
+      if (!running())
+        return Flow{Flow::Fail, nullptr, 0};
+      if (Flow F = checkPendingJump(); F.K != Flow::Normal)
+        return F;
+      if (const auto *Ref = dyn_cast<VarRefExpr>(A->target())) {
+        if (!checkSubrange(S->loc(), Ref->varDecl(), V))
+          return Flow{Flow::Fail, nullptr, 0};
+        Location *Loc = lookup(Ref->varDecl());
+        Scalars[Loc->Index] = V;
+        return Flow();
+      }
+      const auto *Idx = cast<IndexExpr>(A->target());
+      int64_t Index = eval(Idx->index());
+      if (!running())
+        return Flow{Flow::Fail, nullptr, 0};
+      const auto *Arr = cast<ArrayType>(Idx->base()->varDecl()->type());
+      if (!checkIndex(S->loc(), Idx->base()->name(), Index, Arr))
+        return Flow{Flow::Fail, nullptr, 0};
+      Location *Loc = lookup(Idx->base()->varDecl());
+      size_t Offset = clampOffset(Index, Arr, Arrays[Loc->Index].size());
+      Arrays[Loc->Index][Offset] = V;
+      return Flow();
+    }
+    case Stmt::Kind::Compound:
+      return execStmtList(cast<CompoundStmt>(S)->body());
+    case Stmt::Kind::If: {
+      const auto *I = cast<IfStmt>(S);
+      int64_t C = eval(I->cond());
+      if (!running())
+        return Flow{Flow::Fail, nullptr, 0};
+      if (Flow F = checkPendingJump(); F.K != Flow::Normal)
+        return F;
+      if (C != 0)
+        return execStmt(I->thenStmt());
+      if (I->elseStmt())
+        return execStmt(I->elseStmt());
+      return Flow();
+    }
+    case Stmt::Kind::While: {
+      const auto *W = cast<WhileStmt>(S);
+      for (;;) {
+        if (Flow F = step(S->loc()); F.K != Flow::Normal)
+          return F;
+        int64_t C = eval(W->cond());
+        if (!running())
+          return Flow{Flow::Fail, nullptr, 0};
+        if (Flow F = checkPendingJump(); F.K != Flow::Normal)
+          return F;
+        if (C == 0)
+          return Flow();
+        Flow F = execStmt(W->body());
+        if (F.K != Flow::Normal)
+          return F;
+      }
+    }
+    case Stmt::Kind::Repeat: {
+      const auto *R = cast<RepeatStmt>(S);
+      for (;;) {
+        if (Flow F = step(S->loc()); F.K != Flow::Normal)
+          return F;
+        Flow F = execStmtList(R->body());
+        if (F.K != Flow::Normal)
+          return F;
+        int64_t C = eval(R->cond());
+        if (!running())
+          return Flow{Flow::Fail, nullptr, 0};
+        if (Flow PJ = checkPendingJump(); PJ.K != Flow::Normal)
+          return PJ;
+        if (C != 0)
+          return Flow();
+      }
+    }
+    case Stmt::Kind::For: {
+      const auto *F = cast<ForStmt>(S);
+      int64_t From = eval(F->from());
+      int64_t To = eval(F->to());
+      if (!running())
+        return Flow{Flow::Fail, nullptr, 0};
+      if (Flow PJ = checkPendingJump(); PJ.K != Flow::Normal)
+        return PJ;
+      const VarDecl *Var = F->var()->varDecl();
+      bool Down = F->isDownward();
+      if (Down ? From < To : From > To)
+        return Flow();
+      Location *Loc = lookup(Var);
+      for (int64_t I = From;; I += Down ? -1 : 1) {
+        if (!checkSubrange(S->loc(), Var, I))
+          return Flow{Flow::Fail, nullptr, 0};
+        Scalars[Loc->Index] = I;
+        if (Flow Fl = step(S->loc()); Fl.K != Flow::Normal)
+          return Fl;
+        Flow Fl = execStmt(F->body());
+        if (Fl.K != Flow::Normal)
+          return Fl;
+        if (I == To)
+          return Flow();
+      }
+    }
+    case Stmt::Kind::Case: {
+      const auto *C = cast<CaseStmt>(S);
+      int64_t Sel = eval(C->selector());
+      if (!running())
+        return Flow{Flow::Fail, nullptr, 0};
+      if (Flow PJ = checkPendingJump(); PJ.K != Flow::Normal)
+        return PJ;
+      for (const CaseArm &Arm : C->arms())
+        for (int64_t L : Arm.Labels)
+          if (Sel == L)
+            return execStmt(Arm.Body);
+      if (C->elseStmt())
+        return execStmt(C->elseStmt());
+      if (Opts.EnableChecks)
+        return fail(S->loc(), "case selector " + std::to_string(Sel) +
+                                  " matches no arm");
+      return Flow();
+    }
+    case Stmt::Kind::Call: {
+      (void)call(cast<CallStmt>(S)->call());
+      if (!running())
+        return Flow{Flow::Fail, nullptr, 0};
+      return checkPendingJump();
+    }
+    case Stmt::Kind::Read: {
+      const auto *R = cast<ReadStmt>(S);
+      for (const Expr *Target : R->targets()) {
+        if (InputPos >= Opts.Inputs.size())
+          return failWith(Interpreter::Status::InputExhausted, S->loc(),
+                          "input exhausted");
+        int64_t V = Opts.Inputs[InputPos++];
+        if (const auto *Ref = dyn_cast<VarRefExpr>(Target)) {
+          if (!checkSubrange(S->loc(), Ref->varDecl(), V))
+            return Flow{Flow::Fail, nullptr, 0};
+          Scalars[lookup(Ref->varDecl())->Index] = V;
+          continue;
+        }
+        const auto *Idx = cast<IndexExpr>(Target);
+        int64_t Index = eval(Idx->index());
+        if (!running())
+          return Flow{Flow::Fail, nullptr, 0};
+        const auto *Arr = cast<ArrayType>(Idx->base()->varDecl()->type());
+        if (!checkIndex(S->loc(), Idx->base()->name(), Index, Arr))
+          return Flow{Flow::Fail, nullptr, 0};
+        Location *Loc = lookup(Idx->base()->varDecl());
+        size_t Offset = clampOffset(Index, Arr, Arrays[Loc->Index].size());
+        Arrays[Loc->Index][Offset] = V;
+      }
+      return Flow();
+    }
+    case Stmt::Kind::Write: {
+      const auto *W = cast<WriteStmt>(S);
+      for (const Expr *E : W->values()) {
+        if (const auto *Str = dyn_cast<StringLiteralExpr>(E)) {
+          Res.Output += Str->value();
+          continue;
+        }
+        int64_t V = eval(E);
+        if (!running())
+          return Flow{Flow::Fail, nullptr, 0};
+        if (E->type() && E->type()->isBoolean())
+          Res.Output += V ? "true" : "false";
+        else
+          Res.Output += std::to_string(V);
+        Res.Output += ' ';
+      }
+      Res.Output += '\n';
+      return checkPendingJump();
+    }
+    case Stmt::Kind::Goto: {
+      const auto *G = cast<GotoStmt>(S);
+      Flow F;
+      F.K = Flow::Jump;
+      F.JumpRoutine = G->targetRoutine();
+      F.JumpLabel = G->label();
+      return F;
+    }
+    case Stmt::Kind::Labeled:
+      return execStmt(cast<LabeledStmt>(S)->subStmt());
+    case Stmt::Kind::Empty:
+      return Flow();
+    case Stmt::Kind::Assert: {
+      // Assertions are analysis directives; a violated *invariant* is a
+      // runtime error under checks (like C assert), intermittent
+      // assertions have no runtime effect.
+      const auto *A = cast<AssertStmt>(S);
+      if (A->isInvariant() && Opts.EnableChecks) {
+        int64_t C = eval(A->cond());
+        if (!running())
+          return Flow{Flow::Fail, nullptr, 0};
+        if (C == 0)
+          return fail(S->loc(), "invariant assertion violated");
+      }
+      return Flow();
+    }
+    }
+    return Flow();
+  }
+
+  /// A non-local jump raised inside an expression call surfaces here.
+  Flow checkPendingJump() {
+    if (PendingJump.K != Flow::Jump)
+      return Flow();
+    Flow F = PendingJump;
+    PendingJump = Flow();
+    // If the jump targets the current routine, let execBlock handle it.
+    return F;
+  }
+
+  const Interpreter::Options &Opts;
+  const RoutineDecl *Program;
+  std::deque<int64_t> Scalars;
+  std::deque<std::vector<int64_t>> Arrays;
+  std::vector<Frame> Frames;
+  Interpreter::Result Res;
+  Flow PendingJump;
+  uint64_t Steps = 0;
+  size_t InputPos = 0;
+};
+
+} // namespace
+
+Interpreter::Result Interpreter::run(const Options &Opts) const {
+  Machine M(Program, Opts);
+  return M.run();
+}

@@ -1,0 +1,82 @@
+//===- interp/Interpreter.h - Concrete Pascal interpreter -------*- C++ -*-===//
+//
+// Part of Syntox++, a reproduction of Bourdoncle's abstract debugger
+// (PLDI 1993). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A concrete interpreter for the analyzed Pascal subset. It serves two
+/// purposes:
+///  - *validation*: property tests cross-check that every state reached
+///    by a successful concrete run is covered by the abstract analysis
+///    (necessary conditions really are necessary), and
+///  - *the Figure 3 experiment*: runtime checks (array bounds, subranges,
+///    division, case coverage) can be switched off to measure the cost
+///    of the checks that the abstract debugger proves redundant.
+///
+/// Reference (`var`) parameters alias their actual storage exactly, and
+/// non-local gotos unwind the frame stack, matching the semantics the
+/// analyses abstract.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYNTOX_INTERP_INTERPRETER_H
+#define SYNTOX_INTERP_INTERPRETER_H
+
+#include "frontend/Ast.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace syntox {
+
+class Interpreter {
+public:
+  struct Options {
+    /// Values consumed by read/readln, in order.
+    std::vector<int64_t> Inputs;
+    /// Statement budget; exceeding it stops the run (loop detection).
+    uint64_t MaxSteps = 1000000;
+    /// Frame budget (runaway recursion detection). The interpreter
+    /// recurses on the host stack, roughly a few kilobytes per Pascal
+    /// activation, so keep this well below the host stack capacity.
+    unsigned MaxFrames = 2000;
+    /// Execute the runtime checks. When false, only a minimal memory-
+    /// safety clamp remains (simulating a compiler that removed the
+    /// checks the analysis proved redundant).
+    bool EnableChecks = true;
+  };
+
+  enum class Status {
+    Ok,            ///< ran to completion
+    RuntimeError,  ///< check failure or other runtime error
+    StepLimit,     ///< exceeded MaxSteps (looping)
+    FrameLimit,    ///< exceeded MaxFrames (runaway recursion)
+    InputExhausted ///< read past the provided inputs
+  };
+
+  struct Result {
+    Status St = Status::Ok;
+    std::string Output;   ///< everything written by write/writeln
+    std::string Error;    ///< message for RuntimeError
+    SourceLoc ErrorLoc;
+    uint64_t Steps = 0;   ///< statements executed
+    /// Runtime range checks executed (0 when checks are disabled) — the
+    /// dynamic count the Figure 3 experiment eliminates.
+    uint64_t ChecksExecuted = 0;
+  };
+
+  explicit Interpreter(const RoutineDecl *Program) : Program(Program) {}
+
+  /// Runs the program to completion (or failure).
+  Result run(const Options &Opts) const;
+
+private:
+  const RoutineDecl *Program;
+};
+
+} // namespace syntox
+
+#endif // SYNTOX_INTERP_INTERPRETER_H

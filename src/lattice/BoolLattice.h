@@ -1,0 +1,129 @@
+//===- lattice/BoolLattice.h - Four-valued boolean lattice ------*- C++ -*-===//
+//
+// Part of Syntox++, a reproduction of Bourdoncle's abstract debugger
+// (PLDI 1993). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The flat boolean lattice {_|_, true, false, T} used to abstract Pascal
+/// boolean variables and the outcome of comparison tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYNTOX_LATTICE_BOOLLATTICE_H
+#define SYNTOX_LATTICE_BOOLLATTICE_H
+
+#include <cassert>
+#include <string>
+
+namespace syntox {
+
+/// Abstract boolean value.
+class BoolLattice {
+public:
+  enum Kind { Bottom, False, True, Top };
+
+  BoolLattice() : K(Bottom) {}
+  /*implicit*/ BoolLattice(bool B) : K(B ? True : False) {}
+
+  static BoolLattice bottom() { return BoolLattice(Bottom); }
+  static BoolLattice top() { return BoolLattice(Top); }
+
+  Kind kind() const { return K; }
+  bool isBottom() const { return K == Bottom; }
+  bool isTop() const { return K == Top; }
+  bool mayBeTrue() const { return K == True || K == Top; }
+  bool mayBeFalse() const { return K == False || K == Top; }
+  bool isConstant() const { return K == True || K == False; }
+  bool constantValue() const {
+    assert(isConstant() && "not a boolean constant");
+    return K == True;
+  }
+
+  bool operator==(const BoolLattice &Other) const = default;
+
+  bool leq(const BoolLattice &Other) const {
+    return K == Bottom || Other.K == Top || K == Other.K;
+  }
+
+  BoolLattice join(const BoolLattice &Other) const {
+    if (K == Bottom)
+      return Other;
+    if (Other.K == Bottom)
+      return *this;
+    if (K == Other.K)
+      return *this;
+    return top();
+  }
+
+  BoolLattice meet(const BoolLattice &Other) const {
+    if (K == Top)
+      return Other;
+    if (Other.K == Top)
+      return *this;
+    if (K == Other.K)
+      return *this;
+    return bottom();
+  }
+
+  /// Three-valued logical negation.
+  BoolLattice logicalNot() const {
+    switch (K) {
+    case Bottom:
+      return bottom();
+    case False:
+      return BoolLattice(true);
+    case True:
+      return BoolLattice(false);
+    case Top:
+      return top();
+    }
+    assert(false && "unknown kind");
+    return top();
+  }
+
+  /// Three-valued conjunction (Kleene).
+  BoolLattice logicalAnd(const BoolLattice &Other) const {
+    if (K == Bottom || Other.K == Bottom)
+      return bottom();
+    if (K == False || Other.K == False)
+      return BoolLattice(false);
+    if (K == True && Other.K == True)
+      return BoolLattice(true);
+    return top();
+  }
+
+  /// Three-valued disjunction (Kleene).
+  BoolLattice logicalOr(const BoolLattice &Other) const {
+    if (K == Bottom || Other.K == Bottom)
+      return bottom();
+    if (K == True || Other.K == True)
+      return BoolLattice(true);
+    if (K == False && Other.K == False)
+      return BoolLattice(false);
+    return top();
+  }
+
+  std::string str() const {
+    switch (K) {
+    case Bottom:
+      return "_|_";
+    case False:
+      return "false";
+    case True:
+      return "true";
+    case Top:
+      return "T";
+    }
+    return "?";
+  }
+
+private:
+  explicit BoolLattice(Kind K) : K(K) {}
+  Kind K;
+};
+
+} // namespace syntox
+
+#endif // SYNTOX_LATTICE_BOOLLATTICE_H

@@ -1,0 +1,642 @@
+//===- lattice/Interval.cpp - The interval lattice I(Z_b) -----------------===//
+
+#include "lattice/Interval.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace syntox;
+
+std::string Interval::str() const {
+  if (isBottom())
+    return "_|_";
+  return "[" + std::to_string(Lo) + ", " + std::to_string(Hi) + "]";
+}
+
+CmpOp syntox::negateCmp(CmpOp Op) {
+  switch (Op) {
+  case CmpOp::EQ:
+    return CmpOp::NE;
+  case CmpOp::NE:
+    return CmpOp::EQ;
+  case CmpOp::LT:
+    return CmpOp::GE;
+  case CmpOp::LE:
+    return CmpOp::GT;
+  case CmpOp::GT:
+    return CmpOp::LE;
+  case CmpOp::GE:
+    return CmpOp::LT;
+  }
+  assert(false && "unknown comparison");
+  return CmpOp::EQ;
+}
+
+CmpOp syntox::swapCmp(CmpOp Op) {
+  switch (Op) {
+  case CmpOp::EQ:
+    return CmpOp::EQ;
+  case CmpOp::NE:
+    return CmpOp::NE;
+  case CmpOp::LT:
+    return CmpOp::GT;
+  case CmpOp::LE:
+    return CmpOp::GE;
+  case CmpOp::GT:
+    return CmpOp::LT;
+  case CmpOp::GE:
+    return CmpOp::LE;
+  }
+  assert(false && "unknown comparison");
+  return CmpOp::EQ;
+}
+
+const char *syntox::cmpOpName(CmpOp Op) {
+  switch (Op) {
+  case CmpOp::EQ:
+    return "=";
+  case CmpOp::NE:
+    return "<>";
+  case CmpOp::LT:
+    return "<";
+  case CmpOp::LE:
+    return "<=";
+  case CmpOp::GT:
+    return ">";
+  case CmpOp::GE:
+    return ">=";
+  }
+  assert(false && "unknown comparison");
+  return "?";
+}
+
+//===----------------------------------------------------------------------===//
+// Saturating bound arithmetic
+//===----------------------------------------------------------------------===//
+
+int64_t IntervalDomain::clamp(int64_t V) const {
+  return std::max(MinV, std::min(MaxV, V));
+}
+
+int64_t IntervalDomain::satAdd(int64_t A, int64_t B) const {
+  __int128 R = static_cast<__int128>(A) + B;
+  if (R < MinV)
+    return MinV;
+  if (R > MaxV)
+    return MaxV;
+  return static_cast<int64_t>(R);
+}
+
+int64_t IntervalDomain::satSub(int64_t A, int64_t B) const {
+  __int128 R = static_cast<__int128>(A) - B;
+  if (R < MinV)
+    return MinV;
+  if (R > MaxV)
+    return MaxV;
+  return static_cast<int64_t>(R);
+}
+
+int64_t IntervalDomain::satMul(int64_t A, int64_t B) const {
+  __int128 R = static_cast<__int128>(A) * B;
+  if (R < MinV)
+    return MinV;
+  if (R > MaxV)
+    return MaxV;
+  return static_cast<int64_t>(R);
+}
+
+//===----------------------------------------------------------------------===//
+// Lattice structure
+//===----------------------------------------------------------------------===//
+
+Interval IntervalDomain::make(int64_t Lo, int64_t Hi) const {
+  // Empty, or entirely outside Z_b.
+  if (Lo > Hi || Hi < MinV || Lo > MaxV)
+    return bottom();
+  return Interval(clamp(Lo), clamp(Hi));
+}
+
+bool IntervalDomain::leq(const Interval &X, const Interval &Y) const {
+  if (X.isBottom())
+    return true;
+  if (Y.isBottom())
+    return false;
+  return Y.Lo <= X.Lo && X.Hi <= Y.Hi;
+}
+
+Interval IntervalDomain::join(const Interval &X, const Interval &Y) const {
+  if (X.isBottom())
+    return Y;
+  if (Y.isBottom())
+    return X;
+  return Interval(std::min(X.Lo, Y.Lo), std::max(X.Hi, Y.Hi));
+}
+
+Interval IntervalDomain::meet(const Interval &X, const Interval &Y) const {
+  if (X.isBottom() || Y.isBottom())
+    return bottom();
+  int64_t Lo = std::max(X.Lo, Y.Lo);
+  int64_t Hi = std::min(X.Hi, Y.Hi);
+  if (Lo > Hi)
+    return bottom();
+  return Interval(Lo, Hi);
+}
+
+Interval IntervalDomain::widen(const Interval &X, const Interval &Y) const {
+  // _|_ V x = x V _|_ = x (paper §6.1).
+  if (X.isBottom())
+    return Y;
+  if (Y.isBottom())
+    return X;
+  int64_t Lo = Y.Lo < X.Lo ? MinV : X.Lo;
+  int64_t Hi = Y.Hi > X.Hi ? MaxV : X.Hi;
+  return Interval(Lo, Hi);
+}
+
+Interval IntervalDomain::widenWithThresholds(
+    const Interval &X, const Interval &Y,
+    const std::vector<int64_t> &Thresholds) const {
+  if (X.isBottom())
+    return Y;
+  if (Y.isBottom())
+    return X;
+  int64_t Lo = X.Lo;
+  if (Y.Lo < X.Lo) {
+    // Largest threshold <= Y.Lo, else w-.
+    Lo = MinV;
+    for (int64_t T : Thresholds) {
+      if (T <= Y.Lo)
+        Lo = std::max(Lo, clamp(T));
+      else
+        break;
+    }
+  }
+  int64_t Hi = X.Hi;
+  if (Y.Hi > X.Hi) {
+    // Smallest threshold >= Y.Hi, else w+.
+    Hi = MaxV;
+    for (auto It = Thresholds.rbegin(); It != Thresholds.rend(); ++It) {
+      if (*It >= Y.Hi)
+        Hi = std::min(Hi, clamp(*It));
+      else
+        break;
+    }
+  }
+  return Interval(Lo, Hi);
+}
+
+Interval IntervalDomain::narrow(const Interval &X, const Interval &Y) const {
+  // _|_ A x = x A _|_ = _|_ (paper §6.1).
+  if (X.isBottom() || Y.isBottom())
+    return bottom();
+  int64_t Lo = X.Lo == MinV ? Y.Lo : std::min(X.Lo, Y.Lo);
+  int64_t Hi = X.Hi == MaxV ? Y.Hi : std::max(X.Hi, Y.Hi);
+  if (Lo > Hi)
+    return bottom();
+  return Interval(Lo, Hi);
+}
+
+//===----------------------------------------------------------------------===//
+// Forward arithmetic
+//===----------------------------------------------------------------------===//
+
+Interval IntervalDomain::add(const Interval &A, const Interval &B) const {
+  if (A.isBottom() || B.isBottom())
+    return bottom();
+  return Interval(satAdd(A.Lo, B.Lo), satAdd(A.Hi, B.Hi));
+}
+
+Interval IntervalDomain::sub(const Interval &A, const Interval &B) const {
+  if (A.isBottom() || B.isBottom())
+    return bottom();
+  return Interval(satSub(A.Lo, B.Hi), satSub(A.Hi, B.Lo));
+}
+
+Interval IntervalDomain::mul(const Interval &A, const Interval &B) const {
+  if (A.isBottom() || B.isBottom())
+    return bottom();
+  int64_t C[4] = {satMul(A.Lo, B.Lo), satMul(A.Lo, B.Hi), satMul(A.Hi, B.Lo),
+                  satMul(A.Hi, B.Hi)};
+  return Interval(*std::min_element(C, C + 4), *std::max_element(C, C + 4));
+}
+
+/// Truncating quotient on __int128 to avoid INT64_MIN / -1 overflow.
+static int64_t truncQuot(int64_t A, int64_t B, int64_t MinV, int64_t MaxV) {
+  assert(B != 0 && "division by zero");
+  __int128 Q = static_cast<__int128>(A) / B;
+  if (Q < MinV)
+    return MinV;
+  if (Q > MaxV)
+    return MaxV;
+  return static_cast<int64_t>(Q);
+}
+
+Interval IntervalDomain::div(const Interval &A, const Interval &B) const {
+  if (A.isBottom() || B.isBottom())
+    return bottom();
+  Interval Result = bottom();
+  // Split the divisor into its strictly positive and strictly negative
+  // halves; division by zero is an error, not a value.
+  for (const Interval &Half :
+       {meet(B, make(1, MaxV)), meet(B, make(MinV, -1))}) {
+    if (Half.isBottom())
+      continue;
+    int64_t C[4] = {truncQuot(A.Lo, Half.Lo, MinV, MaxV),
+                    truncQuot(A.Lo, Half.Hi, MinV, MaxV),
+                    truncQuot(A.Hi, Half.Lo, MinV, MaxV),
+                    truncQuot(A.Hi, Half.Hi, MinV, MaxV)};
+    Result = join(Result, Interval(*std::min_element(C, C + 4),
+                                   *std::max_element(C, C + 4)));
+  }
+  return Result;
+}
+
+Interval IntervalDomain::mod(const Interval &A, const Interval &B) const {
+  if (A.isBottom() || B.isBottom())
+    return bottom();
+  // Largest divisor magnitude, excluding zero.
+  int64_t MaxAbs = 0;
+  Interval Pos = meet(B, make(1, MaxV));
+  Interval Neg = meet(B, make(MinV, -1));
+  if (!Pos.isBottom())
+    MaxAbs = std::max(MaxAbs, Pos.Hi);
+  if (!Neg.isBottom())
+    MaxAbs = std::max(MaxAbs, Neg.Lo == INT64_MIN ? INT64_MAX : -Neg.Lo);
+  if (MaxAbs == 0)
+    return bottom(); // divisor is exactly {0}
+  int64_t M = MaxAbs - 1;
+  // Result has the sign of the dividend and magnitude <= min(|a|, |b|-1).
+  int64_t Lo = A.Lo >= 0 ? 0 : std::max(A.Lo, -M);
+  int64_t Hi = A.Hi <= 0 ? 0 : std::min(A.Hi, M);
+  return make(Lo, Hi);
+}
+
+Interval IntervalDomain::neg(const Interval &A) const {
+  if (A.isBottom())
+    return bottom();
+  return Interval(clamp(satSub(0, A.Hi)), clamp(satSub(0, A.Lo)));
+}
+
+Interval IntervalDomain::abs(const Interval &A) const {
+  if (A.isBottom())
+    return bottom();
+  if (A.Lo >= 0)
+    return A;
+  if (A.Hi <= 0)
+    return neg(A);
+  return Interval(0, std::max(satSub(0, A.Lo), A.Hi));
+}
+
+Interval IntervalDomain::sqr(const Interval &A) const {
+  Interval Ab = abs(A);
+  if (Ab.isBottom())
+    return bottom();
+  return Interval(satMul(Ab.Lo, Ab.Lo), satMul(Ab.Hi, Ab.Hi));
+}
+
+//===----------------------------------------------------------------------===//
+// Backward arithmetic
+//===----------------------------------------------------------------------===//
+
+/// Forward operations saturate at the Z_b bounds, so a result bound sitting
+/// at w-/w+ may have been produced by *any* sufficiently extreme operand.
+/// These guards widen a computed preimage candidate back to the domain
+/// bound on the saturating side, keeping backward refinement sound. The
+/// direction depends on the monotonicity of the forward operation in the
+/// operand being refined.
+
+/// Guard for an operand the operation is *increasing* in.
+static Interval guardInc(Interval C, const Interval &R, int64_t MinV,
+                         int64_t MaxV) {
+  if (C.isBottom() || R.isBottom())
+    return C;
+  if (R.Lo <= MinV)
+    C.Lo = MinV;
+  if (R.Hi >= MaxV)
+    C.Hi = MaxV;
+  return C;
+}
+
+/// Guard for an operand the operation is *decreasing* in.
+static Interval guardDec(Interval C, const Interval &R, int64_t MinV,
+                         int64_t MaxV) {
+  if (C.isBottom() || R.isBottom())
+    return C;
+  if (R.Lo <= MinV)
+    C.Hi = MaxV;
+  if (R.Hi >= MaxV)
+    C.Lo = MinV;
+  return C;
+}
+
+/// True when a result bound sits at a domain bound, i.e. saturation may
+/// have occurred. Non-monotone operations skip refinement entirely then.
+static bool touchesDomainBounds(const Interval &R, int64_t MinV,
+                                int64_t MaxV) {
+  return !R.isBottom() && (R.Lo <= MinV || R.Hi >= MaxV);
+}
+
+std::pair<Interval, Interval>
+IntervalDomain::bwdAdd(const Interval &R, const Interval &A,
+                       const Interval &B) const {
+  if (R.isBottom() || A.isBottom() || B.isBottom())
+    return {bottom(), bottom()};
+  Interval NewA = meet(A, guardInc(sub(R, B), R, MinV, MaxV));
+  if (NewA.isBottom())
+    return {bottom(), bottom()};
+  Interval NewB = meet(B, guardInc(sub(R, NewA), R, MinV, MaxV));
+  if (NewB.isBottom())
+    return {bottom(), bottom()};
+  return {NewA, NewB};
+}
+
+std::pair<Interval, Interval>
+IntervalDomain::bwdSub(const Interval &R, const Interval &A,
+                       const Interval &B) const {
+  if (R.isBottom() || A.isBottom() || B.isBottom())
+    return {bottom(), bottom()};
+  Interval NewA = meet(A, guardInc(add(R, B), R, MinV, MaxV));
+  if (NewA.isBottom())
+    return {bottom(), bottom()};
+  // a - b is decreasing in b.
+  Interval NewB = meet(B, guardDec(sub(NewA, R), R, MinV, MaxV));
+  if (NewB.isBottom())
+    return {bottom(), bottom()};
+  return {NewA, NewB};
+}
+
+/// Conservative interval of a with "a * b in R possible" for some b in B.
+/// Uses floor/ceil quotients of all endpoint combinations over the nonzero
+/// halves of B. If 0 in B and 0 in R, any a is possible.
+static Interval divPreimageQuot(const IntervalDomain &D, const Interval &R,
+                                const Interval &B) {
+  if (B.contains(0) && R.contains(0))
+    return D.top();
+  auto FloorDiv = [](__int128 Num, __int128 Den) -> __int128 {
+    __int128 Q = Num / Den;
+    return Q - ((Num % Den != 0 && ((Num < 0) != (Den < 0))) ? 1 : 0);
+  };
+  auto CeilDiv = [](__int128 Num, __int128 Den) -> __int128 {
+    __int128 Q = Num / Den;
+    return Q + ((Num % Den != 0 && ((Num < 0) == (Den < 0))) ? 1 : 0);
+  };
+  auto Clamp = [&D](__int128 V) -> int64_t {
+    if (V < D.minValue())
+      return D.minValue();
+    if (V > D.maxValue())
+      return D.maxValue();
+    return static_cast<int64_t>(V);
+  };
+
+  Interval Out = Interval::bottom();
+  for (const Interval &Half :
+       {D.meet(B, D.make(1, D.maxValue())),
+        D.meet(B, D.make(D.minValue(), -1))}) {
+    if (Half.isBottom())
+      continue;
+    if (Half.isSingleton()) {
+      // Exact: {a : a*b in R} = [ceil(R.Lo/b), floor(R.Hi/b)] for b > 0,
+      // mirrored for b < 0.
+      __int128 Bv = Half.Lo;
+      __int128 Lo = Bv > 0 ? CeilDiv(R.Lo, Bv) : CeilDiv(R.Hi, Bv);
+      __int128 Hi = Bv > 0 ? FloorDiv(R.Hi, Bv) : FloorDiv(R.Lo, Bv);
+      if (Lo <= Hi)
+        Out = D.join(Out, D.make(Clamp(Lo), Clamp(Hi)));
+      continue;
+    }
+    int64_t Lo = INT64_MAX, Hi = INT64_MIN;
+    for (int64_t Rv : {R.Lo, R.Hi}) {
+      for (int64_t Bv : {Half.Lo, Half.Hi}) {
+        int64_t F = Clamp(FloorDiv(Rv, Bv));
+        int64_t C = Clamp(CeilDiv(Rv, Bv));
+        Lo = std::min({Lo, F, C});
+        Hi = std::max({Hi, F, C});
+      }
+    }
+    Out = D.join(Out, D.make(Lo, Hi));
+  }
+  return Out;
+}
+
+std::pair<Interval, Interval>
+IntervalDomain::bwdMul(const Interval &R, const Interval &A,
+                       const Interval &B) const {
+  if (R.isBottom() || A.isBottom() || B.isBottom())
+    return {bottom(), bottom()};
+  // Multiplication is not monotone, and a saturated result may come from
+  // arbitrarily extreme operands of either sign: skip refinement then.
+  if (touchesDomainBounds(R, MinV, MaxV))
+    return {A, B};
+  Interval NewA = meet(A, divPreimageQuot(*this, R, B));
+  if (NewA.isBottom())
+    return {bottom(), bottom()};
+  Interval NewB = meet(B, divPreimageQuot(*this, R, NewA));
+  if (NewB.isBottom())
+    return {bottom(), bottom()};
+  return {NewA, NewB};
+}
+
+std::pair<Interval, Interval>
+IntervalDomain::bwdDiv(const Interval &R, const Interval &A,
+                       const Interval &B) const {
+  if (R.isBottom() || A.isBottom() || B.isBottom())
+    return {bottom(), bottom()};
+  // a div b = r implies a in [r*b - (|b|-1), r*b + (|b|-1)].
+  Interval Pos = meet(B, make(1, MaxV));
+  Interval Neg = meet(B, make(MinV, -1));
+  if (Pos.isBottom() && Neg.isBottom())
+    return {bottom(), bottom()}; // division by {0} never succeeds
+  int64_t MaxAbs = 0;
+  if (!Pos.isBottom())
+    MaxAbs = std::max(MaxAbs, Pos.Hi);
+  if (!Neg.isBottom())
+    MaxAbs = std::max(MaxAbs, Neg.Lo == INT64_MIN ? INT64_MAX : -Neg.Lo);
+  Interval NewA = A;
+  // Quotient clamping can only happen when a result bound is at w-/w+
+  // (|a div b| <= |a|); skip dividend refinement in that case.
+  if (!touchesDomainBounds(R, MinV, MaxV)) {
+    Interval Prod = bottom();
+    if (!Pos.isBottom())
+      Prod = join(Prod, mul(R, Pos));
+    if (!Neg.isBottom())
+      Prod = join(Prod, mul(R, Neg));
+    Interval CandA(satSub(Prod.Lo, MaxAbs - 1), satAdd(Prod.Hi, MaxAbs - 1));
+    NewA = meet(A, CandA);
+  }
+  if (NewA.isBottom())
+    return {bottom(), bottom()};
+  // Divisor refinement: drop 0 (division by zero is an error).
+  Interval NewB = B;
+  if (NewB.Lo == 0)
+    NewB = meet(NewB, make(1, MaxV));
+  else if (NewB.Hi == 0)
+    NewB = meet(NewB, make(MinV, -1));
+  if (NewB.isBottom())
+    return {bottom(), bottom()};
+  return {NewA, NewB};
+}
+
+std::pair<Interval, Interval>
+IntervalDomain::bwdMod(const Interval &R, const Interval &A,
+                       const Interval &B) const {
+  if (R.isBottom() || A.isBottom() || B.isBottom())
+    return {bottom(), bottom()};
+  // The result has the sign of the dividend.
+  Interval NewA = A;
+  if (R.Lo > 0)
+    NewA = meet(NewA, make(1, MaxV));
+  else if (R.Hi < 0)
+    NewA = meet(NewA, make(MinV, -1));
+  // |r| < |b|: when the divisor is known positive, b > max(|R| lower bound).
+  Interval NewB = B;
+  if (NewB.Lo == 0)
+    NewB = meet(NewB, make(1, MaxV));
+  else if (NewB.Hi == 0)
+    NewB = meet(NewB, make(MinV, -1));
+  if (!NewB.isBottom() && NewB.Lo >= 1) {
+    int64_t MinAbsR = 0;
+    if (R.Lo > 0)
+      MinAbsR = R.Lo;
+    else if (R.Hi < 0)
+      MinAbsR = R.Hi == INT64_MIN ? INT64_MAX : -R.Hi;
+    if (MinAbsR > 0 && MinAbsR < INT64_MAX)
+      NewB = meet(NewB, make(satAdd(MinAbsR, 1), MaxV));
+  }
+  if (NewA.isBottom() || NewB.isBottom())
+    return {bottom(), bottom()};
+  return {NewA, NewB};
+}
+
+Interval IntervalDomain::bwdNeg(const Interval &R, const Interval &A) const {
+  if (R.isBottom() || A.isBottom())
+    return bottom();
+  // Negation is decreasing.
+  return meet(A, guardDec(neg(R), R, MinV, MaxV));
+}
+
+Interval IntervalDomain::bwdAbs(const Interval &R, const Interval &A) const {
+  if (R.isBottom() || A.isBottom())
+    return bottom();
+  Interval NonNeg = meet(R, nonNegative());
+  if (NonNeg.isBottom())
+    return bottom(); // |a| is never negative
+  Interval Cand = join(NonNeg, neg(NonNeg));
+  // |a| saturates at w+ for very negative a on asymmetric domains.
+  if (R.Hi >= MaxV)
+    Cand.Lo = MinV;
+  return meet(A, Cand);
+}
+
+Interval IntervalDomain::bwdSqr(const Interval &R, const Interval &A) const {
+  if (R.isBottom() || A.isBottom())
+    return bottom();
+  if (R.Hi < 0)
+    return bottom(); // a^2 is never negative
+  // Saturation: a result at w+ may come from any sufficiently large |a|.
+  if (R.Hi >= MaxV)
+    return A;
+  // |a| <= floor(sqrt(R.Hi)).
+  double Approx = std::sqrt(static_cast<double>(R.Hi));
+  int64_t S = static_cast<int64_t>(Approx) + 2;
+  while (S > 0 && satMul(S, S) > R.Hi)
+    --S;
+  Interval Cand(clamp(-S), clamp(S));
+  return meet(A, Cand);
+}
+
+//===----------------------------------------------------------------------===//
+// Comparison tests
+//===----------------------------------------------------------------------===//
+
+bool IntervalDomain::cmpMayBeTrue(CmpOp Op, const Interval &A,
+                                  const Interval &B) const {
+  if (A.isBottom() || B.isBottom())
+    return false;
+  switch (Op) {
+  case CmpOp::EQ:
+    return !meet(A, B).isBottom();
+  case CmpOp::NE:
+    return !(A.isSingleton() && B.isSingleton() && A.Lo == B.Lo);
+  case CmpOp::LT:
+    return A.Lo < B.Hi;
+  case CmpOp::LE:
+    return A.Lo <= B.Hi;
+  case CmpOp::GT:
+    return A.Hi > B.Lo;
+  case CmpOp::GE:
+    return A.Hi >= B.Lo;
+  }
+  assert(false && "unknown comparison");
+  return true;
+}
+
+bool IntervalDomain::cmpMayBeFalse(CmpOp Op, const Interval &A,
+                                   const Interval &B) const {
+  return cmpMayBeTrue(negateCmp(Op), A, B);
+}
+
+std::pair<Interval, Interval>
+IntervalDomain::assumeCmp(CmpOp Op, const Interval &A,
+                          const Interval &B) const {
+  if (A.isBottom() || B.isBottom())
+    return {bottom(), bottom()};
+  switch (Op) {
+  case CmpOp::EQ: {
+    Interval M = meet(A, B);
+    return {M, M};
+  }
+  case CmpOp::NE: {
+    Interval NewA = A;
+    Interval NewB = B;
+    if (B.isSingleton()) {
+      if (NewA.isSingleton() && NewA.Lo == B.Lo)
+        NewA = bottom();
+      else if (NewA.Lo == B.Lo)
+        NewA = Interval(NewA.Lo + 1, NewA.Hi);
+      else if (NewA.Hi == B.Lo)
+        NewA = Interval(NewA.Lo, NewA.Hi - 1);
+    }
+    if (A.isSingleton() && !NewA.isBottom()) {
+      if (NewB.isSingleton() && NewB.Lo == A.Lo)
+        NewB = bottom();
+      else if (NewB.Lo == A.Lo)
+        NewB = Interval(NewB.Lo + 1, NewB.Hi);
+      else if (NewB.Hi == A.Lo)
+        NewB = Interval(NewB.Lo, NewB.Hi - 1);
+    }
+    if (NewA.isBottom() || NewB.isBottom())
+      return {bottom(), bottom()};
+    return {NewA, NewB};
+  }
+  case CmpOp::LT: {
+    Interval NewA = meet(A, make(MinV, satSub(B.Hi, 1)));
+    Interval NewB =
+        meet(B, make(satAdd(NewA.isBottom() ? A.Lo : NewA.Lo, 1), MaxV));
+    if (NewA.isBottom() || NewB.isBottom())
+      return {bottom(), bottom()};
+    return {NewA, NewB};
+  }
+  case CmpOp::LE: {
+    Interval NewA = meet(A, make(MinV, B.Hi));
+    Interval NewB = meet(B, make(NewA.isBottom() ? A.Lo : NewA.Lo, MaxV));
+    if (NewA.isBottom() || NewB.isBottom())
+      return {bottom(), bottom()};
+    return {NewA, NewB};
+  }
+  case CmpOp::GT:
+  case CmpOp::GE: {
+    auto [NewB, NewA] = assumeCmp(swapCmp(Op), B, A);
+    return {NewA, NewB};
+  }
+  }
+  assert(false && "unknown comparison");
+  return {A, B};
+}
+
+std::string IntervalDomain::str(const Interval &X) const {
+  if (X.isBottom())
+    return "_|_";
+  std::string Lo = X.Lo <= MinV ? "-oo" : std::to_string(X.Lo);
+  std::string Hi = X.Hi >= MaxV ? "+oo" : std::to_string(X.Hi);
+  return "[" + Lo + ", " + Hi + "]";
+}

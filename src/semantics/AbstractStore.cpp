@@ -1,0 +1,223 @@
+//===- semantics/AbstractStore.cpp - Abstract memory states ---------------===//
+
+#include "semantics/AbstractStore.h"
+
+using namespace syntox;
+
+AbsValue StoreOps::topFor(const VarDecl *V) const {
+  const Type *Ty = V->type();
+  if (Ty->isBoolean())
+    return AbsValue(BoolLattice::top());
+  return AbsValue(D.top());
+}
+
+Interval StoreOps::typeRange(const VarDecl *V) const {
+  const Type *Ty = V->type();
+  if (const auto *Arr = dyn_cast<ArrayType>(Ty))
+    Ty = Arr->elementType();
+  if (const auto *Sub = dyn_cast<SubrangeType>(Ty))
+    return D.make(Sub->lo(), Sub->hi());
+  return D.top();
+}
+
+AbsValue StoreOps::get(const AbstractStore &S, const VarDecl *V) const {
+  if (S.isBottom()) {
+    if (V->type()->isBoolean())
+      return AbsValue(BoolLattice::bottom());
+    return AbsValue(Interval::bottom());
+  }
+  auto It = S.Values.find(V);
+  if (It != S.Values.end())
+    return It->second;
+  return topFor(V);
+}
+
+AbsValue StoreOps::joinValues(const AbsValue &A, const AbsValue &B) const {
+  assert(A.kind() == B.kind() && "joining mismatched kinds");
+  if (A.isInt())
+    return AbsValue(D.join(A.asInt(), B.asInt()));
+  return AbsValue(A.asBool().join(B.asBool()));
+}
+
+AbsValue StoreOps::meetValues(const AbsValue &A, const AbsValue &B) const {
+  assert(A.kind() == B.kind() && "meeting mismatched kinds");
+  if (A.isInt())
+    return AbsValue(D.meet(A.asInt(), B.asInt()));
+  return AbsValue(A.asBool().meet(B.asBool()));
+}
+
+bool StoreOps::leqValues(const AbsValue &A, const AbsValue &B) const {
+  assert(A.kind() == B.kind() && "comparing mismatched kinds");
+  if (A.isInt())
+    return D.leq(A.asInt(), B.asInt());
+  return A.asBool().leq(B.asBool());
+}
+
+bool StoreOps::leq(const AbstractStore &A, const AbstractStore &B) const {
+  if (A.isBottom())
+    return true;
+  if (B.isBottom())
+    return false;
+  // A <= B iff every constraint of B is implied by A. Keys absent in A
+  // are top, which is only below B's entry if that entry is top too.
+  for (const auto &[V, BV] : B.Values) {
+    auto It = A.Values.find(V);
+    if (It == A.Values.end()) {
+      if (!leqValues(topFor(V), BV))
+        return false;
+    } else if (!leqValues(It->second, BV)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool StoreOps::equal(const AbstractStore &A, const AbstractStore &B) const {
+  return leq(A, B) && leq(B, A);
+}
+
+AbstractStore StoreOps::join(const AbstractStore &A,
+                             const AbstractStore &B) const {
+  if (A.isBottom())
+    return B;
+  if (B.isBottom())
+    return A;
+  AbstractStore Out;
+  // Only keys constrained in *both* stores stay constrained.
+  for (const auto &[V, AV] : A.Values) {
+    auto It = B.Values.find(V);
+    if (It == B.Values.end())
+      continue;
+    AbsValue Joined = joinValues(AV, It->second);
+    if (!leqValues(topFor(V), Joined)) // skip entries that became top
+      Out.Values.emplace(V, std::move(Joined));
+  }
+  return Out;
+}
+
+AbstractStore StoreOps::meet(const AbstractStore &A,
+                             const AbstractStore &B) const {
+  if (A.isBottom() || B.isBottom())
+    return AbstractStore::bottom();
+  AbstractStore Out = A;
+  for (const auto &[V, BV] : B.Values) {
+    auto It = Out.Values.find(V);
+    AbsValue Met = It == Out.Values.end() ? BV : meetValues(It->second, BV);
+    if (Met.isBottom())
+      return AbstractStore::bottom();
+    Out.Values[V] = std::move(Met);
+  }
+  return Out;
+}
+
+AbstractStore StoreOps::widen(const AbstractStore &A,
+                              const AbstractStore &B) const {
+  if (A.isBottom())
+    return B;
+  if (B.isBottom())
+    return A;
+  AbstractStore Out;
+  for (const auto &[V, AV] : A.Values) {
+    auto It = B.Values.find(V);
+    if (It == B.Values.end())
+      continue; // unstable towards top: drop the constraint
+    if (AV.isInt()) {
+      Interval W =
+          WideningThresholds.empty()
+              ? D.widen(AV.asInt(), It->second.asInt())
+              : D.widenWithThresholds(AV.asInt(), It->second.asInt(),
+                                      WideningThresholds);
+      if (!D.leq(D.top(), W))
+        Out.Values.emplace(V, AbsValue(W));
+    } else {
+      BoolLattice W = AV.asBool().join(It->second.asBool());
+      if (!W.isTop())
+        Out.Values.emplace(V, AbsValue(W));
+    }
+  }
+  return Out;
+}
+
+AbstractStore StoreOps::narrow(const AbstractStore &A,
+                               const AbstractStore &B) const {
+  if (A.isBottom() || B.isBottom())
+    return AbstractStore::bottom();
+  AbstractStore Out;
+  // Keys of A are narrowed; keys only in B refine omega bounds of the
+  // implicit top entry of A, which narrowing replaces entirely.
+  for (const auto &[V, AV] : A.Values) {
+    auto It = B.Values.find(V);
+    if (It == B.Values.end()) {
+      // B's entry is top: x A T = x (keeps soundness and termination).
+      Out.Values.emplace(V, AV);
+      continue;
+    }
+    AbsValue BV = It->second;
+    if (AV.isInt()) {
+      Interval N = D.narrow(AV.asInt(), BV.asInt());
+      if (N.isBottom())
+        return AbstractStore::bottom();
+      Out.Values.emplace(V, AbsValue(N));
+    } else {
+      // Boolean lattice is finite: meet acts as a narrowing.
+      BoolLattice N = AV.asBool().meet(BV.asBool());
+      if (N.isBottom())
+        return AbstractStore::bottom();
+      Out.Values.emplace(V, AbsValue(N));
+    }
+  }
+  for (const auto &[V, BV] : B.Values) {
+    if (Out.Values.count(V) || A.Values.count(V))
+      continue;
+    // A's entry is top: both bounds at omega, so narrowing takes B's.
+    if (BV.isBottom())
+      return AbstractStore::bottom();
+    Out.Values.emplace(V, BV);
+  }
+  return Out;
+}
+
+void StoreOps::assign(AbstractStore &S, const VarDecl *V,
+                      const AbsValue &Value) const {
+  if (S.isBottom())
+    return;
+  if (Value.isBottom()) {
+    S.setBottom();
+    return;
+  }
+  if (leqValues(topFor(V), Value))
+    S.forget(V);
+  else
+    S.set(V, Value);
+}
+
+void StoreOps::refine(AbstractStore &S, const VarDecl *V,
+                      const AbsValue &Value) const {
+  if (S.isBottom())
+    return;
+  AbsValue Met = meetValues(get(S, V), Value);
+  if (Met.isBottom()) {
+    S.setBottom();
+    return;
+  }
+  assign(S, V, Met);
+}
+
+std::string StoreOps::str(const AbstractStore &S) const {
+  if (S.isBottom())
+    return "_|_";
+  if (S.isTop())
+    return "{ }";
+  std::string Out = "{ ";
+  bool First = true;
+  for (const auto &[V, Value] : S.entries()) {
+    if (!First)
+      Out += ", ";
+    First = false;
+    Out += V->name();
+    Out += " -> ";
+    Out += Value.isInt() ? D.str(Value.asInt()) : Value.asBool().str();
+  }
+  Out += " }";
+  return Out;
+}

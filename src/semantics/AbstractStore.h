@@ -1,0 +1,182 @@
+//===- semantics/AbstractStore.h - Abstract memory states ------*- C++ -*-===//
+//
+// Part of Syntox++, a reproduction of Bourdoncle's abstract debugger
+// (PLDI 1993). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The non-relational abstract memory state: a map from variables to
+/// abstract values (intervals for integer-like variables, a four-valued
+/// boolean lattice for booleans; arrays are summarized by one interval
+/// over all elements). Missing keys mean "unconstrained" (top), so the
+/// empty map is the top store; bottom (unreachable) is a separate flag.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYNTOX_SEMANTICS_ABSTRACTSTORE_H
+#define SYNTOX_SEMANTICS_ABSTRACTSTORE_H
+
+#include "frontend/Ast.h"
+#include "lattice/BoolLattice.h"
+#include "lattice/Interval.h"
+
+#include <map>
+#include <string>
+
+namespace syntox {
+
+/// An abstract scalar value: an interval or an abstract boolean.
+class AbsValue {
+public:
+  enum class Kind { Int, Bool };
+
+  AbsValue() : K(Kind::Int), I(Interval::bottom()) {}
+  /*implicit*/ AbsValue(Interval I) : K(Kind::Int), I(I) {}
+  /*implicit*/ AbsValue(BoolLattice B) : K(Kind::Bool), B(B) {}
+
+  Kind kind() const { return K; }
+  bool isInt() const { return K == Kind::Int; }
+  bool isBool() const { return K == Kind::Bool; }
+
+  const Interval &asInt() const {
+    assert(isInt() && "not an interval value");
+    return I;
+  }
+  const BoolLattice &asBool() const {
+    assert(isBool() && "not a boolean value");
+    return B;
+  }
+
+  bool isBottom() const { return isInt() ? I.isBottom() : B.isBottom(); }
+
+  bool operator==(const AbsValue &Other) const {
+    if (K != Other.K)
+      return false;
+    return isInt() ? I == Other.I : B == Other.B;
+  }
+
+private:
+  Kind K;
+  Interval I;
+  BoolLattice B;
+};
+
+/// Lattice operations over stores, parameterized by the interval domain.
+class StoreOps;
+
+/// An abstract store: variable -> abstract value, with top as the
+/// default for missing keys.
+class AbstractStore {
+public:
+  /// The top store: every variable unconstrained.
+  AbstractStore() = default;
+
+  static AbstractStore bottom() {
+    AbstractStore S;
+    S.IsBottom = true;
+    return S;
+  }
+  static AbstractStore top() { return AbstractStore(); }
+
+  bool isBottom() const { return IsBottom; }
+
+  /// True when no variable is constrained.
+  bool isTop() const { return !IsBottom && Values.empty(); }
+
+  /// Whether the store has an explicit entry for \p V.
+  bool hasEntry(const VarDecl *V) const { return Values.count(V) != 0; }
+
+  /// The entries map (missing keys are top).
+  const std::map<const VarDecl *, AbsValue> &entries() const {
+    return Values;
+  }
+
+  /// Sets (strong update). Setting on bottom is a no-op.
+  void set(const VarDecl *V, AbsValue Value) {
+    if (IsBottom)
+      return;
+    Values[V] = std::move(Value);
+  }
+
+  /// Removes the constraint on \p V (makes it top).
+  void forget(const VarDecl *V) {
+    if (!IsBottom)
+      Values.erase(V);
+  }
+
+  void setBottom() {
+    IsBottom = true;
+    Values.clear();
+  }
+
+  /// Rough byte footprint (Figure 4 memory accounting).
+  size_t approximateBytes() const {
+    return sizeof(*this) + Values.size() * 64;
+  }
+
+private:
+  friend class StoreOps;
+  std::map<const VarDecl *, AbsValue> Values;
+  bool IsBottom = false;
+};
+
+/// Store-level lattice operations; needs the interval domain for bounds.
+class StoreOps {
+public:
+  explicit StoreOps(const IntervalDomain &D) : D(D) {}
+
+  const IntervalDomain &domain() const { return D; }
+
+  /// Installs widening thresholds (§6.1: "more sophisticated widening
+  /// operators can be easily designed"). Must be sorted ascending. Empty
+  /// means the standard operator.
+  void setWideningThresholds(std::vector<int64_t> Thresholds) {
+    WideningThresholds = std::move(Thresholds);
+  }
+  const std::vector<int64_t> &wideningThresholds() const {
+    return WideningThresholds;
+  }
+
+  /// Value of \p V (top of the right kind when absent). The variable's
+  /// declared base kind decides int vs bool.
+  AbsValue get(const AbstractStore &S, const VarDecl *V) const;
+
+  /// The top value of the right kind for \p V. For scalars with a
+  /// subrange *type* the top is still the full interval: subranges are
+  /// enforced by checks, not silently assumed.
+  AbsValue topFor(const VarDecl *V) const;
+
+  /// Declared-type interval of \p V: the subrange for subrange-typed
+  /// variables (and array element subranges), full otherwise.
+  Interval typeRange(const VarDecl *V) const;
+
+  bool leq(const AbstractStore &A, const AbstractStore &B) const;
+  bool equal(const AbstractStore &A, const AbstractStore &B) const;
+  AbstractStore join(const AbstractStore &A, const AbstractStore &B) const;
+  AbstractStore meet(const AbstractStore &A, const AbstractStore &B) const;
+  AbstractStore widen(const AbstractStore &A, const AbstractStore &B) const;
+  AbstractStore narrow(const AbstractStore &A, const AbstractStore &B) const;
+
+  /// Sets V to Value, normalizing: bottom value -> bottom store.
+  void assign(AbstractStore &S, const VarDecl *V, const AbsValue &Value) const;
+
+  /// Meets V's value with Value (refinement); bottom -> bottom store.
+  void refine(AbstractStore &S, const VarDecl *V, const AbsValue &Value) const;
+
+  AbsValue joinValues(const AbsValue &A, const AbsValue &B) const;
+  AbsValue meetValues(const AbsValue &A, const AbsValue &B) const;
+  bool leqValues(const AbsValue &A, const AbsValue &B) const;
+
+  /// Renders the store restricted to the given variables (or all entries
+  /// when empty), e.g. "{ i -> [0, 100], b -> true }".
+  std::string str(const AbstractStore &S) const;
+
+private:
+  const IntervalDomain &D;
+  std::vector<int64_t> WideningThresholds;
+};
+
+} // namespace syntox
+
+#endif // SYNTOX_SEMANTICS_ABSTRACTSTORE_H

@@ -1,0 +1,288 @@
+//===- semantics/Analyzer.cpp - The abstract debugging analyses -----------===//
+
+#include "semantics/Analyzer.h"
+
+#include <cassert>
+#include <chrono>
+
+using namespace syntox;
+
+namespace {
+
+/// Shared helpers for the three equation systems.
+struct SystemBase {
+  const SuperGraph &G;
+  const StoreOps &Ops;
+  mutable uint64_t Unions = 0;
+
+  explicit SystemBase(const SuperGraph &G, const StoreOps &Ops)
+      : G(G), Ops(Ops) {}
+
+  using Value = AbstractStore;
+
+  bool leq(const AbstractStore &A, const AbstractStore &B) const {
+    return Ops.leq(A, B);
+  }
+  bool equal(const AbstractStore &A, const AbstractStore &B) const {
+    return Ops.equal(A, B);
+  }
+  AbstractStore widen(const AbstractStore &A, const AbstractStore &B) const {
+    return Ops.widen(A, B);
+  }
+  AbstractStore narrow(const AbstractStore &A, const AbstractStore &B) const {
+    return Ops.narrow(A, B);
+  }
+};
+
+/// Forward reachability: X_c = (entry seed) |_| join over incoming edges
+/// of the forward transfer, met with the envelope when present.
+struct ForwardSystem : SystemBase {
+  const Transfer &Xfer;
+  const std::vector<AbstractStore> *Envelope;
+  Digraph Dep;
+
+  ForwardSystem(const SuperGraph &G, const StoreOps &Ops,
+                const Transfer &Xfer,
+                const std::vector<AbstractStore> *Envelope)
+      : SystemBase(G, Ops), Xfer(Xfer), Envelope(Envelope),
+        Dep(G.numNodes()) {
+    for (const SuperEdge &E : G.edges()) {
+      Dep.addEdge(E.From, E.To);
+      if (E.K == SuperEdge::Kind::CallOut ||
+          E.K == SuperEdge::Kind::ChannelOut)
+        Dep.addEdge(G.links()[E.Link].NodeP, E.To);
+    }
+  }
+
+  unsigned numNodes() const { return G.numNodes(); }
+  const Digraph &graph() const { return Dep; }
+  std::vector<unsigned> roots() const { return {G.mainEntry()}; }
+
+  AbstractStore initialValue(unsigned, bool) const {
+    return AbstractStore::bottom();
+  }
+
+  AbstractStore evaluate(unsigned Node,
+                         const std::vector<AbstractStore> &X) const {
+    AbstractStore Out = Node == G.mainEntry() ? AbstractStore::top()
+                                              : AbstractStore::bottom();
+    for (unsigned EdgeIdx : G.inEdges(Node)) {
+      const SuperEdge &E = G.edges()[EdgeIdx];
+      AbstractStore V;
+      switch (E.K) {
+      case SuperEdge::Kind::Local:
+        V = Xfer.fwd(*E.Act, X[E.From], G.instanceOf(E.From).Frame);
+        break;
+      case SuperEdge::Kind::CallIn:
+        V = G.copyIn(G.links()[E.Link], X[E.From]);
+        break;
+      case SuperEdge::Kind::CallOut:
+        V = G.copyOut(G.links()[E.Link], X[E.From],
+                      X[G.links()[E.Link].NodeP]);
+        break;
+      case SuperEdge::Kind::ChannelOut:
+        V = G.channelOut(G.links()[E.Link], X[E.From],
+                         X[G.links()[E.Link].NodeP]);
+        break;
+      }
+      ++Unions;
+      Out = Ops.join(Out, V);
+    }
+    if (Envelope)
+      Out = Ops.meet(Out, (*Envelope)[Node]);
+    return Out;
+  }
+};
+
+/// Backward systems: the inversion of the forward one. For
+/// `always` (gfp) the seed is top at the program exit; for `eventually`
+/// (lfp) the seeds are the intermittent assertions. In both cases
+///   X_c = seed_c |_| join over outgoing edges of the backward transfer,
+/// met with the envelope.
+struct BackwardSystem : SystemBase {
+  const Transfer &Xfer;
+  const std::vector<AbstractStore> &Envelope;
+  std::vector<AbstractStore> Seeds;
+  Digraph Dep;
+
+  BackwardSystem(const SuperGraph &G, const StoreOps &Ops,
+                 const Transfer &Xfer,
+                 const std::vector<AbstractStore> &Envelope)
+      : SystemBase(G, Ops), Xfer(Xfer), Envelope(Envelope),
+        Dep(G.numNodes()) {
+    Seeds.assign(G.numNodes(), AbstractStore::bottom());
+    for (const SuperEdge &E : G.edges())
+      Dep.addEdge(E.To, E.From);
+  }
+
+  unsigned numNodes() const { return G.numNodes(); }
+  const Digraph &graph() const { return Dep; }
+  std::vector<unsigned> roots() const { return {G.mainExit()}; }
+
+  AbstractStore initialValue(unsigned, bool FromTop) const {
+    return FromTop ? AbstractStore::top() : AbstractStore::bottom();
+  }
+
+  AbstractStore evaluate(unsigned Node,
+                         const std::vector<AbstractStore> &X) const {
+    AbstractStore Out = Seeds[Node];
+    for (unsigned EdgeIdx : G.outEdges(Node)) {
+      const SuperEdge &E = G.edges()[EdgeIdx];
+      AbstractStore V;
+      switch (E.K) {
+      case SuperEdge::Kind::Local:
+        V = Xfer.bwd(*E.Act, X[E.To], G.instanceOf(E.From).Frame);
+        break;
+      case SuperEdge::Kind::CallIn:
+        V = G.bwdCopyIn(G.links()[E.Link], X[E.To]);
+        break;
+      case SuperEdge::Kind::CallOut:
+        V = G.bwdCopyOut(G.links()[E.Link], X[E.To]);
+        break;
+      case SuperEdge::Kind::ChannelOut:
+        V = G.bwdChannelOut(G.links()[E.Link], X[E.To]);
+        break;
+      }
+      ++Unions;
+      Out = Ops.join(Out, V);
+    }
+    return Ops.meet(Out, Envelope[Node]);
+  }
+};
+
+} // namespace
+
+Analyzer::Analyzer(const ProgramCfg &Cfg, RoutineDecl *Program, Options Opts)
+    : Cfg(Cfg), Program(Program), Opts(std::move(Opts)), Domain(),
+      Ops(Domain), Exprs(Ops), Xfer(Ops, Exprs, Cfg) {
+  if (!this->Opts.WideningThresholds.empty())
+    Ops.setWideningThresholds(this->Opts.WideningThresholds);
+  Graph = std::make_unique<SuperGraph>(Cfg, Program, Ops, Exprs, Xfer,
+                                       this->Opts.ContextInsensitive);
+}
+
+Analyzer::Analyzer(const ProgramCfg &Cfg, RoutineDecl *Program)
+    : Analyzer(Cfg, Program, Options()) {}
+
+Analyzer::~Analyzer() = default;
+
+bool Analyzer::hasEventuallySeeds() const {
+  if (Opts.TerminationGoal)
+    return true;
+  for (const Instance &Inst : Graph->instances())
+    if (!Inst.Cfg->intermittents().empty())
+      return true;
+  return false;
+}
+
+std::vector<AbstractStore>
+Analyzer::solveForward(const std::vector<AbstractStore> *Env,
+                       PhaseStats &Phase) {
+  ForwardSystem Sys(*Graph, Ops, Xfer, Env);
+  FixpointSolver<ForwardSystem>::Options SolverOpts;
+  SolverOpts.Kind = Opts.HarrisonGfp ? FixpointKind::Gfp : FixpointKind::Lfp;
+  SolverOpts.Strategy = Opts.Strategy;
+  SolverOpts.NarrowingPasses = Opts.NarrowingPasses;
+  FixpointSolver<ForwardSystem> Solver(Sys, SolverOpts);
+  std::vector<AbstractStore> Result = Solver.solve();
+  Phase.WideningSteps = Solver.stats().AscendingSteps;
+  Phase.NarrowingSteps = Solver.stats().DescendingSteps;
+  Stats.Widenings += Solver.stats().Widenings;
+  Stats.Narrowings += Solver.stats().Narrowings;
+  Stats.Unions += Sys.Unions;
+  return Result;
+}
+
+std::vector<AbstractStore>
+Analyzer::solveBackward(bool Eventually,
+                        const std::vector<AbstractStore> &Env,
+                        PhaseStats &Phase) {
+  BackwardSystem Sys(*Graph, Ops, Xfer, Env);
+  if (Eventually) {
+    // Seeds: the intermittent assertions (and optionally termination).
+    for (const Instance &Inst : Graph->instances()) {
+      for (const IntermittentAssertion &A : Inst.Cfg->intermittents()) {
+        unsigned Node = Graph->node(Inst, A.Point);
+        AbstractStore Seed = AbstractStore::top();
+        Exprs.refineBool(A.Cond, true, Seed, Inst.Frame);
+        Sys.Seeds[Node] = Ops.join(Sys.Seeds[Node], Seed);
+      }
+    }
+    if (Opts.TerminationGoal)
+      Sys.Seeds[Graph->mainExit()] = AbstractStore::top();
+  } else {
+    // always(Pi): output states are stable and satisfy Pi trivially.
+    Sys.Seeds[Graph->mainExit()] = AbstractStore::top();
+  }
+
+  FixpointSolver<BackwardSystem>::Options SolverOpts;
+  SolverOpts.Kind = Eventually ? FixpointKind::Lfp : FixpointKind::Gfp;
+  SolverOpts.Strategy = Opts.Strategy;
+  SolverOpts.NarrowingPasses = Opts.NarrowingPasses;
+  FixpointSolver<BackwardSystem> Solver(Sys, SolverOpts);
+  std::vector<AbstractStore> Result = Solver.solve();
+  Phase.WideningSteps = Solver.stats().AscendingSteps;
+  Phase.NarrowingSteps = Solver.stats().DescendingSteps;
+  Stats.Widenings += Solver.stats().Widenings;
+  Stats.Narrowings += Solver.stats().Narrowings;
+  Stats.Unions += Sys.Unions;
+  return Result;
+}
+
+void Analyzer::meetInto(std::vector<AbstractStore> &Env,
+                        const std::vector<AbstractStore> &Refinement) {
+  for (size_t I = 0; I < Env.size(); ++I)
+    Env[I] = Ops.meet(Env[I], Refinement[I]);
+}
+
+void Analyzer::run() {
+  auto Start = std::chrono::steady_clock::now();
+  Stats = AnalysisStats();
+  Stats.ControlPoints = Graph->numNodes();
+  Stats.Equations = Graph->numNodes();
+
+  Snapshots.clear();
+  Stats.Phases.push_back(PhaseStats{"Forward analysis", 0, 0});
+  Forward = solveForward(nullptr, Stats.Phases.back());
+  // Second ascent from bottom *inside* the first result: widening at
+  // nested component heads mixes iterations of enclosing loops (an outer
+  // loop's variable overshoots at an inner head, and narrowing cannot
+  // descend past the first finite bound it finds). Restarting within the
+  // sound envelope removes that loss — this is what proves the Matrix
+  // accesses of §6.5. Still pure reachability, so check elimination may
+  // rely on it.
+  Stats.Phases.push_back(PhaseStats{"Forward refinement", 0, 0});
+  Forward = solveForward(&Forward, Stats.Phases.back());
+  Envelope = Forward;
+  Snapshots.emplace_back("forward", Envelope);
+
+  bool Backward = Opts.UseBackward && !Opts.HarrisonGfp;
+  for (unsigned Round = 0; Round < Opts.BackwardRounds && Backward;
+       ++Round) {
+    Stats.Phases.push_back(PhaseStats{"Invariant assertions", 0, 0});
+    std::vector<AbstractStore> Always =
+        solveBackward(/*Eventually=*/false, Envelope, Stats.Phases.back());
+    meetInto(Envelope, Always);
+    Snapshots.emplace_back("always", Envelope);
+
+    if (hasEventuallySeeds()) {
+      Stats.Phases.push_back(PhaseStats{"Intermittent assertions", 0, 0});
+      Envelope = solveBackward(/*Eventually=*/true, Envelope,
+                               Stats.Phases.back());
+      Snapshots.emplace_back("eventually", Envelope);
+    }
+
+    Stats.Phases.push_back(PhaseStats{"Forward analysis", 0, 0});
+    Envelope = solveForward(&Envelope, Stats.Phases.back());
+    Snapshots.emplace_back("forward", Envelope);
+  }
+
+  Stats.BytesUsed = Graph->approximateBytes();
+  for (const AbstractStore &S : Forward)
+    Stats.BytesUsed += S.approximateBytes();
+  for (const AbstractStore &S : Envelope)
+    Stats.BytesUsed += S.approximateBytes();
+  Stats.CpuSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+}

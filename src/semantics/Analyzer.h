@@ -1,0 +1,121 @@
+//===- semantics/Analyzer.h - The abstract debugging analyses ---*- C++ -*-===//
+//
+// Part of Syntox++, a reproduction of Bourdoncle's abstract debugger
+// (PLDI 1993). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The static-debugging engine of paper §3/§4: an iterated sequence of
+///  1. a *forward* least-fixpoint analysis of the reachable states,
+///  2. a *backward* greatest-fixpoint analysis of `always(Pi_a)` — the
+///     states whose descendants keep satisfying the invariant assertions
+///     and the runtime checks,
+///  3. a *backward* least-fixpoint analysis of `eventually(Pi_e)` — the
+///     states with a descendant satisfying some intermittent assertion,
+///  4. a final forward pass inside the refined invariant,
+/// each phase computed inside the *envelope* produced by the previous
+/// ones (the decreasing chain I_k of §3). The default schedule matches
+/// Syntox §6.4: forward, two backward analyses, final forward.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYNTOX_SEMANTICS_ANALYZER_H
+#define SYNTOX_SEMANTICS_ANALYZER_H
+
+#include "fixpoint/Solver.h"
+#include "semantics/Interproc.h"
+#include "support/Stats.h"
+
+#include <memory>
+
+namespace syntox {
+
+class Analyzer {
+public:
+  struct Options {
+    /// Chaotic iteration strategy for every phase.
+    IterationStrategy Strategy = IterationStrategy::Recursive;
+    /// Narrowing passes after each ascending phase.
+    unsigned NarrowingPasses = 1;
+    /// Rounds of (always, eventually, forward) refinement after the
+    /// initial forward analysis (Syntox's default is one).
+    unsigned BackwardRounds = 1;
+    /// Treat program termination as a goal: seed `eventually true` at
+    /// the program exit (the paper's "intermittent assertion true at the
+    /// end").
+    bool TerminationGoal = false;
+    /// Disable backward propagation entirely (forward-only baseline).
+    bool UseBackward = true;
+    /// Harrison-77 baseline (paper §6.5): compute the *greatest* fixpoint
+    /// of the forward system, "which has no semantic justification and
+    /// gives poor results". Implies forward-only.
+    bool HarrisonGfp = false;
+    /// Merge every call site of a routine into one activation class
+    /// (§6.4: "it is possible to avoid [the duplication], at the cost of
+    /// a loss of precision").
+    bool ContextInsensitive = false;
+    /// Widening thresholds (empty = the standard §6.1 operator).
+    std::vector<int64_t> WideningThresholds;
+  };
+
+  Analyzer(const ProgramCfg &Cfg, RoutineDecl *Program, Options Opts);
+  Analyzer(const ProgramCfg &Cfg, RoutineDecl *Program);
+  ~Analyzer();
+
+  /// Runs the full analysis schedule.
+  void run();
+
+  const SuperGraph &graph() const { return *Graph; }
+  const StoreOps &storeOps() const { return Ops; }
+  const ExprSemantics &exprSemantics() const { return Exprs; }
+  const ProgramCfg &programCfg() const { return Cfg; }
+  /// The registered runtime checks (shared with the ProgramCfg).
+  const std::vector<CheckInfo> &checkTable() const { return Cfg.checks(); }
+
+  /// The initial forward analysis result (pure reachability; the sound
+  /// basis for check elimination).
+  const AbstractStore &forwardAt(unsigned Node) const {
+    return Forward[Node];
+  }
+  /// The final program invariant I (forward meet backward refinements).
+  const AbstractStore &envelopeAt(unsigned Node) const {
+    return Envelope[Node];
+  }
+
+  const AnalysisStats &stats() const { return Stats; }
+
+  /// Per-phase envelope snapshots (phase name, stores) in execution
+  /// order, for inspection and debugging of the iterated chain I_k.
+  const std::vector<std::pair<std::string, std::vector<AbstractStore>>> &
+  phaseSnapshots() const {
+    return Snapshots;
+  }
+
+private:
+  std::vector<AbstractStore> solveForward(
+      const std::vector<AbstractStore> *Env, PhaseStats &Phase);
+  std::vector<AbstractStore> solveBackward(
+      bool Eventually, const std::vector<AbstractStore> &Env,
+      PhaseStats &Phase);
+  bool hasEventuallySeeds() const;
+  void meetInto(std::vector<AbstractStore> &Env,
+                const std::vector<AbstractStore> &Refinement);
+
+  const ProgramCfg &Cfg;
+  RoutineDecl *Program;
+  Options Opts;
+  IntervalDomain Domain;
+  StoreOps Ops;
+  ExprSemantics Exprs;
+  Transfer Xfer;
+  std::unique_ptr<SuperGraph> Graph;
+  std::vector<AbstractStore> Forward;
+  std::vector<AbstractStore> Envelope;
+  std::vector<std::pair<std::string, std::vector<AbstractStore>>> Snapshots;
+  AnalysisStats Stats;
+};
+
+} // namespace syntox
+
+#endif // SYNTOX_SEMANTICS_ANALYZER_H

@@ -1,0 +1,343 @@
+//===- semantics/ExprSemantics.cpp - Abstract expression semantics --------===//
+
+#include "semantics/ExprSemantics.h"
+
+#include <cassert>
+
+using namespace syntox;
+
+static CmpOp toCmpOp(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Eq:
+    return CmpOp::EQ;
+  case BinaryOp::Ne:
+    return CmpOp::NE;
+  case BinaryOp::Lt:
+    return CmpOp::LT;
+  case BinaryOp::Le:
+    return CmpOp::LE;
+  case BinaryOp::Gt:
+    return CmpOp::GT;
+  case BinaryOp::Ge:
+    return CmpOp::GE;
+  default:
+    assert(false && "not a comparison");
+    return CmpOp::EQ;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Forward evaluation
+//===----------------------------------------------------------------------===//
+
+Interval ExprSemantics::evalInt(const Expr *E, const AbstractStore &S,
+                                const FrameMap &F) const {
+  if (S.isBottom())
+    return Interval::bottom();
+  switch (E->kind()) {
+  case Expr::Kind::IntLiteral:
+    return Interval::singleton(cast<IntLiteralExpr>(E)->value());
+  case Expr::Kind::BoolLiteral:
+  case Expr::Kind::StringLiteral:
+    assert(false && "not an integer expression");
+    return D.top();
+  case Expr::Kind::VarRef: {
+    const auto *Ref = cast<VarRefExpr>(E);
+    if (const ConstDecl *C = Ref->constDecl())
+      return Interval::singleton(C->value());
+    assert(Ref->varDecl() && "unresolved variable");
+    return Ops.get(S, F.resolve(Ref->varDecl())).asInt();
+  }
+  case Expr::Kind::Index: {
+    const auto *I = cast<IndexExpr>(E);
+    // Array contents are summarized by one interval over all elements.
+    const VarDecl *Array = I->base()->varDecl();
+    if (evalInt(I->index(), S, F).isBottom())
+      return Interval::bottom();
+    return Ops.get(S, Array).asInt();
+  }
+  case Expr::Kind::Call: {
+    const auto *C = cast<CallExpr>(E);
+    assert(C->builtin() != BuiltinFn::None && "routine call not flattened");
+    Interval Arg = evalInt(C->args()[0], S, F);
+    switch (C->builtin()) {
+    case BuiltinFn::Abs:
+      return D.abs(Arg);
+    case BuiltinFn::Sqr:
+      return D.sqr(Arg);
+    default:
+      assert(false && "odd() is boolean");
+      return D.top();
+    }
+  }
+  case Expr::Kind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    assert(U->op() == UnaryOp::Neg && "'not' is boolean");
+    return D.neg(evalInt(U->subExpr(), S, F));
+  }
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    Interval L = evalInt(B->lhs(), S, F);
+    Interval R = evalInt(B->rhs(), S, F);
+    switch (B->op()) {
+    case BinaryOp::Add:
+      return D.add(L, R);
+    case BinaryOp::Sub:
+      return D.sub(L, R);
+    case BinaryOp::Mul:
+      return D.mul(L, R);
+    case BinaryOp::Div:
+      return D.div(L, R);
+    case BinaryOp::Mod:
+      return D.mod(L, R);
+    default:
+      assert(false && "not an integer operator");
+      return D.top();
+    }
+  }
+  }
+  return D.top();
+}
+
+BoolLattice ExprSemantics::evalBool(const Expr *E, const AbstractStore &S,
+                                    const FrameMap &F) const {
+  if (S.isBottom())
+    return BoolLattice::bottom();
+  switch (E->kind()) {
+  case Expr::Kind::BoolLiteral:
+    return BoolLattice(cast<BoolLiteralExpr>(E)->value());
+  case Expr::Kind::VarRef: {
+    const auto *Ref = cast<VarRefExpr>(E);
+    if (const ConstDecl *C = Ref->constDecl())
+      return BoolLattice(C->value() != 0);
+    assert(Ref->varDecl() && "unresolved variable");
+    return Ops.get(S, F.resolve(Ref->varDecl())).asBool();
+  }
+  case Expr::Kind::Index: {
+    // Boolean array summary is not tracked: unknown.
+    const auto *I = cast<IndexExpr>(E);
+    if (evalInt(I->index(), S, F).isBottom())
+      return BoolLattice::bottom();
+    return BoolLattice::top();
+  }
+  case Expr::Kind::Call: {
+    const auto *C = cast<CallExpr>(E);
+    assert(C->builtin() == BuiltinFn::Odd && "routine call not flattened");
+    Interval Arg = evalInt(C->args()[0], S, F);
+    if (Arg.isBottom())
+      return BoolLattice::bottom();
+    if (Arg.isSingleton())
+      return BoolLattice((Arg.Lo % 2) != 0);
+    return BoolLattice::top();
+  }
+  case Expr::Kind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    assert(U->op() == UnaryOp::Not && "negation is integer");
+    return evalBool(U->subExpr(), S, F).logicalNot();
+  }
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    if (B->op() == BinaryOp::And)
+      return evalBool(B->lhs(), S, F).logicalAnd(evalBool(B->rhs(), S, F));
+    if (B->op() == BinaryOp::Or)
+      return evalBool(B->lhs(), S, F).logicalOr(evalBool(B->rhs(), S, F));
+    assert(isComparisonOp(B->op()) && "not a boolean operator");
+    // Boolean equality is handled via the boolean lattice.
+    if (B->lhs()->type() && B->lhs()->type()->isBoolean()) {
+      BoolLattice L = evalBool(B->lhs(), S, F);
+      BoolLattice R = evalBool(B->rhs(), S, F);
+      if (L.isBottom() || R.isBottom())
+        return BoolLattice::bottom();
+      if (L.isConstant() && R.isConstant()) {
+        bool Eq = L.constantValue() == R.constantValue();
+        return BoolLattice(B->op() == BinaryOp::Eq ? Eq : !Eq);
+      }
+      return BoolLattice::top();
+    }
+    Interval L = evalInt(B->lhs(), S, F);
+    Interval R = evalInt(B->rhs(), S, F);
+    if (L.isBottom() || R.isBottom())
+      return BoolLattice::bottom();
+    CmpOp Op = toCmpOp(B->op());
+    bool MayTrue = D.cmpMayBeTrue(Op, L, R);
+    bool MayFalse = D.cmpMayBeFalse(Op, L, R);
+    if (MayTrue && MayFalse)
+      return BoolLattice::top();
+    if (MayTrue)
+      return BoolLattice(true);
+    if (MayFalse)
+      return BoolLattice(false);
+    return BoolLattice::bottom();
+  }
+  case Expr::Kind::IntLiteral:
+  case Expr::Kind::StringLiteral:
+    assert(false && "not a boolean expression");
+    return BoolLattice::top();
+  }
+  return BoolLattice::top();
+}
+
+//===----------------------------------------------------------------------===//
+// Backward refinement
+//===----------------------------------------------------------------------===//
+
+void ExprSemantics::refineInt(const Expr *E, const Interval &Required,
+                              AbstractStore &S, const FrameMap &F) const {
+  if (S.isBottom())
+    return;
+  if (Required.isBottom()) {
+    S.setBottom();
+    return;
+  }
+  switch (E->kind()) {
+  case Expr::Kind::IntLiteral:
+    if (!Required.contains(cast<IntLiteralExpr>(E)->value()))
+      S.setBottom();
+    return;
+  case Expr::Kind::VarRef: {
+    const auto *Ref = cast<VarRefExpr>(E);
+    if (const ConstDecl *C = Ref->constDecl()) {
+      if (!Required.contains(C->value()))
+        S.setBottom();
+      return;
+    }
+    Ops.refine(S, F.resolve(Ref->varDecl()), AbsValue(Required));
+    return;
+  }
+  case Expr::Kind::Index:
+    // The summary covers *all* elements; requiring one element's value
+    // cannot refine it (weak read). Only infeasibility is propagated.
+    if (D.meet(evalInt(E, S, F), Required).isBottom())
+      S.setBottom();
+    return;
+  case Expr::Kind::Call: {
+    const auto *C = cast<CallExpr>(E);
+    Interval Arg = evalInt(C->args()[0], S, F);
+    Interval Refined;
+    switch (C->builtin()) {
+    case BuiltinFn::Abs:
+      Refined = D.bwdAbs(Required, Arg);
+      break;
+    case BuiltinFn::Sqr:
+      Refined = D.bwdSqr(Required, Arg);
+      break;
+    default:
+      return;
+    }
+    refineInt(C->args()[0], Refined, S, F);
+    return;
+  }
+  case Expr::Kind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    Interval Sub = evalInt(U->subExpr(), S, F);
+    refineInt(U->subExpr(), D.bwdNeg(Required, Sub), S, F);
+    return;
+  }
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    Interval L = evalInt(B->lhs(), S, F);
+    Interval R = evalInt(B->rhs(), S, F);
+    std::pair<Interval, Interval> Refined;
+    switch (B->op()) {
+    case BinaryOp::Add:
+      Refined = D.bwdAdd(Required, L, R);
+      break;
+    case BinaryOp::Sub:
+      Refined = D.bwdSub(Required, L, R);
+      break;
+    case BinaryOp::Mul:
+      Refined = D.bwdMul(Required, L, R);
+      break;
+    case BinaryOp::Div:
+      Refined = D.bwdDiv(Required, L, R);
+      break;
+    case BinaryOp::Mod:
+      Refined = D.bwdMod(Required, L, R);
+      break;
+    default:
+      return;
+    }
+    refineInt(B->lhs(), Refined.first, S, F);
+    refineInt(B->rhs(), Refined.second, S, F);
+    return;
+  }
+  default:
+    return;
+  }
+}
+
+void ExprSemantics::refineBool(const Expr *E, bool Required, AbstractStore &S,
+                               const FrameMap &F) const {
+  if (S.isBottom())
+    return;
+  switch (E->kind()) {
+  case Expr::Kind::BoolLiteral:
+    if (cast<BoolLiteralExpr>(E)->value() != Required)
+      S.setBottom();
+    return;
+  case Expr::Kind::VarRef: {
+    const auto *Ref = cast<VarRefExpr>(E);
+    if (const ConstDecl *C = Ref->constDecl()) {
+      if ((C->value() != 0) != Required)
+        S.setBottom();
+      return;
+    }
+    Ops.refine(S, F.resolve(Ref->varDecl()),
+               AbsValue(BoolLattice(Required)));
+    return;
+  }
+  case Expr::Kind::Index:
+    return; // boolean array summary: no refinement
+  case Expr::Kind::Call:
+    return; // odd(): no refinement
+  case Expr::Kind::Unary:
+    refineBool(cast<UnaryExpr>(E)->subExpr(), !Required, S, F);
+    return;
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    if (B->op() == BinaryOp::And || B->op() == BinaryOp::Or) {
+      bool IsAnd = B->op() == BinaryOp::And;
+      if (IsAnd == Required) {
+        // Both sides are forced (to Required).
+        refineBool(B->lhs(), Required, S, F);
+        refineBool(B->rhs(), Required, S, F);
+      } else {
+        // One of the two sides is forced: join of the two refinements.
+        AbstractStore Left = S;
+        refineBool(B->lhs(), Required, Left, F);
+        AbstractStore Right = S;
+        refineBool(B->rhs(), Required, Right, F);
+        S = Ops.join(Left, Right);
+      }
+      return;
+    }
+    assert(isComparisonOp(B->op()) && "not a boolean operator");
+    if (B->lhs()->type() && B->lhs()->type()->isBoolean()) {
+      // Boolean (in)equality: refine only when one side is constant.
+      bool WantEqual = (B->op() == BinaryOp::Eq) == Required;
+      BoolLattice L = evalBool(B->lhs(), S, F);
+      BoolLattice R = evalBool(B->rhs(), S, F);
+      if (L.isBottom() || R.isBottom()) {
+        S.setBottom();
+        return;
+      }
+      if (R.isConstant())
+        refineBool(B->lhs(), WantEqual == R.constantValue(), S, F);
+      if (L.isConstant())
+        refineBool(B->rhs(), WantEqual == L.constantValue(), S, F);
+      return;
+    }
+    CmpOp Op = toCmpOp(B->op());
+    if (!Required)
+      Op = negateCmp(Op);
+    Interval L = evalInt(B->lhs(), S, F);
+    Interval R = evalInt(B->rhs(), S, F);
+    auto [NewL, NewR] = D.assumeCmp(Op, L, R);
+    refineInt(B->lhs(), NewL, S, F);
+    refineInt(B->rhs(), NewR, S, F);
+    return;
+  }
+  default:
+    return;
+  }
+}

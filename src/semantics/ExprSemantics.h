@@ -1,0 +1,86 @@
+//===- semantics/ExprSemantics.h - Abstract expression semantics -*- C++ -*-===//
+//
+// Part of Syntox++, a reproduction of Bourdoncle's abstract debugger
+// (PLDI 1993). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Forward evaluation and backward (HC4-style) refinement of call-free
+/// expressions over abstract stores. Backward refinement is the engine of
+/// the paper's backward propagation: given a requirement on an
+/// expression's value, it evaluates the tree bottom-up and pushes refined
+/// intervals top-down onto the variables — e.g. requiring `i + 1 in
+/// [1,100]` refines `i` to `[0,99]` (paper §2).
+///
+/// Variable accesses go through a FrameMap, which redirects a reference
+/// (`var`) formal parameter to its *root* location: the token's exact
+/// aliasing information (paper §5/§6.4) makes every scalar assignment a
+/// strong, destructive update.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYNTOX_SEMANTICS_EXPRSEMANTICS_H
+#define SYNTOX_SEMANTICS_EXPRSEMANTICS_H
+
+#include "semantics/AbstractStore.h"
+
+#include <map>
+
+namespace syntox {
+
+/// Redirection of `var` formals to their root locations for one
+/// activation token. Identity for every other variable.
+class FrameMap {
+public:
+  void redirect(const VarDecl *Formal, const VarDecl *Root) {
+    Redirect[Formal] = Root;
+  }
+
+  const VarDecl *resolve(const VarDecl *V) const {
+    auto It = Redirect.find(V);
+    return It == Redirect.end() ? V : It->second;
+  }
+
+  bool empty() const { return Redirect.empty(); }
+  const std::map<const VarDecl *, const VarDecl *> &map() const {
+    return Redirect;
+  }
+
+private:
+  std::map<const VarDecl *, const VarDecl *> Redirect;
+};
+
+/// Forward and backward abstract semantics of expressions.
+class ExprSemantics {
+public:
+  explicit ExprSemantics(const StoreOps &Ops) : Ops(Ops), D(Ops.domain()) {}
+
+  /// \name Forward evaluation
+  /// Bottom results mean "no execution reaches here with a value".
+  /// @{
+  Interval evalInt(const Expr *E, const AbstractStore &S,
+                   const FrameMap &F) const;
+  BoolLattice evalBool(const Expr *E, const AbstractStore &S,
+                       const FrameMap &F) const;
+  /// @}
+
+  /// \name Backward refinement
+  /// Refines \p S so that it keeps exactly the states where E *may*
+  /// evaluate into the required set; sets S to bottom when impossible.
+  /// Sound: never removes a state where E's value is in the requirement.
+  /// @{
+  void refineInt(const Expr *E, const Interval &Required, AbstractStore &S,
+                 const FrameMap &F) const;
+  void refineBool(const Expr *E, bool Required, AbstractStore &S,
+                  const FrameMap &F) const;
+  /// @}
+
+private:
+  const StoreOps &Ops;
+  const IntervalDomain &D;
+};
+
+} // namespace syntox
+
+#endif // SYNTOX_SEMANTICS_EXPRSEMANTICS_H

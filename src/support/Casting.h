@@ -1,0 +1,50 @@
+//===- support/Casting.h - isa/cast/dyn_cast templates ----------*- C++ -*-===//
+//
+// Part of Syntox++, a reproduction of Bourdoncle's abstract debugger
+// (PLDI 1993). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal LLVM-style RTTI replacement. A class opts in by providing
+/// `static bool classof(const Base *)`, typically testing a kind
+/// discriminator. No v-tables or RTTI required.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYNTOX_SUPPORT_CASTING_H
+#define SYNTOX_SUPPORT_CASTING_H
+
+#include <cassert>
+
+namespace syntox {
+
+/// Returns true if \p Val is an instance of To. \p Val must be non-null.
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> on a null pointer");
+  return To::classof(Val);
+}
+
+/// Checked downcast; asserts on kind mismatch.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<> to incompatible type");
+  return static_cast<To *>(Val);
+}
+
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<> to incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+/// Checking downcast; returns null on kind mismatch.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+} // namespace syntox
+
+#endif // SYNTOX_SUPPORT_CASTING_H

@@ -1,0 +1,91 @@
+//===- support/Diagnostics.h - Diagnostic collection ------------*- C++ -*-===//
+//
+// Part of Syntox++, a reproduction of Bourdoncle's abstract debugger
+// (PLDI 1993). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small diagnostics engine. Libraries never abort or throw on bad input;
+/// they report through a DiagnosticsEngine and return failure. The engine
+/// records every diagnostic so tests can assert on exact messages.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYNTOX_SUPPORT_DIAGNOSTICS_H
+#define SYNTOX_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <vector>
+
+namespace syntox {
+
+/// Severity of a diagnostic, ordered by increasing gravity.
+enum class DiagSeverity {
+  Note,    ///< Supplementary information attached to another diagnostic.
+  Warning, ///< Suspicious but analyzable construct, or a derived
+           ///< necessary condition of correctness.
+  Error,   ///< Construct that prevents analysis (parse/type errors).
+};
+
+/// One reported diagnostic.
+struct Diagnostic {
+  DiagSeverity Severity = DiagSeverity::Error;
+  SourceLoc Loc;
+  std::string Message;
+
+  /// Renders as "line:col: severity: message".
+  std::string str() const;
+};
+
+/// Collects diagnostics emitted by the frontend and the analyses.
+///
+/// The engine is deliberately simple: diagnostics accumulate in emission
+/// order and can be inspected, counted or rendered. There is no stream
+/// output in library code; callers decide how to surface messages.
+class DiagnosticsEngine {
+public:
+  void report(DiagSeverity Severity, SourceLoc Loc, std::string Message) {
+    if (Severity == DiagSeverity::Error)
+      ++NumErrors;
+    if (Severity == DiagSeverity::Warning)
+      ++NumWarnings;
+    Diags.push_back(Diagnostic{Severity, Loc, std::move(Message)});
+  }
+
+  void error(SourceLoc Loc, std::string Message) {
+    report(DiagSeverity::Error, Loc, std::move(Message));
+  }
+  void warning(SourceLoc Loc, std::string Message) {
+    report(DiagSeverity::Warning, Loc, std::move(Message));
+  }
+  void note(SourceLoc Loc, std::string Message) {
+    report(DiagSeverity::Note, Loc, std::move(Message));
+  }
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  unsigned warningCount() const { return NumWarnings; }
+
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Renders every diagnostic, one per line.
+  std::string str() const;
+
+  void clear() {
+    Diags.clear();
+    NumErrors = 0;
+    NumWarnings = 0;
+  }
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+  unsigned NumWarnings = 0;
+};
+
+} // namespace syntox
+
+#endif // SYNTOX_SUPPORT_DIAGNOSTICS_H

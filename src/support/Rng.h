@@ -1,0 +1,60 @@
+//===- support/Rng.h - Deterministic PRNG -----------------------*- C++ -*-===//
+//
+// Part of Syntox++, a reproduction of Bourdoncle's abstract debugger
+// (PLDI 1993). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny deterministic SplitMix64 PRNG so property tests and benchmark
+/// workload generators are reproducible across platforms (std::mt19937
+/// distributions are not portable across standard library versions).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYNTOX_SUPPORT_RNG_H
+#define SYNTOX_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace syntox {
+
+/// SplitMix64: fast, high-quality 64-bit mixing, fully deterministic.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ULL) : State(Seed) {}
+
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform integer in [0, Bound). \p Bound must be positive.
+  uint64_t below(uint64_t Bound) {
+    assert(Bound > 0 && "empty range");
+    return next() % Bound;
+  }
+
+  /// Uniform integer in [Lo, Hi] (inclusive). Requires Lo <= Hi.
+  int64_t range(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    uint64_t Span = static_cast<uint64_t>(Hi) - static_cast<uint64_t>(Lo) + 1;
+    // Span == 0 means the whole 64-bit range.
+    uint64_t R = Span == 0 ? next() : next() % Span;
+    return static_cast<int64_t>(static_cast<uint64_t>(Lo) + R);
+  }
+
+  /// Bernoulli draw: true with probability Num/Den.
+  bool chance(uint64_t Num, uint64_t Den) { return below(Den) < Num; }
+
+private:
+  uint64_t State;
+};
+
+} // namespace syntox
+
+#endif // SYNTOX_SUPPORT_RNG_H

@@ -1,0 +1,11 @@
+//===- support/SourceLoc.cpp ----------------------------------------------===//
+
+#include "support/SourceLoc.h"
+
+using namespace syntox;
+
+std::string SourceLoc::str() const {
+  if (!isValid())
+    return "<unknown>";
+  return std::to_string(Line) + ":" + std::to_string(Column);
+}

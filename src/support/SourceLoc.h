@@ -1,0 +1,60 @@
+//===- support/SourceLoc.h - Source locations and ranges --------*- C++ -*-===//
+//
+// Part of Syntox++, a reproduction of Bourdoncle's abstract debugger
+// (PLDI 1993). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight value types describing positions in analyzed source text.
+/// Every AST node, control point and diagnostic carries a SourceLoc so that
+/// necessary conditions can be reported at the *origin* of a bug.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYNTOX_SUPPORT_SOURCELOC_H
+#define SYNTOX_SUPPORT_SOURCELOC_H
+
+#include <cstdint>
+#include <string>
+
+namespace syntox {
+
+/// A 1-based (line, column) position in a source buffer. Line 0 denotes an
+/// invalid/unknown location.
+struct SourceLoc {
+  uint32_t Line = 0;
+  uint32_t Column = 0;
+
+  SourceLoc() = default;
+  SourceLoc(uint32_t Line, uint32_t Column) : Line(Line), Column(Column) {}
+
+  bool isValid() const { return Line != 0; }
+
+  bool operator==(const SourceLoc &Other) const = default;
+
+  bool operator<(const SourceLoc &Other) const {
+    if (Line != Other.Line)
+      return Line < Other.Line;
+    return Column < Other.Column;
+  }
+
+  /// Renders as "line:col", or "<unknown>" when invalid.
+  std::string str() const;
+};
+
+/// A half-open range of source positions [Begin, End).
+struct SourceRange {
+  SourceLoc Begin;
+  SourceLoc End;
+
+  SourceRange() = default;
+  SourceRange(SourceLoc Begin, SourceLoc End) : Begin(Begin), End(End) {}
+  explicit SourceRange(SourceLoc Loc) : Begin(Loc), End(Loc) {}
+
+  bool isValid() const { return Begin.isValid(); }
+};
+
+} // namespace syntox
+
+#endif // SYNTOX_SUPPORT_SOURCELOC_H

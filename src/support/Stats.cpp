@@ -1,0 +1,32 @@
+//===- support/Stats.cpp --------------------------------------------------===//
+
+#include "support/Stats.h"
+
+#include <cstdio>
+
+using namespace syntox;
+
+std::string AnalysisStats::str() const {
+  std::string Out;
+  char Buf[160];
+  for (const PhaseStats &P : Phases) {
+    std::snprintf(Buf, sizeof(Buf), "*** %s: widening (%llu), narrowing (%llu)\n",
+                  P.Name.c_str(), (unsigned long long)P.WideningSteps,
+                  (unsigned long long)P.NarrowingSteps);
+    Out += Buf;
+  }
+  std::snprintf(Buf, sizeof(Buf), "*** CPU: %.3f seconds\n", CpuSeconds);
+  Out += Buf;
+  std::snprintf(Buf, sizeof(Buf), "*** Memory: %llu Kb\n",
+                (unsigned long long)(BytesUsed / 1024));
+  Out += Buf;
+  std::snprintf(Buf, sizeof(Buf), "*** Control points: %llu\n",
+                (unsigned long long)ControlPoints);
+  Out += Buf;
+  std::snprintf(Buf, sizeof(Buf),
+                "*** Equations: %llu (%llu unions, %llu widenings)\n",
+                (unsigned long long)Equations, (unsigned long long)Unions,
+                (unsigned long long)Widenings);
+  Out += Buf;
+  return Out;
+}

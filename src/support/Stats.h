@@ -1,0 +1,50 @@
+//===- support/Stats.h - Analysis statistics --------------------*- C++ -*-===//
+//
+// Part of Syntox++, a reproduction of Bourdoncle's abstract debugger
+// (PLDI 1993). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Counters mirroring the statistics panel of the original Syntox session
+/// (Figure 2 of the paper): control points, equations, unions, widenings,
+/// narrowings, per-phase iteration counts, CPU time and memory. Benchmarks
+/// E2 and E4 print these.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYNTOX_SUPPORT_STATS_H
+#define SYNTOX_SUPPORT_STATS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace syntox {
+
+/// Iteration counts for one fixpoint phase (e.g. "Forward analysis:
+/// widening (84), narrowing (56)" in Figure 2).
+struct PhaseStats {
+  std::string Name;            ///< e.g. "forward", "intermittent", "invariant"
+  uint64_t WideningSteps = 0;  ///< equation evaluations in the ascending phase
+  uint64_t NarrowingSteps = 0; ///< equation evaluations in the descending phase
+};
+
+/// Aggregate statistics for one complete abstract-debugging run.
+struct AnalysisStats {
+  uint64_t ControlPoints = 0; ///< control points after call-graph unfolding
+  uint64_t Equations = 0;     ///< semantic equations solved
+  uint64_t Unions = 0;        ///< abstract joins performed
+  uint64_t Widenings = 0;     ///< widening applications
+  uint64_t Narrowings = 0;    ///< narrowing applications
+  uint64_t BytesUsed = 0;     ///< live analysis structures, in bytes
+  double CpuSeconds = 0.0;    ///< wall-clock analysis time
+  std::vector<PhaseStats> Phases;
+
+  /// Renders a Figure-2-style summary block.
+  std::string str() const;
+};
+
+} // namespace syntox
+
+#endif // SYNTOX_SUPPORT_STATS_H

@@ -1,0 +1,108 @@
+//===- tests/baselines/baselines_test.cpp - Baseline comparison tests -----===//
+//
+// Paper §6.5: the full abstract debugger must dominate the Harrison-77
+// gfp analysis and the forward-only analysis in precision, and the
+// context-insensitive variant must be cheaper but less precise on
+// token-sensitive programs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/Baselines.h"
+#include "frontend/PaperPrograms.h"
+
+#include "../common/AnalysisTestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace syntox;
+using namespace syntox::test;
+
+namespace {
+
+struct Built {
+  FrontendResult FE;
+  std::unique_ptr<ProgramCfg> Cfg;
+};
+
+Built build(const std::string &Source) {
+  Built Out;
+  Out.FE = runFrontend(Source);
+  EXPECT_TRUE(Out.FE.SemaOk) << Out.FE.Diags->str();
+  CfgBuilder Builder(*Out.FE.Ctx, *Out.FE.Diags);
+  Out.Cfg = Builder.build(Out.FE.Program);
+  return Out;
+}
+
+BaselineOutcome run(const Built &B, BaselineKind Kind) {
+  return runBaseline(Kind, *B.Cfg, B.FE.Program);
+}
+
+TEST(BaselinesTest, NamesAndOptions) {
+  EXPECT_STREQ(baselineKindName(BaselineKind::HarrisonGfp), "harrison-gfp");
+  EXPECT_FALSE(baselineOptions(BaselineKind::ForwardOnly).UseBackward);
+  EXPECT_TRUE(baselineOptions(BaselineKind::HarrisonGfp).HarrisonGfp);
+  EXPECT_TRUE(
+      baselineOptions(BaselineKind::ContextInsensitive).ContextInsensitive);
+}
+
+TEST(BaselinesTest, FullDominatesHarrisonOnBinarySearch) {
+  Built B = build(paper::BinarySearchProgram);
+  BaselineOutcome Full = run(B, BaselineKind::FullAbstractDebugging);
+  BaselineOutcome Harrison = run(B, BaselineKind::HarrisonGfp);
+  // The lfp-based analysis discharges every array check; Harrison's gfp
+  // of the forward system keeps unreachable garbage alive and proves
+  // fewer checks.
+  EXPECT_GE(Full.Checks.Safe, Harrison.Checks.Safe);
+  EXPECT_GT(Full.FiniteBounds, Harrison.FiniteBounds);
+}
+
+TEST(BaselinesTest, ForwardOnlyFindsSameChecksButNoConditions) {
+  // Check discharge only needs the forward analysis; the difference is
+  // in the conditions (backward), visible as equal check summaries here.
+  Built B = build(paper::HeapSortProgram);
+  BaselineOutcome Full = run(B, BaselineKind::FullAbstractDebugging);
+  BaselineOutcome Fwd = run(B, BaselineKind::ForwardOnly);
+  EXPECT_EQ(Full.Checks.Safe, Fwd.Checks.Safe);
+  EXPECT_EQ(Full.Checks.Total, Fwd.Checks.Total);
+}
+
+TEST(BaselinesTest, ContextInsensitiveMergesInstances) {
+  Built B = build(paper::McCarthyProgram);
+  BaselineOutcome Full = run(B, BaselineKind::FullAbstractDebugging);
+  BaselineOutcome Merged = run(B, BaselineKind::ContextInsensitive);
+  // 11 unfolded instances vs 2 (main + mc).
+  EXPECT_GT(Full.ControlPoints, Merged.ControlPoints);
+  EXPECT_LT(Merged.ControlPoints, Full.ControlPoints / 3);
+}
+
+TEST(BaselinesTest, ContextInsensitiveLosesPrecision) {
+  // Two call sites with different constant arguments: merging them loses
+  // the per-site constants.
+  Built B = build("program p; var a, b : integer;\n"
+                  "function id(x : integer) : integer;\n"
+                  "begin id := x end;\n"
+                  "begin a := id(1); b := id(100);\n"
+                  "  invariant(a = 1); invariant(b = 100) end.");
+  BaselineOutcome Full = run(B, BaselineKind::FullAbstractDebugging);
+  BaselineOutcome Merged = run(B, BaselineKind::ContextInsensitive);
+  EXPECT_GT(Full.FiniteBounds, Merged.FiniteBounds);
+}
+
+TEST(BaselinesTest, AllBaselinesRunOnQuickSort) {
+  Built B = build(paper::QuickSortProgram);
+  std::vector<BaselineOutcome> All = runAllBaselines(*B.Cfg, B.FE.Program);
+  ASSERT_EQ(All.size(), 4u);
+  for (const BaselineOutcome &O : All) {
+    EXPECT_GT(O.ControlPoints, 0u);
+    EXPECT_FALSE(O.str().empty());
+  }
+  // Full is at least as precise as the *sound* baselines on check
+  // discharge (Harrison's gfp produces unsound "unreachable" verdicts —
+  // the paper's "no semantic justification" criticism — so its counts
+  // are not comparable; its range quality collapses instead).
+  EXPECT_GE(All[0].Checks.Safe, All[1].Checks.Safe); // forward-only
+  EXPECT_GE(All[0].Checks.Safe, All[3].Checks.Safe); // context-insensitive
+  EXPECT_GT(All[0].FiniteBounds, All[2].FiniteBounds); // harrison
+}
+
+} // namespace

@@ -1,0 +1,230 @@
+//===- tests/cfg/cfg_test.cpp - CFG builder unit tests --------------------===//
+
+#include "cfg/CfgBuilder.h"
+#include "frontend/PaperPrograms.h"
+
+#include "../common/FrontendTestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace syntox;
+using namespace syntox::test;
+
+namespace {
+
+struct BuiltCfg {
+  FrontendResult Frontend;
+  std::unique_ptr<ProgramCfg> Cfg;
+};
+
+BuiltCfg buildCfg(const std::string &Source) {
+  BuiltCfg Out;
+  Out.Frontend = runFrontend(Source);
+  EXPECT_TRUE(Out.Frontend.SemaOk) << Out.Frontend.Diags->str();
+  if (!Out.Frontend.SemaOk)
+    return Out;
+  CfgBuilder Builder(*Out.Frontend.Ctx, *Out.Frontend.Diags);
+  Out.Cfg = Builder.build(Out.Frontend.Program);
+  return Out;
+}
+
+unsigned countEdges(const RoutineCfg &C, Action::Kind K) {
+  unsigned N = 0;
+  for (const CfgEdge &E : C.edges())
+    N += E.Act.K == K;
+  return N;
+}
+
+TEST(CfgTest, MinimalProgram) {
+  auto B = buildCfg("program p; begin end.");
+  ASSERT_NE(B.Cfg, nullptr);
+  const RoutineCfg *Main = B.Cfg->cfgFor(B.Frontend.Program);
+  ASSERT_NE(Main, nullptr);
+  EXPECT_GE(Main->numPoints(), 2u); // entry + exit at least
+  EXPECT_NE(Main->entry(), Main->exit());
+}
+
+TEST(CfgTest, AssignmentLowering) {
+  auto B = buildCfg("program p; var i : integer; begin i := 1 + 2 end.");
+  const RoutineCfg *Main = B.Cfg->cfgFor(B.Frontend.Program);
+  EXPECT_EQ(countEdges(*Main, Action::Kind::Assign), 1u);
+  EXPECT_TRUE(B.Cfg->checks().empty());
+}
+
+TEST(CfgTest, SubrangeAssignmentGetsCheck) {
+  auto B = buildCfg("program p; var i : 1..10; j : integer;\n"
+                    "begin i := j end.");
+  const RoutineCfg *Main = B.Cfg->cfgFor(B.Frontend.Program);
+  EXPECT_EQ(countEdges(*Main, Action::Kind::Check), 1u);
+  ASSERT_EQ(B.Cfg->checks().size(), 1u);
+  EXPECT_EQ(B.Cfg->checks()[0].Kind, CheckKind::SubrangeBound);
+  EXPECT_EQ(B.Cfg->checks()[0].Lo, 1);
+  EXPECT_EQ(B.Cfg->checks()[0].Hi, 10);
+}
+
+TEST(CfgTest, ArrayAccessGetsBoundCheck) {
+  auto B = buildCfg("program p; var T : array [1..100] of integer;\n"
+                    "    i : integer;\n"
+                    "begin T[i] := T[i + 1] end.");
+  const RoutineCfg *Main = B.Cfg->cfgFor(B.Frontend.Program);
+  // One check for the store index, one for the load index.
+  EXPECT_EQ(countEdges(*Main, Action::Kind::Check), 2u);
+  for (const CheckInfo &C : B.Cfg->checks()) {
+    EXPECT_EQ(C.Kind, CheckKind::ArrayBound);
+    EXPECT_EQ(C.Lo, 1);
+    EXPECT_EQ(C.Hi, 100);
+  }
+  EXPECT_EQ(countEdges(*Main, Action::Kind::ArrayStore), 1u);
+}
+
+TEST(CfgTest, DivAndModGetChecks) {
+  auto B = buildCfg("program p; var i : integer;\n"
+                    "begin i := i div 2; i := i mod 3 end.");
+  ASSERT_EQ(B.Cfg->checks().size(), 2u);
+  EXPECT_EQ(B.Cfg->checks()[0].Kind, CheckKind::DivByZero);
+  EXPECT_EQ(B.Cfg->checks()[1].Kind, CheckKind::DivByZero);
+}
+
+TEST(CfgTest, NestedCallsAreFlattened) {
+  auto B = buildCfg(paper::McCarthyProgram);
+  const RoutineDecl *Mc = B.Frontend.Program->block()->Routines[0];
+  const RoutineCfg *McCfg = B.Cfg->cfgFor(Mc);
+  ASSERT_NE(McCfg, nullptr);
+  // The else branch nests 9 calls; each must be its own edge.
+  EXPECT_EQ(countEdges(*McCfg, Action::Kind::Call), 9u);
+  // Every call edge's arguments must be call-free.
+  for (const CfgEdge &E : McCfg->edges()) {
+    if (E.Act.K != Action::Kind::Call)
+      continue;
+    for (const Expr *Arg : E.Act.Call->args()) {
+      const auto *Inner = dyn_cast<CallExpr>(Arg);
+      EXPECT_TRUE(!Inner || Inner->builtin() != BuiltinFn::None);
+    }
+    EXPECT_NE(E.Act.ResultVar, nullptr);
+  }
+}
+
+TEST(CfgTest, WhileLoopHasCycle) {
+  auto B = buildCfg(paper::IntermittentProgramPlain);
+  const RoutineCfg *Main = B.Cfg->cfgFor(B.Frontend.Program);
+  // Find a back edge: an edge whose target appears earlier.
+  bool HasBackEdge = false;
+  for (const CfgEdge &E : Main->edges())
+    HasBackEdge |= E.To <= E.From;
+  EXPECT_TRUE(HasBackEdge);
+  EXPECT_EQ(countEdges(*Main, Action::Kind::Assume), 2u);
+}
+
+TEST(CfgTest, IntermittentAssertionRecorded) {
+  auto B = buildCfg(paper::IntermittentProgram);
+  const RoutineCfg *Main = B.Cfg->cfgFor(B.Frontend.Program);
+  ASSERT_EQ(Main->intermittents().size(), 1u);
+  EXPECT_NE(Main->intermittents()[0].Cond, nullptr);
+}
+
+TEST(CfgTest, InvariantAssertionBecomesEdge) {
+  auto B = buildCfg(paper::McCarthyWithInvariant);
+  const RoutineDecl *Mc = B.Frontend.Program->block()->Routines[0];
+  const RoutineCfg *McCfg = B.Cfg->cfgFor(Mc);
+  EXPECT_EQ(countEdges(*McCfg, Action::Kind::Invariant), 1u);
+}
+
+TEST(CfgTest, ForLoopDesugaring) {
+  auto B = buildCfg(paper::ForProgram);
+  const RoutineCfg *Main = B.Cfg->cfgFor(B.Frontend.Program);
+  // Entry test, loop-continue test, loop-exit test, plus the enter-skip.
+  EXPECT_GE(countEdges(*Main, Action::Kind::Assume), 4u);
+  // i := from and i := i + 1 assignments (bounds need no temps here).
+  EXPECT_GE(countEdges(*Main, Action::Kind::Assign), 2u);
+  // read(n) and read(T[i]).
+  EXPECT_EQ(countEdges(*Main, Action::Kind::ReadScalar), 1u);
+  EXPECT_EQ(countEdges(*Main, Action::Kind::ReadArray), 1u);
+  // The array read gets its bound check.
+  ASSERT_EQ(B.Cfg->checks().size(), 1u);
+  EXPECT_EQ(B.Cfg->checks()[0].Kind, CheckKind::ArrayBound);
+}
+
+TEST(CfgTest, CaseLowering) {
+  auto B = buildCfg("program p; var n, x : integer;\n"
+                    "begin\n"
+                    "  case n of\n"
+                    "    1: x := 1;\n"
+                    "    2, 3: x := 2\n"
+                    "  end\n"
+                    "end.");
+  const RoutineCfg *Main = B.Cfg->cfgFor(B.Frontend.Program);
+  // Two arm assumes plus the no-match assume.
+  EXPECT_EQ(countEdges(*Main, Action::Kind::Assume), 3u);
+  // The no-else fallthrough registers a CaseMatch check.
+  ASSERT_EQ(B.Cfg->checks().size(), 1u);
+  EXPECT_EQ(B.Cfg->checks()[0].Kind, CheckKind::CaseMatch);
+}
+
+TEST(CfgTest, LocalGotoEdge) {
+  auto B = buildCfg("program p; label 10; var i : integer;\n"
+                    "begin\n"
+                    "  10: i := i + 1;\n"
+                    "  goto 10\n"
+                    "end.");
+  const RoutineCfg *Main = B.Cfg->cfgFor(B.Frontend.Program);
+  ASSERT_TRUE(Main->labelPoints().count(10));
+  unsigned LabelPt = Main->labelPoints().at(10);
+  bool HasEdgeToLabel = false;
+  for (const CfgEdge &E : Main->edges())
+    HasEdgeToLabel |= (E.To == LabelPt && E.From > LabelPt);
+  EXPECT_TRUE(HasEdgeToLabel);
+  EXPECT_TRUE(Main->channelExits().empty());
+}
+
+TEST(CfgTest, NonLocalGotoCreatesChannel) {
+  auto B = buildCfg("program p;\n"
+                    "label 99;\n"
+                    "var i : integer;\n"
+                    "procedure q;\n"
+                    "begin goto 99 end;\n"
+                    "begin q; 99: i := 0 end.");
+  const RoutineDecl *Q = B.Frontend.Program->block()->Routines[0];
+  const RoutineCfg *QCfg = B.Cfg->cfgFor(Q);
+  ASSERT_EQ(QCfg->channelExits().size(), 1u);
+  const Channel &C = QCfg->channelExits().begin()->first;
+  EXPECT_EQ(C.Target, B.Frontend.Program);
+  EXPECT_EQ(C.Label, 99);
+  // The program owns the label locally: no channel of its own.
+  EXPECT_TRUE(B.Cfg->cfgFor(B.Frontend.Program)->channelExits().empty());
+}
+
+TEST(CfgTest, ChannelsPropagateThroughCallers) {
+  auto B = buildCfg("program p;\n"
+                    "label 99;\n"
+                    "var i : integer;\n"
+                    "procedure inner;\n"
+                    "begin goto 99 end;\n"
+                    "procedure middle;\n"
+                    "begin inner end;\n"
+                    "begin middle; 99: i := 0 end.");
+  const RoutineDecl *Middle = B.Frontend.Program->block()->Routines[1];
+  ASSERT_EQ(Middle->name(), "middle");
+  const RoutineCfg *MiddleCfg = B.Cfg->cfgFor(Middle);
+  // middle does not jump itself but calls inner, which does: it inherits
+  // the channel.
+  ASSERT_EQ(MiddleCfg->channelExits().size(), 1u);
+  EXPECT_EQ(MiddleCfg->channelExits().begin()->first.Label, 99);
+}
+
+TEST(CfgTest, CallArgumentSubrangeChecks) {
+  auto B = buildCfg(paper::HeapSortProgram);
+  // sift(l, r : index) is called twice, each with two subrange checks on
+  // copy-in, plus the subrange check on read(n).
+  unsigned SubrangeChecks = 0;
+  for (const CheckInfo &C : B.Cfg->checks())
+    SubrangeChecks += C.Kind == CheckKind::SubrangeBound;
+  EXPECT_GE(SubrangeChecks, 5u);
+}
+
+TEST(CfgTest, TotalPointsGrowWithProgramSize) {
+  auto Small = buildCfg(paper::FactProgram);
+  auto Large = buildCfg(paper::McCarthyProgram);
+  EXPECT_GT(Large.Cfg->totalPoints(), Small.Cfg->totalPoints());
+}
+
+} // namespace

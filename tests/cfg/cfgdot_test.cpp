@@ -1,0 +1,86 @@
+//===- tests/cfg/cfgdot_test.cpp - Graphviz dumper tests -------------------===//
+
+#include "cfg/CfgBuilder.h"
+#include "cfg/CfgDot.h"
+#include "frontend/PaperPrograms.h"
+
+#include "../common/FrontendTestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace syntox;
+using namespace syntox::test;
+
+namespace {
+
+struct Built {
+  FrontendResult FE;
+  std::unique_ptr<ProgramCfg> Cfg;
+};
+
+Built build(const std::string &Source) {
+  Built B;
+  B.FE = runFrontend(Source);
+  EXPECT_TRUE(B.FE.SemaOk) << B.FE.Diags->str();
+  CfgBuilder Builder(*B.FE.Ctx, *B.FE.Diags);
+  B.Cfg = Builder.build(B.FE.Program);
+  return B;
+}
+
+TEST(CfgDotTest, RoutineDigraph) {
+  Built B = build("program p; var i : integer;\n"
+                  "begin i := 0; while i < 10 do i := i + 1 end.");
+  const RoutineCfg *Main = B.Cfg->cfgFor(B.FE.Program);
+  std::string Dot = toDot(*Main);
+  EXPECT_NE(Dot.find("digraph \"p\""), std::string::npos);
+  EXPECT_NE(Dot.find("i := i + 1"), std::string::npos);
+  EXPECT_NE(Dot.find("[i < 10]"), std::string::npos);
+  EXPECT_NE(Dot.find("[not i < 10]"), std::string::npos);
+  EXPECT_NE(Dot.find("shape=box"), std::string::npos);
+  EXPECT_NE(Dot.find("shape=doublecircle"), std::string::npos);
+  // Balanced braces.
+  EXPECT_EQ(std::count(Dot.begin(), Dot.end(), '{'),
+            std::count(Dot.begin(), Dot.end(), '}'));
+}
+
+TEST(CfgDotTest, ProgramClusters) {
+  Built B = build(paper::McCarthyProgram);
+  std::string Dot = toDot(*B.Cfg);
+  EXPECT_NE(Dot.find("cluster_mccarthy"), std::string::npos);
+  EXPECT_NE(Dot.find("cluster_mc"), std::string::npos);
+  EXPECT_NE(Dot.find("call mc"), std::string::npos);
+}
+
+TEST(CfgDotTest, CheckLabelsIncludeRanges) {
+  Built B = build("program p; var T : array [1..100] of integer;\n"
+                  "    i : integer;\n"
+                  "begin read(i); T[i] := i div 2 end.");
+  std::string Dot = toDot(*B.Cfg);
+  EXPECT_NE(Dot.find("in [1, 100]"), std::string::npos);
+  EXPECT_NE(Dot.find("<> 0"), std::string::npos);
+  EXPECT_NE(Dot.find("read(i)"), std::string::npos);
+}
+
+TEST(CfgDotTest, ActionLabels) {
+  Built B = build(paper::WhileProgram);
+  bool SawAssign = false, SawAssume = false;
+  const RoutineCfg *Main = B.Cfg->cfgFor(B.FE.Program);
+  for (const CfgEdge &E : Main->edges()) {
+    std::string Label = actionLabel(E.Act, B.Cfg.get());
+    if (E.Act.K == Action::Kind::Assign) {
+      EXPECT_NE(Label.find(":="), std::string::npos);
+      SawAssign = true;
+    }
+    if (E.Act.K == Action::Kind::Assume) {
+      EXPECT_EQ(Label.front(), '[');
+      SawAssume = true;
+    }
+    if (E.Act.K == Action::Kind::Nop) {
+      EXPECT_TRUE(Label.empty());
+    }
+  }
+  EXPECT_TRUE(SawAssign);
+  EXPECT_TRUE(SawAssume);
+}
+
+} // namespace

@@ -1,0 +1,181 @@
+//===- tests/checks/checks_test.cpp - Check classification tests ----------===//
+//
+// Paper §6.5: "we have been able to show automatically that every array
+// access is statically correct in particular implementations of HeapSort
+// and Binary Search, and that most accesses are also correct in other
+// implementations of various sorting algorithms."
+//
+//===----------------------------------------------------------------------===//
+
+#include "checks/CheckAnalysis.h"
+#include "frontend/PaperPrograms.h"
+
+#include "../common/AnalysisTestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace syntox;
+using namespace syntox::test;
+
+namespace {
+
+CheckSummary classify(const std::string &Source) {
+  auto A = analyzeProgram(Source);
+  CheckAnalysis CA(*A.An);
+  return CA.summary();
+}
+
+TEST(CheckAnalysisTest, BinarySearchAllSafe) {
+  auto A = analyzeProgram(paper::BinarySearchProgram);
+  CheckAnalysis CA(*A.An);
+  EXPECT_TRUE(CA.allSafe()) << [&] {
+    std::string Out;
+    for (const CheckResult &R : CA.results())
+      Out += R.str(A.An->storeOps().domain()) + "\n";
+    return Out;
+  }();
+  EXPECT_GT(CA.summary().Total, 3u);
+}
+
+TEST(CheckAnalysisTest, HeapSortAllSafe) {
+  auto A = analyzeProgram(paper::HeapSortProgram);
+  CheckAnalysis CA(*A.An);
+  EXPECT_TRUE(CA.allSafe()) << [&] {
+    std::string Out;
+    for (const CheckResult &R : CA.results())
+      Out += R.str(A.An->storeOps().domain()) + "\n";
+    return Out;
+  }();
+}
+
+TEST(CheckAnalysisTest, BubbleSortAllSafe) {
+  auto A = analyzeProgram(paper::BubbleSortProgram);
+  CheckAnalysis CA(*A.An);
+  EXPECT_TRUE(CA.allSafe());
+}
+
+TEST(CheckAnalysisTest, QuickSortMostSafe) {
+  // The unbounded sentinel scans of QuickSort cannot be proved with
+  // intervals ("all but one or two", §6.5).
+  auto A = analyzeProgram(paper::QuickSortProgram);
+  CheckAnalysis CA(*A.An);
+  CheckSummary S = CA.summary();
+  EXPECT_GT(S.Safe, 0u);
+  EXPECT_GT(S.MayFail, 0u);
+  EXPECT_GT(S.eliminationRatio(), 0.3);
+}
+
+TEST(CheckAnalysisTest, ForProgramIndexMustFail) {
+  // T[i] with i starting at 0: the very first access violates [1,100].
+  auto A = analyzeProgram(paper::ForProgram);
+  CheckAnalysis CA(*A.An);
+  ASSERT_EQ(CA.results().size(), 1u);
+  const CheckResult &R = CA.results()[0];
+  EXPECT_EQ(R.Info->Kind, CheckKind::ArrayBound);
+  // Observed [0, 100]: fails for 0, so not safe.
+  EXPECT_TRUE(R.Verdict == CheckVerdict::MayFail ||
+              R.Verdict == CheckVerdict::MustFail);
+}
+
+TEST(CheckAnalysisTest, ConstantOutOfBoundsMustFail) {
+  auto A = analyzeProgram("program p; var T : array [1..10] of integer;\n"
+                          "begin T[0] := 1 end.");
+  CheckAnalysis CA(*A.An);
+  ASSERT_EQ(CA.results().size(), 1u);
+  EXPECT_EQ(CA.results()[0].Verdict, CheckVerdict::MustFail);
+}
+
+TEST(CheckAnalysisTest, UnreachableCheck) {
+  auto A = analyzeProgram("program p; var T : array [1..10] of integer;\n"
+                          "    i : integer;\n"
+                          "begin i := 1; if i > 5 then T[0] := 1 end.");
+  CheckAnalysis CA(*A.An);
+  ASSERT_EQ(CA.results().size(), 1u);
+  EXPECT_EQ(CA.results()[0].Verdict, CheckVerdict::Unreachable);
+}
+
+TEST(CheckAnalysisTest, DivByZeroVerdicts) {
+  auto Safe = classify("program p; var i : integer;\n"
+                       "begin read(i); i := i div 2 end.");
+  EXPECT_EQ(Safe.Safe, 1u);
+  auto MayFail = classify("program p; var i, j : integer;\n"
+                          "begin read(j); i := 10 div j end.");
+  EXPECT_EQ(MayFail.MayFail, 1u);
+  auto MustFail = classify("program p; var i : integer;\n"
+                           "begin i := 10 div 0 end.");
+  EXPECT_EQ(MustFail.MustFail, 1u);
+}
+
+TEST(CheckAnalysisTest, SubrangeAssignmentVerdicts) {
+  auto Safe = classify("program p; var n : 1..100; i : integer;\n"
+                       "begin read(i); if (i >= 1) and (i <= 100) then\n"
+                       "  n := i end.");
+  EXPECT_EQ(Safe.Safe + Safe.Unreachable, Safe.Total);
+  auto MayFail = classify("program p; var n : 1..100; i : integer;\n"
+                          "begin read(i); n := i end.");
+  EXPECT_EQ(MayFail.MayFail, 1u);
+}
+
+TEST(CheckAnalysisTest, GuardedAccessIsSafe) {
+  auto S = classify("program p; var T : array [1..10] of integer;\n"
+                    "    i : integer;\n"
+                    "begin read(i);\n"
+                    "  if (i >= 1) and (i <= 10) then T[i] := 0 end.");
+  EXPECT_EQ(S.Safe, 1u);
+}
+
+TEST(CheckAnalysisTest, CaseCoverage) {
+  // Selector restricted to matched labels: fallthrough unreachable.
+  auto Covered = classify("program p; var n, x : integer;\n"
+                          "begin read(n);\n"
+                          "  if (n >= 1) and (n <= 2) then\n"
+                          "    case n of 1: x := 1; 2: x := 2 end\n"
+                          "end.");
+  EXPECT_EQ(Covered.Unreachable, Covered.Total);
+  auto Open = classify("program p; var n, x : integer;\n"
+                       "begin read(n); case n of 1: x := 1 end end.");
+  EXPECT_EQ(Open.MustFail, 1u);
+}
+
+TEST(CheckAnalysisTest, EliminationRatio) {
+  CheckSummary S;
+  S.Total = 10;
+  S.Safe = 6;
+  S.Unreachable = 1;
+  S.MayFail = 3;
+  EXPECT_DOUBLE_EQ(S.eliminationRatio(), 0.7);
+  CheckSummary Empty;
+  EXPECT_DOUBLE_EQ(Empty.eliminationRatio(), 1.0);
+}
+
+TEST(CheckAnalysisTest, MatrixAllSafe) {
+  // Paper §6.5: "every array access in programs Matrix and Shuttle of
+  // Markstein et al. is statically proven correct by Syntox". The
+  // flattened (i-1)*10+j indices need interval multiplication.
+  auto A = analyzeProgram(paper::MatrixProgram);
+  CheckAnalysis CA(*A.An);
+  EXPECT_TRUE(CA.allSafe()) << [&] {
+    std::string Out;
+    for (const CheckResult &R : CA.results())
+      if (R.Verdict == CheckVerdict::MayFail ||
+          R.Verdict == CheckVerdict::MustFail)
+        Out += R.str(A.An->storeOps().domain()) + "\n";
+    return Out;
+  }();
+  EXPECT_GT(CA.summary().Total, 5u);
+}
+
+TEST(CheckAnalysisTest, ShuttleAllSafe) {
+  auto A = analyzeProgram(paper::ShuttleProgram);
+  CheckAnalysis CA(*A.An);
+  EXPECT_TRUE(CA.allSafe()) << [&] {
+    std::string Out;
+    for (const CheckResult &R : CA.results())
+      if (R.Verdict == CheckVerdict::MayFail ||
+          R.Verdict == CheckVerdict::MustFail)
+        Out += R.str(A.An->storeOps().domain()) + "\n";
+    return Out;
+  }();
+}
+
+} // namespace

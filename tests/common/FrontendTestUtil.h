@@ -1,0 +1,57 @@
+//===- tests/common/FrontendTestUtil.h - Shared test helpers ----*- C++ -*-===//
+
+#ifndef SYNTOX_TESTS_COMMON_FRONTENDTESTUTIL_H
+#define SYNTOX_TESTS_COMMON_FRONTENDTESTUTIL_H
+
+#include "frontend/Ast.h"
+#include "frontend/Lexer.h"
+#include "frontend/Parser.h"
+#include "frontend/Sema.h"
+#include "support/Diagnostics.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace syntox {
+namespace test {
+
+/// Everything produced by running the frontend over a source string.
+struct FrontendResult {
+  std::unique_ptr<AstContext> Ctx;
+  std::unique_ptr<DiagnosticsEngine> Diags;
+  RoutineDecl *Program = nullptr;
+  std::vector<RoutineDecl *> Routines;
+  bool SemaOk = false;
+};
+
+/// Lexes, parses, and (optionally) semantically checks \p Source.
+inline FrontendResult runFrontend(const std::string &Source,
+                                  bool RunSema = true) {
+  FrontendResult Result;
+  Result.Ctx = std::make_unique<AstContext>();
+  Result.Diags = std::make_unique<DiagnosticsEngine>();
+  Lexer Lex(Source, *Result.Diags);
+  Parser P(Lex.lexAll(), *Result.Ctx, *Result.Diags);
+  Result.Program = P.parseProgram();
+  if (RunSema && Result.Program) {
+    Sema S(*Result.Ctx, *Result.Diags);
+    Result.SemaOk = S.analyze(Result.Program);
+    Result.Routines = S.routines();
+  }
+  return Result;
+}
+
+/// Parses a source expected to be fully valid; fails the test otherwise.
+inline FrontendResult parseValid(const std::string &Source) {
+  FrontendResult Result = runFrontend(Source);
+  EXPECT_TRUE(Result.Program != nullptr) << Result.Diags->str();
+  EXPECT_FALSE(Result.Diags->hasErrors()) << Result.Diags->str();
+  return Result;
+}
+
+} // namespace test
+} // namespace syntox
+
+#endif // SYNTOX_TESTS_COMMON_FRONTENDTESTUTIL_H

@@ -1,0 +1,152 @@
+//===- tests/core/debugger_test.cpp - AbstractDebugger API tests ----------===//
+
+#include "core/AbstractDebugger.h"
+#include "frontend/PaperPrograms.h"
+
+#include <gtest/gtest.h>
+
+using namespace syntox;
+
+namespace {
+
+std::unique_ptr<AbstractDebugger>
+makeDebugger(const std::string &Source, bool TerminationGoal = false) {
+  DiagnosticsEngine Diags;
+  AbstractDebugger::Options Opts;
+  Opts.Analysis.TerminationGoal = TerminationGoal;
+  auto Dbg = AbstractDebugger::create(Source, Diags, Opts);
+  EXPECT_NE(Dbg, nullptr) << Diags.str();
+  if (Dbg)
+    Dbg->analyze();
+  return Dbg;
+}
+
+bool hasCondition(const AbstractDebugger &Dbg, const std::string &Needle) {
+  for (const NecessaryCondition &C : Dbg.conditions())
+    if (C.str().find(Needle) != std::string::npos)
+      return true;
+  return false;
+}
+
+std::string allConditions(const AbstractDebugger &Dbg) {
+  std::string Out;
+  for (const NecessaryCondition &C : Dbg.conditions())
+    Out += C.str() + "\n";
+  return Out;
+}
+
+TEST(AbstractDebuggerTest, CreateRejectsBadSource) {
+  DiagnosticsEngine Diags;
+  EXPECT_EQ(AbstractDebugger::create("program p; begin x := end.", Diags),
+            nullptr);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(AbstractDebuggerTest, ForProgramReportsNCondition) {
+  auto Dbg = makeDebugger(paper::ForProgram);
+  ASSERT_NE(Dbg, nullptr);
+  EXPECT_TRUE(hasCondition(*Dbg, "n in [-oo, -1]")) << allConditions(*Dbg);
+}
+
+TEST(AbstractDebuggerTest, WhileProgramReportsBCondition) {
+  auto Dbg = makeDebugger(paper::WhileProgram, /*TerminationGoal=*/true);
+  ASSERT_NE(Dbg, nullptr);
+  EXPECT_TRUE(hasCondition(*Dbg, "b = false")) << allConditions(*Dbg);
+}
+
+TEST(AbstractDebuggerTest, FactProgramReportsXCondition) {
+  auto Dbg = makeDebugger(paper::FactProgram, /*TerminationGoal=*/true);
+  ASSERT_NE(Dbg, nullptr);
+  EXPECT_TRUE(hasCondition(*Dbg, "x in [0, +oo]")) << allConditions(*Dbg);
+}
+
+TEST(AbstractDebuggerTest, SelectProgramReportsNCondition) {
+  auto Dbg = makeDebugger(paper::SelectProgram, /*TerminationGoal=*/true);
+  ASSERT_NE(Dbg, nullptr);
+  EXPECT_TRUE(hasCondition(*Dbg, "n in [-oo, 10]")) << allConditions(*Dbg);
+}
+
+TEST(AbstractDebuggerTest, ConditionsAreReportedAtOrigin) {
+  // The condition must be reported once near the read, not at each of
+  // the downstream uses.
+  auto Dbg = makeDebugger(paper::ForProgram);
+  ASSERT_NE(Dbg, nullptr);
+  unsigned NConditions = 0;
+  for (const NecessaryCondition &C : Dbg->conditions())
+    NConditions += C.Var == "n";
+  EXPECT_EQ(NConditions, 1u) << allConditions(*Dbg);
+}
+
+TEST(AbstractDebuggerTest, InvariantWarnings) {
+  auto Dbg = makeDebugger("program p; var i : integer;\n"
+                          "begin read(i); invariant(i >= 0) end.");
+  ASSERT_NE(Dbg, nullptr);
+  ASSERT_EQ(Dbg->invariantWarnings().size(), 1u);
+  EXPECT_NE(Dbg->invariantWarnings()[0].Message.find("may be violated"),
+            std::string::npos);
+}
+
+TEST(AbstractDebuggerTest, ProvedInvariantHasNoWarning) {
+  auto Dbg = makeDebugger("program p; var i : integer;\n"
+                          "begin i := 5; invariant(i = 5) end.");
+  ASSERT_NE(Dbg, nullptr);
+  EXPECT_TRUE(Dbg->invariantWarnings().empty());
+}
+
+TEST(AbstractDebuggerTest, AlwaysViolatedInvariant) {
+  auto Dbg = makeDebugger("program p; var i : integer;\n"
+                          "begin i := 5; invariant(i = 6) end.");
+  ASSERT_NE(Dbg, nullptr);
+  ASSERT_EQ(Dbg->invariantWarnings().size(), 1u);
+  EXPECT_NE(Dbg->invariantWarnings()[0].Message.find("always violated"),
+            std::string::npos);
+}
+
+TEST(AbstractDebuggerTest, SpecSatisfiabilityVerdict) {
+  auto Ok = makeDebugger("program p; var i : integer; begin i := 1 end.");
+  EXPECT_TRUE(Ok->someExecutionMaySatisfySpec());
+  // The intermittent point is unreachable: no execution can satisfy it.
+  auto Bad = makeDebugger("program p; var i : integer;\n"
+                          "begin i := 0; if i > 5 then intermittent(true)\n"
+                          "end.");
+  EXPECT_FALSE(Bad->someExecutionMaySatisfySpec());
+}
+
+TEST(AbstractDebuggerTest, StateReportRendersStores) {
+  auto Dbg = makeDebugger("program p; var i : integer;\n"
+                          "begin i := 0; while i < 100 do i := i + 1 end.");
+  ASSERT_NE(Dbg, nullptr);
+  std::string Report = Dbg->stateReport("exit");
+  EXPECT_NE(Report.find("i -> [100, 100]"), std::string::npos) << Report;
+  // Filtered report only contains matching points.
+  EXPECT_EQ(Report.find("while head"), std::string::npos);
+}
+
+TEST(AbstractDebuggerTest, StatsArePopulated) {
+  auto Dbg = makeDebugger(paper::McCarthyProgram);
+  ASSERT_NE(Dbg, nullptr);
+  const AnalysisStats &S = Dbg->stats();
+  EXPECT_GT(S.ControlPoints, 100u); // after unfolding (11 instances)
+  EXPECT_GT(S.Unions, 0u);
+  EXPECT_GT(S.Widenings, 0u);
+  EXPECT_GE(S.Phases.size(), 3u);
+  EXPECT_GT(S.CpuSeconds, 0.0);
+  std::string Rendered = S.str();
+  EXPECT_NE(Rendered.find("Control points"), std::string::npos);
+}
+
+TEST(AbstractDebuggerTest, ChecksAccessible) {
+  auto Dbg = makeDebugger(paper::BinarySearchProgram);
+  ASSERT_NE(Dbg, nullptr);
+  EXPECT_TRUE(Dbg->checks().allSafe());
+}
+
+TEST(AbstractDebuggerTest, McCarthyInvariantStudy) {
+  auto Dbg = makeDebugger(paper::McCarthyWithInvariant);
+  ASSERT_NE(Dbg, nullptr);
+  // m = 91 is visible in the final state at the exit.
+  std::string Report = Dbg->stateReport("exit of mccarthy");
+  EXPECT_NE(Report.find("m -> [91, 91]"), std::string::npos) << Report;
+}
+
+} // namespace

@@ -1,0 +1,225 @@
+//===- tests/fixpoint/solver_test.cpp - Fixpoint solver tests -------------===//
+//
+// Exercises the generic solver on hand-built interval equation systems,
+// including the paper's §6.1 example loop, for both iteration strategies
+// and both fixpoint kinds.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fixpoint/Solver.h"
+#include "lattice/Interval.h"
+
+#include <gtest/gtest.h>
+
+using namespace syntox;
+
+namespace {
+
+/// A small interval equation system: each node's RHS is the join over
+/// incoming edges of a transfer applied to the source value, optionally
+/// joined with a constant seed and met with a filter.
+struct IntervalSystem {
+  using Value = Interval;
+
+  struct EdgeFn {
+    unsigned From;
+    int64_t AddOffset = 0;   ///< value + offset
+    Interval Filter;         ///< meet with this after the offset
+    EdgeFn(unsigned From, int64_t Off, Interval Filter)
+        : From(From), AddOffset(Off), Filter(Filter) {}
+  };
+
+  IntervalDomain D;
+  Digraph DepGraph;
+  std::vector<std::vector<EdgeFn>> Inflows; // per node
+  std::vector<Interval> Seeds;              // per node, joined in
+
+  explicit IntervalSystem(unsigned N) : DepGraph(N), Inflows(N), Seeds(N) {}
+
+  void addEdge(unsigned From, unsigned To, int64_t Off, Interval Filter) {
+    Inflows[To].push_back(EdgeFn(From, Off, Filter));
+    DepGraph.addEdge(From, To);
+  }
+
+  unsigned numNodes() const { return DepGraph.numNodes(); }
+  const Digraph &graph() const { return DepGraph; }
+  std::vector<unsigned> roots() const { return {0}; }
+
+  Interval initialValue(unsigned, bool FromTop) const {
+    return FromTop ? D.top() : D.bottom();
+  }
+
+  Interval evaluate(unsigned Node, const std::vector<Interval> &X) const {
+    Interval Out = Seeds[Node];
+    for (const EdgeFn &E : Inflows[Node]) {
+      Interval V = X[E.From];
+      if (E.AddOffset != 0)
+        V = D.add(V, Interval::singleton(E.AddOffset));
+      V = D.meet(V, E.Filter);
+      Out = D.join(Out, V);
+    }
+    return Out;
+  }
+
+  bool leq(const Interval &A, const Interval &B) const { return D.leq(A, B); }
+  bool equal(const Interval &A, const Interval &B) const { return A == B; }
+  Interval widen(const Interval &A, const Interval &B) const {
+    return D.widen(A, B);
+  }
+  Interval narrow(const Interval &A, const Interval &B) const {
+    return D.narrow(A, B);
+  }
+};
+
+/// The classic counting loop (paper §4/§6.1):
+///   node 0: i := 0
+///   node 1: loop head = join(node 0, node 3)
+///   node 2: [i < 100](node 1)
+///   node 3: [i := i + 1](node 2)
+///   node 4: [i >= 100](node 1)
+IntervalSystem countingLoop() {
+  IntervalSystem S(5);
+  S.Seeds[0] = Interval(0, 0);
+  S.addEdge(0, 1, 0, S.D.top());
+  S.addEdge(3, 1, 0, S.D.top());
+  S.addEdge(1, 2, 0, S.D.make(INT64_MIN, 99));
+  S.addEdge(2, 3, 1, S.D.top());
+  S.addEdge(1, 4, 0, S.D.make(100, INT64_MAX));
+  return S;
+}
+
+class StrategyTest : public ::testing::TestWithParam<IterationStrategy> {};
+
+TEST_P(StrategyTest, CountingLoopOptimalAfterNarrowing) {
+  IntervalSystem S = countingLoop();
+  FixpointSolver<IntervalSystem>::Options Opts;
+  Opts.Kind = FixpointKind::Lfp;
+  Opts.Strategy = GetParam();
+  FixpointSolver<IntervalSystem> Solver(S, Opts);
+  std::vector<Interval> X = Solver.solve();
+  // The paper's optimum: loop head [0,100], body entry [0,99],
+  // after increment [1,100], exit [100,100].
+  EXPECT_EQ(X[0], Interval(0, 0));
+  EXPECT_EQ(X[1], Interval(0, 100));
+  EXPECT_EQ(X[2], Interval(0, 99));
+  EXPECT_EQ(X[3], Interval(1, 100));
+  EXPECT_EQ(X[4], Interval(100, 100));
+  EXPECT_GT(Solver.stats().Widenings, 0u);
+  EXPECT_GT(Solver.stats().Narrowings, 0u);
+}
+
+TEST_P(StrategyTest, WithoutNarrowingTopRemains) {
+  IntervalSystem S = countingLoop();
+  FixpointSolver<IntervalSystem>::Options Opts;
+  Opts.Strategy = GetParam();
+  Opts.NarrowingPasses = 0;
+  FixpointSolver<IntervalSystem> Solver(S, Opts);
+  std::vector<Interval> X = Solver.solve();
+  // Widening alone overshoots the loop head to [0, +oo] (paper §6.1).
+  EXPECT_EQ(X[1], Interval(0, INT64_MAX));
+  EXPECT_EQ(X[4], Interval(100, INT64_MAX));
+}
+
+INSTANTIATE_TEST_SUITE_P(BothStrategies, StrategyTest,
+                         ::testing::Values(IterationStrategy::Recursive,
+                                           IterationStrategy::Worklist),
+                         [](const auto &Info) {
+                           return Info.param == IterationStrategy::Recursive
+                                      ? "Recursive"
+                                      : "Worklist";
+                         });
+
+TEST(SolverTest, StraightLinePropagation) {
+  IntervalSystem S(3);
+  S.Seeds[0] = Interval(5, 10);
+  S.addEdge(0, 1, 3, S.D.top());
+  S.addEdge(1, 2, -1, S.D.top());
+  FixpointSolver<IntervalSystem>::Options Opts;
+  FixpointSolver<IntervalSystem> Solver(S, Opts);
+  std::vector<Interval> X = Solver.solve();
+  EXPECT_EQ(X[1], Interval(8, 13));
+  EXPECT_EQ(X[2], Interval(7, 12));
+}
+
+TEST(SolverTest, UnreachableNodesStayBottom) {
+  IntervalSystem S(3);
+  S.Seeds[0] = Interval(1, 1);
+  S.addEdge(0, 1, 0, S.D.top());
+  // Node 2 has no inflows and no seed.
+  FixpointSolver<IntervalSystem>::Options Opts;
+  FixpointSolver<IntervalSystem> Solver(S, Opts);
+  std::vector<Interval> X = Solver.solve();
+  EXPECT_TRUE(X[2].isBottom());
+}
+
+TEST(SolverTest, GfpFromTopDescends) {
+  // X0 = X0 meet [0,50]; X1 = X0 + 1. Gfp: X0 = [0,50], X1 = [1,51].
+  IntervalSystem S(2);
+  S.addEdge(0, 0, 0, S.D.make(0, 50));
+  S.addEdge(0, 1, 1, S.D.top());
+  FixpointSolver<IntervalSystem>::Options Opts;
+  Opts.Kind = FixpointKind::Gfp;
+  FixpointSolver<IntervalSystem> Solver(S, Opts);
+  std::vector<Interval> X = Solver.solve();
+  EXPECT_EQ(X[0], Interval(0, 50));
+  EXPECT_EQ(X[1], Interval(1, 51));
+}
+
+TEST(SolverTest, GfpDecreasingLoopTerminates) {
+  // X0 = (X0 - 1) meet [0, 100]: the exact gfp is [0, 99]; narrowing
+  // must terminate and produce a sound (larger or equal) result.
+  IntervalSystem S(1);
+  S.addEdge(0, 0, -1, S.D.make(0, 100));
+  FixpointSolver<IntervalSystem>::Options Opts;
+  Opts.Kind = FixpointKind::Gfp;
+  FixpointSolver<IntervalSystem> Solver(S, Opts);
+  std::vector<Interval> X = Solver.solve();
+  EXPECT_TRUE(S.D.leq(S.D.make(0, 99), X[0]));
+  EXPECT_TRUE(S.D.leq(X[0], S.D.make(0, 100)));
+}
+
+TEST(SolverTest, NestedLoopsConverge) {
+  // Outer loop over i with an inner loop over j; checks the recursive
+  // strategy stabilizes nested components.
+  //   0: i := 0
+  //   1: outer head = join(0, 5)
+  //   2: [i < 10](1)        (enter inner, j plays no role here)
+  //   3: inner head = join(2, 4)
+  //   4: [i < 10](3)        (inner body keeps i)
+  //   5: [i := i + 1](3)    (leave inner, increment)
+  //   6: [i >= 10](1)
+  IntervalSystem S(7);
+  S.Seeds[0] = Interval(0, 0);
+  S.addEdge(0, 1, 0, S.D.top());
+  S.addEdge(5, 1, 0, S.D.top());
+  S.addEdge(1, 2, 0, S.D.make(INT64_MIN, 9));
+  S.addEdge(2, 3, 0, S.D.top());
+  S.addEdge(3, 4, 0, S.D.make(INT64_MIN, 9));
+  S.addEdge(4, 3, 0, S.D.top());
+  S.addEdge(3, 5, 1, S.D.top());
+  S.addEdge(1, 6, 0, S.D.make(10, INT64_MAX));
+  FixpointSolver<IntervalSystem>::Options Opts;
+  FixpointSolver<IntervalSystem> Solver(S, Opts);
+  std::vector<Interval> X = Solver.solve();
+  EXPECT_EQ(X[1], Interval(0, 10));
+  EXPECT_EQ(X[6], Interval(10, 10));
+  // The WTO must show the nesting.
+  EXPECT_TRUE(Solver.wto().isHead(1));
+  EXPECT_TRUE(Solver.wto().isHead(3));
+  EXPECT_EQ(Solver.wto().depth(4), 2u);
+}
+
+TEST(SolverTest, FourStepConvergenceClaim) {
+  // Paper §6.1: with widening and narrowing, the per-equation cost is
+  // about four iterations. The counting loop has 5 equations; the total
+  // step count must stay within a small constant factor of that.
+  IntervalSystem S = countingLoop();
+  FixpointSolver<IntervalSystem>::Options Opts;
+  FixpointSolver<IntervalSystem> Solver(S, Opts);
+  Solver.solve();
+  uint64_t Total =
+      Solver.stats().AscendingSteps + Solver.stats().DescendingSteps;
+  EXPECT_LE(Total, 5u * 8u) << "fixpoint took unexpectedly many steps";
+}
+
+} // namespace

@@ -1,0 +1,163 @@
+//===- tests/frontend/lexer_test.cpp - Lexer unit tests -------------------===//
+
+#include "frontend/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace syntox;
+
+namespace {
+
+std::vector<Token> lex(const std::string &Source,
+                       DiagnosticsEngine *OutDiags = nullptr) {
+  static DiagnosticsEngine Scratch;
+  DiagnosticsEngine &Diags = OutDiags ? *OutDiags : Scratch;
+  Scratch.clear();
+  Lexer L(Source, Diags);
+  return L.lexAll();
+}
+
+std::vector<TokenKind> kinds(const std::string &Source) {
+  std::vector<TokenKind> Out;
+  for (const Token &T : lex(Source))
+    Out.push_back(T.Kind);
+  return Out;
+}
+
+TEST(LexerTest, EmptyInput) {
+  auto Tokens = lex("");
+  ASSERT_EQ(Tokens.size(), 1u);
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::EndOfFile);
+}
+
+TEST(LexerTest, PunctuationAndOperators) {
+  EXPECT_EQ(kinds("+ - * ( ) [ ] , ; : . .. := = <> < <= > >="),
+            (std::vector<TokenKind>{
+                TokenKind::Plus, TokenKind::Minus, TokenKind::Star,
+                TokenKind::LParen, TokenKind::RParen, TokenKind::LBracket,
+                TokenKind::RBracket, TokenKind::Comma, TokenKind::Semicolon,
+                TokenKind::Colon, TokenKind::Dot, TokenKind::DotDot,
+                TokenKind::Assign, TokenKind::Equal, TokenKind::NotEqual,
+                TokenKind::Less, TokenKind::LessEq, TokenKind::Greater,
+                TokenKind::GreaterEq, TokenKind::EndOfFile}));
+}
+
+TEST(LexerTest, KeywordsAreCaseInsensitive) {
+  for (const char *Spelling : {"begin", "BEGIN", "Begin", "bEgIn"}) {
+    auto Tokens = lex(Spelling);
+    ASSERT_EQ(Tokens.size(), 2u);
+    EXPECT_EQ(Tokens[0].Kind, TokenKind::KwBegin) << Spelling;
+  }
+}
+
+TEST(LexerTest, IdentifiersNormalizeToLowerCase) {
+  auto Tokens = lex("McCarthy MCCARTHY mccarthy");
+  ASSERT_EQ(Tokens.size(), 4u);
+  for (int I = 0; I < 3; ++I) {
+    EXPECT_EQ(Tokens[I].Kind, TokenKind::Identifier);
+    EXPECT_EQ(Tokens[I].Text, "mccarthy");
+  }
+}
+
+TEST(LexerTest, AssertionKeywords) {
+  EXPECT_EQ(kinds("invariant intermittent assert"),
+            (std::vector<TokenKind>{TokenKind::KwInvariant,
+                                    TokenKind::KwIntermittent,
+                                    TokenKind::KwInvariant,
+                                    TokenKind::EndOfFile}));
+}
+
+TEST(LexerTest, IntegerLiterals) {
+  auto Tokens = lex("0 42 100 9223372036854775807");
+  ASSERT_EQ(Tokens.size(), 5u);
+  EXPECT_EQ(Tokens[0].IntValue, 0);
+  EXPECT_EQ(Tokens[1].IntValue, 42);
+  EXPECT_EQ(Tokens[2].IntValue, 100);
+  EXPECT_EQ(Tokens[3].IntValue, INT64_MAX);
+}
+
+TEST(LexerTest, OverflowingLiteralIsAnError) {
+  DiagnosticsEngine Diags;
+  auto Tokens = lex("99999999999999999999", &Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::IntLiteral);
+}
+
+TEST(LexerTest, IntRangeFollowedByDotDot) {
+  // "1..100" must lex as INT DOTDOT INT, not a malformed real.
+  auto Tokens = lex("1..100");
+  ASSERT_EQ(Tokens.size(), 4u);
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::IntLiteral);
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::DotDot);
+  EXPECT_EQ(Tokens[2].Kind, TokenKind::IntLiteral);
+}
+
+TEST(LexerTest, BraceComments) {
+  auto Tokens = lex("a { this is a comment } b");
+  ASSERT_EQ(Tokens.size(), 3u);
+  EXPECT_EQ(Tokens[0].Text, "a");
+  EXPECT_EQ(Tokens[1].Text, "b");
+}
+
+TEST(LexerTest, ParenStarComments) {
+  auto Tokens = lex("a (* multi\nline * ) still comment *) b");
+  ASSERT_EQ(Tokens.size(), 3u);
+  EXPECT_EQ(Tokens[1].Text, "b");
+}
+
+TEST(LexerTest, UnterminatedCommentIsAnError) {
+  DiagnosticsEngine Diags;
+  lex("begin { never closed", &Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+  Diags.clear();
+  lex("begin (* never closed", &Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(LexerTest, StringLiterals) {
+  auto Tokens = lex("'Found = ' 'it''s'");
+  ASSERT_EQ(Tokens.size(), 3u);
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::StringLiteral);
+  EXPECT_EQ(Tokens[0].Text, "Found = ");
+  EXPECT_EQ(Tokens[1].Text, "it's");
+}
+
+TEST(LexerTest, UnterminatedStringIsAnError) {
+  DiagnosticsEngine Diags;
+  lex("'no end", &Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(LexerTest, StrayCharacterIsAnError) {
+  DiagnosticsEngine Diags;
+  auto Tokens = lex("a # b", &Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+  ASSERT_EQ(Tokens.size(), 4u);
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::Unknown);
+}
+
+TEST(LexerTest, SourceLocations) {
+  auto Tokens = lex("a\n  b := 1");
+  ASSERT_EQ(Tokens.size(), 5u);
+  EXPECT_EQ(Tokens[0].Loc, SourceLoc(1, 1));
+  EXPECT_EQ(Tokens[1].Loc, SourceLoc(2, 3));
+  EXPECT_EQ(Tokens[2].Loc, SourceLoc(2, 5));
+  EXPECT_EQ(Tokens[3].Loc, SourceLoc(2, 8));
+}
+
+TEST(LexerTest, WholeProgramTokenCount) {
+  // Smoke-check a realistic program lexes without errors.
+  DiagnosticsEngine Diags;
+  auto Tokens = lex("program p;\n"
+                    "var i : integer;\n"
+                    "begin\n"
+                    "  for i := 0 to 100 do\n"
+                    "    writeln('i = ', i)\n"
+                    "end.\n",
+                    &Diags);
+  EXPECT_FALSE(Diags.hasErrors());
+  EXPECT_GT(Tokens.size(), 20u);
+  EXPECT_EQ(Tokens.back().Kind, TokenKind::EndOfFile);
+}
+
+} // namespace

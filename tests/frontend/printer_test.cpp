@@ -1,0 +1,105 @@
+//===- tests/frontend/printer_test.cpp - Pretty printer unit tests --------===//
+
+#include "frontend/PrettyPrinter.h"
+
+#include "../common/FrontendTestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace syntox;
+using namespace syntox::test;
+
+namespace {
+
+/// Parses a single-assignment program and prints the value expression.
+std::string printedExpr(const std::string &ExprSource) {
+  auto R = runFrontend("program p; var i, j : integer; b, c : boolean;\n"
+                       "    T : array [1..10] of integer;\n"
+                       "function f(n : integer) : integer;\n"
+                       "begin f := n end;\n"
+                       "begin i := 0; j := 0; b := true; c := true;\n"
+                       "  i := " + ExprSource + " end.",
+                       /*RunSema=*/false);
+  EXPECT_FALSE(R.Diags->hasErrors()) << R.Diags->str();
+  const auto &Body = R.Program->block()->Body->body();
+  const auto *Assign = cast<AssignStmt>(Body.back());
+  return printExpr(Assign->value());
+}
+
+TEST(PrinterTest, PrecedenceParenthesization) {
+  // Parentheses appear exactly where the tree requires them.
+  EXPECT_EQ(printedExpr("i + j * 2"), "i + j * 2");
+  EXPECT_EQ(printedExpr("(i + j) * 2"), "(i + j) * 2");
+  EXPECT_EQ(printedExpr("i - (j - 1)"), "i - (j - 1)");
+  EXPECT_EQ(printedExpr("i - j - 1"), "i - j - 1");
+  EXPECT_EQ(printedExpr("i div (j + 1)"), "i div (j + 1)");
+  EXPECT_EQ(printedExpr("-(i + 1)"), "-(i + 1)");
+  EXPECT_EQ(printedExpr("abs(i - j)"), "abs(i - j)");
+  EXPECT_EQ(printedExpr("T[i + 1]"), "t[i + 1]"); // identifiers normalize
+  EXPECT_EQ(printedExpr("f(i) + f(j)"), "f(i) + f(j)");
+}
+
+TEST(PrinterTest, BooleanExpressionPrinting) {
+  auto R = runFrontend("program p; var b, c : boolean; i : integer;\n"
+                       "begin b := c and (i < 100) or not c end.",
+                       /*RunSema=*/false);
+  ASSERT_FALSE(R.Diags->hasErrors());
+  const auto *Assign = cast<AssignStmt>(R.Program->block()->Body->body()[0]);
+  EXPECT_EQ(printExpr(Assign->value()), "c and (i < 100) or not c");
+}
+
+TEST(PrinterTest, StringEscaping) {
+  auto R = runFrontend("program p; begin writeln('it''s', 1) end.",
+                       /*RunSema=*/false);
+  ASSERT_FALSE(R.Diags->hasErrors());
+  std::string Out = printProgram(R.Program);
+  EXPECT_NE(Out.find("'it''s'"), std::string::npos);
+}
+
+TEST(PrinterTest, DeclarationsRoundTrip) {
+  const char *Source = "program p;\n"
+                       "label 10;\n"
+                       "const n = 5; yes = true;\n"
+                       "type small = 1..5;\n"
+                       "var x : small; T : array [1..5] of integer;\n"
+                       "procedure q(a : integer; var b : integer);\n"
+                       "begin b := a end;\n"
+                       "begin 10: q(n, x) end.";
+  auto R1 = runFrontend(Source, /*RunSema=*/false);
+  ASSERT_FALSE(R1.Diags->hasErrors());
+  std::string P1 = printProgram(R1.Program);
+  EXPECT_NE(P1.find("label 10;"), std::string::npos);
+  EXPECT_NE(P1.find("n = 5;"), std::string::npos);
+  EXPECT_NE(P1.find("yes = true;"), std::string::npos);
+  EXPECT_NE(P1.find("small = 1..5;"), std::string::npos);
+  EXPECT_NE(P1.find("array [1..5] of integer"), std::string::npos);
+  EXPECT_NE(P1.find("var b : integer"), std::string::npos);
+  // Idempotence.
+  auto R2 = runFrontend(P1, /*RunSema=*/false);
+  ASSERT_FALSE(R2.Diags->hasErrors()) << P1;
+  EXPECT_EQ(printProgram(R2.Program), P1);
+}
+
+TEST(PrinterTest, ControlFlowRoundTrip) {
+  const char *Source =
+      "program p; var i, x : integer;\n"
+      "begin\n"
+      "  repeat i := i + 1 until i > 3;\n"
+      "  case i of 1: x := 1; 2, 3: x := 2 else x := 0 end;\n"
+      "  for i := 10 downto 1 do x := x - 1;\n"
+      "  if x = 0 then x := 1 else x := 2;\n"
+      "  invariant(x >= 1);\n"
+      "  intermittent(x = 2)\n"
+      "end.";
+  auto R1 = runFrontend(Source, /*RunSema=*/false);
+  ASSERT_FALSE(R1.Diags->hasErrors());
+  std::string P1 = printProgram(R1.Program);
+  auto R2 = runFrontend(P1, /*RunSema=*/false);
+  ASSERT_FALSE(R2.Diags->hasErrors()) << P1;
+  EXPECT_EQ(printProgram(R2.Program), P1);
+  EXPECT_NE(P1.find("downto"), std::string::npos);
+  EXPECT_NE(P1.find("invariant(x >= 1)"), std::string::npos);
+  EXPECT_NE(P1.find("intermittent(x = 2)"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,145 @@
+//===- tests/frontend/robustness_test.cpp - Frontend failure injection ----===//
+//
+// The frontend must never crash, hang, or emit zero diagnostics on bad
+// input: random token soup, truncated programs, deeply nested
+// expressions, and mutations of valid programs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/PaperPrograms.h"
+#include "support/Rng.h"
+
+#include "../common/FrontendTestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace syntox;
+using namespace syntox::test;
+
+namespace {
+
+TEST(RobustnessTest, EmptyAndTrivialInputs) {
+  for (const char *Source : {"", ".", ";", "program", "program ;",
+                             "begin end.", "program p", "program p;",
+                             "program p; begin", "program p; begin end"}) {
+    auto R = runFrontend(Source, /*RunSema=*/false);
+    EXPECT_TRUE(R.Diags->hasErrors() || R.Program != nullptr) << Source;
+  }
+}
+
+TEST(RobustnessTest, TruncatedPrograms) {
+  std::string Source = paper::BinarySearchProgram;
+  // Cut the program at every 20-byte step; the frontend must survive.
+  for (size_t Len = 0; Len < Source.size(); Len += 20) {
+    auto R = runFrontend(Source.substr(0, Len));
+    // Either it errors or (for tiny prefixes that happen to parse) it
+    // produces a tree; never a crash.
+    (void)R;
+  }
+  SUCCEED();
+}
+
+TEST(RobustnessTest, RandomTokenSoup) {
+  static const char *const Fragments[] = {
+      "program", "begin", "end", "if", "then", "else", "while", "do",
+      "repeat", "until", "for", "to", "downto", "var", "const", "type",
+      "procedure", "function", "label", "goto", "read", "write", "div",
+      "mod", "and", "or", "not", "array", "of", "integer", "boolean",
+      "p", "q", "x", "i", "42", "0", ":=", "=", "<>", "<", "<=", ">",
+      ">=", "(", ")", "[", "]", ",", ";", ":", ".", "..", "+", "-", "*",
+      "invariant", "intermittent", "'str'",
+  };
+  Rng R(20240707);
+  for (int Trial = 0; Trial < 300; ++Trial) {
+    std::string Source;
+    unsigned Len = 1 + R.below(60);
+    for (unsigned I = 0; I < Len; ++I) {
+      Source += Fragments[R.below(std::size(Fragments))];
+      Source += ' ';
+    }
+    auto Result = runFrontend(Source);
+    (void)Result; // must not crash or hang
+  }
+  SUCCEED();
+}
+
+TEST(RobustnessTest, MutatedValidPrograms) {
+  Rng R(555);
+  const char *Sources[] = {paper::HeapSortProgram, paper::McCarthyProgram,
+                           paper::BinarySearchProgram};
+  for (const char *Base : Sources) {
+    std::string Source = Base;
+    for (int Trial = 0; Trial < 60; ++Trial) {
+      std::string Mutated = Source;
+      switch (R.below(3)) {
+      case 0: // delete a chunk
+      {
+        size_t Pos = R.below(Mutated.size());
+        Mutated.erase(Pos, R.below(10) + 1);
+        break;
+      }
+      case 1: // duplicate a chunk
+      {
+        size_t Pos = R.below(Mutated.size());
+        size_t Len = std::min<size_t>(R.below(10) + 1,
+                                      Mutated.size() - Pos);
+        Mutated.insert(Pos, Mutated.substr(Pos, Len));
+        break;
+      }
+      default: // flip a character
+      {
+        size_t Pos = R.below(Mutated.size());
+        Mutated[Pos] = static_cast<char>('a' + R.below(26));
+        break;
+      }
+      }
+      auto Result = runFrontend(Mutated);
+      (void)Result; // no crash, no hang
+    }
+  }
+  SUCCEED();
+}
+
+TEST(RobustnessTest, DeeplyNestedExpressions) {
+  // 200 nested parentheses: recursive descent must handle it (the depth
+  // is modest by design; extreme inputs would need an explicit limiter).
+  std::string Expr(200, '(');
+  Expr += "1";
+  Expr += std::string(200, ')');
+  auto R = runFrontend("program p; var i : integer; begin i := " + Expr +
+                       " end.");
+  EXPECT_FALSE(R.Diags->hasErrors());
+}
+
+TEST(RobustnessTest, DeeplyNestedStatements) {
+  std::string Source = "program p; var i : integer; begin ";
+  for (int I = 0; I < 150; ++I)
+    Source += "if i = 0 then begin ";
+  Source += "i := 1 ";
+  for (int I = 0; I < 150; ++I)
+    Source += "end ";
+  Source += "end.";
+  auto R = runFrontend(Source);
+  EXPECT_FALSE(R.Diags->hasErrors()) << R.Diags->str();
+}
+
+TEST(RobustnessTest, ErrorsAlwaysHaveMessages) {
+  for (const char *Source :
+       {"program p; begin x := 1 end.", "program p; begin i := ( end.",
+        "program p; var i : froz; begin end.",
+        "program p; begin goto 9 end."}) {
+    auto R = runFrontend(Source);
+    EXPECT_TRUE(R.Diags->hasErrors()) << Source;
+    for (const Diagnostic &D : R.Diags->diagnostics())
+      EXPECT_FALSE(D.Message.empty());
+  }
+}
+
+TEST(RobustnessTest, LongIdentifiersAndNumbers) {
+  std::string LongName(500, 'a');
+  auto R = runFrontend("program p; var " + LongName +
+                       " : integer; begin " + LongName + " := 1 end.");
+  EXPECT_FALSE(R.Diags->hasErrors());
+}
+
+} // namespace

@@ -1,0 +1,295 @@
+//===- tests/frontend/sema_test.cpp - Semantic analysis unit tests --------===//
+
+#include "frontend/PaperPrograms.h"
+
+#include "../common/FrontendTestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace syntox;
+using namespace syntox::test;
+
+namespace {
+
+TEST(SemaTest, ResolvesVariables) {
+  auto R = parseValid("program p; var i : integer;\n"
+                      "begin i := i + 1 end.");
+  const auto *Assign = cast<AssignStmt>(R.Program->block()->Body->body()[0]);
+  const auto *Target = cast<VarRefExpr>(Assign->target());
+  ASSERT_NE(Target->varDecl(), nullptr);
+  EXPECT_EQ(Target->varDecl()->name(), "i");
+  EXPECT_EQ(Target->varDecl()->owner(), R.Program);
+}
+
+TEST(SemaTest, UnknownIdentifierIsAnError) {
+  auto R = runFrontend("program p; begin x := 1 end.");
+  EXPECT_FALSE(R.SemaOk);
+  EXPECT_TRUE(R.Diags->hasErrors());
+}
+
+TEST(SemaTest, ResolvesConstants) {
+  auto R = parseValid("program p; const n = 100; var i : integer;\n"
+                      "begin i := n end.");
+  const auto *Assign = cast<AssignStmt>(R.Program->block()->Body->body()[0]);
+  const auto *Value = cast<VarRefExpr>(Assign->value());
+  ASSERT_NE(Value->constDecl(), nullptr);
+  EXPECT_EQ(Value->constDecl()->value(), 100);
+}
+
+TEST(SemaTest, CannotAssignToConstant) {
+  auto R = runFrontend("program p; const n = 1; begin n := 2 end.");
+  EXPECT_TRUE(R.Diags->hasErrors());
+}
+
+TEST(SemaTest, FunctionResultAssignment) {
+  auto R = parseValid("program p; var x : integer;\n"
+                      "function f(n : integer) : integer;\n"
+                      "begin f := n end;\n"
+                      "begin x := f(1) end.");
+  const RoutineDecl *F = R.Program->block()->Routines[0];
+  ASSERT_NE(F->resultVar(), nullptr);
+  const auto *Assign = cast<AssignStmt>(F->block()->Body->body()[0]);
+  const auto *Target = cast<VarRefExpr>(Assign->target());
+  EXPECT_EQ(Target->varDecl(), F->resultVar());
+}
+
+TEST(SemaTest, RecursionResolves) {
+  auto R = parseValid(paper::FactProgram);
+  EXPECT_TRUE(R.SemaOk);
+  const RoutineDecl *F = R.Program->block()->Routines[0];
+  const auto *If = cast<IfStmt>(F->block()->Body->body()[0]);
+  const auto *ElseAssign = cast<AssignStmt>(If->elseStmt());
+  const auto *Mul = cast<BinaryExpr>(ElseAssign->value());
+  const auto *Call = cast<CallExpr>(Mul->rhs());
+  EXPECT_EQ(Call->routine(), F);
+  EXPECT_GT(Call->callSiteId(), 0u);
+}
+
+TEST(SemaTest, TypeErrorsAreReported) {
+  // Boolean where integer expected.
+  auto R1 = runFrontend("program p; var i : integer; b : boolean;\n"
+                        "begin i := b end.");
+  EXPECT_TRUE(R1.Diags->hasErrors());
+  // Integer condition.
+  auto R2 = runFrontend("program p; var i : integer;\n"
+                        "begin if i then i := 1 end.");
+  EXPECT_TRUE(R2.Diags->hasErrors());
+  // 'and' on integers.
+  auto R3 = runFrontend("program p; var i : integer; b : boolean;\n"
+                        "begin b := i and i end.");
+  EXPECT_TRUE(R3.Diags->hasErrors());
+  // Ordering comparison on booleans.
+  auto R4 = runFrontend("program p; var b, c : boolean;\n"
+                        "begin b := b < c end.");
+  EXPECT_TRUE(R4.Diags->hasErrors());
+}
+
+TEST(SemaTest, BooleanEqualityAllowed) {
+  auto R = parseValid("program p; var a, b, c : boolean;\n"
+                      "begin a := b = c; a := b <> c end.");
+  EXPECT_TRUE(R.SemaOk);
+}
+
+TEST(SemaTest, SubrangeIsIntegerCompatible) {
+  auto R = parseValid("program p; type idx = 1..10;\n"
+                      "var i : idx; j : integer;\n"
+                      "begin i := j; j := i + 1 end.");
+  EXPECT_TRUE(R.SemaOk);
+}
+
+TEST(SemaTest, CallArgumentChecking) {
+  // Wrong arity.
+  auto R1 = runFrontend("program p;\n"
+                        "procedure q(x : integer); begin end;\n"
+                        "begin q(1, 2) end.");
+  EXPECT_TRUE(R1.Diags->hasErrors());
+  // Wrong type.
+  auto R2 = runFrontend("program p; var b : boolean;\n"
+                        "procedure q(x : integer); begin end;\n"
+                        "begin q(b) end.");
+  EXPECT_TRUE(R2.Diags->hasErrors());
+  // Unknown routine.
+  auto R3 = runFrontend("program p; begin zap(1) end.");
+  EXPECT_TRUE(R3.Diags->hasErrors());
+}
+
+TEST(SemaTest, VarParamNeedsVariable) {
+  auto R = runFrontend("program p; var i : integer;\n"
+                       "procedure q(var x : integer); begin x := 0 end;\n"
+                       "begin q(i + 1) end.");
+  EXPECT_TRUE(R.Diags->hasErrors());
+}
+
+TEST(SemaTest, VarParamAcceptsVariable) {
+  auto R = parseValid("program p; var i : integer;\n"
+                      "procedure q(var x : integer); begin x := 0 end;\n"
+                      "begin q(i) end.");
+  EXPECT_TRUE(R.SemaOk);
+}
+
+TEST(SemaTest, ProcedureInExpressionIsAnError) {
+  auto R = runFrontend("program p; var i : integer;\n"
+                       "procedure q; begin end;\n"
+                       "begin i := q() end.");
+  EXPECT_TRUE(R.Diags->hasErrors());
+}
+
+TEST(SemaTest, Builtins) {
+  auto R = parseValid("program p; var i : integer; b : boolean;\n"
+                      "begin i := abs(-5); i := sqr(i); b := odd(i) end.");
+  EXPECT_TRUE(R.SemaOk);
+  const auto &Body = R.Program->block()->Body->body();
+  const auto *Call =
+      cast<CallExpr>(cast<AssignStmt>(Body[0])->value());
+  EXPECT_EQ(Call->builtin(), BuiltinFn::Abs);
+}
+
+TEST(SemaTest, BuiltinArityError) {
+  auto R = runFrontend("program p; var i : integer; begin i := abs(1, 2) end.");
+  EXPECT_TRUE(R.Diags->hasErrors());
+}
+
+TEST(SemaTest, NestedScopeShadowing) {
+  auto R = parseValid("program p; var x : integer;\n"
+                      "procedure q;\n"
+                      "var x : integer;\n"
+                      "begin x := 1 end;\n"
+                      "begin x := 2; q end.");
+  const RoutineDecl *Q = R.Program->block()->Routines[0];
+  const auto *Inner = cast<AssignStmt>(Q->block()->Body->body()[0]);
+  const auto *InnerTarget = cast<VarRefExpr>(Inner->target());
+  EXPECT_EQ(InnerTarget->varDecl()->owner(), Q);
+  const auto *Outer = cast<AssignStmt>(R.Program->block()->Body->body()[0]);
+  const auto *OuterTarget = cast<VarRefExpr>(Outer->target());
+  EXPECT_EQ(OuterTarget->varDecl()->owner(), R.Program);
+}
+
+TEST(SemaTest, UplevelAccess) {
+  auto R = parseValid("program p; var g : integer;\n"
+                      "procedure q;\n"
+                      "begin g := g + 1 end;\n"
+                      "begin q end.");
+  const RoutineDecl *Q = R.Program->block()->Routines[0];
+  const auto *Assign = cast<AssignStmt>(Q->block()->Body->body()[0]);
+  const auto *Target = cast<VarRefExpr>(Assign->target());
+  EXPECT_EQ(Target->varDecl()->owner(), R.Program);
+}
+
+TEST(SemaTest, RoutineIdsAndLevels) {
+  auto R = parseValid("program p;\n"
+                      "procedure a;\n"
+                      "  procedure b; begin end;\n"
+                      "begin b end;\n"
+                      "procedure c; begin end;\n"
+                      "begin a; c end.");
+  ASSERT_EQ(R.Routines.size(), 4u);
+  EXPECT_EQ(R.Routines[0]->routineId(), 0u); // program
+  EXPECT_EQ(R.Routines[0]->level(), 0u);
+  EXPECT_EQ(R.Routines[1]->name(), "a");
+  EXPECT_EQ(R.Routines[1]->level(), 1u);
+  EXPECT_EQ(R.Routines[2]->name(), "b");
+  EXPECT_EQ(R.Routines[2]->level(), 2u);
+  EXPECT_EQ(R.Routines[3]->name(), "c");
+  EXPECT_EQ(R.Routines[3]->level(), 1u);
+}
+
+TEST(SemaTest, OwnedVarsOrderParamsResultLocals) {
+  auto R = parseValid("program p; var g : integer;\n"
+                      "function f(a : integer; var b : integer) : integer;\n"
+                      "var c : integer;\n"
+                      "begin f := a + b + c end;\n"
+                      "begin f(1, g) end.");
+  const RoutineDecl *F = R.Program->block()->Routines[0];
+  ASSERT_EQ(F->ownedVars().size(), 4u);
+  EXPECT_EQ(F->ownedVars()[0]->name(), "a");
+  EXPECT_EQ(F->ownedVars()[1]->name(), "b");
+  EXPECT_EQ(F->ownedVars()[2], F->resultVar());
+  EXPECT_EQ(F->ownedVars()[3]->name(), "c");
+  for (unsigned I = 0; I < 4; ++I)
+    EXPECT_EQ(F->ownedVars()[I]->indexInOwner(), I);
+}
+
+TEST(SemaTest, DuplicateDeclarationsAreErrors) {
+  auto R1 = runFrontend("program p; var x, x : integer; begin end.");
+  EXPECT_TRUE(R1.Diags->hasErrors());
+  auto R2 = runFrontend("program p;\n"
+                        "procedure q; begin end;\n"
+                        "procedure q; begin end;\n"
+                        "begin end.");
+  EXPECT_TRUE(R2.Diags->hasErrors());
+}
+
+//===----------------------------------------------------------------------===//
+// Labels and goto
+//===----------------------------------------------------------------------===//
+
+TEST(SemaTest, LocalGotoResolves) {
+  auto R = parseValid("program p;\n"
+                      "label 10;\n"
+                      "var i : integer;\n"
+                      "begin\n"
+                      "  10: i := i + 1;\n"
+                      "  goto 10\n"
+                      "end.");
+  const auto &Body = R.Program->block()->Body->body();
+  const auto *G = cast<GotoStmt>(Body[1]);
+  ASSERT_NE(G->target(), nullptr);
+  EXPECT_EQ(G->target()->label(), 10);
+  EXPECT_EQ(G->targetRoutine(), R.Program);
+}
+
+TEST(SemaTest, NonLocalGotoResolves) {
+  auto R = parseValid("program p;\n"
+                      "label 99;\n"
+                      "var i : integer;\n"
+                      "procedure q;\n"
+                      "begin goto 99 end;\n"
+                      "begin\n"
+                      "  q;\n"
+                      "  99: i := 0\n"
+                      "end.");
+  const RoutineDecl *Q = R.Program->block()->Routines[0];
+  const auto *G = cast<GotoStmt>(Q->block()->Body->body()[0]);
+  ASSERT_NE(G->target(), nullptr);
+  EXPECT_EQ(G->targetRoutine(), R.Program);
+  EXPECT_NE(G->targetRoutine(), Q);
+}
+
+TEST(SemaTest, UndeclaredLabelIsAnError) {
+  auto R1 = runFrontend("program p; var i : integer;\n"
+                        "begin 10: i := 0 end.");
+  EXPECT_TRUE(R1.Diags->hasErrors());
+  auto R2 = runFrontend("program p; begin goto 42 end.");
+  EXPECT_TRUE(R2.Diags->hasErrors());
+}
+
+TEST(SemaTest, DuplicateLabelIsAnError) {
+  auto R = runFrontend("program p; label 10; var i : integer;\n"
+                       "begin 10: i := 0; 10: i := 1 end.");
+  EXPECT_TRUE(R.Diags->hasErrors());
+}
+
+//===----------------------------------------------------------------------===//
+// Whole paper programs
+//===----------------------------------------------------------------------===//
+
+class PaperSemaTest : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(PaperSemaTest, AnalyzesCleanly) {
+  auto R = runFrontend(GetParam());
+  ASSERT_NE(R.Program, nullptr);
+  EXPECT_TRUE(R.SemaOk) << R.Diags->str();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPaperPrograms, PaperSemaTest,
+    ::testing::Values(paper::ForProgram, paper::ForProgram1ToN,
+                      paper::WhileProgram, paper::FactProgram,
+                      paper::SelectProgram, paper::IntermittentProgram,
+                      paper::IntermittentProgramPlain, paper::McCarthyProgram,
+                      paper::McCarthyWithInvariant, paper::McCarthyBuggy,
+                      paper::BinarySearchProgram, paper::AckermannProgram,
+                      paper::QuickSortProgram, paper::HeapSortProgram,
+                      paper::BubbleSortProgram));
+
+} // namespace

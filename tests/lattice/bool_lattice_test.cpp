@@ -1,0 +1,98 @@
+//===- tests/lattice/bool_lattice_test.cpp - BoolLattice unit tests -------===//
+
+#include "lattice/BoolLattice.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace syntox;
+
+namespace {
+
+std::vector<BoolLattice> allValues() {
+  return {BoolLattice::bottom(), BoolLattice(false), BoolLattice(true),
+          BoolLattice::top()};
+}
+
+TEST(BoolLatticeTest, Basics) {
+  EXPECT_TRUE(BoolLattice::bottom().isBottom());
+  EXPECT_TRUE(BoolLattice::top().isTop());
+  EXPECT_TRUE(BoolLattice(true).mayBeTrue());
+  EXPECT_FALSE(BoolLattice(true).mayBeFalse());
+  EXPECT_TRUE(BoolLattice(false).mayBeFalse());
+  EXPECT_FALSE(BoolLattice(false).mayBeTrue());
+  EXPECT_TRUE(BoolLattice::top().mayBeTrue());
+  EXPECT_TRUE(BoolLattice::top().mayBeFalse());
+  EXPECT_TRUE(BoolLattice(true).isConstant());
+  EXPECT_TRUE(BoolLattice(true).constantValue());
+  EXPECT_FALSE(BoolLattice(false).constantValue());
+  EXPECT_FALSE(BoolLattice::top().isConstant());
+}
+
+TEST(BoolLatticeTest, LatticeLaws) {
+  for (BoolLattice X : allValues()) {
+    EXPECT_TRUE(BoolLattice::bottom().leq(X));
+    EXPECT_TRUE(X.leq(BoolLattice::top()));
+    EXPECT_EQ(X.join(X), X);
+    EXPECT_EQ(X.meet(X), X);
+    for (BoolLattice Y : allValues()) {
+      EXPECT_EQ(X.join(Y), Y.join(X));
+      EXPECT_EQ(X.meet(Y), Y.meet(X));
+      EXPECT_TRUE(X.leq(X.join(Y)));
+      EXPECT_TRUE(X.meet(Y).leq(X));
+      EXPECT_EQ(X.leq(Y), X.join(Y) == Y);
+    }
+  }
+}
+
+TEST(BoolLatticeTest, KleeneLogic) {
+  BoolLattice T(true), F(false), U = BoolLattice::top();
+  EXPECT_EQ(T.logicalNot(), F);
+  EXPECT_EQ(F.logicalNot(), T);
+  EXPECT_EQ(U.logicalNot(), U);
+  EXPECT_TRUE(BoolLattice::bottom().logicalNot().isBottom());
+
+  // False annihilates AND even against unknown.
+  EXPECT_EQ(F.logicalAnd(U), F);
+  EXPECT_EQ(U.logicalAnd(F), F);
+  EXPECT_EQ(T.logicalAnd(T), T);
+  EXPECT_EQ(T.logicalAnd(U), U);
+  EXPECT_TRUE(T.logicalAnd(BoolLattice::bottom()).isBottom());
+
+  // True annihilates OR.
+  EXPECT_EQ(T.logicalOr(U), T);
+  EXPECT_EQ(U.logicalOr(T), T);
+  EXPECT_EQ(F.logicalOr(F), F);
+  EXPECT_EQ(F.logicalOr(U), U);
+}
+
+TEST(BoolLatticeTest, KleeneSoundness) {
+  // Exhaustive: the abstract connectives cover every concretization.
+  auto Gamma = [](BoolLattice X) {
+    std::vector<bool> Out;
+    if (X.mayBeFalse())
+      Out.push_back(false);
+    if (X.mayBeTrue())
+      Out.push_back(true);
+    return Out;
+  };
+  for (BoolLattice X : allValues())
+    for (BoolLattice Y : allValues()) {
+      BoolLattice And = X.logicalAnd(Y), Or = X.logicalOr(Y);
+      for (bool A : Gamma(X))
+        for (bool B : Gamma(Y)) {
+          EXPECT_TRUE((A && B) ? And.mayBeTrue() : And.mayBeFalse());
+          EXPECT_TRUE((A || B) ? Or.mayBeTrue() : Or.mayBeFalse());
+        }
+    }
+}
+
+TEST(BoolLatticeTest, Str) {
+  EXPECT_EQ(BoolLattice(true).str(), "true");
+  EXPECT_EQ(BoolLattice(false).str(), "false");
+  EXPECT_EQ(BoolLattice::top().str(), "T");
+  EXPECT_EQ(BoolLattice::bottom().str(), "_|_");
+}
+
+} // namespace

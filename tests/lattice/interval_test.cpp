@@ -1,0 +1,368 @@
+//===- tests/lattice/interval_test.cpp - Interval domain unit tests -------===//
+//
+// Unit tests for the interval lattice of paper §6.1: lattice structure,
+// the widening/narrowing operators, forward arithmetic and comparison
+// tests. Exhaustive property sweeps live in interval_property_test.cpp.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lattice/Interval.h"
+
+#include <gtest/gtest.h>
+
+using namespace syntox;
+
+namespace {
+
+class IntervalTest : public ::testing::Test {
+protected:
+  IntervalDomain D; // full 64-bit Z_b
+};
+
+TEST_F(IntervalTest, BottomBasics) {
+  Interval B = Interval::bottom();
+  EXPECT_TRUE(B.isBottom());
+  EXPECT_FALSE(B.contains(0));
+  EXPECT_EQ(B, D.bottom());
+  EXPECT_TRUE(D.leq(B, B));
+  EXPECT_TRUE(D.leq(B, D.top()));
+  EXPECT_FALSE(D.leq(D.top(), B));
+}
+
+TEST_F(IntervalTest, TopBasics) {
+  Interval T = D.top();
+  EXPECT_FALSE(T.isBottom());
+  EXPECT_TRUE(D.isTop(T));
+  EXPECT_TRUE(T.contains(0));
+  EXPECT_TRUE(T.contains(INT64_MIN));
+  EXPECT_TRUE(T.contains(INT64_MAX));
+}
+
+TEST_F(IntervalTest, MakeClampsToDomain) {
+  IntervalDomain Small(-8, 7);
+  EXPECT_EQ(Small.make(-100, 100), Interval(-8, 7));
+  EXPECT_TRUE(Small.make(10, 20).isBottom());
+  EXPECT_TRUE(Small.make(5, 3).isBottom());
+  EXPECT_EQ(Small.make(0, 3), Interval(0, 3));
+}
+
+TEST_F(IntervalTest, JoinMeet) {
+  Interval A(0, 5), B(3, 10);
+  EXPECT_EQ(D.join(A, B), Interval(0, 10));
+  EXPECT_EQ(D.meet(A, B), Interval(3, 5));
+  Interval C(7, 9);
+  EXPECT_TRUE(D.meet(A, C).isBottom());
+  // Interval join over-approximates a disjoint union (convex hull).
+  EXPECT_EQ(D.join(A, C), Interval(0, 9));
+}
+
+TEST_F(IntervalTest, LeqIsPartialOrder) {
+  Interval A(1, 3), B(0, 5);
+  EXPECT_TRUE(D.leq(A, B));
+  EXPECT_FALSE(D.leq(B, A));
+  EXPECT_TRUE(D.leq(A, A));
+  EXPECT_FALSE(D.leq(Interval(0, 3), Interval(1, 5)));
+}
+
+TEST_F(IntervalTest, SingletonHelpers) {
+  Interval S = Interval::singleton(42);
+  EXPECT_TRUE(S.isSingleton());
+  EXPECT_TRUE(S.contains(42));
+  EXPECT_FALSE(S.contains(41));
+}
+
+//===----------------------------------------------------------------------===//
+// Widening / narrowing (§6.1)
+//===----------------------------------------------------------------------===//
+
+TEST_F(IntervalTest, WideningBottomIsIdentity) {
+  Interval X(2, 4);
+  EXPECT_EQ(D.widen(Interval::bottom(), X), X);
+  EXPECT_EQ(D.widen(X, Interval::bottom()), X);
+}
+
+TEST_F(IntervalTest, WideningUnstableBoundsJumpToOmega) {
+  // [0,0] V [0,1]: upper bound unstable -> jumps to w+.
+  Interval W = D.widen(Interval(0, 0), Interval(0, 1));
+  EXPECT_EQ(W, Interval(0, INT64_MAX));
+  // [0,5] V [-1,5]: lower bound unstable -> jumps to w-.
+  W = D.widen(Interval(0, 5), Interval(-1, 5));
+  EXPECT_EQ(W, Interval(INT64_MIN, 5));
+  // Stable bounds stay.
+  W = D.widen(Interval(0, 5), Interval(1, 4));
+  EXPECT_EQ(W, Interval(0, 5));
+}
+
+TEST_F(IntervalTest, Paper61WideningNarrowingSequence) {
+  // Paper §6.1, the X2 iterates for program Intermittent:
+  //   widening phase: _|_, [0,0], [0,0] V ([0,0] U [1,1]) = [0,w+]
+  //   narrowing phase: [0,w+] A ([0,0] U [0,100]) = [0,100]
+  Interval X = Interval::bottom();
+  X = D.widen(X, Interval(0, 0));
+  EXPECT_EQ(X, Interval(0, 0));
+  Interval Step = D.join(Interval(0, 0), Interval(1, 1));
+  X = D.widen(X, Step);
+  EXPECT_EQ(X, Interval(0, INT64_MAX));
+  Interval Narrowed = D.narrow(X, D.join(Interval(0, 0), Interval(0, 100)));
+  EXPECT_EQ(Narrowed, Interval(0, 100));
+}
+
+TEST_F(IntervalTest, NarrowingOnlyRefinesOmegaBounds) {
+  // A finite bound is never "improved" by narrowing (paper definition).
+  Interval X(0, 100); // no bound at w-/w+
+  Interval Y(10, 50);
+  EXPECT_EQ(D.narrow(X, Y), Interval(0, 100));
+  // An upper bound at w+ is replaced.
+  Interval Z(0, INT64_MAX);
+  EXPECT_EQ(D.narrow(Z, Y), Interval(0, 50));
+  // A lower bound at w- is replaced.
+  Interval W(INT64_MIN, 100);
+  EXPECT_EQ(D.narrow(W, Y), Interval(10, 100));
+}
+
+TEST_F(IntervalTest, NarrowingWithBottomIsBottom) {
+  EXPECT_TRUE(D.narrow(Interval::bottom(), Interval(0, 1)).isBottom());
+  EXPECT_TRUE(D.narrow(Interval(0, 1), Interval::bottom()).isBottom());
+}
+
+TEST_F(IntervalTest, ThresholdWideningJumpsToNearestThreshold) {
+  std::vector<int64_t> Thresholds = {-100, 0, 10, 100};
+  // Upper bound unstable: jumps to the smallest threshold >= new bound.
+  Interval W =
+      D.widenWithThresholds(Interval(0, 5), Interval(0, 7), Thresholds);
+  EXPECT_EQ(W, Interval(0, 10));
+  W = D.widenWithThresholds(Interval(0, 5), Interval(0, 50), Thresholds);
+  EXPECT_EQ(W, Interval(0, 100));
+  // Beyond every threshold: jumps to w+.
+  W = D.widenWithThresholds(Interval(0, 5), Interval(0, 5000), Thresholds);
+  EXPECT_EQ(W, Interval(0, INT64_MAX));
+  // Lower bound unstable: largest threshold <= new bound.
+  W = D.widenWithThresholds(Interval(0, 5), Interval(-20, 5), Thresholds);
+  EXPECT_EQ(W, Interval(-100, 5));
+}
+
+//===----------------------------------------------------------------------===//
+// Forward arithmetic
+//===----------------------------------------------------------------------===//
+
+TEST_F(IntervalTest, Add) {
+  EXPECT_EQ(D.add(Interval(1, 2), Interval(10, 20)), Interval(11, 22));
+  EXPECT_TRUE(D.add(Interval::bottom(), Interval(0, 1)).isBottom());
+}
+
+TEST_F(IntervalTest, AddSaturates) {
+  Interval R = D.add(Interval(INT64_MAX - 1, INT64_MAX), Interval(10, 20));
+  EXPECT_EQ(R, Interval(INT64_MAX, INT64_MAX));
+}
+
+TEST_F(IntervalTest, Sub) {
+  EXPECT_EQ(D.sub(Interval(1, 2), Interval(10, 20)), Interval(-19, -8));
+}
+
+TEST_F(IntervalTest, MulSignCombinations) {
+  EXPECT_EQ(D.mul(Interval(2, 3), Interval(4, 5)), Interval(8, 15));
+  EXPECT_EQ(D.mul(Interval(-3, -2), Interval(4, 5)), Interval(-15, -8));
+  EXPECT_EQ(D.mul(Interval(-2, 3), Interval(-5, 4)), Interval(-15, 12));
+  EXPECT_EQ(D.mul(Interval(0, 0), D.top()), Interval(0, 0));
+}
+
+TEST_F(IntervalTest, DivExcludesZeroDivisor) {
+  // Divisor {0}: no execution survives.
+  EXPECT_TRUE(D.div(Interval(1, 10), Interval(0, 0)).isBottom());
+  // Divisor straddling zero: both halves considered.
+  EXPECT_EQ(D.div(Interval(10, 10), Interval(-2, 2)), Interval(-10, 10));
+  EXPECT_EQ(D.div(Interval(10, 20), Interval(2, 5)), Interval(2, 10));
+  EXPECT_EQ(D.div(Interval(-7, 7), Interval(2, 2)), Interval(-3, 3));
+}
+
+TEST_F(IntervalTest, DivTruncatesTowardZero) {
+  EXPECT_EQ(D.div(Interval(-7, -7), Interval(2, 2)), Interval(-3, -3));
+  EXPECT_EQ(D.div(Interval(7, 7), Interval(-2, -2)), Interval(-3, -3));
+}
+
+TEST_F(IntervalTest, ModSignOfDividend) {
+  EXPECT_EQ(D.mod(Interval(0, 100), Interval(10, 10)), Interval(0, 9));
+  EXPECT_EQ(D.mod(Interval(-100, 0), Interval(10, 10)), Interval(-9, 0));
+  EXPECT_EQ(D.mod(Interval(-100, 100), Interval(10, 10)), Interval(-9, 9));
+  // Small dividend bounds the result tighter than the divisor.
+  EXPECT_EQ(D.mod(Interval(0, 3), Interval(10, 10)), Interval(0, 3));
+  EXPECT_TRUE(D.mod(Interval(1, 2), Interval(0, 0)).isBottom());
+}
+
+TEST_F(IntervalTest, NegAbsSqr) {
+  EXPECT_EQ(D.neg(Interval(-3, 5)), Interval(-5, 3));
+  EXPECT_EQ(D.abs(Interval(-3, 5)), Interval(0, 5));
+  EXPECT_EQ(D.abs(Interval(-7, -2)), Interval(2, 7));
+  EXPECT_EQ(D.abs(Interval(2, 7)), Interval(2, 7));
+  EXPECT_EQ(D.sqr(Interval(-3, 2)), Interval(0, 9));
+  EXPECT_EQ(D.sqr(Interval(2, 4)), Interval(4, 16));
+  EXPECT_EQ(D.sqr(Interval(-4, -2)), Interval(4, 16));
+}
+
+//===----------------------------------------------------------------------===//
+// Backward arithmetic
+//===----------------------------------------------------------------------===//
+
+TEST_F(IntervalTest, BwdAddRefinesBothOperands) {
+  // a + b in [10,10], a in [0,100], b in [3,3] -> a = 7.
+  auto [A, B] = D.bwdAdd(Interval(10, 10), Interval(0, 100), Interval(3, 3));
+  EXPECT_EQ(A, Interval(7, 7));
+  EXPECT_EQ(B, Interval(3, 3));
+}
+
+TEST_F(IntervalTest, BwdAddPaperSection2Example) {
+  // Paper §2: "read(i); j := i+1; k := j; read(T[k])" with T : array
+  // [1..100]. Backward: k in [1,100] => j in [1,100] => i in [0,99].
+  auto [I, One] =
+      D.bwdAdd(Interval(1, 100), D.top(), Interval::singleton(1));
+  EXPECT_EQ(I, Interval(0, 99));
+  EXPECT_EQ(One, Interval::singleton(1));
+}
+
+TEST_F(IntervalTest, BwdSub) {
+  // a - b in [0,0], a in [0,10], b in [5,20] -> a,b in [5,10].
+  auto [A, B] = D.bwdSub(Interval(0, 0), Interval(0, 10), Interval(5, 20));
+  EXPECT_EQ(A, Interval(5, 10));
+  EXPECT_EQ(B, Interval(5, 10));
+}
+
+TEST_F(IntervalTest, BwdMulSingletonDivisor) {
+  // a * 2 in [10,20] -> a in [5,10].
+  auto [A, B] =
+      D.bwdMul(Interval(10, 20), D.top(), Interval::singleton(2));
+  EXPECT_EQ(A, Interval(5, 10));
+  EXPECT_EQ(B, Interval::singleton(2));
+}
+
+TEST_F(IntervalTest, BwdMulDivisibleIsExact) {
+  // a * 3 in [6,6] -> a = 2 exactly.
+  auto [A, B] =
+      D.bwdMul(Interval(6, 6), Interval(-100, 100), Interval(3, 3));
+  EXPECT_EQ(A, Interval(2, 2));
+  EXPECT_EQ(B, Interval(3, 3));
+}
+
+TEST_F(IntervalTest, BwdMulDisjointGoesBottom) {
+  // a * b in [100,200] with a in [0,1], b in [0,3] is impossible.
+  auto [A, B] =
+      D.bwdMul(Interval(100, 200), Interval(0, 1), Interval(0, 3));
+  EXPECT_TRUE(A.isBottom());
+  EXPECT_TRUE(B.isBottom());
+}
+
+TEST_F(IntervalTest, BwdDivRefinesDividend) {
+  // a div 2 in [3,3] -> a in [6,7] (truncation); conservative answer must
+  // contain [6,7] and exclude values far away.
+  auto [A, B] =
+      D.bwdDiv(Interval(3, 3), D.top(), Interval::singleton(2));
+  EXPECT_TRUE(D.leq(Interval(6, 7), A));
+  EXPECT_FALSE(A.contains(20));
+  EXPECT_FALSE(A.contains(0));
+  EXPECT_EQ(B, Interval::singleton(2));
+}
+
+TEST_F(IntervalTest, BwdDivDropsZeroDivisorEndpoint) {
+  auto [A, B] = D.bwdDiv(D.top(), D.top(), Interval(0, 5));
+  (void)A;
+  EXPECT_EQ(B, Interval(1, 5));
+}
+
+TEST_F(IntervalTest, BwdModRefinesSigns) {
+  // a mod b in [3,5] with b > 0: dividend positive, divisor > 3.
+  auto [A, B] =
+      D.bwdMod(Interval(3, 5), D.top(), Interval(1, 100));
+  EXPECT_EQ(A.Lo, 1);
+  EXPECT_EQ(B, Interval(4, 100));
+}
+
+TEST_F(IntervalTest, BwdNegAbs) {
+  EXPECT_EQ(D.bwdNeg(Interval(-5, -2), D.top()), Interval(2, 5));
+  // |a| in [2,3] -> a in [-3,3] (the convex hull of [-3,-2] U [2,3]).
+  EXPECT_EQ(D.bwdAbs(Interval(2, 3), D.top()), Interval(-3, 3));
+  EXPECT_TRUE(D.bwdAbs(Interval(-5, -1), D.top()).isBottom());
+}
+
+TEST_F(IntervalTest, BwdSqr) {
+  // a^2 in [0,16] -> a in [-4,4].
+  EXPECT_EQ(D.bwdSqr(Interval(0, 16), D.top()), Interval(-4, 4));
+  EXPECT_EQ(D.bwdSqr(Interval(0, 15), D.top()), Interval(-3, 3));
+  EXPECT_TRUE(D.bwdSqr(Interval(-9, -1), D.top()).isBottom());
+}
+
+//===----------------------------------------------------------------------===//
+// Comparison tests (the [i < 100] primitives)
+//===----------------------------------------------------------------------===//
+
+TEST_F(IntervalTest, AssumeLt) {
+  auto [A, B] = D.assumeCmp(CmpOp::LT, Interval(0, 200), Interval(100, 100));
+  EXPECT_EQ(A, Interval(0, 99));
+  EXPECT_EQ(B, Interval(100, 100));
+}
+
+TEST_F(IntervalTest, AssumeLtRefinesRhsToo) {
+  auto [A, B] = D.assumeCmp(CmpOp::LT, Interval(50, 60), Interval(0, 100));
+  EXPECT_EQ(A, Interval(50, 60));
+  EXPECT_EQ(B, Interval(51, 100));
+}
+
+TEST_F(IntervalTest, AssumeLeGeGtEqNe) {
+  auto [A, B] = D.assumeCmp(CmpOp::LE, Interval(0, 200), Interval(100, 100));
+  EXPECT_EQ(A, Interval(0, 100));
+  std::tie(A, B) =
+      D.assumeCmp(CmpOp::GE, Interval(0, 200), Interval(100, 100));
+  EXPECT_EQ(A, Interval(100, 200));
+  std::tie(A, B) =
+      D.assumeCmp(CmpOp::GT, Interval(0, 200), Interval(100, 100));
+  EXPECT_EQ(A, Interval(101, 200));
+  std::tie(A, B) = D.assumeCmp(CmpOp::EQ, Interval(0, 200), Interval(50, 300));
+  EXPECT_EQ(A, Interval(50, 200));
+  EXPECT_EQ(B, Interval(50, 200));
+  // NE trims singleton endpoints.
+  std::tie(A, B) = D.assumeCmp(CmpOp::NE, Interval(0, 10), Interval(10, 10));
+  EXPECT_EQ(A, Interval(0, 9));
+  std::tie(A, B) = D.assumeCmp(CmpOp::NE, Interval(5, 5), Interval(5, 5));
+  EXPECT_TRUE(A.isBottom());
+  EXPECT_TRUE(B.isBottom());
+}
+
+TEST_F(IntervalTest, AssumeInfeasibleIsBottom) {
+  auto [A, B] = D.assumeCmp(CmpOp::LT, Interval(10, 20), Interval(0, 5));
+  EXPECT_TRUE(A.isBottom());
+  EXPECT_TRUE(B.isBottom());
+}
+
+TEST_F(IntervalTest, CmpMayBe) {
+  EXPECT_TRUE(D.cmpMayBeTrue(CmpOp::LT, Interval(0, 10), Interval(5, 5)));
+  EXPECT_TRUE(D.cmpMayBeFalse(CmpOp::LT, Interval(0, 10), Interval(5, 5)));
+  EXPECT_FALSE(D.cmpMayBeTrue(CmpOp::LT, Interval(5, 10), Interval(0, 5)));
+  EXPECT_TRUE(D.cmpMayBeFalse(CmpOp::LT, Interval(5, 10), Interval(0, 5)));
+  EXPECT_FALSE(
+      D.cmpMayBeFalse(CmpOp::EQ, Interval(7, 7), Interval(7, 7)));
+  EXPECT_FALSE(D.cmpMayBeTrue(CmpOp::EQ, Interval(0, 3), Interval(4, 9)));
+}
+
+//===----------------------------------------------------------------------===//
+// Rendering
+//===----------------------------------------------------------------------===//
+
+TEST_F(IntervalTest, Str) {
+  EXPECT_EQ(D.str(Interval::bottom()), "_|_");
+  EXPECT_EQ(D.str(Interval(1, 5)), "[1, 5]");
+  EXPECT_EQ(D.str(Interval(INT64_MIN, 5)), "[-oo, 5]");
+  EXPECT_EQ(D.str(Interval(0, INT64_MAX)), "[0, +oo]");
+  EXPECT_EQ(D.str(D.top()), "[-oo, +oo]");
+  IntervalDomain Small(-8, 7);
+  EXPECT_EQ(Small.str(Interval(-8, 7)), "[-oo, +oo]");
+  EXPECT_EQ(Small.str(Interval(-2, 3)), "[-2, 3]");
+}
+
+TEST_F(IntervalTest, CmpOpHelpers) {
+  EXPECT_EQ(negateCmp(CmpOp::LT), CmpOp::GE);
+  EXPECT_EQ(negateCmp(CmpOp::EQ), CmpOp::NE);
+  EXPECT_EQ(swapCmp(CmpOp::LT), CmpOp::GT);
+  EXPECT_EQ(swapCmp(CmpOp::LE), CmpOp::GE);
+  EXPECT_EQ(swapCmp(CmpOp::EQ), CmpOp::EQ);
+  EXPECT_STREQ(cmpOpName(CmpOp::NE), "<>");
+}
+
+} // namespace

@@ -1,0 +1,161 @@
+//===- tests/semantics/analyzer_options_test.cpp - Option matrix tests ----===//
+//
+// The Analyzer's configuration surface: iteration strategies must agree,
+// narrowing passes control widening overshoot, Harrison/forward-only/
+// context-insensitive modes behave as specified, and thresholds plug in.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/PaperPrograms.h"
+
+#include "../common/AnalysisTestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace syntox;
+using namespace syntox::test;
+
+namespace {
+
+TEST(AnalyzerOptionsTest, StrategiesAgreeOnObservableResults) {
+  // The two chaotic iteration strategies take different narrowing paths
+  // (per-node values can be incomparable), but the headline results —
+  // the envelope at the program exit and the derived loop bounds — must
+  // coincide on the paper programs.
+  struct Probe {
+    const char *Source;
+    const char *Point;
+    const char *Var;
+  } Probes[] = {
+      {paper::IntermittentProgramPlain, "exit of intermit", "i"},
+      {paper::FactProgram, "after read x", "x"},
+      {paper::McCarthyProgram, "exit of mccarthy", "m"},
+      {paper::BinarySearchProgram, "exit of binarysearch", "n"},
+  };
+  for (const Probe &P : Probes) {
+    Analyzer::Options Recursive;
+    auto A1 = analyzeProgram(P.Source, Recursive);
+    Analyzer::Options Worklist;
+    Worklist.Strategy = IterationStrategy::Worklist;
+    auto A2 = analyzeProgram(P.Source, Worklist);
+    const VarDecl *V1 = A1.var("", P.Var);
+    const VarDecl *V2 = A2.var("", P.Var);
+    EXPECT_EQ(A1.envInt(A1.node("", P.Point), V1),
+              A2.envInt(A2.node("", P.Point), V2))
+        << P.Point << " / " << P.Var;
+  }
+}
+
+TEST(AnalyzerOptionsTest, NoNarrowingOvershoots) {
+  const char *Source = "program p; var i : integer;\n"
+                       "begin i := 0; while i < 100 do i := i + 1 end.";
+  Analyzer::Options NoNarrow;
+  NoNarrow.NarrowingPasses = 0;
+  auto A = analyzeProgram(Source, NoNarrow);
+  const VarDecl *I = A.var("", "i");
+  // Without narrowing the exit keeps the widened upper bound.
+  EXPECT_EQ(A.fwdInt(A.node("", "exit of p"), I),
+            Interval(100, INT64_MAX));
+  Analyzer::Options Default;
+  auto B = analyzeProgram(Source, Default);
+  EXPECT_EQ(B.fwdInt(B.node("", "exit of p"), B.var("", "i")),
+            Interval(100, 100));
+}
+
+TEST(AnalyzerOptionsTest, ForwardOnlySkipsBackwardPhases) {
+  Analyzer::Options Opts;
+  Opts.UseBackward = false;
+  auto A = analyzeProgram(paper::ForProgram, Opts);
+  // The envelope equals the (refined) forward result: no n < 0 anywhere.
+  const VarDecl *N = A.var("", "n");
+  unsigned AfterRead = A.node("", "after read n");
+  EXPECT_TRUE(A.An->storeOps().domain().isTop(A.envInt(AfterRead, N)));
+  for (const auto &[Name, Stores] : A.An->phaseSnapshots()) {
+    (void)Stores;
+    EXPECT_NE(Name, "always");
+    EXPECT_NE(Name, "eventually");
+  }
+}
+
+TEST(AnalyzerOptionsTest, HarrisonGfpKeepsGarbage) {
+  // The forward *greatest* fixpoint has no reachability meaning: the
+  // paper's "no semantic justification". On a simple loop it fails to
+  // bound the counter at the head from below the machine bounds.
+  const char *Source = "program p; var i : integer;\n"
+                       "begin i := 0; while i < 100 do i := i + 1 end.";
+  Analyzer::Options Harrison;
+  Harrison.HarrisonGfp = true;
+  auto A = analyzeProgram(Source, Harrison);
+  Analyzer::Options Default;
+  auto B = analyzeProgram(Source, Default);
+  const StoreOps &Ops = B.An->storeOps();
+  unsigned Tighter = 0, Looser = 0;
+  for (unsigned Node = 0; Node < B.An->graph().numNodes(); ++Node) {
+    bool DefaultTighter = Ops.leq(B.An->forwardAt(Node), A.An->forwardAt(Node));
+    bool HarrisonTighter =
+        Ops.leq(A.An->forwardAt(Node), B.An->forwardAt(Node));
+    Tighter += DefaultTighter && !HarrisonTighter;
+    Looser += HarrisonTighter && !DefaultTighter;
+  }
+  // Harrison's gfp is *unsoundly* tight in places (bottom where code is
+  // reachable) and uselessly loose in others; it must differ from the
+  // lfp-based analysis.
+  EXPECT_GT(Tighter + Looser, 0u);
+}
+
+TEST(AnalyzerOptionsTest, ContextInsensitiveStillSound) {
+  Analyzer::Options Opts;
+  Opts.ContextInsensitive = true;
+  auto A = analyzeProgram(paper::McCarthyProgram, Opts);
+  // mc's result for n <= 100 is 91; the merged analysis must still cover
+  // every concrete result (soundness), i.e. at least [81, +oo) wide.
+  const VarDecl *M = A.var("", "m");
+  Interval Fwd = A.fwdInt(A.node("", "exit of mccarthy"), M);
+  EXPECT_TRUE(Fwd.contains(91));
+  EXPECT_TRUE(Fwd.contains(140)); // mc(150)
+}
+
+TEST(AnalyzerOptionsTest, ThresholdsPreserveResults) {
+  Analyzer::Options Opts;
+  Opts.WideningThresholds = {0, 10, 100, 101};
+  auto A = analyzeProgram(paper::IntermittentProgramPlain, Opts);
+  const VarDecl *I = A.var("", "i");
+  EXPECT_EQ(A.fwdInt(A.node("", "exit of intermit"), I),
+            Interval(100, INT64_MAX));
+  // (exit is [100, +oo) here because i's start is read, not 0.)
+}
+
+TEST(AnalyzerOptionsTest, ExtraBackwardRoundsRefineMonotonically) {
+  for (unsigned Rounds : {1u, 2u, 3u}) {
+    Analyzer::Options Opts;
+    Opts.BackwardRounds = Rounds;
+    Opts.TerminationGoal = true;
+    auto A = analyzeProgram(paper::SelectProgram, Opts);
+    const VarDecl *N = A.var("", "n");
+    // The derived condition never degrades with more rounds.
+    EXPECT_EQ(A.envInt(A.node("", "after read n"), N),
+              Interval(INT64_MIN, 10))
+        << "rounds=" << Rounds;
+  }
+}
+
+TEST(AnalyzerOptionsTest, PhaseSnapshotsMatchSchedule) {
+  Analyzer::Options Opts;
+  Opts.BackwardRounds = 2;
+  Opts.TerminationGoal = true;
+  auto A = analyzeProgram(paper::FactProgram, Opts);
+  // forward, then 2 x (always, eventually, forward).
+  std::vector<std::string> Names;
+  for (const auto &[Name, Stores] : A.An->phaseSnapshots()) {
+    (void)Stores;
+    Names.push_back(Name);
+  }
+  ASSERT_EQ(Names.size(), 7u);
+  EXPECT_EQ(Names[0], "forward");
+  EXPECT_EQ(Names[1], "always");
+  EXPECT_EQ(Names[2], "eventually");
+  EXPECT_EQ(Names[3], "forward");
+  EXPECT_EQ(Names[4], "always");
+}
+
+} // namespace

@@ -1,0 +1,387 @@
+//===- tests/semantics/expr_semantics_test.cpp - Expression semantics -----===//
+//
+// Unit and property tests for the forward/backward abstract expression
+// semantics, including a randomized soundness sweep: for random
+// expression trees and random concrete valuations drawn from the store,
+// the concrete value must lie in the abstract evaluation, and backward
+// refinement must never drop a valuation whose value satisfies the
+// requirement.
+//
+//===----------------------------------------------------------------------===//
+
+#include "semantics/ExprSemantics.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+
+using namespace syntox;
+
+namespace {
+
+class ExprSemanticsTest : public ::testing::Test {
+protected:
+  ExprSemanticsTest() : Ops(D), Exprs(Ops) {
+    I = Ctx.create<VarDecl>(SourceLoc(), "i", Ctx.integerType(),
+                            VarKind::Local);
+    J = Ctx.create<VarDecl>(SourceLoc(), "j", Ctx.integerType(),
+                            VarKind::Local);
+    B = Ctx.create<VarDecl>(SourceLoc(), "b", Ctx.booleanType(),
+                            VarKind::Local);
+  }
+
+  Expr *lit(int64_t V) {
+    auto *E = Ctx.create<IntLiteralExpr>(SourceLoc(), V);
+    E->setType(Ctx.integerType());
+    return E;
+  }
+  Expr *ref(VarDecl *V) {
+    auto *E = Ctx.create<VarRefExpr>(SourceLoc(), V->name());
+    E->setVarDecl(V);
+    E->setType(V->type());
+    return E;
+  }
+  Expr *bin(BinaryOp Op, Expr *L, Expr *R) {
+    auto *E = Ctx.create<BinaryExpr>(SourceLoc(), Op, L, R);
+    E->setType(isComparisonOp(Op) || Op == BinaryOp::And || Op == BinaryOp::Or
+                   ? Ctx.booleanType()
+                   : Ctx.integerType());
+    return E;
+  }
+  Expr *neg(Expr *Sub) {
+    auto *E = Ctx.create<UnaryExpr>(SourceLoc(), UnaryOp::Neg, Sub);
+    E->setType(Ctx.integerType());
+    return E;
+  }
+  Expr *builtin(BuiltinFn Fn, Expr *Arg) {
+    auto *E = Ctx.create<CallExpr>(SourceLoc(), "f",
+                                   std::vector<Expr *>{Arg});
+    E->setBuiltin(Fn);
+    E->setType(Fn == BuiltinFn::Odd ? Ctx.booleanType() : Ctx.integerType());
+    return E;
+  }
+
+  AbstractStore store(Interval IV, Interval JV) {
+    AbstractStore S;
+    Ops.assign(S, I, AbsValue(IV));
+    Ops.assign(S, J, AbsValue(JV));
+    return S;
+  }
+
+  AstContext Ctx;
+  IntervalDomain D;
+  StoreOps Ops;
+  ExprSemantics Exprs;
+  FrameMap Frame;
+  VarDecl *I, *J, *B;
+};
+
+TEST_F(ExprSemanticsTest, EvalLiteralAndVar) {
+  AbstractStore S = store(Interval(1, 5), Interval(-2, 2));
+  EXPECT_EQ(Exprs.evalInt(lit(42), S, Frame), Interval(42, 42));
+  EXPECT_EQ(Exprs.evalInt(ref(I), S, Frame), Interval(1, 5));
+}
+
+TEST_F(ExprSemanticsTest, EvalArithmeticTree) {
+  AbstractStore S = store(Interval(1, 5), Interval(2, 3));
+  // (i + j) * 2
+  Expr *E = bin(BinaryOp::Mul, bin(BinaryOp::Add, ref(I), ref(J)), lit(2));
+  EXPECT_EQ(Exprs.evalInt(E, S, Frame), Interval(6, 16));
+}
+
+TEST_F(ExprSemanticsTest, EvalBooleans) {
+  AbstractStore S = store(Interval(1, 5), Interval(10, 20));
+  EXPECT_EQ(Exprs.evalBool(bin(BinaryOp::Lt, ref(I), ref(J)), S, Frame),
+            BoolLattice(true));
+  EXPECT_EQ(Exprs.evalBool(bin(BinaryOp::Gt, ref(I), ref(J)), S, Frame),
+            BoolLattice(false));
+  EXPECT_TRUE(Exprs.evalBool(bin(BinaryOp::Eq, ref(I), lit(3)), S, Frame)
+                  .isTop());
+  // not (i < j)
+  auto *NotE = Ctx.create<UnaryExpr>(SourceLoc(), UnaryOp::Not,
+                                     bin(BinaryOp::Lt, ref(I), ref(J)));
+  NotE->setType(Ctx.booleanType());
+  EXPECT_EQ(Exprs.evalBool(NotE, S, Frame), BoolLattice(false));
+}
+
+TEST_F(ExprSemanticsTest, EvalOddBuiltin) {
+  AbstractStore S = store(Interval(3, 3), Interval(0, 9));
+  EXPECT_EQ(Exprs.evalBool(builtin(BuiltinFn::Odd, ref(I)), S, Frame),
+            BoolLattice(true));
+  EXPECT_TRUE(Exprs.evalBool(builtin(BuiltinFn::Odd, ref(J)), S, Frame)
+                  .isTop());
+}
+
+TEST_F(ExprSemanticsTest, RefineThroughArithmetic) {
+  // Paper §2: k := j with j := i + 1 and k in [1, 100] => i in [0, 99].
+  AbstractStore S = store(D.top(), D.top());
+  Exprs.refineInt(bin(BinaryOp::Add, ref(I), lit(1)), Interval(1, 100), S,
+                  Frame);
+  EXPECT_EQ(Ops.get(S, I).asInt(), Interval(0, 99));
+}
+
+TEST_F(ExprSemanticsTest, RefineBothOperands) {
+  AbstractStore S = store(Interval(0, 50), Interval(0, 50));
+  // i - j = 0 and both in [0,50]: no refinement possible beyond ranges,
+  // but i - j in [40, 100] forces i >= 40 and j <= 10.
+  Exprs.refineInt(bin(BinaryOp::Sub, ref(I), ref(J)), Interval(40, 100), S,
+                  Frame);
+  EXPECT_EQ(Ops.get(S, I).asInt(), Interval(40, 50));
+  EXPECT_EQ(Ops.get(S, J).asInt(), Interval(0, 10));
+}
+
+TEST_F(ExprSemanticsTest, RefineInfeasibleGoesBottom) {
+  AbstractStore S = store(Interval(0, 5), Interval(0, 5));
+  Exprs.refineInt(bin(BinaryOp::Add, ref(I), ref(J)), Interval(100, 200), S,
+                  Frame);
+  EXPECT_TRUE(S.isBottom());
+}
+
+TEST_F(ExprSemanticsTest, RefineBoolConjunction) {
+  AbstractStore S = store(D.top(), D.top());
+  // (i >= 1) and (i <= 10), required true.
+  Expr *Cond = bin(BinaryOp::And, bin(BinaryOp::Ge, ref(I), lit(1)),
+                   bin(BinaryOp::Le, ref(I), lit(10)));
+  Exprs.refineBool(Cond, true, S, Frame);
+  EXPECT_EQ(Ops.get(S, I).asInt(), Interval(1, 10));
+}
+
+TEST_F(ExprSemanticsTest, RefineBoolDisjunctionJoins) {
+  AbstractStore S = store(Interval(0, 100), D.top());
+  // (i <= 10) or (i >= 90): the interval join keeps [0, 100]; but
+  // negating it ((i > 10) and (i < 90)) refines to [11, 89].
+  Expr *Cond = bin(BinaryOp::Or, bin(BinaryOp::Le, ref(I), lit(10)),
+                   bin(BinaryOp::Ge, ref(I), lit(90)));
+  AbstractStore S1 = S;
+  Exprs.refineBool(Cond, true, S1, Frame);
+  EXPECT_EQ(Ops.get(S1, I).asInt(), Interval(0, 100));
+  AbstractStore S2 = S;
+  Exprs.refineBool(Cond, false, S2, Frame);
+  EXPECT_EQ(Ops.get(S2, I).asInt(), Interval(11, 89));
+}
+
+TEST_F(ExprSemanticsTest, RefineBoolVariable) {
+  AbstractStore S;
+  Exprs.refineBool(ref(B), true, S, Frame);
+  EXPECT_EQ(Ops.get(S, B).asBool(), BoolLattice(true));
+  Exprs.refineBool(ref(B), false, S, Frame);
+  EXPECT_TRUE(S.isBottom());
+}
+
+TEST_F(ExprSemanticsTest, FrameRedirection) {
+  // A var formal redirected to a root reads and refines the root.
+  VarDecl *Formal = Ctx.create<VarDecl>(SourceLoc(), "x", Ctx.integerType(),
+                                        VarKind::VarParam);
+  FrameMap F;
+  F.redirect(Formal, I);
+  AbstractStore S = store(Interval(7, 9), D.top());
+  EXPECT_EQ(Exprs.evalInt(ref(Formal), S, F), Interval(7, 9));
+  Exprs.refineInt(ref(Formal), Interval(8, 20), S, F);
+  EXPECT_EQ(Ops.get(S, I).asInt(), Interval(8, 9));
+}
+
+//===----------------------------------------------------------------------===//
+// Randomized soundness sweep
+//===----------------------------------------------------------------------===//
+
+/// Concrete evaluation with saturating semantics; nullopt on div/mod by
+/// zero.
+std::optional<int64_t> concreteEval(const Expr *E,
+                                    const std::map<const VarDecl *, int64_t>
+                                        &Env) {
+  switch (E->kind()) {
+  case Expr::Kind::IntLiteral:
+    return cast<IntLiteralExpr>(E)->value();
+  case Expr::Kind::VarRef:
+    return Env.at(cast<VarRefExpr>(E)->varDecl());
+  case Expr::Kind::Unary: {
+    auto Sub = concreteEval(cast<UnaryExpr>(E)->subExpr(), Env);
+    if (!Sub)
+      return std::nullopt;
+    return -*Sub;
+  }
+  case Expr::Kind::Call: {
+    auto Arg = concreteEval(cast<CallExpr>(E)->args()[0], Env);
+    if (!Arg)
+      return std::nullopt;
+    switch (cast<CallExpr>(E)->builtin()) {
+    case BuiltinFn::Abs:
+      return *Arg < 0 ? -*Arg : *Arg;
+    case BuiltinFn::Sqr:
+      return *Arg * *Arg;
+    default:
+      return std::nullopt;
+    }
+  }
+  case Expr::Kind::Binary: {
+    const auto *Bin = cast<BinaryExpr>(E);
+    auto L = concreteEval(Bin->lhs(), Env);
+    auto R = concreteEval(Bin->rhs(), Env);
+    if (!L || !R)
+      return std::nullopt;
+    switch (Bin->op()) {
+    case BinaryOp::Add:
+      return *L + *R;
+    case BinaryOp::Sub:
+      return *L - *R;
+    case BinaryOp::Mul:
+      return *L * *R;
+    case BinaryOp::Div:
+      if (*R == 0)
+        return std::nullopt;
+      return *L / *R;
+    case BinaryOp::Mod:
+      if (*R == 0)
+        return std::nullopt;
+      return *L % *R;
+    default:
+      return std::nullopt;
+    }
+  }
+  default:
+    return std::nullopt;
+  }
+}
+
+class RandomExprTest : public ExprSemanticsTest {
+protected:
+  Expr *randomExpr(Rng &R, unsigned Depth) {
+    if (Depth == 0 || R.chance(1, 3)) {
+      if (R.chance(1, 2))
+        return lit(R.range(-8, 8));
+      return ref(R.chance(1, 2) ? I : J);
+    }
+    switch (R.below(7)) {
+    case 0:
+      return bin(BinaryOp::Add, randomExpr(R, Depth - 1),
+                 randomExpr(R, Depth - 1));
+    case 1:
+      return bin(BinaryOp::Sub, randomExpr(R, Depth - 1),
+                 randomExpr(R, Depth - 1));
+    case 2:
+      return bin(BinaryOp::Mul, randomExpr(R, Depth - 1),
+                 randomExpr(R, Depth - 1));
+    case 3:
+      return bin(BinaryOp::Div, randomExpr(R, Depth - 1),
+                 randomExpr(R, Depth - 1));
+    case 4:
+      return bin(BinaryOp::Mod, randomExpr(R, Depth - 1),
+                 randomExpr(R, Depth - 1));
+    case 5:
+      return neg(randomExpr(R, Depth - 1));
+    default:
+      return builtin(R.chance(1, 2) ? BuiltinFn::Abs : BuiltinFn::Sqr,
+                     randomExpr(R, Depth - 1));
+    }
+  }
+};
+
+TEST_F(RandomExprTest, ForwardEvalIsSound) {
+  Rng R(31337);
+  for (int Trial = 0; Trial < 500; ++Trial) {
+    Expr *E = randomExpr(R, 3);
+    int64_t ILo = R.range(-10, 10), IHi = ILo + R.range(0, 10);
+    int64_t JLo = R.range(-10, 10), JHi = JLo + R.range(0, 10);
+    AbstractStore S = store(Interval(ILo, IHi), Interval(JLo, JHi));
+    Interval Abstract = Exprs.evalInt(E, S, Frame);
+    for (int Probe = 0; Probe < 20; ++Probe) {
+      std::map<const VarDecl *, int64_t> Env;
+      Env[I] = R.range(ILo, IHi);
+      Env[J] = R.range(JLo, JHi);
+      auto Concrete = concreteEval(E, Env);
+      if (!Concrete)
+        continue;
+      ASSERT_TRUE(Abstract.contains(*Concrete))
+          << "trial " << Trial << ": concrete " << *Concrete << " not in "
+          << Abstract.str();
+    }
+  }
+}
+
+TEST_F(RandomExprTest, BackwardRefineIsSound) {
+  Rng R(777);
+  for (int Trial = 0; Trial < 500; ++Trial) {
+    Expr *E = randomExpr(R, 3);
+    int64_t ILo = R.range(-10, 10), IHi = ILo + R.range(0, 10);
+    int64_t JLo = R.range(-10, 10), JHi = JLo + R.range(0, 10);
+    AbstractStore S = store(Interval(ILo, IHi), Interval(JLo, JHi));
+    int64_t RLo = R.range(-30, 30), RHi = RLo + R.range(0, 30);
+    Interval Required(RLo, RHi);
+    AbstractStore Refined = S;
+    Exprs.refineInt(E, Required, Refined, Frame);
+    for (int Probe = 0; Probe < 20; ++Probe) {
+      std::map<const VarDecl *, int64_t> Env;
+      Env[I] = R.range(ILo, IHi);
+      Env[J] = R.range(JLo, JHi);
+      auto Concrete = concreteEval(E, Env);
+      if (!Concrete || !Required.contains(*Concrete))
+        continue;
+      // This valuation satisfies the requirement: it must survive.
+      ASSERT_FALSE(Refined.isBottom()) << "trial " << Trial;
+      ASSERT_TRUE(Ops.get(Refined, I).asInt().contains(Env[I]))
+          << "trial " << Trial;
+      ASSERT_TRUE(Ops.get(Refined, J).asInt().contains(Env[J]))
+          << "trial " << Trial;
+    }
+  }
+}
+
+TEST_F(RandomExprTest, BooleanRefineIsSound) {
+  Rng R(4444);
+  for (int Trial = 0; Trial < 300; ++Trial) {
+    // Random comparison between two random arithmetic trees.
+    BinaryOp CmpOps[] = {BinaryOp::Eq, BinaryOp::Ne, BinaryOp::Lt,
+                         BinaryOp::Le, BinaryOp::Gt, BinaryOp::Ge};
+    Expr *L = randomExpr(R, 2);
+    Expr *Rhs = randomExpr(R, 2);
+    BinaryOp Op = CmpOps[R.below(6)];
+    Expr *Cond = bin(Op, L, Rhs);
+    bool Sense = R.chance(1, 2);
+    int64_t ILo = R.range(-6, 6), IHi = ILo + R.range(0, 8);
+    int64_t JLo = R.range(-6, 6), JHi = JLo + R.range(0, 8);
+    AbstractStore S = store(Interval(ILo, IHi), Interval(JLo, JHi));
+    AbstractStore Refined = S;
+    Exprs.refineBool(Cond, Sense, Refined, Frame);
+    for (int Probe = 0; Probe < 20; ++Probe) {
+      std::map<const VarDecl *, int64_t> Env;
+      Env[I] = R.range(ILo, IHi);
+      Env[J] = R.range(JLo, JHi);
+      auto LV = concreteEval(L, Env);
+      auto RV = concreteEval(Rhs, Env);
+      if (!LV || !RV)
+        continue;
+      bool Holds;
+      switch (Op) {
+      case BinaryOp::Eq:
+        Holds = *LV == *RV;
+        break;
+      case BinaryOp::Ne:
+        Holds = *LV != *RV;
+        break;
+      case BinaryOp::Lt:
+        Holds = *LV < *RV;
+        break;
+      case BinaryOp::Le:
+        Holds = *LV <= *RV;
+        break;
+      case BinaryOp::Gt:
+        Holds = *LV > *RV;
+        break;
+      default:
+        Holds = *LV >= *RV;
+        break;
+      }
+      if (Holds != Sense)
+        continue;
+      ASSERT_FALSE(Refined.isBottom()) << "trial " << Trial;
+      ASSERT_TRUE(Ops.get(Refined, I).asInt().contains(Env[I]))
+          << "trial " << Trial;
+      ASSERT_TRUE(Ops.get(Refined, J).asInt().contains(Env[J]))
+          << "trial " << Trial;
+    }
+  }
+}
+
+} // namespace

@@ -1,0 +1,212 @@
+//===- tests/semantics/interproc_test.cpp - Supergraph structure tests ----===//
+//
+// Structural tests for the token-based call-graph unfolding of paper
+// §5/§6.4: instance discovery, frames, shared keys, call links and
+// channel edges, plus the copy-in/copy-out transfer functions in
+// isolation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/CfgBuilder.h"
+#include "frontend/PaperPrograms.h"
+#include "semantics/Interproc.h"
+
+#include "../common/FrontendTestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace syntox;
+using namespace syntox::test;
+
+namespace {
+
+struct BuiltGraph {
+  FrontendResult FE;
+  std::unique_ptr<ProgramCfg> Cfg;
+  IntervalDomain D;
+  std::unique_ptr<StoreOps> Ops;
+  std::unique_ptr<ExprSemantics> Exprs;
+  std::unique_ptr<Transfer> Xfer;
+  std::unique_ptr<SuperGraph> G;
+};
+
+BuiltGraph buildGraph(const std::string &Source,
+                      bool ContextInsensitive = false) {
+  BuiltGraph B;
+  B.FE = runFrontend(Source);
+  EXPECT_TRUE(B.FE.SemaOk) << B.FE.Diags->str();
+  CfgBuilder Builder(*B.FE.Ctx, *B.FE.Diags);
+  B.Cfg = Builder.build(B.FE.Program);
+  B.Ops = std::make_unique<StoreOps>(B.D);
+  B.Exprs = std::make_unique<ExprSemantics>(*B.Ops);
+  B.Xfer = std::make_unique<Transfer>(*B.Ops, *B.Exprs, *B.Cfg);
+  B.G = std::make_unique<SuperGraph>(*B.Cfg, B.FE.Program, *B.Ops, *B.Exprs,
+                                     *B.Xfer, ContextInsensitive);
+  return B;
+}
+
+const VarDecl *findVar(const BuiltGraph &B, const std::string &Routine,
+                       const std::string &Name) {
+  for (RoutineDecl *R : B.FE.Routines) {
+    if (!Routine.empty() && R->name() != Routine)
+      continue;
+    for (const VarDecl *V : R->ownedVars())
+      if (V->name() == Name)
+        return V;
+  }
+  return nullptr;
+}
+
+TEST(InterprocTest, MainOnlyProgram) {
+  auto B = buildGraph("program p; var i : integer; begin i := 1 end.");
+  EXPECT_EQ(B.G->instances().size(), 1u);
+  EXPECT_TRUE(B.G->links().empty());
+  EXPECT_EQ(B.G->instanceOf(B.G->mainEntry()).R, B.FE.Program);
+  EXPECT_LT(B.G->mainEntry(), B.G->numNodes());
+  EXPECT_LT(B.G->mainExit(), B.G->numNodes());
+}
+
+TEST(InterprocTest, OneInstancePerCallSite) {
+  auto B = buildGraph("program p; var g : integer;\n"
+                      "procedure q; begin g := g + 1 end;\n"
+                      "begin q; q; q end.");
+  // main + three instances of q (one per site).
+  EXPECT_EQ(B.G->instances().size(), 4u);
+  EXPECT_EQ(B.G->links().size(), 3u);
+}
+
+TEST(InterprocTest, ContextInsensitiveMergesSites) {
+  auto B = buildGraph("program p; var g : integer;\n"
+                      "procedure q; begin g := g + 1 end;\n"
+                      "begin q; q; q end.",
+                      /*ContextInsensitive=*/true);
+  EXPECT_EQ(B.G->instances().size(), 2u);
+  EXPECT_EQ(B.G->links().size(), 3u); // links still one per site
+}
+
+TEST(InterprocTest, TokensDistinguishAliasPartitions) {
+  auto B = buildGraph(
+      "program p; var g, h : integer;\n"
+      "procedure q(var x : integer; var y : integer); begin x := y end;\n"
+      "procedure caller(var a : integer); begin q(a, g) end;\n"
+      "begin caller(g); caller(h) end.");
+  // Instances: main, caller(g), caller(h), q(g,g), q(h,g): the two
+  // caller instances produce *different* q tokens through root
+  // resolution even though q is called from a single syntactic site.
+  EXPECT_EQ(B.G->instances().size(), 5u);
+  // And the q(g,g) instance has both formals redirected to g.
+  const VarDecl *G = findVar(B, "", "g");
+  unsigned Redirected = 0;
+  for (const Instance &Inst : B.G->instances()) {
+    if (Inst.R->name() != "q")
+      continue;
+    const VarDecl *X = findVar(B, "q", "x");
+    const VarDecl *Y = findVar(B, "q", "y");
+    if (Inst.Frame.resolve(X) == G && Inst.Frame.resolve(Y) == G)
+      ++Redirected;
+  }
+  EXPECT_EQ(Redirected, 1u);
+}
+
+TEST(InterprocTest, SharedKeysContainAncestorsAndRoots) {
+  auto B = buildGraph("program p; var g : integer;\n"
+                      "procedure outer;\n"
+                      "var u : integer;\n"
+                      "  procedure inner(var w : integer);\n"
+                      "  begin w := u + g end;\n"
+                      "begin u := 1; inner(g) end;\n"
+                      "begin outer end.");
+  const Instance *InnerInst = nullptr;
+  for (const Instance &Inst : B.G->instances())
+    if (Inst.R->name() == "inner")
+      InnerInst = &Inst;
+  ASSERT_NE(InnerInst, nullptr);
+  const VarDecl *G = findVar(B, "", "g");
+  const VarDecl *U = findVar(B, "outer", "u");
+  ASSERT_NE(G, nullptr);
+  ASSERT_NE(U, nullptr);
+  auto Contains = [&](const VarDecl *V) {
+    for (const VarDecl *K : InnerInst->SharedKeys)
+      if (K == V)
+        return true;
+    return false;
+  };
+  EXPECT_TRUE(Contains(G)) << "program global";
+  EXPECT_TRUE(Contains(U)) << "enclosing local";
+}
+
+TEST(InterprocTest, CopyInSemantics) {
+  auto B = buildGraph("program p; var g : integer;\n"
+                      "procedure q(a : integer; var r : integer);\n"
+                      "begin r := a end;\n"
+                      "begin g := 7; q(g + 1, g) end.");
+  ASSERT_EQ(B.G->links().size(), 1u);
+  const CallLink &L = B.G->links()[0];
+  const VarDecl *G = findVar(B, "", "g");
+  const VarDecl *A = findVar(B, "q", "a");
+
+  AbstractStore AtP;
+  B.Ops->assign(AtP, G, AbsValue(Interval(7, 7)));
+  AbstractStore Entry = B.G->copyIn(L, AtP);
+  EXPECT_EQ(B.Ops->get(Entry, A).asInt(), Interval(8, 8));
+  EXPECT_EQ(B.Ops->get(Entry, G).asInt(), Interval(7, 7));
+
+  // Copy-out writes shared keys back and the result into the temp.
+  AbstractStore AtExit = Entry;
+  B.Ops->assign(AtExit, G, AbsValue(Interval(8, 8)));
+  AbstractStore After = B.G->copyOut(L, AtExit, AtP);
+  EXPECT_EQ(B.Ops->get(After, G).asInt(), Interval(8, 8));
+}
+
+TEST(InterprocTest, BackwardCopyInRefinesArguments) {
+  auto B = buildGraph("program p; var g : integer;\n"
+                      "procedure q(a : integer); begin g := a end;\n"
+                      "begin read(g); q(g + 1) end.");
+  ASSERT_EQ(B.G->links().size(), 1u);
+  const CallLink &L = B.G->links()[0];
+  const VarDecl *A = findVar(B, "q", "a");
+  const VarDecl *G = findVar(B, "", "g");
+
+  AbstractStore AtEntry;
+  B.Ops->assign(AtEntry, A, AbsValue(Interval(1, 100)));
+  AbstractStore AtP = B.G->bwdCopyIn(L, AtEntry);
+  // a = g + 1 in [1,100] => g in [0, 99] before the call.
+  EXPECT_EQ(B.Ops->get(AtP, G).asInt(), Interval(0, 99));
+}
+
+TEST(InterprocTest, ChannelEdgesConnectToCallerLabels) {
+  auto B = buildGraph("program p;\n"
+                      "label 99;\n"
+                      "var g : integer;\n"
+                      "procedure q; begin goto 99 end;\n"
+                      "begin q; 99: g := 0 end.");
+  unsigned ChannelEdges = 0;
+  for (const SuperEdge &E : B.G->edges())
+    ChannelEdges += E.K == SuperEdge::Kind::ChannelOut;
+  EXPECT_EQ(ChannelEdges, 1u);
+}
+
+TEST(InterprocTest, EdgeIndicesAreConsistent) {
+  auto B = buildGraph(paper::McCarthyProgram);
+  for (unsigned Node = 0; Node < B.G->numNodes(); ++Node) {
+    for (unsigned EdgeIdx : B.G->inEdges(Node))
+      EXPECT_EQ(B.G->edges()[EdgeIdx].To, Node);
+    for (unsigned EdgeIdx : B.G->outEdges(Node))
+      EXPECT_EQ(B.G->edges()[EdgeIdx].From, Node);
+  }
+  // Node <-> (instance, point) mapping is a bijection.
+  for (const Instance &Inst : B.G->instances())
+    for (unsigned P = 0; P < Inst.Cfg->numPoints(); ++P) {
+      unsigned Node = B.G->node(Inst, P);
+      EXPECT_EQ(B.G->instanceOf(Node).Id, Inst.Id);
+      EXPECT_EQ(B.G->pointOf(Node), P);
+    }
+}
+
+TEST(InterprocTest, ApproximateBytesGrowsWithUnfolding) {
+  auto Small = buildGraph(paper::FactProgram);
+  auto Large = buildGraph(paper::mcCarthyK(12));
+  EXPECT_GT(Large.G->approximateBytes(), Small.G->approximateBytes());
+}
+
+} // namespace

@@ -1,0 +1,227 @@
+//===- tests/semantics/store_test.cpp - Abstract store unit tests ---------===//
+
+#include "semantics/AbstractStore.h"
+
+#include <gtest/gtest.h>
+
+using namespace syntox;
+
+namespace {
+
+/// Fixture with a few typed variables to populate stores.
+class StoreTest : public ::testing::Test {
+protected:
+  StoreTest() : Ops(D) {
+    I = Ctx.create<VarDecl>(SourceLoc(), "i", Ctx.integerType(),
+                            VarKind::Local);
+    J = Ctx.create<VarDecl>(SourceLoc(), "j", Ctx.integerType(),
+                            VarKind::Local);
+    B = Ctx.create<VarDecl>(SourceLoc(), "b", Ctx.booleanType(),
+                            VarKind::Local);
+    N = Ctx.create<VarDecl>(SourceLoc(), "n", Ctx.getSubrangeType(1, 100),
+                            VarKind::Local);
+    T = Ctx.create<VarDecl>(SourceLoc(), "t",
+                            Ctx.getArrayType(1, 10, Ctx.integerType()),
+                            VarKind::Local);
+  }
+
+  AstContext Ctx;
+  IntervalDomain D;
+  StoreOps Ops;
+  VarDecl *I, *J, *B, *N, *T;
+};
+
+TEST_F(StoreTest, TopAndBottomBasics) {
+  AbstractStore Top = AbstractStore::top();
+  EXPECT_TRUE(Top.isTop());
+  EXPECT_FALSE(Top.isBottom());
+  AbstractStore Bot = AbstractStore::bottom();
+  EXPECT_TRUE(Bot.isBottom());
+  EXPECT_TRUE(Ops.leq(Bot, Top));
+  EXPECT_FALSE(Ops.leq(Top, Bot));
+  // Missing keys read as top of the right kind.
+  EXPECT_TRUE(D.isTop(Ops.get(Top, I).asInt()));
+  EXPECT_TRUE(Ops.get(Top, B).asBool().isTop());
+  // Bottom store yields bottom values.
+  EXPECT_TRUE(Ops.get(Bot, I).isBottom());
+  EXPECT_TRUE(Ops.get(Bot, B).isBottom());
+}
+
+TEST_F(StoreTest, TypeRange) {
+  EXPECT_EQ(Ops.typeRange(N), Interval(1, 100));
+  EXPECT_TRUE(D.isTop(Ops.typeRange(I)));
+  // Array element range: the element type's range.
+  EXPECT_TRUE(D.isTop(Ops.typeRange(T)));
+}
+
+TEST_F(StoreTest, AssignAndRefine) {
+  AbstractStore S;
+  Ops.assign(S, I, AbsValue(Interval(1, 10)));
+  EXPECT_EQ(Ops.get(S, I).asInt(), Interval(1, 10));
+  // Refining meets.
+  Ops.refine(S, I, AbsValue(Interval(5, 20)));
+  EXPECT_EQ(Ops.get(S, I).asInt(), Interval(5, 10));
+  // Refining to empty collapses the whole store.
+  Ops.refine(S, I, AbsValue(Interval(50, 60)));
+  EXPECT_TRUE(S.isBottom());
+}
+
+TEST_F(StoreTest, AssignTopErasesEntry) {
+  AbstractStore S;
+  Ops.assign(S, I, AbsValue(Interval(1, 10)));
+  Ops.assign(S, I, AbsValue(D.top()));
+  EXPECT_FALSE(S.hasEntry(I));
+  EXPECT_TRUE(S.isTop());
+}
+
+TEST_F(StoreTest, AssignBottomCollapses) {
+  AbstractStore S;
+  Ops.assign(S, I, AbsValue(Interval::bottom()));
+  EXPECT_TRUE(S.isBottom());
+}
+
+TEST_F(StoreTest, LeqSemantics) {
+  AbstractStore A, C;
+  Ops.assign(A, I, AbsValue(Interval(2, 5)));
+  Ops.assign(C, I, AbsValue(Interval(0, 10)));
+  EXPECT_TRUE(Ops.leq(A, C));
+  EXPECT_FALSE(Ops.leq(C, A));
+  // An extra constraint makes a store lower.
+  Ops.assign(A, B, AbsValue(BoolLattice(true)));
+  EXPECT_TRUE(Ops.leq(A, C));
+  AbstractStore JustBool;
+  Ops.assign(JustBool, B, AbsValue(BoolLattice(true)));
+  EXPECT_FALSE(Ops.leq(C, JustBool));
+  EXPECT_TRUE(Ops.leq(A, JustBool));
+}
+
+TEST_F(StoreTest, JoinKeepsOnlyCommonConstraints) {
+  AbstractStore A, C;
+  Ops.assign(A, I, AbsValue(Interval(0, 5)));
+  Ops.assign(A, J, AbsValue(Interval(1, 1)));
+  Ops.assign(C, I, AbsValue(Interval(10, 20)));
+  AbstractStore Joined = Ops.join(A, C);
+  EXPECT_EQ(Ops.get(Joined, I).asInt(), Interval(0, 20));
+  // J constrained only in A: the join is unconstrained.
+  EXPECT_FALSE(Joined.hasEntry(J));
+  // Join with bottom is identity.
+  EXPECT_TRUE(Ops.equal(Ops.join(A, AbstractStore::bottom()), A));
+}
+
+TEST_F(StoreTest, MeetAccumulatesConstraints) {
+  AbstractStore A, C;
+  Ops.assign(A, I, AbsValue(Interval(0, 10)));
+  Ops.assign(C, J, AbsValue(Interval(5, 5)));
+  AbstractStore Met = Ops.meet(A, C);
+  EXPECT_EQ(Ops.get(Met, I).asInt(), Interval(0, 10));
+  EXPECT_EQ(Ops.get(Met, J).asInt(), Interval(5, 5));
+  // Disjoint constraints on the same variable give bottom.
+  AbstractStore E;
+  Ops.assign(E, I, AbsValue(Interval(50, 60)));
+  EXPECT_TRUE(Ops.meet(A, E).isBottom());
+}
+
+TEST_F(StoreTest, LatticeLawsOnSamples) {
+  std::vector<AbstractStore> Samples;
+  Samples.push_back(AbstractStore::top());
+  Samples.push_back(AbstractStore::bottom());
+  AbstractStore S1;
+  Ops.assign(S1, I, AbsValue(Interval(0, 5)));
+  Samples.push_back(S1);
+  AbstractStore S2;
+  Ops.assign(S2, I, AbsValue(Interval(3, 9)));
+  Ops.assign(S2, B, AbsValue(BoolLattice(false)));
+  Samples.push_back(S2);
+  AbstractStore S3;
+  Ops.assign(S3, J, AbsValue(Interval(-5, -1)));
+  Samples.push_back(S3);
+
+  for (const AbstractStore &X : Samples) {
+    EXPECT_TRUE(Ops.equal(Ops.join(X, X), X));
+    EXPECT_TRUE(Ops.equal(Ops.meet(X, X), X));
+    for (const AbstractStore &Y : Samples) {
+      EXPECT_TRUE(Ops.equal(Ops.join(X, Y), Ops.join(Y, X)));
+      EXPECT_TRUE(Ops.equal(Ops.meet(X, Y), Ops.meet(Y, X)));
+      EXPECT_TRUE(Ops.leq(X, Ops.join(X, Y)));
+      EXPECT_TRUE(Ops.leq(Ops.meet(X, Y), X));
+      EXPECT_EQ(Ops.leq(X, Y), Ops.equal(Ops.join(X, Y), Y));
+    }
+  }
+}
+
+TEST_F(StoreTest, WideningDropsUnstableBounds) {
+  AbstractStore A, C;
+  Ops.assign(A, I, AbsValue(Interval(0, 0)));
+  Ops.assign(C, I, AbsValue(Interval(0, 1)));
+  AbstractStore W = Ops.widen(A, C);
+  EXPECT_EQ(Ops.get(W, I).asInt(), Interval(0, INT64_MAX));
+  // A key that disappears entirely goes to top.
+  AbstractStore NoKey;
+  AbstractStore W2 = Ops.widen(A, NoKey);
+  EXPECT_FALSE(W2.hasEntry(I));
+}
+
+TEST_F(StoreTest, WideningIsAnUpperBound) {
+  AbstractStore A, C;
+  Ops.assign(A, I, AbsValue(Interval(0, 5)));
+  Ops.assign(A, B, AbsValue(BoolLattice(true)));
+  Ops.assign(C, I, AbsValue(Interval(-3, 5)));
+  Ops.assign(C, B, AbsValue(BoolLattice(false)));
+  AbstractStore W = Ops.widen(A, C);
+  EXPECT_TRUE(Ops.leq(A, W));
+  EXPECT_TRUE(Ops.leq(C, W));
+}
+
+TEST_F(StoreTest, NarrowingRefinesOmegaBounds) {
+  AbstractStore A, C;
+  Ops.assign(A, I, AbsValue(Interval(0, INT64_MAX)));
+  Ops.assign(C, I, AbsValue(Interval(0, 100)));
+  AbstractStore N2 = Ops.narrow(A, C);
+  EXPECT_EQ(Ops.get(N2, I).asInt(), Interval(0, 100));
+  // Keys only in the refinement are adopted (A's entry was top).
+  AbstractStore OnlyRefined;
+  Ops.assign(OnlyRefined, J, AbsValue(Interval(1, 2)));
+  AbstractStore N3 = Ops.narrow(AbstractStore::top(), OnlyRefined);
+  EXPECT_EQ(Ops.get(N3, J).asInt(), Interval(1, 2));
+}
+
+TEST_F(StoreTest, NarrowingSoundOnDecreasingPairs) {
+  AbstractStore A;
+  Ops.assign(A, I, AbsValue(Interval(INT64_MIN, 50)));
+  AbstractStore C;
+  Ops.assign(C, I, AbsValue(Interval(0, 30)));
+  ASSERT_TRUE(Ops.leq(C, A));
+  AbstractStore N2 = Ops.narrow(A, C);
+  EXPECT_TRUE(Ops.leq(C, N2));
+  EXPECT_TRUE(Ops.leq(N2, A));
+}
+
+TEST_F(StoreTest, WideningThresholds) {
+  StoreOps TOps(D);
+  TOps.setWideningThresholds({0, 10, 100});
+  AbstractStore A, C;
+  TOps.assign(A, I, AbsValue(Interval(0, 5)));
+  TOps.assign(C, I, AbsValue(Interval(0, 7)));
+  AbstractStore W = TOps.widen(A, C);
+  EXPECT_EQ(TOps.get(W, I).asInt(), Interval(0, 10));
+}
+
+TEST_F(StoreTest, Rendering) {
+  AbstractStore S;
+  EXPECT_EQ(Ops.str(S), "{ }");
+  Ops.assign(S, I, AbsValue(Interval(1, 2)));
+  Ops.assign(S, B, AbsValue(BoolLattice(true)));
+  std::string Out = Ops.str(S);
+  EXPECT_NE(Out.find("i -> [1, 2]"), std::string::npos);
+  EXPECT_NE(Out.find("b -> true"), std::string::npos);
+  EXPECT_EQ(Ops.str(AbstractStore::bottom()), "_|_");
+}
+
+TEST_F(StoreTest, ForgetRemovesConstraint) {
+  AbstractStore S;
+  Ops.assign(S, I, AbsValue(Interval(1, 2)));
+  S.forget(I);
+  EXPECT_TRUE(S.isTop());
+}
+
+} // namespace

@@ -1,0 +1,243 @@
+//===- tests/semantics/transfer_test.cpp - Action transfer tests ----------===//
+//
+// Unit tests for the forward and backward transfer functions of each CFG
+// action — the [x := e] / [x := e]^-1 / [i < 100] primitives of paper §4
+// — including the round-trip property fwd(a, bwd(a, S)) <= S-ish checks
+// that catch inverted primitives.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/Cfg.h"
+#include "semantics/Transfer.h"
+
+#include <gtest/gtest.h>
+
+using namespace syntox;
+
+namespace {
+
+class TransferTest : public ::testing::Test {
+protected:
+  TransferTest() : Ops(D), Exprs(Ops), Xfer(Ops, Exprs, Cfg) {
+    I = Ctx.create<VarDecl>(SourceLoc(), "i", Ctx.integerType(),
+                            VarKind::Local);
+    J = Ctx.create<VarDecl>(SourceLoc(), "j", Ctx.integerType(),
+                            VarKind::Local);
+    B = Ctx.create<VarDecl>(SourceLoc(), "b", Ctx.booleanType(),
+                            VarKind::Local);
+    T = Ctx.create<VarDecl>(SourceLoc(), "t",
+                            Ctx.getArrayType(1, 10, Ctx.integerType()),
+                            VarKind::Local);
+  }
+
+  Expr *lit(int64_t V) {
+    auto *E = Ctx.create<IntLiteralExpr>(SourceLoc(), V);
+    E->setType(Ctx.integerType());
+    return E;
+  }
+  Expr *ref(VarDecl *V) {
+    auto *E = Ctx.create<VarRefExpr>(SourceLoc(), V->name());
+    E->setVarDecl(V);
+    E->setType(V->type());
+    return E;
+  }
+  Expr *add(Expr *L, Expr *R) {
+    auto *E = Ctx.create<BinaryExpr>(SourceLoc(), BinaryOp::Add, L, R);
+    E->setType(Ctx.integerType());
+    return E;
+  }
+  Expr *lt(Expr *L, Expr *R) {
+    auto *E = Ctx.create<BinaryExpr>(SourceLoc(), BinaryOp::Lt, L, R);
+    E->setType(Ctx.booleanType());
+    return E;
+  }
+
+  AbstractStore storeI(Interval V) {
+    AbstractStore S;
+    Ops.assign(S, I, AbsValue(V));
+    return S;
+  }
+
+  AstContext Ctx;
+  ProgramCfg Cfg;
+  IntervalDomain D;
+  StoreOps Ops;
+  ExprSemantics Exprs;
+  Transfer Xfer;
+  FrameMap Frame;
+  VarDecl *I, *J, *B, *T;
+};
+
+TEST_F(TransferTest, NopIsIdentity) {
+  AbstractStore S = storeI(Interval(1, 2));
+  EXPECT_TRUE(Ops.equal(Xfer.fwd(Action::nop(), S, Frame), S));
+  EXPECT_TRUE(Ops.equal(Xfer.bwd(Action::nop(), S, Frame), S));
+}
+
+TEST_F(TransferTest, ForwardAssign) {
+  AbstractStore S = storeI(Interval(1, 5));
+  // j := i + 1
+  AbstractStore Out =
+      Xfer.fwd(Action::assign(J, add(ref(I), lit(1))), S, Frame);
+  EXPECT_EQ(Ops.get(Out, J).asInt(), Interval(2, 6));
+  EXPECT_EQ(Ops.get(Out, I).asInt(), Interval(1, 5));
+}
+
+TEST_F(TransferTest, ForwardAssignSelfReference) {
+  AbstractStore S = storeI(Interval(0, 0));
+  AbstractStore Out =
+      Xfer.fwd(Action::assign(I, add(ref(I), lit(1))), S, Frame);
+  EXPECT_EQ(Ops.get(Out, I).asInt(), Interval(1, 1));
+}
+
+TEST_F(TransferTest, BackwardAssign) {
+  // After i := i + 1 the requirement i in [1, 100] becomes i in [0, 99].
+  AbstractStore After = storeI(Interval(1, 100));
+  AbstractStore Before =
+      Xfer.bwd(Action::assign(I, add(ref(I), lit(1))), After, Frame);
+  EXPECT_EQ(Ops.get(Before, I).asInt(), Interval(0, 99));
+}
+
+TEST_F(TransferTest, BackwardAssignDropsTargetConstraint) {
+  // j := 5 satisfies any requirement on j containing 5; the pre-state
+  // must not constrain j.
+  AbstractStore After;
+  Ops.assign(After, J, AbsValue(Interval(0, 10)));
+  AbstractStore Before = Xfer.bwd(Action::assign(J, lit(5)), After, Frame);
+  EXPECT_FALSE(Before.hasEntry(J));
+  // But an unsatisfiable requirement kills the state.
+  AbstractStore Bad;
+  Ops.assign(Bad, J, AbsValue(Interval(100, 200)));
+  EXPECT_TRUE(Xfer.bwd(Action::assign(J, lit(5)), Bad, Frame).isBottom());
+}
+
+TEST_F(TransferTest, BooleanAssign) {
+  AbstractStore S = storeI(Interval(1, 5));
+  AbstractStore Out =
+      Xfer.fwd(Action::assign(B, lt(ref(I), lit(3))), S, Frame);
+  EXPECT_TRUE(Ops.get(Out, B).asBool().isTop());
+  AbstractStore S2 = storeI(Interval(1, 2));
+  AbstractStore Out2 =
+      Xfer.fwd(Action::assign(B, lt(ref(I), lit(3))), S2, Frame);
+  EXPECT_EQ(Ops.get(Out2, B).asBool(), BoolLattice(true));
+}
+
+TEST_F(TransferTest, BackwardBooleanAssign) {
+  // Requirement b = true after b := i < 3 forces i <= 2.
+  AbstractStore After = storeI(Interval(0, 10));
+  Ops.assign(After, B, AbsValue(BoolLattice(true)));
+  AbstractStore Before =
+      Xfer.bwd(Action::assign(B, lt(ref(I), lit(3))), After, Frame);
+  EXPECT_EQ(Ops.get(Before, I).asInt(), Interval(0, 2));
+  EXPECT_FALSE(Before.hasEntry(B));
+}
+
+TEST_F(TransferTest, ForwardRead) {
+  AbstractStore S = storeI(Interval(1, 2));
+  AbstractStore Out = Xfer.fwd(Action::readScalar(I), S, Frame);
+  EXPECT_FALSE(Out.hasEntry(I));
+}
+
+TEST_F(TransferTest, BackwardRead) {
+  // A satisfiable requirement survives with the target released.
+  AbstractStore After = storeI(Interval(5, 5));
+  AbstractStore Before = Xfer.bwd(Action::readScalar(I), After, Frame);
+  EXPECT_FALSE(Before.isBottom());
+  EXPECT_FALSE(Before.hasEntry(I));
+}
+
+TEST_F(TransferTest, AssumeBothDirections) {
+  Action Assume = Action::assume(lt(ref(I), lit(10)), true);
+  AbstractStore S = storeI(Interval(0, 100));
+  EXPECT_EQ(Ops.get(Xfer.fwd(Assume, S, Frame), I).asInt(), Interval(0, 9));
+  EXPECT_EQ(Ops.get(Xfer.bwd(Assume, S, Frame), I).asInt(), Interval(0, 9));
+  Action AssumeFalse = Action::assume(lt(ref(I), lit(10)), false);
+  EXPECT_EQ(Ops.get(Xfer.fwd(AssumeFalse, S, Frame), I).asInt(),
+            Interval(10, 100));
+}
+
+TEST_F(TransferTest, ArrayStoreIsWeak) {
+  AbstractStore S = storeI(Interval(1, 10));
+  Ops.assign(S, T, AbsValue(Interval(0, 0)));
+  AbstractStore Out =
+      Xfer.fwd(Action::arrayStore(T, ref(I), lit(7)), S, Frame);
+  // The summary joins old and new values.
+  EXPECT_EQ(Ops.get(Out, T).asInt(), Interval(0, 7));
+}
+
+TEST_F(TransferTest, ArrayStoreBackward) {
+  // Requirement "all elements in [0, 5]" after t[i] := j requires j in
+  // [0, 5] and releases the summary.
+  AbstractStore After = storeI(Interval(1, 10));
+  Ops.assign(After, T, AbsValue(Interval(0, 5)));
+  Ops.assign(After, J, AbsValue(D.top()));
+  AbstractStore Before =
+      Xfer.bwd(Action::arrayStore(T, ref(I), ref(J)), After, Frame);
+  EXPECT_EQ(Ops.get(Before, J).asInt(), Interval(0, 5));
+  EXPECT_FALSE(Before.hasEntry(T));
+}
+
+TEST_F(TransferTest, ReadArrayForgetsSummary) {
+  AbstractStore S = storeI(Interval(1, 10));
+  Ops.assign(S, T, AbsValue(Interval(0, 0)));
+  AbstractStore Out = Xfer.fwd(Action::readArray(T, ref(I)), S, Frame);
+  EXPECT_FALSE(Out.hasEntry(T));
+}
+
+TEST_F(TransferTest, CheckActions) {
+  unsigned InRange = Cfg.registerCheck(CheckInfo{
+      0, CheckKind::ArrayBound, SourceLoc(), ref(I), 1, 10, "index of t"});
+  AbstractStore S = storeI(Interval(-5, 100));
+  AbstractStore Out = Xfer.fwd(Action::check(InRange, ref(I)), S, Frame);
+  EXPECT_EQ(Ops.get(Out, I).asInt(), Interval(1, 10));
+  // Backward applies the same refinement.
+  AbstractStore Pre = Xfer.bwd(Action::check(InRange, ref(I)), S, Frame);
+  EXPECT_EQ(Ops.get(Pre, I).asInt(), Interval(1, 10));
+
+  unsigned NonZero = Cfg.registerCheck(CheckInfo{
+      0, CheckKind::DivByZero, SourceLoc(), ref(I), 0, 0, "divisor"});
+  AbstractStore Z = storeI(Interval(0, 5));
+  AbstractStore OutZ = Xfer.fwd(Action::check(NonZero, ref(I)), Z, Frame);
+  EXPECT_EQ(Ops.get(OutZ, I).asInt(), Interval(1, 5));
+  AbstractStore OnlyZero = storeI(Interval(0, 0));
+  EXPECT_TRUE(
+      Xfer.fwd(Action::check(NonZero, ref(I)), OnlyZero, Frame).isBottom());
+
+  unsigned CaseFall = Cfg.registerCheck(CheckInfo{
+      0, CheckKind::CaseMatch, SourceLoc(), ref(I), 1, 3, "case selector"});
+  EXPECT_TRUE(
+      Xfer.fwd(Action::check(CaseFall, ref(I)), S, Frame).isBottom());
+}
+
+TEST_F(TransferTest, InvariantRefines) {
+  Action Inv = Action::invariant(lt(ref(I), lit(0)));
+  AbstractStore S = storeI(Interval(-10, 10));
+  EXPECT_EQ(Ops.get(Xfer.fwd(Inv, S, Frame), I).asInt(), Interval(-10, -1));
+  EXPECT_EQ(Ops.get(Xfer.bwd(Inv, S, Frame), I).asInt(), Interval(-10, -1));
+}
+
+TEST_F(TransferTest, BottomPropagates) {
+  AbstractStore Bot = AbstractStore::bottom();
+  EXPECT_TRUE(Xfer.fwd(Action::assign(I, lit(1)), Bot, Frame).isBottom());
+  EXPECT_TRUE(Xfer.bwd(Action::assign(I, lit(1)), Bot, Frame).isBottom());
+  EXPECT_TRUE(Xfer.fwd(Action::readScalar(I), Bot, Frame).isBottom());
+}
+
+TEST_F(TransferTest, FwdBwdGaloisStyleRoundTrip) {
+  // For deterministic actions: fwd(a, bwd(a, S)) must stay inside S
+  // whenever bwd(a, S) is non-bottom (the preimage maps back into S).
+  AbstractStore Req = storeI(Interval(10, 20));
+  for (const Action &A :
+       {Action::assign(I, add(ref(I), lit(3))),
+        Action::assign(I, lit(15)),
+        Action::assume(lt(ref(I), lit(18)), true),
+        Action::invariant(lt(ref(I), lit(18)))}) {
+    AbstractStore Pre = Xfer.bwd(A, Req, Frame);
+    if (Pre.isBottom())
+      continue;
+    AbstractStore RoundTrip = Xfer.fwd(A, Pre, Frame);
+    EXPECT_TRUE(Ops.leq(RoundTrip, Req));
+  }
+}
+
+} // namespace

@@ -1,0 +1,100 @@
+//===- tests/support/support_test.cpp - Support library unit tests --------===//
+
+#include "support/Diagnostics.h"
+#include "support/Rng.h"
+#include "support/SourceLoc.h"
+#include "support/Stats.h"
+
+#include <gtest/gtest.h>
+
+using namespace syntox;
+
+namespace {
+
+TEST(SourceLocTest, ValidityAndOrdering) {
+  SourceLoc Invalid;
+  EXPECT_FALSE(Invalid.isValid());
+  EXPECT_EQ(Invalid.str(), "<unknown>");
+
+  SourceLoc A(1, 5), B(2, 1), C(1, 9);
+  EXPECT_TRUE(A.isValid());
+  EXPECT_EQ(A.str(), "1:5");
+  EXPECT_TRUE(A < B);
+  EXPECT_TRUE(A < C);
+  EXPECT_FALSE(B < A);
+  EXPECT_EQ(A, SourceLoc(1, 5));
+}
+
+TEST(SourceRangeTest, Basics) {
+  SourceRange R(SourceLoc(1, 1), SourceLoc(1, 10));
+  EXPECT_TRUE(R.isValid());
+  EXPECT_FALSE(SourceRange().isValid());
+  SourceRange Point{SourceLoc(3, 4)};
+  EXPECT_EQ(Point.Begin, Point.End);
+}
+
+TEST(DiagnosticsTest, CountsAndRendering) {
+  DiagnosticsEngine Diags;
+  EXPECT_FALSE(Diags.hasErrors());
+  Diags.warning(SourceLoc(2, 3), "variable may exceed 100");
+  Diags.error(SourceLoc(4, 1), "expected ';'");
+  Diags.note(SourceLoc(4, 1), "to match this 'begin'");
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_EQ(Diags.errorCount(), 1u);
+  EXPECT_EQ(Diags.warningCount(), 1u);
+  EXPECT_EQ(Diags.diagnostics().size(), 3u);
+  EXPECT_EQ(Diags.diagnostics()[0].str(),
+            "2:3: warning: variable may exceed 100");
+  EXPECT_NE(Diags.str().find("4:1: error: expected ';'"), std::string::npos);
+  Diags.clear();
+  EXPECT_FALSE(Diags.hasErrors());
+  EXPECT_TRUE(Diags.diagnostics().empty());
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RngTest, RangeStaysInBounds) {
+  Rng R(7);
+  for (int I = 0; I < 1000; ++I) {
+    int64_t V = R.range(-5, 9);
+    EXPECT_GE(V, -5);
+    EXPECT_LE(V, 9);
+  }
+  for (int I = 0; I < 100; ++I)
+    EXPECT_LT(R.below(3), 3u);
+}
+
+TEST(RngTest, RoughUniformity) {
+  Rng R(123);
+  int Counts[4] = {0, 0, 0, 0};
+  for (int I = 0; I < 4000; ++I)
+    ++Counts[R.below(4)];
+  for (int C : Counts) {
+    EXPECT_GT(C, 800);
+    EXPECT_LT(C, 1200);
+  }
+}
+
+TEST(StatsTest, RenderingContainsFigure2Fields) {
+  AnalysisStats S;
+  S.ControlPoints = 32;
+  S.Equations = 448;
+  S.Unions = 2104;
+  S.Widenings = 814;
+  S.CpuSeconds = 0.6;
+  S.BytesUsed = 46 * 1024;
+  S.Phases.push_back(PhaseStats{"Forward analysis", 84, 56});
+  std::string Out = S.str();
+  EXPECT_NE(Out.find("Forward analysis: widening (84), narrowing (56)"),
+            std::string::npos);
+  EXPECT_NE(Out.find("Control points: 32"), std::string::npos);
+  EXPECT_NE(Out.find("Equations: 448 (2104 unions, 814 widenings)"),
+            std::string::npos);
+  EXPECT_NE(Out.find("Memory: 46 Kb"), std::string::npos);
+}
+
+} // namespace
