@@ -29,3 +29,5 @@ include("/root/repo/build/tests/cfgdot_test[1]_include.cmake")
 include("/root/repo/build/tests/analyzer_options_test[1]_include.cmake")
 include("/root/repo/build/tests/printer_test[1]_include.cmake")
 include("/root/repo/build/tests/endtoend_random_test[1]_include.cmake")
+include("/root/repo/build/tests/transfer_cache_test[1]_include.cmake")
+include("/root/repo/build/tests/parallel_solver_test[1]_include.cmake")

@@ -11,6 +11,14 @@
 //     --rounds=N      backward/forward refinement rounds (default 1)
 //     --states        print the abstract state at every program point
 //     --no-backward   forward analysis only
+//     --strategy=S    chaotic iteration strategy: recursive (default),
+//                     worklist, or parallel
+//     --threads=N     worker threads for --strategy=parallel
+//                     (0 = all hardware threads)
+//     --cache         enable the memoizing transfer-function cache
+//                     (off by default: it only pays for expensive
+//                     transfer functions)
+//     --no-cache      disable the transfer-function cache
 //
 //===----------------------------------------------------------------------===//
 
@@ -27,7 +35,8 @@ using namespace syntox;
 static void usage() {
   std::fprintf(stderr,
                "usage: syntox_cli [--terminate] [--rounds=N] [--states] "
-               "[--no-backward] [file.pas]\n");
+               "[--no-backward] [--strategy=recursive|worklist|parallel] "
+               "[--threads=N] [--cache] [--no-cache] [file.pas]\n");
 }
 
 int main(int Argc, char **Argv) {
@@ -46,6 +55,27 @@ int main(int Argc, char **Argv) {
       PrintStates = true;
     } else if (Arg == "--no-backward") {
       Opts.Analysis.UseBackward = false;
+    } else if (Arg.rfind("--strategy=", 0) == 0) {
+      std::string Name = Arg.substr(11);
+      if (Name == "recursive") {
+        Opts.Analysis.Strategy = IterationStrategy::Recursive;
+      } else if (Name == "worklist") {
+        Opts.Analysis.Strategy = IterationStrategy::Worklist;
+      } else if (Name == "parallel") {
+        Opts.Analysis.Strategy = IterationStrategy::Parallel;
+      } else {
+        std::fprintf(stderr, "syntox_cli: unknown strategy '%s'\n",
+                     Name.c_str());
+        usage();
+        return 2;
+      }
+    } else if (Arg.rfind("--threads=", 0) == 0) {
+      Opts.Analysis.NumThreads =
+          static_cast<unsigned>(std::atoi(Arg.c_str() + 10));
+    } else if (Arg == "--cache") {
+      Opts.Analysis.UseTransferCache = true;
+    } else if (Arg == "--no-cache") {
+      Opts.Analysis.UseTransferCache = false;
     } else if (Arg == "--help" || Arg == "-h") {
       usage();
       return 0;

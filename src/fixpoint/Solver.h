@@ -13,11 +13,18 @@
 ///    passes),
 ///  - greatest fixpoints: a single narrowing phase starting from top.
 ///
-/// Two chaotic iteration strategies from the companion FMPA'93 paper are
-/// provided: the *recursive* strategy, which stabilizes every WTO
-/// component before leaving it, and the *worklist* strategy, which picks
-/// pending equations in WTO order. Widening/narrowing is applied at the
-/// WTO component heads, which cut every dependency cycle.
+/// Three chaotic iteration strategies are provided. The *recursive*
+/// strategy (companion FMPA'93 paper) stabilizes every WTO component
+/// before leaving it; the *worklist* strategy picks pending equations in
+/// WTO order. The *parallel* strategy computes the WTO once, treats each
+/// top-level WTO element as a task, orders tasks by the dependency edges
+/// between them (the condensation of the dependency digraph is a DAG, so
+/// independent components have no path between them), and stabilizes
+/// ready tasks concurrently on a small worker pool — falling back to the
+/// recursive strategy *inside* each component, so the widening and
+/// narrowing points are exactly those of the recursive strategy and the
+/// solution is bit-identical to it by construction. Widening/narrowing is
+/// applied at the WTO component heads, which cut every dependency cycle.
 ///
 /// The System type parameter supplies the lattice and the equations:
 ///
@@ -35,6 +42,11 @@
 ///     Value narrow(const Value &A, const Value &B) const;
 ///   };
 ///
+/// Under the parallel strategy, evaluate() and the lattice operations are
+/// called concurrently from several threads (for nodes of independent
+/// components), so they must be const-thread-safe: no mutation of shared
+/// state except through atomics.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SYNTOX_FIXPOINT_SOLVER_H
@@ -42,8 +54,13 @@
 
 #include "fixpoint/Digraph.h"
 #include "fixpoint/Wto.h"
+#include "support/ThreadPool.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <set>
 #include <vector>
 
@@ -63,6 +80,7 @@ enum class FixpointKind {
 enum class IterationStrategy {
   Recursive, ///< stabilize each WTO component before moving on
   Worklist,  ///< WTO-ordered worklist
+  Parallel,  ///< independent WTO components stabilized concurrently
 };
 
 /// Counters reported by one solver run.
@@ -71,6 +89,17 @@ struct SolverStats {
   uint64_t DescendingSteps = 0; ///< equation evaluations while descending
   uint64_t Widenings = 0;
   uint64_t Narrowings = 0;
+  /// Top-level WTO components scheduled as independent tasks (parallel
+  /// strategy only; 0 otherwise).
+  uint64_t ParallelComponents = 0;
+  /// Tasks in the scheduling DAG after chain contraction (parallel
+  /// strategy only).
+  uint64_t ParallelTasks = 0;
+  /// Maximum number of tasks on one level of the scheduling DAG (levels
+  /// by longest path from a root). A width of 1 means the schedule is a
+  /// chain and threading cannot help; the attainable speedup is bounded
+  /// by the width regardless of thread count.
+  uint64_t ParallelDagWidth = 0;
 };
 
 template <typename System> class FixpointSolver {
@@ -83,6 +112,9 @@ public:
     /// Descending passes after the ascending phase (Lfp only). The
     /// paper's Syntox runs one narrowing phase per analysis.
     unsigned NarrowingPasses = 1;
+    /// Worker threads for the parallel strategy (0 = one per hardware
+    /// thread). Ignored by the serial strategies.
+    unsigned NumThreads = 0;
   };
 
   FixpointSolver(const System &Sys, Options Opts)
@@ -97,20 +129,26 @@ public:
     for (unsigned Node = 0; Node < N; ++Node)
       X.push_back(Sys.initialValue(Node, FromTop));
 
+    bool Par = Opts.Strategy == IterationStrategy::Parallel;
+    if (Par)
+      prepareParallel();
+
     if (Opts.Kind == FixpointKind::Lfp) {
-      if (Opts.Strategy == IterationStrategy::Recursive)
+      if (Par)
+        ascendParallel();
+      else if (Opts.Strategy == IterationStrategy::Recursive)
         ascendRecursive();
       else
         ascendWorklist();
       for (unsigned Pass = 0; Pass < Opts.NarrowingPasses; ++Pass)
-        if (!descendOnce())
+        if (!(Par ? descendOnceParallel() : descendOnce()))
           break;
     } else {
       // Gfp: descending narrowing iterations until stable. The sweep
       // bound is a safety net; narrowing at the heads makes the chain
       // finite in practice long before it triggers.
       for (unsigned Sweep = 0; Sweep < MaxGfpSweeps; ++Sweep)
-        if (!descendOnce())
+        if (!(Par ? descendOnceParallel() : descendOnce()))
           break;
     }
     return X;
@@ -126,7 +164,7 @@ private:
 
   void ascendRecursive() {
     for (const WtoElement &E : Order.elements())
-      ascendElement(E);
+      ascendElement(E, Stats);
   }
 
   /// Resets every vertex of a component (head and body, recursively) to
@@ -140,9 +178,9 @@ private:
         X[Sub.Vertex] = Sys.initialValue(Sub.Vertex, /*FromTop=*/false);
   }
 
-  void ascendElement(const WtoElement &E) {
+  void ascendElement(const WtoElement &E, SolverStats &S) {
     if (!E.IsComponent) {
-      ++Stats.AscendingSteps;
+      ++S.AscendingSteps;
       X[E.Vertex] = Sys.evaluate(E.Vertex, X);
       return;
     }
@@ -169,12 +207,12 @@ private:
     // the head starts out stable.
     for (;;) {
       for (const WtoElement &Sub : E.Body)
-        ascendElement(Sub);
-      ++Stats.AscendingSteps;
+        ascendElement(Sub, S);
+      ++S.AscendingSteps;
       Value New = Sys.evaluate(E.Vertex, X);
       if (Sys.leq(New, X[E.Vertex]))
         break;
-      ++Stats.Widenings;
+      ++S.Widenings;
       X[E.Vertex] = Sys.widen(X[E.Vertex], New);
     }
   }
@@ -220,13 +258,13 @@ private:
   bool descendOnce() {
     bool Changed = false;
     for (const WtoElement &E : Order.elements())
-      descendElement(E, Changed);
+      descendElement(E, Changed, Stats);
     return Changed;
   }
 
-  void descendElement(const WtoElement &E, bool &Changed) {
+  void descendElement(const WtoElement &E, bool &Changed, SolverStats &S) {
     if (!E.IsComponent) {
-      ++Stats.DescendingSteps;
+      ++S.DescendingSteps;
       Value New = Sys.evaluate(E.Vertex, X);
       if (!Sys.equal(New, X[E.Vertex])) {
         X[E.Vertex] = New;
@@ -239,20 +277,184 @@ private:
     // heads use narrowing (finite chains); between heads the body is
     // acyclic. The sweep bound is a safety net only.
     for (unsigned Sweep = 0; Sweep < MaxComponentSweeps; ++Sweep) {
-      ++Stats.DescendingSteps;
+      ++S.DescendingSteps;
       Value New = Sys.evaluate(E.Vertex, X);
-      ++Stats.Narrowings;
+      ++S.Narrowings;
       Value Narrowed = Sys.narrow(X[E.Vertex], New);
       bool SweepChanged = !Sys.equal(Narrowed, X[E.Vertex]);
       X[E.Vertex] = Narrowed;
       for (const WtoElement &Sub : E.Body)
-        descendElement(Sub, SweepChanged);
+        descendElement(Sub, SweepChanged, S);
       Changed |= SweepChanged;
       if (!SweepChanged)
         break;
     }
   }
 
+  //===--------------------------------------------------------------------===//
+  // Parallel strategy: DAG scheduling of top-level WTO elements
+  //===--------------------------------------------------------------------===//
+  //
+  // Every top-level WTO element starts as one task. For every dependency
+  // edge that crosses two tasks, a scheduling edge is added between them
+  // *oriented by WTO order*, so the task graph is acyclic by
+  // construction and scheduling respects exactly the ordering the serial
+  // recursive strategy uses: a task runs only after every earlier task
+  // it shares an edge with has finished, and before every later one.
+  // Tasks with no path between them — the independent components — run
+  // concurrently. Since each task is stabilized by the same recursive
+  // ascent/descent and reads only values the serial schedule would see
+  // in the same state, the solution and the step counters are identical
+  // to the recursive strategy.
+  //
+  // Linear chains of the task DAG are then contracted: an edge a -> b is
+  // merged when a has exactly one successor and b exactly one
+  // predecessor. Contracting a chain never changes which tasks can run
+  // concurrently, so the DAG keeps its full parallel width, but the long
+  // plain-vertex runs between components collapse into a handful of
+  // tasks instead of flooding the pool with thousands of one-vertex
+  // jobs whose scheduling cost would swamp the analysis.
+
+  struct ParallelTask {
+    std::vector<unsigned> Elems; ///< top-level elements, in WTO order
+    std::vector<unsigned> Succs; ///< task indices unblocked by this task
+    unsigned NumPreds = 0;       ///< scheduling in-degree
+  };
+
+  void mapTaskVertices(const WtoElement &E, unsigned TaskIdx,
+                       std::vector<unsigned> &TaskOf) {
+    TaskOf[E.Vertex] = TaskIdx;
+    for (const WtoElement &Sub : E.Body)
+      mapTaskVertices(Sub, TaskIdx, TaskOf);
+  }
+
+  void prepareParallel() {
+    if (!Tasks.empty() || Order.elements().empty())
+      return;
+    unsigned NumElems = static_cast<unsigned>(Order.elements().size());
+    for (const WtoElement &E : Order.elements())
+      if (E.IsComponent)
+        ++Stats.ParallelComponents;
+    // Element-level dependency digraph: edge A -> B (A < B in WTO order)
+    // for every graph edge crossing two top-level elements, deduplicated.
+    std::vector<unsigned> ElemOf(Sys.numNodes(), 0);
+    for (unsigned E = 0; E < NumElems; ++E)
+      mapTaskVertices(Order.elements()[E], E, ElemOf);
+    std::vector<std::set<unsigned>> ESuccs(NumElems);
+    std::vector<unsigned> EPreds(NumElems, 0);
+    for (unsigned V = 0; V < Sys.numNodes(); ++V)
+      for (unsigned U : Sys.graph().preds(V)) {
+        unsigned A = ElemOf[U], B = ElemOf[V];
+        if (A == B)
+          continue;
+        if (A > B)
+          std::swap(A, B);
+        if (ESuccs[A].insert(B).second)
+          ++EPreds[B];
+      }
+    // Chain contraction. A merged edge a -> b always has a < b, so
+    // scanning elements in WTO order visits every chain at its head, and
+    // a task's element list stays sorted in WTO order.
+    std::vector<unsigned> TaskOf(NumElems, NoTask);
+    for (unsigned E = 0; E < NumElems; ++E) {
+      if (TaskOf[E] != NoTask)
+        continue; // absorbed by an earlier chain
+      unsigned TaskIdx = static_cast<unsigned>(Tasks.size());
+      Tasks.emplace_back();
+      unsigned Cur = E;
+      TaskOf[Cur] = TaskIdx;
+      Tasks[TaskIdx].Elems.push_back(Cur);
+      while (ESuccs[Cur].size() == 1) {
+        unsigned Next = *ESuccs[Cur].begin();
+        if (EPreds[Next] != 1 || TaskOf[Next] != NoTask)
+          break;
+        TaskOf[Next] = TaskIdx;
+        Tasks[TaskIdx].Elems.push_back(Next);
+        Cur = Next;
+      }
+    }
+    // Task-level scheduling edges, deduplicated; still oriented by task
+    // index (a crossing edge's head is a chain head, so its task was
+    // created after the tail's task).
+    std::set<std::pair<unsigned, unsigned>> EdgeSet;
+    for (unsigned A = 0; A < NumElems; ++A)
+      for (unsigned B : ESuccs[A])
+        if (TaskOf[A] != TaskOf[B])
+          EdgeSet.insert({std::min(TaskOf[A], TaskOf[B]),
+                          std::max(TaskOf[A], TaskOf[B])});
+    for (const auto &[A, B] : EdgeSet) {
+      Tasks[A].Succs.push_back(B);
+      ++Tasks[B].NumPreds;
+    }
+    // DAG shape counters: width 1 means the schedule degenerates to a
+    // chain and threads cannot overlap any work.
+    Stats.ParallelTasks = Tasks.size();
+    std::vector<unsigned> Level(Tasks.size(), 0);
+    unsigned MaxLevel = 0;
+    for (unsigned A = 0; A < Tasks.size(); ++A)
+      for (unsigned B : Tasks[A].Succs) {
+        Level[B] = std::max(Level[B], Level[A] + 1);
+        MaxLevel = std::max(MaxLevel, Level[B]);
+      }
+    std::vector<uint64_t> PerLevel(MaxLevel + 1, 0);
+    for (unsigned T = 0; T < Tasks.size(); ++T)
+      Stats.ParallelDagWidth =
+          std::max(Stats.ParallelDagWidth, ++PerLevel[Level[T]]);
+    Pool = std::make_unique<ThreadPool>(Opts.NumThreads);
+  }
+
+  /// Runs \p RunTask(TaskIdx) for every task, respecting the scheduling
+  /// edges; independent tasks execute concurrently on the pool.
+  template <typename Fn> void runTaskDag(Fn &&RunTask) {
+    if (Tasks.empty())
+      return;
+    std::vector<std::atomic<unsigned>> Pending(Tasks.size());
+    for (size_t T = 0; T < Tasks.size(); ++T)
+      Pending[T].store(Tasks[T].NumPreds, std::memory_order_relaxed);
+    std::function<void(unsigned)> Exec = [&](unsigned TaskIdx) {
+      RunTask(TaskIdx);
+      for (unsigned S : Tasks[TaskIdx].Succs)
+        if (Pending[S].fetch_sub(1, std::memory_order_acq_rel) == 1)
+          Pool->submit([&Exec, S] { Exec(S); });
+    };
+    for (unsigned T = 0; T < Tasks.size(); ++T)
+      if (Tasks[T].NumPreds == 0)
+        Pool->submit([&Exec, T] { Exec(T); });
+    Pool->wait();
+  }
+
+  void mergeStats(const SolverStats &Local) {
+    std::lock_guard<std::mutex> Lock(StatsMutex);
+    Stats.AscendingSteps += Local.AscendingSteps;
+    Stats.DescendingSteps += Local.DescendingSteps;
+    Stats.Widenings += Local.Widenings;
+    Stats.Narrowings += Local.Narrowings;
+  }
+
+  void ascendParallel() {
+    runTaskDag([this](unsigned TaskIdx) {
+      SolverStats Local;
+      for (unsigned E : Tasks[TaskIdx].Elems)
+        ascendElement(Order.elements()[E], Local);
+      mergeStats(Local);
+    });
+  }
+
+  bool descendOnceParallel() {
+    std::atomic<bool> Changed{false};
+    runTaskDag([this, &Changed](unsigned TaskIdx) {
+      SolverStats Local;
+      bool TaskChanged = false;
+      for (unsigned E : Tasks[TaskIdx].Elems)
+        descendElement(Order.elements()[E], TaskChanged, Local);
+      if (TaskChanged)
+        Changed.store(true, std::memory_order_relaxed);
+      mergeStats(Local);
+    });
+    return Changed.load();
+  }
+
+  static constexpr unsigned NoTask = ~0u;
   static constexpr unsigned MaxGfpSweeps = 1000;
   static constexpr unsigned MaxComponentSweeps = 1000;
 
@@ -261,6 +463,9 @@ private:
   Wto Order;
   std::vector<Value> X;
   SolverStats Stats;
+  std::vector<ParallelTask> Tasks;
+  std::unique_ptr<ThreadPool> Pool;
+  std::mutex StatsMutex;
 };
 
 } // namespace syntox

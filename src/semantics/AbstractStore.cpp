@@ -73,7 +73,65 @@ bool StoreOps::leq(const AbstractStore &A, const AbstractStore &B) const {
 }
 
 bool StoreOps::equal(const AbstractStore &A, const AbstractStore &B) const {
-  return leq(A, B) && leq(B, A);
+  if (A.isBottom() || B.isBottom())
+    return A.isBottom() == B.isBottom();
+  // Synchronized walk over both ordered maps (missing key = top): one
+  // O(n) pass instead of two leq() passes of per-entry lookups. This is
+  // the hot comparison of the fixpoint loop and the transfer cache.
+  auto EqValues = [&](const AbsValue &X, const AbsValue &Y) {
+    return leqValues(X, Y) && leqValues(Y, X);
+  };
+  auto ItA = A.Values.begin(), EndA = A.Values.end();
+  auto ItB = B.Values.begin(), EndB = B.Values.end();
+  auto KeyLess = A.Values.key_comp();
+  while (ItA != EndA || ItB != EndB) {
+    if (ItB == EndB || (ItA != EndA && KeyLess(ItA->first, ItB->first))) {
+      if (!EqValues(ItA->second, topFor(ItA->first)))
+        return false;
+      ++ItA;
+    } else if (ItA == EndA || KeyLess(ItB->first, ItA->first)) {
+      if (!EqValues(ItB->second, topFor(ItB->first)))
+        return false;
+      ++ItB;
+    } else {
+      // Identical representations are equal without lattice dispatch;
+      // distinct ones get the full semantic comparison.
+      if (!(ItA->second == ItB->second) &&
+          !EqValues(ItA->second, ItB->second))
+        return false;
+      ++ItA;
+      ++ItB;
+    }
+  }
+  return true;
+}
+
+uint64_t StoreOps::hash(const AbstractStore &S) const {
+  uint64_t Cached = S.CachedHash.load(std::memory_order_relaxed);
+  if (Cached)
+    return Cached;
+  uint64_t H = 0x13198a2e03707344ull;
+  if (S.isBottom()) {
+    H = 0x452821e638d01377ull;
+  } else {
+    // std::map iterates in pointer order, so the fold is deterministic
+    // within one run (cache keys never cross runs).
+    for (const auto &[V, Value] : S.entries()) {
+      if (leqValues(topFor(V), Value))
+        continue; // explicit top entry == missing key
+      H = hashCombine(H, reinterpret_cast<uintptr_t>(V));
+      if (Value.isInt()) {
+        H = hashCombine(H, hashValue(Value.asInt()));
+      } else {
+        H = hashCombine(H, 0xa4093822299f31d0ull);
+        H = hashCombine(H, static_cast<uint64_t>(Value.asBool().kind()));
+      }
+    }
+  }
+  if (H == 0)
+    H = 0x3f84d5b5b5470917ull; // 0 is the "not yet computed" sentinel
+  S.CachedHash.store(H, std::memory_order_relaxed);
+  return H;
 }
 
 AbstractStore StoreOps::join(const AbstractStore &A,
@@ -107,6 +165,7 @@ AbstractStore StoreOps::meet(const AbstractStore &A,
       return AbstractStore::bottom();
     Out.Values[V] = std::move(Met);
   }
+  Out.invalidateHash(); // Values was edited directly, not through set()
   return Out;
 }
 

@@ -21,6 +21,8 @@
 #include "lattice/BoolLattice.h"
 #include "lattice/Interval.h"
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <string>
 
@@ -72,6 +74,36 @@ public:
   /// The top store: every variable unconstrained.
   AbstractStore() = default;
 
+  // The memoized hash is an atomic, so the special members are spelled
+  // out. Copies inherit the cached hash (same content); moves reset the
+  // source so a reused moved-from store cannot report a stale hash.
+  AbstractStore(const AbstractStore &O)
+      : Values(O.Values), IsBottom(O.IsBottom) {
+    CachedHash.store(O.CachedHash.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+  }
+  AbstractStore(AbstractStore &&O) noexcept
+      : Values(std::move(O.Values)), IsBottom(O.IsBottom) {
+    CachedHash.store(O.CachedHash.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    O.CachedHash.store(0, std::memory_order_relaxed);
+  }
+  AbstractStore &operator=(const AbstractStore &O) {
+    Values = O.Values;
+    IsBottom = O.IsBottom;
+    CachedHash.store(O.CachedHash.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    return *this;
+  }
+  AbstractStore &operator=(AbstractStore &&O) noexcept {
+    Values = std::move(O.Values);
+    IsBottom = O.IsBottom;
+    CachedHash.store(O.CachedHash.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    O.CachedHash.store(0, std::memory_order_relaxed);
+    return *this;
+  }
+
   static AbstractStore bottom() {
     AbstractStore S;
     S.IsBottom = true;
@@ -97,17 +129,19 @@ public:
     if (IsBottom)
       return;
     Values[V] = std::move(Value);
+    invalidateHash();
   }
 
   /// Removes the constraint on \p V (makes it top).
   void forget(const VarDecl *V) {
-    if (!IsBottom)
-      Values.erase(V);
+    if (!IsBottom && Values.erase(V))
+      invalidateHash();
   }
 
   void setBottom() {
     IsBottom = true;
     Values.clear();
+    invalidateHash();
   }
 
   /// Rough byte footprint (Figure 4 memory accounting).
@@ -117,8 +151,17 @@ public:
 
 private:
   friend class StoreOps;
+
+  void invalidateHash() { CachedHash.store(0, std::memory_order_relaxed); }
+
   std::map<const VarDecl *, AbsValue> Values;
   bool IsBottom = false;
+  /// StoreOps::hash memoized per store object; 0 = not yet computed.
+  /// Solver values are hashed on every cache lookup of every outgoing
+  /// edge but mutate rarely, so the O(entries) fold runs once per store
+  /// version. Relaxed atomic: concurrent readers of a shared store may
+  /// race to fill it, but they write the same value.
+  mutable std::atomic<uint64_t> CachedHash{0};
 };
 
 /// Store-level lattice operations; needs the interval domain for bounds.
@@ -153,6 +196,13 @@ public:
 
   bool leq(const AbstractStore &A, const AbstractStore &B) const;
   bool equal(const AbstractStore &A, const AbstractStore &B) const;
+
+  /// 64-bit hash consistent with equal(): stores with equal constraints
+  /// hash equal (explicit entries at top are ignored, matching the
+  /// missing-key-is-top convention). The transfer-function cache keys on
+  /// this; lookups still confirm with equal(), so collisions cost time,
+  /// never soundness.
+  uint64_t hash(const AbstractStore &S) const;
   AbstractStore join(const AbstractStore &A, const AbstractStore &B) const;
   AbstractStore meet(const AbstractStore &A, const AbstractStore &B) const;
   AbstractStore widen(const AbstractStore &A, const AbstractStore &B) const;

@@ -2,6 +2,8 @@
 
 #include "semantics/Analyzer.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <chrono>
 
@@ -9,11 +11,13 @@ using namespace syntox;
 
 namespace {
 
-/// Shared helpers for the three equation systems.
+/// Shared helpers for the three equation systems. The union counter is
+/// atomic because the parallel strategy evaluates equations of
+/// independent WTO components concurrently.
 struct SystemBase {
   const SuperGraph &G;
   const StoreOps &Ops;
-  mutable uint64_t Unions = 0;
+  mutable std::atomic<uint64_t> Unions{0};
 
   explicit SystemBase(const SuperGraph &G, const StoreOps &Ops)
       : G(G), Ops(Ops) {}
@@ -38,13 +42,14 @@ struct SystemBase {
 /// of the forward transfer, met with the envelope when present.
 struct ForwardSystem : SystemBase {
   const Transfer &Xfer;
+  TransferCache *Cache;
   const std::vector<AbstractStore> *Envelope;
   Digraph Dep;
 
   ForwardSystem(const SuperGraph &G, const StoreOps &Ops,
-                const Transfer &Xfer,
+                const Transfer &Xfer, TransferCache *Cache,
                 const std::vector<AbstractStore> *Envelope)
-      : SystemBase(G, Ops), Xfer(Xfer), Envelope(Envelope),
+      : SystemBase(G, Ops), Xfer(Xfer), Cache(Cache), Envelope(Envelope),
         Dep(G.numNodes()) {
     for (const SuperEdge &E : G.edges()) {
       Dep.addEdge(E.From, E.To);
@@ -71,6 +76,13 @@ struct ForwardSystem : SystemBase {
       AbstractStore V;
       switch (E.K) {
       case SuperEdge::Kind::Local:
+        if (Cache) {
+          // Join straight out of the shared cache entry: no store copy.
+          ++Unions;
+          Out = Ops.join(Out, *Cache->fwd(Xfer, EdgeIdx, *E.Act, X[E.From],
+                                          G.instanceOf(E.From).Frame));
+          continue;
+        }
         V = Xfer.fwd(*E.Act, X[E.From], G.instanceOf(E.From).Frame);
         break;
       case SuperEdge::Kind::CallIn:
@@ -101,14 +113,15 @@ struct ForwardSystem : SystemBase {
 /// met with the envelope.
 struct BackwardSystem : SystemBase {
   const Transfer &Xfer;
+  TransferCache *Cache;
   const std::vector<AbstractStore> &Envelope;
   std::vector<AbstractStore> Seeds;
   Digraph Dep;
 
   BackwardSystem(const SuperGraph &G, const StoreOps &Ops,
-                 const Transfer &Xfer,
+                 const Transfer &Xfer, TransferCache *Cache,
                  const std::vector<AbstractStore> &Envelope)
-      : SystemBase(G, Ops), Xfer(Xfer), Envelope(Envelope),
+      : SystemBase(G, Ops), Xfer(Xfer), Cache(Cache), Envelope(Envelope),
         Dep(G.numNodes()) {
     Seeds.assign(G.numNodes(), AbstractStore::bottom());
     for (const SuperEdge &E : G.edges())
@@ -131,6 +144,12 @@ struct BackwardSystem : SystemBase {
       AbstractStore V;
       switch (E.K) {
       case SuperEdge::Kind::Local:
+        if (Cache) {
+          ++Unions;
+          Out = Ops.join(Out, *Cache->bwd(Xfer, EdgeIdx, *E.Act, X[E.To],
+                                          G.instanceOf(E.From).Frame));
+          continue;
+        }
         V = Xfer.bwd(*E.Act, X[E.To], G.instanceOf(E.From).Frame);
         break;
       case SuperEdge::Kind::CallIn:
@@ -157,6 +176,8 @@ Analyzer::Analyzer(const ProgramCfg &Cfg, RoutineDecl *Program, Options Opts)
       Ops(Domain), Exprs(Ops), Xfer(Ops, Exprs, Cfg) {
   if (!this->Opts.WideningThresholds.empty())
     Ops.setWideningThresholds(this->Opts.WideningThresholds);
+  if (this->Opts.UseTransferCache)
+    Cache = std::make_unique<TransferCache>(Ops);
   Graph = std::make_unique<SuperGraph>(Cfg, Program, Ops, Exprs, Xfer,
                                        this->Opts.ContextInsensitive);
 }
@@ -178,10 +199,12 @@ bool Analyzer::hasEventuallySeeds() const {
 std::vector<AbstractStore>
 Analyzer::solveForward(const std::vector<AbstractStore> *Env,
                        PhaseStats &Phase) {
-  ForwardSystem Sys(*Graph, Ops, Xfer, Env);
+  auto Start = std::chrono::steady_clock::now();
+  ForwardSystem Sys(*Graph, Ops, Xfer, Cache.get(), Env);
   FixpointSolver<ForwardSystem>::Options SolverOpts;
   SolverOpts.Kind = Opts.HarrisonGfp ? FixpointKind::Gfp : FixpointKind::Lfp;
   SolverOpts.Strategy = Opts.Strategy;
+  SolverOpts.NumThreads = Opts.NumThreads;
   SolverOpts.NarrowingPasses = Opts.NarrowingPasses;
   FixpointSolver<ForwardSystem> Solver(Sys, SolverOpts);
   std::vector<AbstractStore> Result = Solver.solve();
@@ -189,7 +212,15 @@ Analyzer::solveForward(const std::vector<AbstractStore> *Env,
   Phase.NarrowingSteps = Solver.stats().DescendingSteps;
   Stats.Widenings += Solver.stats().Widenings;
   Stats.Narrowings += Solver.stats().Narrowings;
+  Stats.ParallelComponents += Solver.stats().ParallelComponents;
+  Stats.ParallelTasks =
+      std::max(Stats.ParallelTasks, Solver.stats().ParallelTasks);
+  Stats.ParallelDagWidth =
+      std::max(Stats.ParallelDagWidth, Solver.stats().ParallelDagWidth);
   Stats.Unions += Sys.Unions;
+  Phase.Seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
   return Result;
 }
 
@@ -197,7 +228,8 @@ std::vector<AbstractStore>
 Analyzer::solveBackward(bool Eventually,
                         const std::vector<AbstractStore> &Env,
                         PhaseStats &Phase) {
-  BackwardSystem Sys(*Graph, Ops, Xfer, Env);
+  auto Start = std::chrono::steady_clock::now();
+  BackwardSystem Sys(*Graph, Ops, Xfer, Cache.get(), Env);
   if (Eventually) {
     // Seeds: the intermittent assertions (and optionally termination).
     for (const Instance &Inst : Graph->instances()) {
@@ -218,6 +250,7 @@ Analyzer::solveBackward(bool Eventually,
   FixpointSolver<BackwardSystem>::Options SolverOpts;
   SolverOpts.Kind = Eventually ? FixpointKind::Lfp : FixpointKind::Gfp;
   SolverOpts.Strategy = Opts.Strategy;
+  SolverOpts.NumThreads = Opts.NumThreads;
   SolverOpts.NarrowingPasses = Opts.NarrowingPasses;
   FixpointSolver<BackwardSystem> Solver(Sys, SolverOpts);
   std::vector<AbstractStore> Result = Solver.solve();
@@ -225,7 +258,15 @@ Analyzer::solveBackward(bool Eventually,
   Phase.NarrowingSteps = Solver.stats().DescendingSteps;
   Stats.Widenings += Solver.stats().Widenings;
   Stats.Narrowings += Solver.stats().Narrowings;
+  Stats.ParallelComponents += Solver.stats().ParallelComponents;
+  Stats.ParallelTasks =
+      std::max(Stats.ParallelTasks, Solver.stats().ParallelTasks);
+  Stats.ParallelDagWidth =
+      std::max(Stats.ParallelDagWidth, Solver.stats().ParallelDagWidth);
   Stats.Unions += Sys.Unions;
+  Phase.Seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
   return Result;
 }
 
@@ -277,6 +318,10 @@ void Analyzer::run() {
     Snapshots.emplace_back("forward", Envelope);
   }
 
+  if (Cache) {
+    Stats.CacheHits = Cache->hits();
+    Stats.CacheMisses = Cache->misses();
+  }
   Stats.BytesUsed = Graph->approximateBytes();
   for (const AbstractStore &S : Forward)
     Stats.BytesUsed += S.approximateBytes();

@@ -36,6 +36,16 @@ public:
   struct Options {
     /// Chaotic iteration strategy for every phase.
     IterationStrategy Strategy = IterationStrategy::Recursive;
+    /// Worker threads for the parallel strategy (0 = one per hardware
+    /// thread). Ignored by the serial strategies.
+    unsigned NumThreads = 0;
+    /// Memoize the per-edge transfer functions across all phases (the
+    /// cache is purely memoizing: results are identical either way).
+    /// Off by default: interval transfers are about as cheap as the
+    /// hash-and-probe bookkeeping, so memoization only pays once the
+    /// transfer functions themselves are expensive (richer domains,
+    /// costly expression semantics).
+    bool UseTransferCache = false;
     /// Narrowing passes after each ascending phase.
     unsigned NarrowingPasses = 1;
     /// Rounds of (always, eventually, forward) refinement after the
@@ -109,6 +119,7 @@ private:
   StoreOps Ops;
   ExprSemantics Exprs;
   Transfer Xfer;
+  std::unique_ptr<TransferCache> Cache;
   std::unique_ptr<SuperGraph> Graph;
   std::vector<AbstractStore> Forward;
   std::vector<AbstractStore> Envelope;

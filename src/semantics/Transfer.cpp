@@ -94,6 +94,106 @@ AbstractStore Transfer::fwd(const Action &A, const AbstractStore &In,
   return In;
 }
 
+//===----------------------------------------------------------------------===//
+// TransferCache
+//===----------------------------------------------------------------------===//
+
+template <typename Compute>
+const AbstractStore *TransferCache::lookupOrCompute(bool Forward,
+                                                    unsigned EdgeId,
+                                                    const AbstractStore &In,
+                                                    Compute &&Fn) {
+  uint64_t Key = hashCombine(0x9216d5d98979fb1bull,
+                             (static_cast<uint64_t>(EdgeId) << 1) | Forward);
+  Key = hashCombine(Key, Ops.hash(In));
+  Shard &Sh = Shards[Key % NumShards];
+  auto &Bucket = Sh.Buckets[(Key / NumShards) % Shard::NumBuckets];
+  {
+    std::lock_guard<std::mutex> Lock(Sh.M);
+    for (const Entry &E : Bucket)
+      if (E.Key == Key && E.EdgeId == EdgeId && E.Forward == Forward &&
+          Ops.equal(E.In, In)) {
+        ++Sh.Hits;
+        return E.Result.get();
+      }
+    ++Sh.Misses;
+  }
+  // Compute outside the lock; a racing miss on the same key computes the
+  // same pure function twice, which is benign.
+  auto Result = std::make_unique<const AbstractStore>(Fn());
+  std::lock_guard<std::mutex> Lock(Sh.M);
+  if (Sh.Count < MaxPerShard) {
+    Entry E;
+    E.Key = Key;
+    E.EdgeId = EdgeId;
+    E.Forward = Forward;
+    E.In = In;
+    E.Result = std::move(Result);
+    Bucket.push_back(std::move(E));
+    ++Sh.Count;
+    return Bucket.back().Result.get();
+  }
+  // Shard full: park the value in a thread-local overflow slot; valid
+  // until this thread's next overflowing lookup.
+  static thread_local std::unique_ptr<const AbstractStore> Overflow;
+  Overflow = std::move(Result);
+  return Overflow.get();
+}
+
+const AbstractStore *TransferCache::fwd(const Transfer &Xfer,
+                                        unsigned EdgeId, const Action &A,
+                                        const AbstractStore &In,
+                                        const FrameMap &F) {
+  return lookupOrCompute(/*Forward=*/true, EdgeId, In,
+                         [&] { return Xfer.fwd(A, In, F); });
+}
+
+const AbstractStore *TransferCache::bwd(const Transfer &Xfer,
+                                        unsigned EdgeId, const Action &A,
+                                        const AbstractStore &Out,
+                                        const FrameMap &F) {
+  return lookupOrCompute(/*Forward=*/false, EdgeId, Out,
+                         [&] { return Xfer.bwd(A, Out, F); });
+}
+
+uint64_t TransferCache::hits() const {
+  uint64_t Total = 0;
+  for (const Shard &Sh : Shards) {
+    std::lock_guard<std::mutex> Lock(Sh.M);
+    Total += Sh.Hits;
+  }
+  return Total;
+}
+
+uint64_t TransferCache::misses() const {
+  uint64_t Total = 0;
+  for (const Shard &Sh : Shards) {
+    std::lock_guard<std::mutex> Lock(Sh.M);
+    Total += Sh.Misses;
+  }
+  return Total;
+}
+
+size_t TransferCache::size() const {
+  size_t Total = 0;
+  for (const Shard &Sh : Shards) {
+    std::lock_guard<std::mutex> Lock(Sh.M);
+    Total += Sh.Count;
+  }
+  return Total;
+}
+
+void TransferCache::clear() {
+  for (Shard &Sh : Shards) {
+    std::lock_guard<std::mutex> Lock(Sh.M);
+    for (auto &Bucket : Sh.Buckets)
+      Bucket.clear();
+    Sh.Count = 0;
+    Sh.Hits = 0;
+    Sh.Misses = 0;
+  }
+}
+
 AbstractStore Transfer::bwd(const Action &A, const AbstractStore &Out,
                             const FrameMap &F) const {
   if (Out.isBottom())

@@ -18,6 +18,12 @@
 #include "cfg/Cfg.h"
 #include "semantics/ExprSemantics.h"
 
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
 namespace syntox {
 
 class Transfer {
@@ -43,6 +49,88 @@ private:
   const StoreOps &Ops;
   const ExprSemantics &Exprs;
   const ProgramCfg &Cfg;
+};
+
+/// A memoizing cache in front of the per-edge transfer functions, keyed
+/// on (edge, direction, input-store hash). The transfer functions are
+/// pure, so memoization never changes results; lookups confirm hash
+/// matches with full store equality, so hash collisions cost time, never
+/// soundness. One cache is shared by every phase of the §3 refinement
+/// chain: the final forward pass and the backward analyses reuse
+/// evaluations from earlier phases whenever the flowing store is
+/// unchanged (the envelope meet happens *after* the edge transfer, so a
+/// tightened envelope does not invalidate entries).
+///
+/// Thread-safe: the parallel iteration strategy calls into the cache
+/// concurrently from independent WTO components. The store is sharded;
+/// the transfer itself runs outside any lock (a racing miss computes the
+/// same value twice, which is benign).
+class TransferCache {
+public:
+  /// \p MaxEntries caps the number of memoized stores (oldest shards
+  /// simply stop inserting once full — lookups stay correct).
+  explicit TransferCache(const StoreOps &Ops, size_t MaxEntries = 1 << 20)
+      : Ops(Ops), MaxPerShard(MaxEntries / NumShards + 1) {}
+
+  TransferCache(const TransferCache &) = delete;
+  TransferCache &operator=(const TransferCache &) = delete;
+
+  /// Memoized Transfer::fwd for the action of edge \p EdgeId. Returns a
+  /// pointer into the cache: a hit costs a hash and a bucket probe, not
+  /// a store copy, which is what makes memoization cheaper than
+  /// re-running even the inexpensive interval transfers. The pointee is
+  /// heap-allocated and never evicted, so the pointer stays valid until
+  /// clear() — but callers should consume it immediately (on a full
+  /// shard it points to a thread-local overflow slot reused by the next
+  /// overflowing call).
+  const AbstractStore *fwd(const Transfer &Xfer, unsigned EdgeId,
+                           const Action &A, const AbstractStore &In,
+                           const FrameMap &F);
+
+  /// Memoized Transfer::bwd for the action of edge \p EdgeId. Same
+  /// lifetime contract as fwd().
+  const AbstractStore *bwd(const Transfer &Xfer, unsigned EdgeId,
+                           const Action &A, const AbstractStore &Out,
+                           const FrameMap &F);
+
+  uint64_t hits() const;
+  uint64_t misses() const;
+  size_t size() const;
+  void clear();
+
+private:
+  struct Entry {
+    uint64_t Key = 0;
+    uint32_t EdgeId = 0;
+    bool Forward = true;
+    AbstractStore In;
+    /// Owned on the heap so the address survives bucket reallocation
+    /// and concurrent insertions; freed only by clear()/destruction.
+    std::unique_ptr<const AbstractStore> Result;
+  };
+  /// Each shard is a small flat hash table: the 64-bit lookup key is
+  /// already a mixed hash, so the bucket index is just a bit slice —
+  /// no rehashing policy, no prime modulo, one cache line to the bucket
+  /// vector header. Low key bits pick the shard, the next bits the
+  /// bucket.
+  struct Shard {
+    static constexpr unsigned NumBuckets = 256;
+    mutable std::mutex M;
+    std::array<std::vector<Entry>, NumBuckets> Buckets;
+    uint64_t Hits = 0;
+    uint64_t Misses = 0;
+    size_t Count = 0;
+  };
+
+  template <typename Compute>
+  const AbstractStore *lookupOrCompute(bool Forward, unsigned EdgeId,
+                                       const AbstractStore &In,
+                                       Compute &&Fn);
+
+  static constexpr unsigned NumShards = 64;
+  const StoreOps &Ops;
+  size_t MaxPerShard;
+  std::array<Shard, NumShards> Shards;
 };
 
 } // namespace syntox

@@ -10,9 +10,10 @@ std::string AnalysisStats::str() const {
   std::string Out;
   char Buf[160];
   for (const PhaseStats &P : Phases) {
-    std::snprintf(Buf, sizeof(Buf), "*** %s: widening (%llu), narrowing (%llu)\n",
+    std::snprintf(Buf, sizeof(Buf),
+                  "*** %s: widening (%llu), narrowing (%llu), %.3f s\n",
                   P.Name.c_str(), (unsigned long long)P.WideningSteps,
-                  (unsigned long long)P.NarrowingSteps);
+                  (unsigned long long)P.NarrowingSteps, P.Seconds);
     Out += Buf;
   }
   std::snprintf(Buf, sizeof(Buf), "*** CPU: %.3f seconds\n", CpuSeconds);
@@ -28,5 +29,22 @@ std::string AnalysisStats::str() const {
                 (unsigned long long)Equations, (unsigned long long)Unions,
                 (unsigned long long)Widenings);
   Out += Buf;
+  if (CacheHits + CacheMisses > 0) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "*** Transfer cache: %llu hits, %llu misses (%.1f%%)\n",
+                  (unsigned long long)CacheHits,
+                  (unsigned long long)CacheMisses,
+                  100.0 * CacheHits / (CacheHits + CacheMisses));
+    Out += Buf;
+  }
+  if (ParallelComponents > 0) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "*** Parallel components: %llu (%llu tasks, DAG "
+                  "width %llu)\n",
+                  (unsigned long long)ParallelComponents,
+                  (unsigned long long)ParallelTasks,
+                  (unsigned long long)ParallelDagWidth);
+    Out += Buf;
+  }
   return Out;
 }

@@ -28,6 +28,7 @@ struct PhaseStats {
   std::string Name;            ///< e.g. "forward", "intermittent", "invariant"
   uint64_t WideningSteps = 0;  ///< equation evaluations in the ascending phase
   uint64_t NarrowingSteps = 0; ///< equation evaluations in the descending phase
+  double Seconds = 0.0;        ///< wall-clock time of this phase
 };
 
 /// Aggregate statistics for one complete abstract-debugging run.
@@ -37,6 +38,19 @@ struct AnalysisStats {
   uint64_t Unions = 0;        ///< abstract joins performed
   uint64_t Widenings = 0;     ///< widening applications
   uint64_t Narrowings = 0;    ///< narrowing applications
+  uint64_t CacheHits = 0;     ///< transfer-function cache hits (all phases)
+  uint64_t CacheMisses = 0;   ///< transfer-function cache misses
+  /// Top-level WTO components scheduled as independent tasks, summed
+  /// over all phases (parallel strategy only).
+  uint64_t ParallelComponents = 0;
+  /// Tasks in the scheduling DAG after chain contraction (parallel
+  /// strategy only; maximum over phases — the DAG is per-graph, not
+  /// per-phase).
+  uint64_t ParallelTasks = 0;
+  /// Parallel width of the scheduling DAG: the largest number of tasks
+  /// on one longest-path level. Width 1 = the schedule is a chain and
+  /// threads cannot overlap; attainable speedup is bounded by the width.
+  uint64_t ParallelDagWidth = 0;
   uint64_t BytesUsed = 0;     ///< live analysis structures, in bytes
   double CpuSeconds = 0.0;    ///< wall-clock analysis time
   std::vector<PhaseStats> Phases;

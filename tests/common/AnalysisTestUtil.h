@@ -80,6 +80,61 @@ struct AnalyzedProgram {
   }
 };
 
+/// Fluent one-expression construction of Analyzer::Options, so tests
+/// don't repeat the declare-mutate-pass boilerplate:
+///   analyzeProgram(Src, withOptions().terminationGoal().backwardRounds(2))
+class OptionsBuilder {
+public:
+  OptionsBuilder &strategy(IterationStrategy S) {
+    O.Strategy = S;
+    return *this;
+  }
+  OptionsBuilder &threads(unsigned N) {
+    O.NumThreads = N;
+    return *this;
+  }
+  OptionsBuilder &transferCache(bool On) {
+    O.UseTransferCache = On;
+    return *this;
+  }
+  OptionsBuilder &narrowingPasses(unsigned N) {
+    O.NarrowingPasses = N;
+    return *this;
+  }
+  OptionsBuilder &backwardRounds(unsigned N) {
+    O.BackwardRounds = N;
+    return *this;
+  }
+  OptionsBuilder &terminationGoal(bool On = true) {
+    O.TerminationGoal = On;
+    return *this;
+  }
+  OptionsBuilder &backward(bool On) {
+    O.UseBackward = On;
+    return *this;
+  }
+  OptionsBuilder &harrisonGfp(bool On = true) {
+    O.HarrisonGfp = On;
+    return *this;
+  }
+  OptionsBuilder &contextInsensitive(bool On = true) {
+    O.ContextInsensitive = On;
+    return *this;
+  }
+  OptionsBuilder &wideningThresholds(std::vector<int64_t> T) {
+    O.WideningThresholds = std::move(T);
+    return *this;
+  }
+
+  /*implicit*/ operator Analyzer::Options() const { return O; }
+
+private:
+  Analyzer::Options O;
+};
+
+/// Entry point of the builder above.
+inline OptionsBuilder withOptions() { return {}; }
+
 /// Runs the whole pipeline over \p Source.
 inline AnalyzedProgram analyzeProgram(const std::string &Source,
                                       Analyzer::Options Opts = {}) {
@@ -93,6 +148,17 @@ inline AnalyzedProgram analyzeProgram(const std::string &Source,
   Out.An = std::make_unique<Analyzer>(*Out.Cfg, Out.FE.Program, Opts);
   Out.An->run();
   return Out;
+}
+
+/// Runs a second analysis over an already-built frontend + CFG. The
+/// returned analyzer shares \p P's AST, so its stores are comparable
+/// key-by-key with \p P.An's (a fresh analyzeProgram() call would
+/// allocate distinct VarDecls, making StoreOps::equal vacuously false).
+inline std::unique_ptr<Analyzer> reanalyze(const AnalyzedProgram &P,
+                                           Analyzer::Options Opts = {}) {
+  auto An = std::make_unique<Analyzer>(*P.Cfg, P.FE.Program, Opts);
+  An->run();
+  return An;
 }
 
 } // namespace test

@@ -1,0 +1,150 @@
+//===- tests/fixpoint/parallel_solver_test.cpp - Strategy determinism -----===//
+//
+// The parallel iteration strategy schedules independent top-level WTO
+// components concurrently, but the scheduling DAG orients every
+// cross-component dependency in WTO order, so each component reads its
+// inputs exactly as the serial recursive strategy would. The result is
+// therefore *bit-identical* to Recursive — not merely equivalent up to
+// precision — at every supergraph node, for any thread count, with the
+// fixpoint counters summing to the same totals. These tests pin that
+// guarantee on the paper's example programs; the random-program version
+// lives in tests/semantics/endtoend_random_test.cpp.
+//
+// The worklist strategy takes a different narrowing path and is only
+// required to agree on the observable results (the envelope at the
+// probe points), which tests/semantics/analyzer_options_test.cpp covers.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/AbstractDebugger.h"
+#include "frontend/PaperPrograms.h"
+
+#include "../common/AnalysisTestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace syntox;
+using namespace syntox::test;
+
+namespace {
+
+const char *const Programs[] = {
+    paper::ForProgram,       paper::ForProgram1ToN,
+    paper::WhileProgram,     paper::FactProgram,
+    paper::SelectProgram,    paper::IntermittentProgram,
+    paper::McCarthyProgram,  paper::McCarthyBuggy,
+    paper::BinarySearchProgram,
+};
+
+/// Asserts that analyzers \p A and \p B (sharing one AST) computed
+/// bit-identical forward invariants and envelopes at every node.
+void expectIdenticalStores(const Analyzer &A, const Analyzer &B) {
+  const StoreOps &Ops = A.storeOps();
+  ASSERT_EQ(A.graph().numNodes(), B.graph().numNodes());
+  for (unsigned Node = 0; Node < A.graph().numNodes(); ++Node) {
+    EXPECT_TRUE(Ops.equal(A.forwardAt(Node), B.forwardAt(Node)))
+        << "forward invariant differs at node " << Node;
+    EXPECT_TRUE(Ops.equal(A.envelopeAt(Node), B.envelopeAt(Node)))
+        << "envelope differs at node " << Node;
+  }
+}
+
+TEST(ParallelSolverTest, BitIdenticalToRecursiveOnPaperPrograms) {
+  for (const char *Source : Programs) {
+    SCOPED_TRACE(Source);
+    auto Base = analyzeProgram(Source, withOptions().terminationGoal());
+    for (unsigned Threads : {1u, 2u, 8u}) {
+      SCOPED_TRACE("threads=" + std::to_string(Threads));
+      auto Par = reanalyze(Base, withOptions()
+                                     .terminationGoal()
+                                     .strategy(IterationStrategy::Parallel)
+                                     .threads(Threads));
+      expectIdenticalStores(*Base.An, *Par);
+      // The per-phase counters are sums over nodes, so they must also
+      // agree exactly (each component merges its local tallies).
+      EXPECT_EQ(Base.An->stats().Widenings, Par->stats().Widenings);
+      EXPECT_EQ(Base.An->stats().Narrowings, Par->stats().Narrowings);
+      EXPECT_EQ(Base.An->stats().Unions, Par->stats().Unions);
+    }
+  }
+}
+
+TEST(ParallelSolverTest, CacheDoesNotChangeResults) {
+  // The transfer cache is purely memoizing: with it on or off, with any
+  // strategy, the fixpoint is the same.
+  for (const char *Source : Programs) {
+    SCOPED_TRACE(Source);
+    auto Base =
+        analyzeProgram(Source, withOptions().transferCache(false));
+    auto Cached = reanalyze(Base, withOptions().transferCache(true));
+    expectIdenticalStores(*Base.An, *Cached);
+    auto ParCached = reanalyze(Base, withOptions()
+                                         .strategy(IterationStrategy::Parallel)
+                                         .threads(8)
+                                         .transferCache(true));
+    expectIdenticalStores(*Base.An, *ParCached);
+  }
+}
+
+TEST(ParallelSolverTest, CacheHitsAccumulateAcrossPhases) {
+  // Later phases of the refinement chain revisit edges with stores
+  // already seen by earlier phases, so a multi-phase analysis must
+  // actually reuse cached transfers.
+  auto A = analyzeProgram(paper::McCarthyProgram,
+                          withOptions().transferCache(true));
+  EXPECT_GT(A.An->stats().CacheHits, 0u);
+  EXPECT_GT(A.An->stats().CacheMisses, 0u);
+}
+
+TEST(ParallelSolverTest, ParallelComponentCounterIsPopulated) {
+  auto A = analyzeProgram(paper::McCarthyProgram,
+                          withOptions()
+                              .strategy(IterationStrategy::Parallel)
+                              .threads(4));
+  // Each phase schedules at least one top-level component.
+  EXPECT_GT(A.An->stats().ParallelComponents, 0u);
+  auto B = reanalyze(A, withOptions());
+  EXPECT_EQ(B->stats().ParallelComponents, 0u);
+}
+
+/// Strategy-independence of the *findings*: the abstract debugger's
+/// reported necessary conditions are derived from the invariants, so
+/// they must come out word-for-word the same under every strategy.
+std::vector<std::string> conditionsUnder(const char *Source,
+                                         IterationStrategy S,
+                                         unsigned Threads) {
+  DiagnosticsEngine Diags;
+  AbstractDebugger::Options Opts;
+  Opts.Analysis.TerminationGoal = true;
+  Opts.Analysis.Strategy = S;
+  Opts.Analysis.NumThreads = Threads;
+  auto Dbg = AbstractDebugger::create(Source, Diags, Opts);
+  EXPECT_NE(Dbg, nullptr) << Diags.str();
+  std::vector<std::string> Out;
+  if (!Dbg)
+    return Out;
+  Dbg->analyze();
+  for (const NecessaryCondition &C : Dbg->conditions())
+    Out.push_back(C.str());
+  for (const InvariantWarning &W : Dbg->invariantWarnings())
+    Out.push_back(W.Message);
+  return Out;
+}
+
+TEST(ParallelSolverTest, FindingsAgreeAcrossStrategies) {
+  for (const char *Source : Programs) {
+    SCOPED_TRACE(Source);
+    std::vector<std::string> Recursive =
+        conditionsUnder(Source, IterationStrategy::Recursive, 0);
+    for (unsigned Threads : {1u, 2u, 8u})
+      EXPECT_EQ(conditionsUnder(Source, IterationStrategy::Parallel, Threads),
+                Recursive)
+          << "threads=" << Threads;
+    // The worklist strategy may narrow along a different path, but the
+    // reported findings are observable results and must still agree.
+    EXPECT_EQ(conditionsUnder(Source, IterationStrategy::Worklist, 0),
+              Recursive);
+  }
+}
+
+} // namespace

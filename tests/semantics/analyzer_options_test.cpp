@@ -33,11 +33,9 @@ TEST(AnalyzerOptionsTest, StrategiesAgreeOnObservableResults) {
       {paper::BinarySearchProgram, "exit of binarysearch", "n"},
   };
   for (const Probe &P : Probes) {
-    Analyzer::Options Recursive;
-    auto A1 = analyzeProgram(P.Source, Recursive);
-    Analyzer::Options Worklist;
-    Worklist.Strategy = IterationStrategy::Worklist;
-    auto A2 = analyzeProgram(P.Source, Worklist);
+    auto A1 = analyzeProgram(P.Source, withOptions());
+    auto A2 = analyzeProgram(
+        P.Source, withOptions().strategy(IterationStrategy::Worklist));
     const VarDecl *V1 = A1.var("", P.Var);
     const VarDecl *V2 = A2.var("", P.Var);
     EXPECT_EQ(A1.envInt(A1.node("", P.Point), V1),
@@ -49,23 +47,18 @@ TEST(AnalyzerOptionsTest, StrategiesAgreeOnObservableResults) {
 TEST(AnalyzerOptionsTest, NoNarrowingOvershoots) {
   const char *Source = "program p; var i : integer;\n"
                        "begin i := 0; while i < 100 do i := i + 1 end.";
-  Analyzer::Options NoNarrow;
-  NoNarrow.NarrowingPasses = 0;
-  auto A = analyzeProgram(Source, NoNarrow);
+  auto A = analyzeProgram(Source, withOptions().narrowingPasses(0));
   const VarDecl *I = A.var("", "i");
   // Without narrowing the exit keeps the widened upper bound.
   EXPECT_EQ(A.fwdInt(A.node("", "exit of p"), I),
             Interval(100, INT64_MAX));
-  Analyzer::Options Default;
-  auto B = analyzeProgram(Source, Default);
+  auto B = analyzeProgram(Source, withOptions());
   EXPECT_EQ(B.fwdInt(B.node("", "exit of p"), B.var("", "i")),
             Interval(100, 100));
 }
 
 TEST(AnalyzerOptionsTest, ForwardOnlySkipsBackwardPhases) {
-  Analyzer::Options Opts;
-  Opts.UseBackward = false;
-  auto A = analyzeProgram(paper::ForProgram, Opts);
+  auto A = analyzeProgram(paper::ForProgram, withOptions().backward(false));
   // The envelope equals the (refined) forward result: no n < 0 anywhere.
   const VarDecl *N = A.var("", "n");
   unsigned AfterRead = A.node("", "after read n");
@@ -83,11 +76,8 @@ TEST(AnalyzerOptionsTest, HarrisonGfpKeepsGarbage) {
   // bound the counter at the head from below the machine bounds.
   const char *Source = "program p; var i : integer;\n"
                        "begin i := 0; while i < 100 do i := i + 1 end.";
-  Analyzer::Options Harrison;
-  Harrison.HarrisonGfp = true;
-  auto A = analyzeProgram(Source, Harrison);
-  Analyzer::Options Default;
-  auto B = analyzeProgram(Source, Default);
+  auto A = analyzeProgram(Source, withOptions().harrisonGfp());
+  auto B = analyzeProgram(Source, withOptions());
   const StoreOps &Ops = B.An->storeOps();
   unsigned Tighter = 0, Looser = 0;
   for (unsigned Node = 0; Node < B.An->graph().numNodes(); ++Node) {
@@ -104,9 +94,8 @@ TEST(AnalyzerOptionsTest, HarrisonGfpKeepsGarbage) {
 }
 
 TEST(AnalyzerOptionsTest, ContextInsensitiveStillSound) {
-  Analyzer::Options Opts;
-  Opts.ContextInsensitive = true;
-  auto A = analyzeProgram(paper::McCarthyProgram, Opts);
+  auto A = analyzeProgram(paper::McCarthyProgram,
+                          withOptions().contextInsensitive());
   // mc's result for n <= 100 is 91; the merged analysis must still cover
   // every concrete result (soundness), i.e. at least [81, +oo) wide.
   const VarDecl *M = A.var("", "m");
@@ -116,9 +105,8 @@ TEST(AnalyzerOptionsTest, ContextInsensitiveStillSound) {
 }
 
 TEST(AnalyzerOptionsTest, ThresholdsPreserveResults) {
-  Analyzer::Options Opts;
-  Opts.WideningThresholds = {0, 10, 100, 101};
-  auto A = analyzeProgram(paper::IntermittentProgramPlain, Opts);
+  auto A = analyzeProgram(paper::IntermittentProgramPlain,
+                          withOptions().wideningThresholds({0, 10, 100, 101}));
   const VarDecl *I = A.var("", "i");
   EXPECT_EQ(A.fwdInt(A.node("", "exit of intermit"), I),
             Interval(100, INT64_MAX));
@@ -127,10 +115,9 @@ TEST(AnalyzerOptionsTest, ThresholdsPreserveResults) {
 
 TEST(AnalyzerOptionsTest, ExtraBackwardRoundsRefineMonotonically) {
   for (unsigned Rounds : {1u, 2u, 3u}) {
-    Analyzer::Options Opts;
-    Opts.BackwardRounds = Rounds;
-    Opts.TerminationGoal = true;
-    auto A = analyzeProgram(paper::SelectProgram, Opts);
+    auto A = analyzeProgram(
+        paper::SelectProgram,
+        withOptions().backwardRounds(Rounds).terminationGoal());
     const VarDecl *N = A.var("", "n");
     // The derived condition never degrades with more rounds.
     EXPECT_EQ(A.envInt(A.node("", "after read n"), N),
@@ -140,10 +127,8 @@ TEST(AnalyzerOptionsTest, ExtraBackwardRoundsRefineMonotonically) {
 }
 
 TEST(AnalyzerOptionsTest, PhaseSnapshotsMatchSchedule) {
-  Analyzer::Options Opts;
-  Opts.BackwardRounds = 2;
-  Opts.TerminationGoal = true;
-  auto A = analyzeProgram(paper::FactProgram, Opts);
+  auto A = analyzeProgram(
+      paper::FactProgram, withOptions().backwardRounds(2).terminationGoal());
   // forward, then 2 x (always, eventually, forward).
   std::vector<std::string> Names;
   for (const auto &[Name, Stores] : A.An->phaseSnapshots()) {

@@ -217,36 +217,30 @@ TEST(Figure1Test, For1ToNNeedsNAtMost100) {
   // the bound from the loop exit back to the read: the ascending lfp
   // keeps constraints shared by all paths, where the descending gfp
   // stalls on the disjunction at the loop test.
-  Analyzer::Options Opts;
-  Opts.TerminationGoal = true;
-  auto A = analyzeProgram(paper::ForProgram1ToN, Opts);
+  auto A =
+      analyzeProgram(paper::ForProgram1ToN, withOptions().terminationGoal());
   const VarDecl *N = A.var("", "n");
   unsigned AfterRead = A.node("", "after read n");
   EXPECT_EQ(A.envInt(AfterRead, N), Interval(INT64_MIN, 100));
 }
 
 TEST(Figure1Test, WhileNeedsBFalseForTermination) {
-  Analyzer::Options Opts;
-  Opts.TerminationGoal = true;
-  auto A = analyzeProgram(paper::WhileProgram, Opts);
+  auto A = analyzeProgram(paper::WhileProgram, withOptions().terminationGoal());
   const VarDecl *B = A.var("", "b");
   unsigned AfterRead = A.node("", "after read b");
   EXPECT_EQ(A.envBool(AfterRead, B), BoolLattice(false));
 }
 
 TEST(Figure1Test, FactNeedsNonNegativeXForTermination) {
-  Analyzer::Options Opts;
-  Opts.TerminationGoal = true;
-  auto A = analyzeProgram(paper::FactProgram, Opts);
+  auto A = analyzeProgram(paper::FactProgram, withOptions().terminationGoal());
   const VarDecl *X = A.var("", "x");
   unsigned AfterRead = A.node("", "after read x");
   EXPECT_EQ(A.envInt(AfterRead, X), Interval(0, INT64_MAX));
 }
 
 TEST(Figure1Test, SelectNeedsNAtMost10ForTermination) {
-  Analyzer::Options Opts;
-  Opts.TerminationGoal = true;
-  auto A = analyzeProgram(paper::SelectProgram, Opts);
+  auto A =
+      analyzeProgram(paper::SelectProgram, withOptions().terminationGoal());
   const VarDecl *N = A.var("", "n");
   unsigned AfterRead = A.node("", "after read n");
   EXPECT_EQ(A.envInt(AfterRead, N), Interval(INT64_MIN, 10));
@@ -284,9 +278,8 @@ TEST(McCarthyTest, IntermittentResult91NeedsNAtMost101) {
 }
 
 TEST(McCarthyTest, BuggyVariantTerminationNeedsLargeN) {
-  Analyzer::Options Opts;
-  Opts.TerminationGoal = true;
-  auto A = analyzeProgram(paper::McCarthyBuggy, Opts);
+  auto A =
+      analyzeProgram(paper::McCarthyBuggy, withOptions().terminationGoal());
   const VarDecl *N = A.var("", "n");
   unsigned AfterRead = A.node("", "after read n");
   Interval Cond = A.envInt(AfterRead, N);

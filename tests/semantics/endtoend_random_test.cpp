@@ -178,9 +178,7 @@ TEST(EndToEndRandomTest, EnvelopeCoversSuccessfulRunsToo) {
     std::string Source = Gen.generate();
     SCOPED_TRACE("seed " + std::to_string(Seed) + "\n" + Source);
 
-    Analyzer::Options Opts;
-    Opts.TerminationGoal = true;
-    auto A = analyzeProgram(Source, Opts);
+    auto A = analyzeProgram(Source, withOptions().terminationGoal());
     ASSERT_TRUE(A.FE.SemaOk);
 
     Interpreter I(A.FE.Program);
@@ -199,6 +197,58 @@ TEST(EndToEndRandomTest, EnvelopeCoversSuccessfulRunsToo) {
       EXPECT_TRUE(Env.contains(Concrete))
           << "v" << V << " = " << Concrete << " not in envelope "
           << A.An->storeOps().domain().str(Env);
+    }
+  }
+}
+
+TEST(EndToEndRandomTest, ParallelStrategyWithCacheIsSound) {
+  // The soundness oracle for the parallel solver and the transfer cache:
+  // every random program is analyzed with the parallel strategy (thread
+  // counts cycling through 1, 2 and 8) and the memoizing transfer cache,
+  // and the concrete final state observed by the interpreter must stay
+  // inside the computed intervals. Every fourth seed is additionally
+  // re-analyzed with the serial recursive strategy and no cache, and the
+  // forward invariants must be identical at every supergraph node — the
+  // parallel strategy is bit-equal to the recursive one by construction.
+  const unsigned Threads[] = {1, 2, 8};
+  for (uint64_t Seed = 1; Seed <= 200; ++Seed) {
+    ProgramGenerator Gen(Seed * 6271);
+    std::string Source = Gen.generate();
+    SCOPED_TRACE("seed " + std::to_string(Seed) + "\n" + Source);
+
+    auto A = analyzeProgram(Source, withOptions()
+                                        .strategy(IterationStrategy::Parallel)
+                                        .threads(Threads[Seed % 3])
+                                        .transferCache(true));
+    ASSERT_TRUE(A.FE.SemaOk);
+
+    Interpreter I(A.FE.Program);
+    Interpreter::Options RunOpts;
+    RunOpts.MaxSteps = 500000;
+    Interpreter::Result Res = I.run(RunOpts);
+    ASSERT_EQ(Res.St, Interpreter::Status::Ok) << Res.Error;
+
+    std::istringstream Values(Res.Output);
+    unsigned ExitNode = A.node("", "exit of gen");
+    for (int V = 0; V < 5; ++V) {
+      int64_t Concrete = 0;
+      ASSERT_TRUE(static_cast<bool>(Values >> Concrete)) << Res.Output;
+      const VarDecl *Var = A.var("", "v" + std::to_string(V));
+      Interval Abstract = A.fwdInt(ExitNode, Var);
+      EXPECT_TRUE(Abstract.contains(Concrete))
+          << "v" << V << " = " << Concrete << " not in "
+          << A.An->storeOps().domain().str(Abstract);
+    }
+
+    if (Seed % 4 == 0) {
+      auto B = reanalyze(A, withOptions().transferCache(false));
+      const StoreOps &Ops = B->storeOps();
+      for (unsigned Node = 0; Node < B->graph().numNodes(); ++Node) {
+        EXPECT_TRUE(Ops.equal(A.An->forwardAt(Node), B->forwardAt(Node)))
+            << "forward invariant differs at node " << Node;
+        EXPECT_TRUE(Ops.equal(A.An->envelopeAt(Node), B->envelopeAt(Node)))
+            << "envelope differs at node " << Node;
+      }
     }
   }
 }

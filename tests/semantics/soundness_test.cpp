@@ -47,9 +47,7 @@ class SingleReadSoundness : public ::testing::TestWithParam<SingleReadCase> {
 
 TEST_P(SingleReadSoundness, SuccessfulInputsAreInEnvelope) {
   const SingleReadCase &C = GetParam();
-  Analyzer::Options Opts;
-  Opts.TerminationGoal = true;
-  auto A = analyzeProgram(C.Source, Opts);
+  auto A = analyzeProgram(C.Source, withOptions().terminationGoal());
   const VarDecl *V = A.var("", C.Var);
   ASSERT_NE(V, nullptr);
   unsigned Node = A.node("", C.ReadDesc);
@@ -98,9 +96,7 @@ TEST(SoundnessTest, ForProgramConditionIsNecessary) {
 }
 
 TEST(SoundnessTest, WhileProgramConditionIsNecessary) {
-  Analyzer::Options Opts;
-  Opts.TerminationGoal = true;
-  auto A = analyzeProgram(paper::WhileProgram, Opts);
+  auto A = analyzeProgram(paper::WhileProgram, withOptions().terminationGoal());
   const VarDecl *B = A.var("", "b");
   BoolLattice Env =
       A.An->storeOps().get(A.An->envelopeAt(A.node("", "after read b")), B)

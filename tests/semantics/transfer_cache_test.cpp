@@ -1,0 +1,158 @@
+//===- tests/semantics/transfer_cache_test.cpp - Memoization properties ---===//
+//
+// The transfer cache keys on (edge, direction, store hash) and confirms
+// hits with full store equality, so its correctness rests on two
+// properties checked here: semantically equal stores hash equal (or the
+// cache would only lose hits — but the representation-independence of
+// the hash is what makes the hit rate useful), and the cache itself
+// never fabricates results across edges, directions or distinct stores.
+//
+//===----------------------------------------------------------------------===//
+
+#include "semantics/Transfer.h"
+
+#include "../common/AnalysisTestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace syntox;
+using namespace syntox::test;
+
+namespace {
+
+/// A tiny program whose declarations give us real VarDecls to build
+/// stores around.
+class TransferCacheTest : public ::testing::Test {
+protected:
+  TransferCacheTest()
+      : A(analyzeProgram("program p; var x, y : integer; b : boolean;\n"
+                         "begin x := 1; y := 2; b := true end.")),
+        Ops(A.An->storeOps()), X(A.var("", "x")), Y(A.var("", "y")),
+        B(A.var("", "b")) {}
+
+  AnalyzedProgram A;
+  const StoreOps &Ops;
+  const VarDecl *X, *Y, *B;
+};
+
+TEST_F(TransferCacheTest, EqualStoresHashEqual) {
+  // Same bindings, built in different orders.
+  AbstractStore S1 = AbstractStore::top();
+  Ops.assign(S1, X, AbsValue(Interval(1, 5)));
+  Ops.assign(S1, Y, AbsValue(Interval(-3, 3)));
+  AbstractStore S2 = AbstractStore::top();
+  Ops.assign(S2, Y, AbsValue(Interval(-3, 3)));
+  Ops.assign(S2, X, AbsValue(Interval(1, 5)));
+  ASSERT_TRUE(Ops.equal(S1, S2));
+  EXPECT_EQ(Ops.hash(S1), Ops.hash(S2));
+}
+
+TEST_F(TransferCacheTest, ExplicitTopEntryHashesLikeMissingEntry) {
+  // Widening and joins can leave explicit entries at top; a missing key
+  // means top by convention. Both representations are semantically equal
+  // and must hash equal, or phase-crossing hits would be lost.
+  AbstractStore S1 = AbstractStore::top();
+  Ops.assign(S1, X, AbsValue(Interval(0, 10)));
+  AbstractStore S2 = S1;
+  S2.set(Y, AbsValue(Ops.domain().top()));
+  S2.set(B, AbsValue(BoolLattice::top()));
+  ASSERT_TRUE(Ops.equal(S1, S2));
+  EXPECT_EQ(Ops.hash(S1), Ops.hash(S2));
+}
+
+TEST_F(TransferCacheTest, WideningThatChangesTheStoreChangesTheHash) {
+  AbstractStore S = AbstractStore::top();
+  Ops.assign(S, X, AbsValue(Interval(0, 5)));
+  AbstractStore Next = AbstractStore::top();
+  Ops.assign(Next, X, AbsValue(Interval(0, 6)));
+  AbstractStore W = Ops.widen(S, Next);
+  ASSERT_FALSE(Ops.equal(S, W)); // x jumped to [0, +oo)
+  EXPECT_NE(Ops.hash(S), Ops.hash(W));
+}
+
+TEST_F(TransferCacheTest, NarrowingThatChangesTheStoreChangesTheHash) {
+  AbstractStore W = AbstractStore::top();
+  Ops.assign(W, X, AbsValue(Interval(0, INT64_MAX)));
+  AbstractStore Refined = AbstractStore::top();
+  Ops.assign(Refined, X, AbsValue(Interval(0, 100)));
+  AbstractStore N = Ops.narrow(W, Refined);
+  ASSERT_FALSE(Ops.equal(W, N));
+  EXPECT_NE(Ops.hash(W), Ops.hash(N));
+}
+
+TEST_F(TransferCacheTest, BottomHashIsCanonical) {
+  AbstractStore B1 = AbstractStore::bottom();
+  AbstractStore B2 = AbstractStore::top();
+  Ops.assign(B2, X, AbsValue(Interval::bottom())); // assign canonicalizes
+  ASSERT_TRUE(Ops.equal(B1, B2));
+  EXPECT_EQ(Ops.hash(B1), Ops.hash(B2));
+  EXPECT_NE(Ops.hash(B1), Ops.hash(AbstractStore::top()));
+}
+
+//===----------------------------------------------------------------------===//
+// Direct cache behavior, driven through a Nop transfer (identity).
+//===----------------------------------------------------------------------===//
+
+TEST_F(TransferCacheTest, HitsAndMissesAreKeyedOnEdgeDirectionAndStore) {
+  ExprSemantics Exprs(Ops);
+  Transfer Xfer(Ops, Exprs, *A.Cfg);
+  TransferCache Cache(Ops);
+  FrameMap F;
+  Action Nop = Action::nop();
+
+  AbstractStore S = AbstractStore::top();
+  Ops.assign(S, X, AbsValue(Interval(2, 9)));
+
+  // First evaluation computes, second reuses.
+  AbstractStore R1 = *Cache.fwd(Xfer, /*EdgeId=*/0, Nop, S, F);
+  EXPECT_EQ(Cache.misses(), 1u);
+  EXPECT_EQ(Cache.hits(), 0u);
+  AbstractStore R2 = *Cache.fwd(Xfer, 0, Nop, S, F);
+  EXPECT_EQ(Cache.hits(), 1u);
+  EXPECT_TRUE(Ops.equal(R1, R2));
+
+  // A semantically equal store with a different representation hits too.
+  AbstractStore SWithTop = S;
+  SWithTop.set(Y, AbsValue(Ops.domain().top()));
+  Cache.fwd(Xfer, 0, Nop, SWithTop, F);
+  EXPECT_EQ(Cache.hits(), 2u);
+
+  // Another edge, or the backward direction, is a separate key.
+  Cache.fwd(Xfer, 1, Nop, S, F);
+  EXPECT_EQ(Cache.misses(), 2u);
+  Cache.bwd(Xfer, 0, Nop, S, F);
+  EXPECT_EQ(Cache.misses(), 3u);
+
+  // Another store on the same edge is a miss as well.
+  AbstractStore T = AbstractStore::top();
+  Ops.assign(T, X, AbsValue(Interval(2, 10)));
+  Cache.fwd(Xfer, 0, Nop, T, F);
+  EXPECT_EQ(Cache.misses(), 4u);
+  EXPECT_EQ(Cache.size(), 4u);
+
+  Cache.clear();
+  EXPECT_EQ(Cache.size(), 0u);
+  EXPECT_EQ(Cache.hits(), 0u);
+  EXPECT_EQ(Cache.misses(), 0u);
+  Cache.fwd(Xfer, 0, Nop, S, F);
+  EXPECT_EQ(Cache.misses(), 1u);
+}
+
+TEST_F(TransferCacheTest, EntryCapStopsInsertionNotCorrectness) {
+  ExprSemantics Exprs(Ops);
+  Transfer Xfer(Ops, Exprs, *A.Cfg);
+  // A tiny cache: at most one entry per shard.
+  TransferCache Cache(Ops, /*MaxEntries=*/0);
+  FrameMap F;
+  Action Nop = Action::nop();
+  for (int I = 0; I < 500; ++I) {
+    AbstractStore S = AbstractStore::top();
+    Ops.assign(S, X, AbsValue(Interval(I, I)));
+    AbstractStore R = *Cache.fwd(Xfer, 0, Nop, S, F);
+    EXPECT_TRUE(Ops.equal(R, S)); // Nop is the identity
+  }
+  // 64 shards x 1 entry: the cache stayed bounded.
+  EXPECT_LE(Cache.size(), 64u);
+}
+
+} // namespace
