@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_boundcheck.dir/bench_boundcheck.cpp.o"
+  "CMakeFiles/bench_boundcheck.dir/bench_boundcheck.cpp.o.d"
+  "bench_boundcheck"
+  "bench_boundcheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_boundcheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_iterations.dir/bench_iterations.cpp.o"
+  "CMakeFiles/bench_iterations.dir/bench_iterations.cpp.o.d"
+  "bench_iterations"
+  "bench_iterations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_iterations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_statistics.dir/bench_statistics.cpp.o"
+  "CMakeFiles/bench_statistics.dir/bench_statistics.cpp.o.d"
+  "bench_statistics"
+  "bench_statistics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_statistics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

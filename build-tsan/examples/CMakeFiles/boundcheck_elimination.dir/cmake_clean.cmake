@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boundcheck_elimination.dir/boundcheck_elimination.cpp.o"
+  "CMakeFiles/boundcheck_elimination.dir/boundcheck_elimination.cpp.o.d"
+  "boundcheck_elimination"
+  "boundcheck_elimination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boundcheck_elimination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

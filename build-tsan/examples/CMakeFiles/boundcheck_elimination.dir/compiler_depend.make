@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for boundcheck_elimination.
+# This may be replaced when dependencies are built.

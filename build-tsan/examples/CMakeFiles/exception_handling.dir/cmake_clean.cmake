@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exception_handling.dir/exception_handling.cpp.o"
+  "CMakeFiles/exception_handling.dir/exception_handling.cpp.o.d"
+  "exception_handling"
+  "exception_handling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exception_handling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exception_handling.
+# This may be replaced when dependencies are built.

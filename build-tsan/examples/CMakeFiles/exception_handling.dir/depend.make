@@ -1,0 +1,2 @@
+# Empty dependencies file for exception_handling.
+# This may be replaced when dependencies are built.

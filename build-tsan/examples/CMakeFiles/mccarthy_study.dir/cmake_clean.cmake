@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mccarthy_study.dir/mccarthy_study.cpp.o"
+  "CMakeFiles/mccarthy_study.dir/mccarthy_study.cpp.o.d"
+  "mccarthy_study"
+  "mccarthy_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mccarthy_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mccarthy_study.
+# This may be replaced when dependencies are built.

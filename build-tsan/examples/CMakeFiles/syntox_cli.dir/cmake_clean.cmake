@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syntox_cli.dir/syntox_cli.cpp.o"
+  "CMakeFiles/syntox_cli.dir/syntox_cli.cpp.o.d"
+  "syntox_cli"
+  "syntox_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syntox_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syntox_baselines.dir/Baselines.cpp.o"
+  "CMakeFiles/syntox_baselines.dir/Baselines.cpp.o.d"
+  "libsyntox_baselines.a"
+  "libsyntox_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syntox_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

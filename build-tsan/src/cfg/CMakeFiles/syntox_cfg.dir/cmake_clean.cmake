@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syntox_cfg.dir/CfgBuilder.cpp.o"
+  "CMakeFiles/syntox_cfg.dir/CfgBuilder.cpp.o.d"
+  "CMakeFiles/syntox_cfg.dir/CfgDot.cpp.o"
+  "CMakeFiles/syntox_cfg.dir/CfgDot.cpp.o.d"
+  "libsyntox_cfg.a"
+  "libsyntox_cfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syntox_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

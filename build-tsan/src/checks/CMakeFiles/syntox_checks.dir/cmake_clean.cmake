@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syntox_checks.dir/CheckAnalysis.cpp.o"
+  "CMakeFiles/syntox_checks.dir/CheckAnalysis.cpp.o.d"
+  "libsyntox_checks.a"
+  "libsyntox_checks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syntox_checks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syntox_core.dir/AbstractDebugger.cpp.o"
+  "CMakeFiles/syntox_core.dir/AbstractDebugger.cpp.o.d"
+  "libsyntox_core.a"
+  "libsyntox_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syntox_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

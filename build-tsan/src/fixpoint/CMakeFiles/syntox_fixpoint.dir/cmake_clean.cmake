@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syntox_fixpoint.dir/Wto.cpp.o"
+  "CMakeFiles/syntox_fixpoint.dir/Wto.cpp.o.d"
+  "libsyntox_fixpoint.a"
+  "libsyntox_fixpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syntox_fixpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

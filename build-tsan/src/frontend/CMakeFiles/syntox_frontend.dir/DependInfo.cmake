@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/frontend/Ast.cpp" "src/frontend/CMakeFiles/syntox_frontend.dir/Ast.cpp.o" "gcc" "src/frontend/CMakeFiles/syntox_frontend.dir/Ast.cpp.o.d"
+  "/root/repo/src/frontend/Lexer.cpp" "src/frontend/CMakeFiles/syntox_frontend.dir/Lexer.cpp.o" "gcc" "src/frontend/CMakeFiles/syntox_frontend.dir/Lexer.cpp.o.d"
+  "/root/repo/src/frontend/PaperPrograms.cpp" "src/frontend/CMakeFiles/syntox_frontend.dir/PaperPrograms.cpp.o" "gcc" "src/frontend/CMakeFiles/syntox_frontend.dir/PaperPrograms.cpp.o.d"
+  "/root/repo/src/frontend/Parser.cpp" "src/frontend/CMakeFiles/syntox_frontend.dir/Parser.cpp.o" "gcc" "src/frontend/CMakeFiles/syntox_frontend.dir/Parser.cpp.o.d"
+  "/root/repo/src/frontend/PrettyPrinter.cpp" "src/frontend/CMakeFiles/syntox_frontend.dir/PrettyPrinter.cpp.o" "gcc" "src/frontend/CMakeFiles/syntox_frontend.dir/PrettyPrinter.cpp.o.d"
+  "/root/repo/src/frontend/Sema.cpp" "src/frontend/CMakeFiles/syntox_frontend.dir/Sema.cpp.o" "gcc" "src/frontend/CMakeFiles/syntox_frontend.dir/Sema.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/support/CMakeFiles/syntox_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

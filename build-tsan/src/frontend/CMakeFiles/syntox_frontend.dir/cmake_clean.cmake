@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syntox_frontend.dir/Ast.cpp.o"
+  "CMakeFiles/syntox_frontend.dir/Ast.cpp.o.d"
+  "CMakeFiles/syntox_frontend.dir/Lexer.cpp.o"
+  "CMakeFiles/syntox_frontend.dir/Lexer.cpp.o.d"
+  "CMakeFiles/syntox_frontend.dir/PaperPrograms.cpp.o"
+  "CMakeFiles/syntox_frontend.dir/PaperPrograms.cpp.o.d"
+  "CMakeFiles/syntox_frontend.dir/Parser.cpp.o"
+  "CMakeFiles/syntox_frontend.dir/Parser.cpp.o.d"
+  "CMakeFiles/syntox_frontend.dir/PrettyPrinter.cpp.o"
+  "CMakeFiles/syntox_frontend.dir/PrettyPrinter.cpp.o.d"
+  "CMakeFiles/syntox_frontend.dir/Sema.cpp.o"
+  "CMakeFiles/syntox_frontend.dir/Sema.cpp.o.d"
+  "libsyntox_frontend.a"
+  "libsyntox_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syntox_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

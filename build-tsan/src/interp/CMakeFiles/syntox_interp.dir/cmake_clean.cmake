@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syntox_interp.dir/Interpreter.cpp.o"
+  "CMakeFiles/syntox_interp.dir/Interpreter.cpp.o.d"
+  "libsyntox_interp.a"
+  "libsyntox_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syntox_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syntox_lattice.dir/Interval.cpp.o"
+  "CMakeFiles/syntox_lattice.dir/Interval.cpp.o.d"
+  "libsyntox_lattice.a"
+  "libsyntox_lattice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syntox_lattice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syntox_semantics.dir/AbstractStore.cpp.o"
+  "CMakeFiles/syntox_semantics.dir/AbstractStore.cpp.o.d"
+  "CMakeFiles/syntox_semantics.dir/Analyzer.cpp.o"
+  "CMakeFiles/syntox_semantics.dir/Analyzer.cpp.o.d"
+  "CMakeFiles/syntox_semantics.dir/ExprSemantics.cpp.o"
+  "CMakeFiles/syntox_semantics.dir/ExprSemantics.cpp.o.d"
+  "CMakeFiles/syntox_semantics.dir/Interproc.cpp.o"
+  "CMakeFiles/syntox_semantics.dir/Interproc.cpp.o.d"
+  "CMakeFiles/syntox_semantics.dir/Transfer.cpp.o"
+  "CMakeFiles/syntox_semantics.dir/Transfer.cpp.o.d"
+  "libsyntox_semantics.a"
+  "libsyntox_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syntox_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

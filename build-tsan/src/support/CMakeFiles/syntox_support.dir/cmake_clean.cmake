@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syntox_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/syntox_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/syntox_support.dir/SourceLoc.cpp.o"
+  "CMakeFiles/syntox_support.dir/SourceLoc.cpp.o.d"
+  "CMakeFiles/syntox_support.dir/Stats.cpp.o"
+  "CMakeFiles/syntox_support.dir/Stats.cpp.o.d"
+  "libsyntox_support.a"
+  "libsyntox_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syntox_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

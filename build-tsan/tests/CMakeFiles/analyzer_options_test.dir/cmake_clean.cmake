@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analyzer_options_test.dir/semantics/analyzer_options_test.cpp.o"
+  "CMakeFiles/analyzer_options_test.dir/semantics/analyzer_options_test.cpp.o.d"
+  "analyzer_options_test"
+  "analyzer_options_test.pdb"
+  "analyzer_options_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analyzer_options_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

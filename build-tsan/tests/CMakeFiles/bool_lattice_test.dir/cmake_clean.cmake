@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bool_lattice_test.dir/lattice/bool_lattice_test.cpp.o"
+  "CMakeFiles/bool_lattice_test.dir/lattice/bool_lattice_test.cpp.o.d"
+  "bool_lattice_test"
+  "bool_lattice_test.pdb"
+  "bool_lattice_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bool_lattice_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfgdot_test.dir/cfg/cfgdot_test.cpp.o"
+  "CMakeFiles/cfgdot_test.dir/cfg/cfgdot_test.cpp.o.d"
+  "cfgdot_test"
+  "cfgdot_test.pdb"
+  "cfgdot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfgdot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

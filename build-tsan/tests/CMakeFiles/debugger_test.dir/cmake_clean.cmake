@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debugger_test.dir/core/debugger_test.cpp.o"
+  "CMakeFiles/debugger_test.dir/core/debugger_test.cpp.o.d"
+  "debugger_test"
+  "debugger_test.pdb"
+  "debugger_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debugger_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

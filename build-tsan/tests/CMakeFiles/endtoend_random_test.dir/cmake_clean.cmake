@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/endtoend_random_test.dir/semantics/endtoend_random_test.cpp.o"
+  "CMakeFiles/endtoend_random_test.dir/semantics/endtoend_random_test.cpp.o.d"
+  "endtoend_random_test"
+  "endtoend_random_test.pdb"
+  "endtoend_random_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/endtoend_random_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expr_semantics_test.dir/semantics/expr_semantics_test.cpp.o"
+  "CMakeFiles/expr_semantics_test.dir/semantics/expr_semantics_test.cpp.o.d"
+  "expr_semantics_test"
+  "expr_semantics_test.pdb"
+  "expr_semantics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expr_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interproc_test.dir/semantics/interproc_test.cpp.o"
+  "CMakeFiles/interproc_test.dir/semantics/interproc_test.cpp.o.d"
+  "interproc_test"
+  "interproc_test.pdb"
+  "interproc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interproc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interval_property_test.dir/lattice/interval_property_test.cpp.o"
+  "CMakeFiles/interval_property_test.dir/lattice/interval_property_test.cpp.o.d"
+  "interval_property_test"
+  "interval_property_test.pdb"
+  "interval_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interval_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

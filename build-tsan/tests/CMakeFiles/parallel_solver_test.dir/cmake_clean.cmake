@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_solver_test.dir/fixpoint/parallel_solver_test.cpp.o"
+  "CMakeFiles/parallel_solver_test.dir/fixpoint/parallel_solver_test.cpp.o.d"
+  "parallel_solver_test"
+  "parallel_solver_test.pdb"
+  "parallel_solver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

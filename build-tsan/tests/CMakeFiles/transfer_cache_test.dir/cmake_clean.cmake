@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transfer_cache_test.dir/semantics/transfer_cache_test.cpp.o"
+  "CMakeFiles/transfer_cache_test.dir/semantics/transfer_cache_test.cpp.o.d"
+  "transfer_cache_test"
+  "transfer_cache_test.pdb"
+  "transfer_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transfer_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

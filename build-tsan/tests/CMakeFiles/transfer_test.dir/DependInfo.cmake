@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/semantics/transfer_test.cpp" "tests/CMakeFiles/transfer_test.dir/semantics/transfer_test.cpp.o" "gcc" "tests/CMakeFiles/transfer_test.dir/semantics/transfer_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/semantics/CMakeFiles/syntox_semantics.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/cfg/CMakeFiles/syntox_cfg.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/frontend/CMakeFiles/syntox_frontend.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/support/CMakeFiles/syntox_support.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/fixpoint/CMakeFiles/syntox_fixpoint.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/lattice/CMakeFiles/syntox_lattice.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

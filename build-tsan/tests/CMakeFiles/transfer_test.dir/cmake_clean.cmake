@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transfer_test.dir/semantics/transfer_test.cpp.o"
+  "CMakeFiles/transfer_test.dir/semantics/transfer_test.cpp.o.d"
+  "transfer_test"
+  "transfer_test.pdb"
+  "transfer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transfer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

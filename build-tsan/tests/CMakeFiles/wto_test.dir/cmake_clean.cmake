@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wto_test.dir/fixpoint/wto_test.cpp.o"
+  "CMakeFiles/wto_test.dir/fixpoint/wto_test.cpp.o.d"
+  "wto_test"
+  "wto_test.pdb"
+  "wto_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wto_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

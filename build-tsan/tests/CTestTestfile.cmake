@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-tsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/interval_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/interval_property_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/bool_lattice_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/support_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/lexer_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/parser_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/sema_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/cfg_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/wto_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/solver_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/analyzer_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/interp_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/checks_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/debugger_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/soundness_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/store_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/expr_semantics_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/transfer_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/interproc_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/cfgdot_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/analyzer_options_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/printer_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/endtoend_random_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/transfer_cache_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/parallel_solver_test[1]_include.cmake")
