@@ -55,13 +55,12 @@ void runConfig(const Built &B, const char *Label, Analyzer::Options Opts) {
     const AbstractStore &S = An.forwardAt(Node);
     if (S.isBottom())
       continue;
-    for (const auto &[V, Value] : S.entries()) {
-      (void)V;
+    S.forEachEntry([&](const VarDecl *, const AbsValue &Value) {
       if (!Value.isInt())
-        continue;
+        return;
       FiniteBounds += Value.asInt().Lo > D.minValue();
       FiniteBounds += Value.asInt().Hi < D.maxValue();
-    }
+    });
   }
   uint64_t Steps = 0;
   for (const PhaseStats &P : An.stats().Phases)

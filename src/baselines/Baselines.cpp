@@ -73,14 +73,13 @@ BaselineOutcome syntox::runBaseline(BaselineKind Kind, const ProgramCfg &Cfg,
       ++Out.BottomPoints;
       continue;
     }
-    for (const auto &[V, Value] : S.entries()) {
-      (void)V;
+    S.forEachEntry([&](const VarDecl *, const AbsValue &Value) {
       if (!Value.isInt())
-        continue;
+        return;
       const Interval &I = Value.asInt();
       Out.FiniteBounds += I.Lo > D.minValue();
       Out.FiniteBounds += I.Hi < D.maxValue();
-    }
+    });
   }
   return Out;
 }

@@ -108,11 +108,11 @@ void AbstractDebugger::deriveConditions() {
       continue;
     }
 
-    for (const auto &[V, EnvVal] : Env.entries()) {
+    Env.forEachEntry([&](const VarDecl *V, const AbsValue &EnvVal) {
       if (!V->name().empty() && V->name()[0] == '$')
-        continue; // analysis temporaries
+        return; // analysis temporaries
       if (!Tighter(Node, V))
-        continue;
+        return;
       // Report only at the origin: no predecessor already carries the
       // same tightening for this variable.
       bool IsFrontier = true;
@@ -123,7 +123,7 @@ void AbstractDebugger::deriveConditions() {
           IsFrontier = false;
       }
       if (!IsFrontier || !Loc.isValid())
-        continue;
+        return;
       NecessaryCondition C;
       C.Loc = Loc;
       C.Var = V->name();
@@ -134,7 +134,7 @@ void AbstractDebugger::deriveConditions() {
       C.PointDesc = Inst.Cfg->pointDesc(Point);
       if (Dedup.insert(C.str()).second)
         Conditions.push_back(std::move(C));
-    }
+    });
   }
 }
 

@@ -242,7 +242,7 @@ private:
         ++Stats.Widenings;
         X[Node] = Sys.widen(X[Node], New);
       } else {
-        X[Node] = New;
+        X[Node] = std::move(New);
       }
       for (unsigned Succ : Sys.graph().succs(Node))
         Pending.insert(Succ);
@@ -266,8 +266,12 @@ private:
     if (!E.IsComponent) {
       ++S.DescendingSteps;
       Value New = Sys.evaluate(E.Vertex, X);
+      // Converged equations resolve in O(1) when the lattice ops are
+      // delta-aware: evaluate() then returns a value sharing its
+      // representation with X[E.Vertex], and equal() short-circuits on
+      // that identity before any entry-wise comparison.
       if (!Sys.equal(New, X[E.Vertex])) {
-        X[E.Vertex] = New;
+        X[E.Vertex] = std::move(New);
         Changed = true;
       }
       return;
@@ -281,8 +285,14 @@ private:
       Value New = Sys.evaluate(E.Vertex, X);
       ++S.Narrowings;
       Value Narrowed = Sys.narrow(X[E.Vertex], New);
+      // A stable head comes back pointer-identical (delta-aware
+      // narrow), so this equality check — the convergence test of the
+      // whole descending phase — is O(1) on the steady state, and the
+      // assignment below is skipped to keep the stored value's
+      // identity (and its memoized hash) untouched.
       bool SweepChanged = !Sys.equal(Narrowed, X[E.Vertex]);
-      X[E.Vertex] = Narrowed;
+      if (SweepChanged)
+        X[E.Vertex] = std::move(Narrowed);
       for (const WtoElement &Sub : E.Body)
         descendElement(Sub, SweepChanged, S);
       Changed |= SweepChanged;

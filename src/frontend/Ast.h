@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 namespace syntox {
@@ -666,6 +667,17 @@ public:
   unsigned indexInOwner() const { return IndexInOwner; }
   void setIndexInOwner(unsigned I) { IndexInOwner = I; }
 
+  /// Dense program-wide slot indexing this variable's entry in the flat
+  /// AbstractStore payload. AstContext assigns creation order as a
+  /// fallback so bare VarDecls are always usable; VarNumbering (built
+  /// once per SuperGraph) reassigns slots so each routine's variables
+  /// are contiguous.
+  unsigned storeSlot() const {
+    assert(StoreSlot != ~0u && "variable was never numbered");
+    return StoreSlot;
+  }
+  void setStoreSlot(unsigned S) { StoreSlot = S; }
+
   static bool classof(const Decl *D) { return D->kind() == Kind::Var; }
 
 private:
@@ -673,6 +685,7 @@ private:
   VarKind VK;
   RoutineDecl *Owner = nullptr;
   unsigned IndexInOwner = 0;
+  unsigned StoreSlot = ~0u;
 };
 
 /// A block: the declarations and body shared by programs, procedures and
@@ -756,6 +769,10 @@ public:
   template <typename T, typename... Args> T *create(Args &&...A) {
     auto Node = std::make_unique<T>(std::forward<Args>(A)...);
     T *Ptr = Node.get();
+    // Every VarDecl leaves the arena with a valid dense store slot
+    // (creation order); VarNumbering later repacks them per routine.
+    if constexpr (std::is_same_v<T, VarDecl>)
+      Ptr->setStoreSlot(NextVarSlot++);
     Nodes.push_back(std::move(Node));
     return Ptr;
   }
@@ -772,6 +789,7 @@ public:
 
 private:
   std::vector<std::unique_ptr<AstNode>> Nodes;
+  unsigned NextVarSlot = 0;
   const Type *IntegerTy;
   const Type *BooleanTy;
   std::vector<const SubrangeType *> SubrangeTypes;

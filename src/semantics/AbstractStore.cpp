@@ -3,6 +3,7 @@
 #include "semantics/AbstractStore.h"
 
 using namespace syntox;
+using detail::StorePayload;
 
 AbsValue StoreOps::topFor(const VarDecl *V) const {
   const Type *Ty = V->type();
@@ -26,9 +27,9 @@ AbsValue StoreOps::get(const AbstractStore &S, const VarDecl *V) const {
       return AbsValue(BoolLattice::bottom());
     return AbsValue(Interval::bottom());
   }
-  auto It = S.Values.find(V);
-  if (It != S.Values.end())
-    return It->second;
+  unsigned Slot = V->storeSlot();
+  if (S.P && S.P->present(Slot))
+    return S.P->Values[Slot];
   return topFor(V);
 }
 
@@ -53,84 +54,117 @@ bool StoreOps::leqValues(const AbsValue &A, const AbsValue &B) const {
   return A.asBool().leq(B.asBool());
 }
 
+AbsValue StoreOps::widenValues(const AbsValue &A, const AbsValue &B) const {
+  assert(A.kind() == B.kind() && "widening mismatched kinds");
+  if (A.isInt()) {
+    const Interval &X = A.asInt(), &Y = B.asInt();
+    return AbsValue(WideningThresholds.empty()
+                        ? D.widen(X, Y)
+                        : D.widenWithThresholds(X, Y, WideningThresholds));
+  }
+  // Boolean lattice is finite: join acts as a widening.
+  return AbsValue(A.asBool().join(B.asBool()));
+}
+
 bool StoreOps::leq(const AbstractStore &A, const AbstractStore &B) const {
   if (A.isBottom())
     return true;
   if (B.isBottom())
     return false;
-  // A <= B iff every constraint of B is implied by A. Keys absent in A
+  // Identical payloads are equal, and leq is reflexive.
+  if (A.samePayload(B))
+    return true;
+  if (!B.P)
+    return true; // B is top
+  // A <= B iff every constraint of B is implied by A. Slots absent in A
   // are top, which is only below B's entry if that entry is top too.
-  for (const auto &[V, BV] : B.Values) {
-    auto It = A.Values.find(V);
-    if (It == A.Values.end()) {
-      if (!leqValues(topFor(V), BV))
-        return false;
-    } else if (!leqValues(It->second, BV)) {
-      return false;
-    }
-  }
-  return true;
+  const StorePayload *PA = A.P.get();
+  bool Ok = true;
+  B.P->forEach([&](unsigned Slot, const VarDecl *, const AbsValue &BV) {
+    if (!Ok || isTopValue(BV))
+      return;
+    if (PA && PA->present(Slot))
+      Ok = leqValues(PA->Values[Slot], BV);
+    else
+      Ok = false; // top !<= a real constraint
+  });
+  return Ok;
 }
 
 bool StoreOps::equal(const AbstractStore &A, const AbstractStore &B) const {
   if (A.isBottom() || B.isBottom())
     return A.isBottom() == B.isBottom();
-  // Synchronized walk over both ordered maps (missing key = top): one
-  // O(n) pass instead of two leq() passes of per-entry lookups. This is
-  // the hot comparison of the fixpoint loop and the transfer cache.
+  // Pointer-stable convergence fast path: the delta-aware ops return
+  // their input payload when nothing changed, so the solver's equality
+  // checks usually resolve right here.
+  if (A.samePayload(B))
+    return true;
+  const StorePayload *PA = A.P.get(), *PB = B.P.get();
+  // Memoized-hash short-circuit: differing computed hashes mean the
+  // stores differ (hash is consistent with equal); do not force a
+  // computation just for this.
+  if (PA && PB) {
+    uint64_t HA = PA->CachedHash.load(std::memory_order_relaxed);
+    uint64_t HB = PB->CachedHash.load(std::memory_order_relaxed);
+    if (HA && HB && HA != HB)
+      return false;
+  }
+  // Synchronized walk over the union of present slots (missing slot =
+  // top; explicit top entries match missing ones).
   auto EqValues = [&](const AbsValue &X, const AbsValue &Y) {
-    return leqValues(X, Y) && leqValues(Y, X);
+    return X == Y || (leqValues(X, Y) && leqValues(Y, X));
   };
-  auto ItA = A.Values.begin(), EndA = A.Values.end();
-  auto ItB = B.Values.begin(), EndB = B.Values.end();
-  auto KeyLess = A.Values.key_comp();
-  while (ItA != EndA || ItB != EndB) {
-    if (ItB == EndB || (ItA != EndA && KeyLess(ItA->first, ItB->first))) {
-      if (!EqValues(ItA->second, topFor(ItA->first)))
-        return false;
-      ++ItA;
-    } else if (ItA == EndA || KeyLess(ItB->first, ItA->first)) {
-      if (!EqValues(ItB->second, topFor(ItB->first)))
-        return false;
-      ++ItB;
-    } else {
-      // Identical representations are equal without lattice dispatch;
-      // distinct ones get the full semantic comparison.
-      if (!(ItA->second == ItB->second) &&
-          !EqValues(ItA->second, ItB->second))
-        return false;
-      ++ItA;
-      ++ItB;
+  size_t WordsA = PA ? PA->Bits.size() : 0;
+  size_t WordsB = PB ? PB->Bits.size() : 0;
+  for (size_t W = 0; W < std::max(WordsA, WordsB); ++W) {
+    uint64_t BitsA = W < WordsA ? PA->Bits[W] : 0;
+    uint64_t BitsB = W < WordsB ? PB->Bits[W] : 0;
+    uint64_t Union = BitsA | BitsB;
+    while (Union) {
+      unsigned Slot = static_cast<unsigned>(W * 64) + __builtin_ctzll(Union);
+      Union &= Union - 1;
+      uint64_t Mask = uint64_t(1) << (Slot & 63);
+      bool InA = BitsA & Mask, InB = BitsB & Mask;
+      if (InA && InB) {
+        if (!EqValues(PA->Values[Slot], PB->Values[Slot]))
+          return false;
+      } else if (InA) {
+        if (!isTopValue(PA->Values[Slot]))
+          return false;
+      } else {
+        if (!isTopValue(PB->Values[Slot]))
+          return false;
+      }
     }
   }
   return true;
 }
 
 uint64_t StoreOps::hash(const AbstractStore &S) const {
-  uint64_t Cached = S.CachedHash.load(std::memory_order_relaxed);
+  if (S.isBottom())
+    return 0x452821e638d01377ull;
+  if (!S.P || S.P->NumPresent == 0)
+    return 0x13198a2e03707344ull; // the top store
+  uint64_t Cached = S.P->CachedHash.load(std::memory_order_relaxed);
   if (Cached)
     return Cached;
   uint64_t H = 0x13198a2e03707344ull;
-  if (S.isBottom()) {
-    H = 0x452821e638d01377ull;
-  } else {
-    // std::map iterates in pointer order, so the fold is deterministic
-    // within one run (cache keys never cross runs).
-    for (const auto &[V, Value] : S.entries()) {
-      if (leqValues(topFor(V), Value))
-        continue; // explicit top entry == missing key
-      H = hashCombine(H, reinterpret_cast<uintptr_t>(V));
-      if (Value.isInt()) {
-        H = hashCombine(H, hashValue(Value.asInt()));
-      } else {
-        H = hashCombine(H, 0xa4093822299f31d0ull);
-        H = hashCombine(H, static_cast<uint64_t>(Value.asBool().kind()));
-      }
+  // Slot order is deterministic across runs (per-routine declaration
+  // order), unlike the pointer order of the old map representation.
+  S.P->forEach([&](unsigned Slot, const VarDecl *, const AbsValue &Value) {
+    if (isTopValue(Value))
+      return; // explicit top entry == missing slot
+    H = hashCombine(H, Slot);
+    if (Value.isInt()) {
+      H = hashCombine(H, hashValue(Value.asInt()));
+    } else {
+      H = hashCombine(H, 0xa4093822299f31d0ull);
+      H = hashCombine(H, static_cast<uint64_t>(Value.asBool().kind()));
     }
-  }
+  });
   if (H == 0)
     H = 0x3f84d5b5b5470917ull; // 0 is the "not yet computed" sentinel
-  S.CachedHash.store(H, std::memory_order_relaxed);
+  S.P->CachedHash.store(H, std::memory_order_relaxed);
   return H;
 }
 
@@ -140,16 +174,43 @@ AbstractStore StoreOps::join(const AbstractStore &A,
     return B;
   if (B.isBottom())
     return A;
+  if (A.samePayload(B) || A.isTop())
+    return A;
+  if (B.isTop())
+    return B;
+  const StorePayload *PA = A.P.get(), *PB = B.P.get();
+  // Delta pass 1: result == A when every real constraint of A absorbs
+  // B's value (B present and below). Explicit top entries of A never
+  // constrain anything, so they cannot break equality. No allocation.
+  bool EqA = true;
+  PA->forEach([&](unsigned Slot, const VarDecl *, const AbsValue &AV) {
+    if (!EqA || isTopValue(AV))
+      return;
+    EqA = PB->present(Slot) && leqValues(PB->Values[Slot], AV);
+  });
+  if (EqA)
+    return A;
+  // Delta pass 2: symmetric check for result == B (the growing phase of
+  // an ascending iteration usually lands here).
+  bool EqB = true;
+  PB->forEach([&](unsigned Slot, const VarDecl *, const AbsValue &BV) {
+    if (!EqB || isTopValue(BV))
+      return;
+    EqB = PA->present(Slot) && leqValues(PA->Values[Slot], BV);
+  });
+  if (EqB)
+    return B;
+  // General case: only slots constrained in *both* stores stay
+  // constrained.
   AbstractStore Out;
-  // Only keys constrained in *both* stores stay constrained.
-  for (const auto &[V, AV] : A.Values) {
-    auto It = B.Values.find(V);
-    if (It == B.Values.end())
-      continue;
-    AbsValue Joined = joinValues(AV, It->second);
-    if (!leqValues(topFor(V), Joined)) // skip entries that became top
-      Out.Values.emplace(V, std::move(Joined));
-  }
+  Out.detach();
+  PA->forEach([&](unsigned Slot, const VarDecl *V, const AbsValue &AV) {
+    if (!PB->present(Slot))
+      return;
+    AbsValue Joined = joinValues(AV, PB->Values[Slot]);
+    if (!isTopValue(Joined)) // skip entries that became top
+      Out.P->put(Slot, V, std::move(Joined));
+  });
   return Out;
 }
 
@@ -157,15 +218,37 @@ AbstractStore StoreOps::meet(const AbstractStore &A,
                              const AbstractStore &B) const {
   if (A.isBottom() || B.isBottom())
     return AbstractStore::bottom();
-  AbstractStore Out = A;
-  for (const auto &[V, BV] : B.Values) {
-    auto It = Out.Values.find(V);
-    AbsValue Met = It == Out.Values.end() ? BV : meetValues(It->second, BV);
-    if (Met.isBottom())
-      return AbstractStore::bottom();
-    Out.Values[V] = std::move(Met);
-  }
-  Out.invalidateHash(); // Values was edited directly, not through set()
+  if (A.samePayload(B) || B.isTop())
+    return A;
+  if (A.isTop())
+    return B;
+  const StorePayload *PA = A.P.get(), *PB = B.P.get();
+  // Delta pass: result == A when every constraint of B is already
+  // implied by A (the common case once the solver iterates inside a
+  // previously computed envelope).
+  bool EqA = true;
+  PB->forEach([&](unsigned Slot, const VarDecl *, const AbsValue &BV) {
+    if (!EqA || isTopValue(BV))
+      return;
+    EqA = PA->present(Slot) && leqValues(PA->Values[Slot], BV);
+  });
+  if (EqA)
+    return A;
+  AbstractStore Out = A; // shared; detach happens on the first write
+  bool Bottom = false;
+  PB->forEach([&](unsigned Slot, const VarDecl *V, const AbsValue &BV) {
+    if (Bottom || isTopValue(BV))
+      return;
+    AbsValue Met =
+        PA->present(Slot) ? meetValues(PA->Values[Slot], BV) : BV;
+    if (Met.isBottom()) {
+      Bottom = true;
+      return;
+    }
+    Out.set(V, std::move(Met));
+  });
+  if (Bottom)
+    return AbstractStore::bottom();
   return Out;
 }
 
@@ -175,25 +258,32 @@ AbstractStore StoreOps::widen(const AbstractStore &A,
     return B;
   if (B.isBottom())
     return A;
+  if (A.samePayload(B) || A.isTop())
+    return A;
+  const StorePayload *PA = A.P.get();
+  const StorePayload *PB = B.P.get();
+  // Delta pass: widening is stable (result == A) when every constraint
+  // of A already bounds B's value — both the standard and the threshold
+  // operator keep stable bounds unchanged.
+  bool EqA = true;
+  PA->forEach([&](unsigned Slot, const VarDecl *, const AbsValue &AV) {
+    if (!EqA || isTopValue(AV))
+      return;
+    EqA = PB && PB->present(Slot) && leqValues(PB->Values[Slot], AV);
+  });
+  if (EqA)
+    return A;
   AbstractStore Out;
-  for (const auto &[V, AV] : A.Values) {
-    auto It = B.Values.find(V);
-    if (It == B.Values.end())
-      continue; // unstable towards top: drop the constraint
-    if (AV.isInt()) {
-      Interval W =
-          WideningThresholds.empty()
-              ? D.widen(AV.asInt(), It->second.asInt())
-              : D.widenWithThresholds(AV.asInt(), It->second.asInt(),
-                                      WideningThresholds);
-      if (!D.leq(D.top(), W))
-        Out.Values.emplace(V, AbsValue(W));
-    } else {
-      BoolLattice W = AV.asBool().join(It->second.asBool());
-      if (!W.isTop())
-        Out.Values.emplace(V, AbsValue(W));
-    }
-  }
+  Out.detach();
+  PA->forEach([&](unsigned Slot, const VarDecl *V, const AbsValue &AV) {
+    if (isTopValue(AV))
+      return;
+    if (!PB || !PB->present(Slot))
+      return; // unstable towards top: drop the constraint
+    AbsValue W = widenValues(AV, PB->Values[Slot]);
+    if (!isTopValue(W))
+      Out.P->put(Slot, V, std::move(W));
+  });
   return Out;
 }
 
@@ -201,38 +291,75 @@ AbstractStore StoreOps::narrow(const AbstractStore &A,
                                const AbstractStore &B) const {
   if (A.isBottom() || B.isBottom())
     return AbstractStore::bottom();
+  if (A.samePayload(B))
+    return A;
+  const StorePayload *PA = A.P.get(), *PB = B.P.get();
+
+  auto NarrowValues = [&](const AbsValue &AV, const AbsValue &BV) {
+    if (AV.isInt())
+      return AbsValue(D.narrow(AV.asInt(), BV.asInt()));
+    // Boolean lattice is finite: meet acts as a narrowing.
+    return AbsValue(AV.asBool().meet(BV.asBool()));
+  };
+
+  // Delta pass: result == A when narrowing refines nothing — every slot
+  // of A is already past its omega bounds w.r.t. B, and B adds no
+  // constraint on slots where A is (implicitly or explicitly) top.
+  bool EqA = true;
+  if (PA)
+    PA->forEach([&](unsigned Slot, const VarDecl *, const AbsValue &AV) {
+      if (!EqA)
+        return;
+      if (!PB || !PB->present(Slot))
+        return; // B's entry is top: x /\~ T = x
+      EqA = NarrowValues(AV, PB->Values[Slot]) == AV;
+    });
+  if (EqA && PB)
+    PB->forEach([&](unsigned Slot, const VarDecl *, const AbsValue &BV) {
+      if (!EqA || (PA && PA->present(Slot)))
+        return;
+      // A's entry is top: narrowing adopts B's bound, so equality needs
+      // that bound to be vacuous.
+      EqA = isTopValue(BV);
+    });
+  if (EqA)
+    return A;
+
   AbstractStore Out;
-  // Keys of A are narrowed; keys only in B refine omega bounds of the
+  Out.detach();
+  bool Bottom = false;
+  // Slots of A are narrowed; slots only in B refine omega bounds of the
   // implicit top entry of A, which narrowing replaces entirely.
-  for (const auto &[V, AV] : A.Values) {
-    auto It = B.Values.find(V);
-    if (It == B.Values.end()) {
-      // B's entry is top: x A T = x (keeps soundness and termination).
-      Out.Values.emplace(V, AV);
-      continue;
-    }
-    AbsValue BV = It->second;
-    if (AV.isInt()) {
-      Interval N = D.narrow(AV.asInt(), BV.asInt());
-      if (N.isBottom())
-        return AbstractStore::bottom();
-      Out.Values.emplace(V, AbsValue(N));
-    } else {
-      // Boolean lattice is finite: meet acts as a narrowing.
-      BoolLattice N = AV.asBool().meet(BV.asBool());
-      if (N.isBottom())
-        return AbstractStore::bottom();
-      Out.Values.emplace(V, AbsValue(N));
-    }
-  }
-  for (const auto &[V, BV] : B.Values) {
-    if (Out.Values.count(V) || A.Values.count(V))
-      continue;
-    // A's entry is top: both bounds at omega, so narrowing takes B's.
-    if (BV.isBottom())
-      return AbstractStore::bottom();
-    Out.Values.emplace(V, BV);
-  }
+  if (PA)
+    PA->forEach([&](unsigned Slot, const VarDecl *V, const AbsValue &AV) {
+      if (Bottom)
+        return;
+      if (!PB || !PB->present(Slot)) {
+        // B's entry is top: x /\~ T = x (keeps soundness and
+        // termination).
+        Out.P->put(Slot, V, AV);
+        return;
+      }
+      AbsValue N = NarrowValues(AV, PB->Values[Slot]);
+      if (N.isBottom()) {
+        Bottom = true;
+        return;
+      }
+      Out.P->put(Slot, V, std::move(N));
+    });
+  if (!Bottom && PB)
+    PB->forEach([&](unsigned Slot, const VarDecl *V, const AbsValue &BV) {
+      if (Bottom || (PA && PA->present(Slot)))
+        return;
+      // A's entry is top: both bounds at omega, so narrowing takes B's.
+      if (BV.isBottom()) {
+        Bottom = true;
+        return;
+      }
+      Out.P->put(Slot, V, BV);
+    });
+  if (Bottom)
+    return AbstractStore::bottom();
   return Out;
 }
 
@@ -269,14 +396,14 @@ std::string StoreOps::str(const AbstractStore &S) const {
     return "{ }";
   std::string Out = "{ ";
   bool First = true;
-  for (const auto &[V, Value] : S.entries()) {
+  S.forEachEntry([&](const VarDecl *V, const AbsValue &Value) {
     if (!First)
       Out += ", ";
     First = false;
     Out += V->name();
     Out += " -> ";
     Out += Value.isInt() ? D.str(Value.asInt()) : Value.asBool().str();
-  }
+  });
   Out += " }";
   return Out;
 }

@@ -10,7 +10,19 @@
 /// abstract values (intervals for integer-like variables, a four-valued
 /// boolean lattice for booleans; arrays are summarized by one interval
 /// over all elements). Missing keys mean "unconstrained" (top), so the
-/// empty map is the top store; bottom (unreachable) is a separate flag.
+/// empty store is the top store; bottom (unreachable) is a separate flag.
+///
+/// Representation: a copy-on-write payload shared through a shared_ptr,
+/// holding a flat vector of values indexed by each variable's dense
+/// *store slot* (VarDecl::storeSlot(), assigned contiguously per routine
+/// by VarNumbering) plus a presence bitmap. Copying a store is one
+/// refcount increment; mutation detaches (clones) the payload only when
+/// it is shared. The lattice operations in StoreOps are delta-aware:
+/// join/widen/narrow/meet return an input store (payload pointer and
+/// all) whenever the result is semantically identical to it, so the
+/// solver's convergence checks hit the O(1) pointer-equality fast path
+/// of equal()/leq(), and the memoized hash lives in the payload so COW
+/// copies never rehash.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -21,10 +33,13 @@
 #include "lattice/BoolLattice.h"
 #include "lattice/Interval.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
-#include <map>
+#include <memory>
 #include <string>
+#include <unordered_set>
+#include <vector>
 
 namespace syntox {
 
@@ -67,42 +82,91 @@ private:
 /// Lattice operations over stores, parameterized by the interval domain.
 class StoreOps;
 
+namespace detail {
+
+/// The shared, slot-indexed body of a store. Values/Keys are capacity
+/// vectors indexed by store slot; Bits is the presence bitmap (a slot
+/// without its bit is an implicit top, and its Values/Keys entries are
+/// meaningless). Keys records the VarDecl of each present slot so the
+/// store can be iterated without the numbering at hand.
+struct StorePayload {
+  std::vector<AbsValue> Values;
+  std::vector<const VarDecl *> Keys;
+  std::vector<uint64_t> Bits;
+  uint32_t NumPresent = 0;
+  /// StoreOps::hash memoized per payload version; 0 = not yet computed.
+  /// COW copies share the payload and therefore the cached hash, so the
+  /// O(entries) fold runs once per distinct store content no matter how
+  /// many stores alias it. Relaxed atomic: concurrent readers of a
+  /// shared payload may race to fill it, but they write the same value.
+  mutable std::atomic<uint64_t> CachedHash{0};
+
+  StorePayload() = default;
+  StorePayload(const StorePayload &O)
+      : Values(O.Values), Keys(O.Keys), Bits(O.Bits),
+        NumPresent(O.NumPresent) {
+    CachedHash.store(O.CachedHash.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+  }
+  StorePayload &operator=(const StorePayload &) = delete;
+
+  size_t capacity() const { return Values.size(); }
+
+  bool present(unsigned Slot) const {
+    return Slot < capacity() && (Bits[Slot >> 6] >> (Slot & 63)) & 1;
+  }
+
+  void ensureCapacity(unsigned Slot) {
+    if (Slot < capacity())
+      return;
+    size_t NewCap = std::max<size_t>(Slot + 1, capacity() * 2);
+    NewCap = std::max<size_t>(NewCap, 8);
+    Values.resize(NewCap);
+    Keys.resize(NewCap, nullptr);
+    Bits.resize((NewCap + 63) / 64, 0);
+  }
+
+  void put(unsigned Slot, const VarDecl *V, AbsValue Value) {
+    ensureCapacity(Slot);
+    Values[Slot] = std::move(Value);
+    Keys[Slot] = V;
+    uint64_t &Word = Bits[Slot >> 6];
+    uint64_t Mask = uint64_t(1) << (Slot & 63);
+    NumPresent += !(Word & Mask);
+    Word |= Mask;
+  }
+
+  void erase(unsigned Slot) {
+    if (!present(Slot))
+      return;
+    Bits[Slot >> 6] &= ~(uint64_t(1) << (Slot & 63));
+    Keys[Slot] = nullptr;
+    --NumPresent;
+  }
+
+  /// Calls Fn(Slot, VarDecl, Value) for every present slot, ascending.
+  template <typename Fn> void forEach(Fn &&F) const {
+    for (size_t W = 0; W < Bits.size(); ++W) {
+      uint64_t Word = Bits[W];
+      while (Word) {
+        unsigned Slot =
+            static_cast<unsigned>(W * 64) + __builtin_ctzll(Word);
+        Word &= Word - 1;
+        F(Slot, Keys[Slot], Values[Slot]);
+      }
+    }
+  }
+};
+
+} // namespace detail
+
 /// An abstract store: variable -> abstract value, with top as the
-/// default for missing keys.
+/// default for missing keys. Copies are O(1) (shared payload); mutation
+/// is copy-on-write.
 class AbstractStore {
 public:
-  /// The top store: every variable unconstrained.
+  /// The top store: every variable unconstrained (no payload at all).
   AbstractStore() = default;
-
-  // The memoized hash is an atomic, so the special members are spelled
-  // out. Copies inherit the cached hash (same content); moves reset the
-  // source so a reused moved-from store cannot report a stale hash.
-  AbstractStore(const AbstractStore &O)
-      : Values(O.Values), IsBottom(O.IsBottom) {
-    CachedHash.store(O.CachedHash.load(std::memory_order_relaxed),
-                     std::memory_order_relaxed);
-  }
-  AbstractStore(AbstractStore &&O) noexcept
-      : Values(std::move(O.Values)), IsBottom(O.IsBottom) {
-    CachedHash.store(O.CachedHash.load(std::memory_order_relaxed),
-                     std::memory_order_relaxed);
-    O.CachedHash.store(0, std::memory_order_relaxed);
-  }
-  AbstractStore &operator=(const AbstractStore &O) {
-    Values = O.Values;
-    IsBottom = O.IsBottom;
-    CachedHash.store(O.CachedHash.load(std::memory_order_relaxed),
-                     std::memory_order_relaxed);
-    return *this;
-  }
-  AbstractStore &operator=(AbstractStore &&O) noexcept {
-    Values = std::move(O.Values);
-    IsBottom = O.IsBottom;
-    CachedHash.store(O.CachedHash.load(std::memory_order_relaxed),
-                     std::memory_order_relaxed);
-    O.CachedHash.store(0, std::memory_order_relaxed);
-    return *this;
-  }
 
   static AbstractStore bottom() {
     AbstractStore S;
@@ -114,54 +178,100 @@ public:
   bool isBottom() const { return IsBottom; }
 
   /// True when no variable is constrained.
-  bool isTop() const { return !IsBottom && Values.empty(); }
+  bool isTop() const { return !IsBottom && (!P || P->NumPresent == 0); }
 
   /// Whether the store has an explicit entry for \p V.
-  bool hasEntry(const VarDecl *V) const { return Values.count(V) != 0; }
+  bool hasEntry(const VarDecl *V) const {
+    return !IsBottom && P && P->present(V->storeSlot());
+  }
 
-  /// The entries map (missing keys are top).
-  const std::map<const VarDecl *, AbsValue> &entries() const {
-    return Values;
+  /// Number of explicit entries.
+  size_t numEntries() const { return !IsBottom && P ? P->NumPresent : 0; }
+
+  /// Calls Fn(const VarDecl *, const AbsValue &) for every explicit
+  /// entry, in ascending slot order (per-routine declaration order —
+  /// deterministic across runs, unlike the pointer order of the old
+  /// map representation).
+  template <typename Fn> void forEachEntry(Fn &&F) const {
+    if (IsBottom || !P)
+      return;
+    P->forEach([&](unsigned, const VarDecl *V, const AbsValue &Value) {
+      F(V, Value);
+    });
   }
 
   /// Sets (strong update). Setting on bottom is a no-op.
   void set(const VarDecl *V, AbsValue Value) {
     if (IsBottom)
       return;
-    Values[V] = std::move(Value);
+    detach();
+    P->put(V->storeSlot(), V, std::move(Value));
     invalidateHash();
   }
 
   /// Removes the constraint on \p V (makes it top).
   void forget(const VarDecl *V) {
-    if (!IsBottom && Values.erase(V))
-      invalidateHash();
+    if (IsBottom || !P || !P->present(V->storeSlot()))
+      return;
+    detach();
+    P->erase(V->storeSlot());
+    invalidateHash();
   }
 
   void setBottom() {
     IsBottom = true;
-    Values.clear();
-    invalidateHash();
+    P.reset();
   }
 
-  /// Rough byte footprint (Figure 4 memory accounting).
+  /// True when both stores alias the same payload (or are both
+  /// payload-free), i.e. equality is decidable without looking at any
+  /// entry. The delta-aware lattice ops return their input store when
+  /// nothing changed exactly so this fires on convergence.
+  bool samePayload(const AbstractStore &Other) const {
+    return P == Other.P;
+  }
+  /// Identity of the shared payload (null for top/bottom); used for
+  /// shared-once memory accounting and by tests.
+  const void *payloadIdentity() const { return P.get(); }
+
+  /// Rough byte footprint (Figure 4 memory accounting). The payload is
+  /// counted in full; use the Seen overload to count shared payloads
+  /// once across a collection of stores.
   size_t approximateBytes() const {
-    return sizeof(*this) + Values.size() * 64;
+    return sizeof(*this) + payloadBytes();
+  }
+  size_t approximateBytes(std::unordered_set<const void *> &Seen) const {
+    size_t Bytes = sizeof(*this);
+    if (P && Seen.insert(P.get()).second)
+      Bytes += payloadBytes();
+    return Bytes;
   }
 
 private:
   friend class StoreOps;
 
-  void invalidateHash() { CachedHash.store(0, std::memory_order_relaxed); }
+  size_t payloadBytes() const {
+    if (!P)
+      return 0;
+    return sizeof(detail::StorePayload) +
+           P->capacity() * (sizeof(AbsValue) + sizeof(const VarDecl *)) +
+           P->Bits.size() * sizeof(uint64_t);
+  }
 
-  std::map<const VarDecl *, AbsValue> Values;
+  /// Makes the payload exclusively owned (clone on shared write).
+  void detach() {
+    if (!P)
+      P = std::make_shared<detail::StorePayload>();
+    else if (P.use_count() != 1)
+      P = std::make_shared<detail::StorePayload>(*P);
+  }
+
+  void invalidateHash() {
+    P->CachedHash.store(0, std::memory_order_relaxed);
+  }
+
+  std::shared_ptr<detail::StorePayload> P;
   bool IsBottom = false;
-  /// StoreOps::hash memoized per store object; 0 = not yet computed.
-  /// Solver values are hashed on every cache lookup of every outgoing
-  /// edge but mutate rarely, so the O(entries) fold runs once per store
-  /// version. Relaxed atomic: concurrent readers of a shared store may
-  /// race to fill it, but they write the same value.
-  mutable std::atomic<uint64_t> CachedHash{0};
 };
 
 /// Store-level lattice operations; needs the interval domain for bounds.
@@ -199,14 +309,22 @@ public:
 
   /// 64-bit hash consistent with equal(): stores with equal constraints
   /// hash equal (explicit entries at top are ignored, matching the
-  /// missing-key-is-top convention). The transfer-function cache keys on
-  /// this; lookups still confirm with equal(), so collisions cost time,
-  /// never soundness.
+  /// missing-key-is-top convention). Memoized in the shared payload, so
+  /// COW copies of a store never rehash. The transfer-function cache
+  /// keys on this; lookups still confirm with equal(), so collisions
+  /// cost time, never soundness.
   uint64_t hash(const AbstractStore &S) const;
+
+  /// \name Delta-aware lattice operations
+  /// Each returns one of its *inputs* (payload shared, not copied)
+  /// whenever the result is semantically equal to it, so converged
+  /// solver iterations produce pointer-stable values.
+  /// @{
   AbstractStore join(const AbstractStore &A, const AbstractStore &B) const;
   AbstractStore meet(const AbstractStore &A, const AbstractStore &B) const;
   AbstractStore widen(const AbstractStore &A, const AbstractStore &B) const;
   AbstractStore narrow(const AbstractStore &A, const AbstractStore &B) const;
+  /// @}
 
   /// Sets V to Value, normalizing: bottom value -> bottom store.
   void assign(AbstractStore &S, const VarDecl *V, const AbsValue &Value) const;
@@ -218,11 +336,21 @@ public:
   AbsValue meetValues(const AbsValue &A, const AbsValue &B) const;
   bool leqValues(const AbsValue &A, const AbsValue &B) const;
 
-  /// Renders the store restricted to the given variables (or all entries
-  /// when empty), e.g. "{ i -> [0, 100], b -> true }".
+  /// Renders the store, e.g. "{ i -> [0, 100], b -> true }", in slot
+  /// (per-routine declaration) order.
   std::string str(const AbstractStore &S) const;
 
 private:
+  /// True when \p Value is the top of its own kind (the full interval
+  /// for ints, T for booleans) — i.e. carries no constraint and is
+  /// semantically identical to a missing entry.
+  bool isTopValue(const AbsValue &Value) const {
+    return Value.isInt() ? D.isTop(Value.asInt()) : Value.asBool().isTop();
+  }
+
+  /// One widening step on values, honoring the installed thresholds.
+  AbsValue widenValues(const AbsValue &A, const AbsValue &B) const;
+
   const IntervalDomain &D;
   std::vector<int64_t> WideningThresholds;
 };

@@ -6,6 +6,7 @@
 #include <atomic>
 #include <cassert>
 #include <chrono>
+#include <unordered_set>
 
 using namespace syntox;
 
@@ -323,10 +324,13 @@ void Analyzer::run() {
     Stats.CacheMisses = Cache->misses();
   }
   Stats.BytesUsed = Graph->approximateBytes();
+  // COW stores structurally share payloads across program points; count
+  // each distinct payload once so Figure 4 reports the real footprint.
+  std::unordered_set<const void *> SeenPayloads;
   for (const AbstractStore &S : Forward)
-    Stats.BytesUsed += S.approximateBytes();
+    Stats.BytesUsed += S.approximateBytes(SeenPayloads);
   for (const AbstractStore &S : Envelope)
-    Stats.BytesUsed += S.approximateBytes();
+    Stats.BytesUsed += S.approximateBytes(SeenPayloads);
   Stats.CpuSeconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
           .count();

@@ -8,10 +8,24 @@
 
 using namespace syntox;
 
+VarNumbering::VarNumbering(const ProgramCfg &Cfg) {
+  // CFG order is declaration order (program first), and ownedVars() is
+  // registration order (params, result, locals, then CfgBuilder temps),
+  // so the assignment below is deterministic for a given AST and safe
+  // to re-run: every analysis of the same program sees the same slots.
+  for (const RoutineCfg *C : Cfg.cfgs()) {
+    Range &R = Ranges[C->routine()];
+    R.First = NumSlots;
+    for (VarDecl *V : C->routine()->ownedVars())
+      V->setStoreSlot(NumSlots++);
+    R.Count = NumSlots - R.First;
+  }
+}
+
 SuperGraph::SuperGraph(const ProgramCfg &Cfg, RoutineDecl *Program,
                        const StoreOps &Ops, const ExprSemantics &Exprs,
                        const Transfer &Xfer, bool ContextInsensitive)
-    : Cfg(Cfg), Ops(Ops), Exprs(Exprs), Xfer(Xfer),
+    : Cfg(Cfg), Numbering(Cfg), Ops(Ops), Exprs(Exprs), Xfer(Xfer),
       ContextInsensitive(ContextInsensitive) {
   discoverInstances(Program);
   buildEdges();

@@ -92,6 +92,38 @@ struct SuperEdge {
   unsigned Link = 0;           ///< CallIn/CallOut/ChannelOut: CallLink index
 };
 
+/// The dense variable numbering backing the flat store representation:
+/// a one-time pass over the program's routines (in declaration order,
+/// program first) that assigns every owned variable — parameters, the
+/// result variable, locals, and compiler temporaries — a globally
+/// unique, per-routine *contiguous* store slot via
+/// VarDecl::setStoreSlot(). Contiguity keeps each routine's slots
+/// clustered so stores touch a compact slot range, and the walk order
+/// makes the numbering deterministic and idempotent: re-running it on
+/// the same AST reassigns identical slots, so stores from repeated
+/// analyses of one AST stay comparable.
+class VarNumbering {
+public:
+  explicit VarNumbering(const ProgramCfg &Cfg);
+
+  /// Total slots assigned (== number of owned variables program-wide).
+  unsigned numSlots() const { return NumSlots; }
+
+  /// First slot / slot count of a routine's variables.
+  struct Range {
+    unsigned First = 0;
+    unsigned Count = 0;
+  };
+  Range rangeOf(const RoutineDecl *R) const {
+    auto It = Ranges.find(R);
+    return It == Ranges.end() ? Range{} : It->second;
+  }
+
+private:
+  unsigned NumSlots = 0;
+  std::map<const RoutineDecl *, Range> Ranges;
+};
+
 /// The fully unfolded program: instances, links, edges, and the
 /// interprocedural transfer functions.
 class SuperGraph {
@@ -150,6 +182,9 @@ public:
                               const AbstractStore &AtTarget) const;
   /// @}
 
+  /// The dense store-slot numbering this supergraph's stores run on.
+  const VarNumbering &varNumbering() const { return Numbering; }
+
   /// Rough bytes held by the supergraph structures (Figure 4 memory).
   size_t approximateBytes() const;
 
@@ -159,6 +194,7 @@ private:
   void buildEdges();
 
   const ProgramCfg &Cfg;
+  VarNumbering Numbering; ///< assigns store slots; must precede analysis
   const StoreOps &Ops;
   const ExprSemantics &Exprs;
   const Transfer &Xfer;

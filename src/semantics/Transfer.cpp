@@ -105,12 +105,19 @@ const AbstractStore *TransferCache::lookupOrCompute(bool Forward,
                                                     Compute &&Fn) {
   uint64_t Key = hashCombine(0x9216d5d98979fb1bull,
                              (static_cast<uint64_t>(EdgeId) << 1) | Forward);
+  // Ops.hash is memoized in the store's shared payload, so keying a
+  // store the solver already hashed (the steady state: COW keeps
+  // payloads alive unchanged across iterations) costs one atomic load.
   Key = hashCombine(Key, Ops.hash(In));
   Shard &Sh = Shards[Key % NumShards];
   auto &Bucket = Sh.Buckets[(Key / NumShards) % Shard::NumBuckets];
   {
     std::lock_guard<std::mutex> Lock(Sh.M);
     for (const Entry &E : Bucket)
+      // Payload identity first: a re-lookup of the very store that
+      // populated the entry short-circuits inside equal() without
+      // touching a single entry; only genuinely distinct payloads pay
+      // the entry-wise confirm.
       if (E.Key == Key && E.EdgeId == EdgeId && E.Forward == Forward &&
           Ops.equal(E.In, In)) {
         ++Sh.Hits;
