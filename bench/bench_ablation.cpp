@@ -11,6 +11,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchSupport.h"
 #include "cfg/CfgBuilder.h"
 #include "frontend/Lexer.h"
 #include "frontend/PaperPrograms.h"
@@ -42,13 +43,15 @@ void build(Built &B, const std::string &Source) {
   B.Cfg = Builder.build(B.Prog);
 }
 
-void runConfig(const Built &B, const char *Label, Analyzer::Options Opts) {
+void runConfig(bench::Harness &H, const char *Name, const Built &B,
+               const char *Label, Analyzer::Options Opts) {
   auto Start = std::chrono::steady_clock::now();
   Analyzer An(*B.Cfg, B.Prog, Opts);
   An.run();
   double Seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
           .count();
+  H.recordPhases(std::string(Name) + "/" + Label, An.stats(), Seconds);
   const IntervalDomain &D = An.storeOps().domain();
   uint64_t FiniteBounds = 0;
   for (unsigned Node = 0; Node < An.graph().numNodes(); ++Node) {
@@ -69,9 +72,16 @@ void runConfig(const Built &B, const char *Label, Analyzer::Options Opts) {
               "time: %.4fs\n",
               Label, (unsigned long long)FiniteBounds,
               (unsigned long long)Steps, Seconds);
+  json::Value Row = json::Value::object();
+  Row.set("program", Name);
+  Row.set("config", Label);
+  Row.set("finite_bounds", FiniteBounds);
+  Row.set("steps", Steps);
+  Row.set("seconds", Seconds);
+  H.row(std::move(Row));
 }
 
-void ablate(const char *Name, const std::string &Source) {
+void ablate(bench::Harness &H, const char *Name, const std::string &Source) {
   Built B;
   build(B, Source);
   if (B.Diags.hasErrors()) {
@@ -80,42 +90,44 @@ void ablate(const char *Name, const std::string &Source) {
   }
   std::printf("---- %s ----\n", Name);
 
-  Analyzer::Options Base;
-  runConfig(B, "recursive strategy (default)", Base);
+  Analyzer::Options Base = H.options();
+  runConfig(H, Name, B, "recursive strategy (default)", Base);
 
   Analyzer::Options Worklist = Base;
   Worklist.Strategy = IterationStrategy::Worklist;
-  runConfig(B, "worklist strategy", Worklist);
+  runConfig(H, Name, B, "worklist strategy", Worklist);
 
   Analyzer::Options NoNarrow = Base;
   NoNarrow.NarrowingPasses = 0;
-  runConfig(B, "no narrowing (overshoots)", NoNarrow);
+  runConfig(H, Name, B, "no narrowing (overshoots)", NoNarrow);
 
   Analyzer::Options TwoNarrow = Base;
   TwoNarrow.NarrowingPasses = 2;
-  runConfig(B, "two narrowing passes", TwoNarrow);
+  runConfig(H, Name, B, "two narrowing passes", TwoNarrow);
 
   Analyzer::Options Thresholds = Base;
   Thresholds.WideningThresholds = {-1, 0, 1, 10, 100, 101};
-  runConfig(B, "threshold widening {0,1,10,100,...}", Thresholds);
+  runConfig(H, Name, B, "threshold widening {0,1,10,100,...}", Thresholds);
 
   Analyzer::Options Rounds = Base;
   Rounds.BackwardRounds = 2;
-  runConfig(B, "two backward/forward rounds", Rounds);
+  runConfig(H, Name, B, "two backward/forward rounds", Rounds);
 
   std::printf("\n");
 }
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  bench::Harness H("ablation", argc, argv);
   std::printf("==== E7: design-choice ablations ====\n\n");
-  ablate("McCarthy9", paper::mcCarthyK(9));
-  ablate("HeapSort", paper::HeapSortProgram);
-  ablate("BinarySearch", paper::BinarySearchProgram);
-  ablate("Intermittent", paper::IntermittentProgram);
+  ablate(H, "McCarthy9", paper::mcCarthyK(9));
+  ablate(H, "HeapSort", paper::HeapSortProgram);
+  ablate(H, "BinarySearch", paper::BinarySearchProgram);
+  ablate(H, "Intermittent", paper::IntermittentProgram);
   std::printf("Shape: narrowing recovers the precision widening gives up "
               "(no-narrowing has\nfewer finite bounds); both strategies "
               "agree on precision; thresholds never hurt.\n");
+  H.write();
   return 0;
 }

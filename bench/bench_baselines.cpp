@@ -13,6 +13,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchSupport.h"
 #include "baselines/Baselines.h"
 #include "cfg/CfgBuilder.h"
 #include "frontend/Lexer.h"
@@ -24,7 +25,8 @@
 
 using namespace syntox;
 
-static void runProgram(const char *Name, const std::string &Source) {
+static void runProgram(bench::Harness &H, const char *Name,
+                       const std::string &Source) {
   AstContext Ctx;
   DiagnosticsEngine Diags;
   Lexer L(Source, Diags);
@@ -38,18 +40,25 @@ static void runProgram(const char *Name, const std::string &Source) {
   CfgBuilder Builder(Ctx, Diags);
   auto Cfg = Builder.build(Prog);
   std::printf("---- %s ----\n", Name);
-  for (const BaselineOutcome &O : runAllBaselines(*Cfg, Prog))
+  for (const BaselineOutcome &O : runAllBaselines(*Cfg, Prog)) {
     std::printf("  %s\n", O.str().c_str());
+    json::Value Row = json::Value::object();
+    Row.set("program", Name);
+    Row.set("outcome", O.str());
+    H.row(std::move(Row));
+  }
   std::printf("\n");
 }
 
-int main() {
+int main(int argc, char **argv) {
+  bench::Harness H("baselines", argc, argv);
   std::printf("==== E6: abstract debugging vs baseline analyses ====\n\n");
-  runProgram("BinarySearch", paper::BinarySearchProgram);
-  runProgram("HeapSort", paper::HeapSortProgram);
-  runProgram("QuickSort", paper::QuickSortProgram);
-  runProgram("BubbleSort", paper::BubbleSortProgram);
-  runProgram("McCarthy9", paper::mcCarthyK(9));
-  runProgram("Ackermann", paper::AckermannProgram);
+  runProgram(H, "BinarySearch", paper::BinarySearchProgram);
+  runProgram(H, "HeapSort", paper::HeapSortProgram);
+  runProgram(H, "QuickSort", paper::QuickSortProgram);
+  runProgram(H, "BubbleSort", paper::BubbleSortProgram);
+  runProgram(H, "McCarthy9", paper::mcCarthyK(9));
+  runProgram(H, "Ackermann", paper::AckermannProgram);
+  H.write();
   return 0;
 }

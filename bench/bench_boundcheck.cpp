@@ -10,6 +10,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchSupport.h"
 #include "core/AbstractDebugger.h"
 #include "frontend/PaperPrograms.h"
 #include "interp/Interpreter.h"
@@ -24,6 +25,8 @@ using namespace syntox;
 
 namespace {
 
+bench::Harness *Harness = nullptr;
+
 struct Workload {
   std::unique_ptr<AbstractDebugger> Dbg;
   std::vector<int64_t> Inputs;
@@ -35,9 +38,7 @@ Workload &workload(const char *Name, const char *Source) {
   if (It != Cache.end())
     return It->second;
   Workload W;
-  DiagnosticsEngine Diags;
-  W.Dbg = AbstractDebugger::create(Source, Diags);
-  W.Dbg->analyze();
+  W.Dbg = Harness->analyze(Name, Source, Harness->options());
   Rng R(7);
   if (std::string(Name) == "BinarySearch") {
     W.Inputs.push_back(100);
@@ -117,6 +118,11 @@ void printStaticTable() {
                 100.0 * S.eliminationRatio(),
                 W.Dbg->checks().allSafe() ? "yes" : "no",
                 (unsigned long long)Run.ChecksExecuted, R.PaperClaim);
+    json::Value Json = S.toJson();
+    Json.set("program", R.Name);
+    Json.set("all_safe", W.Dbg->checks().allSafe());
+    Json.set("dynamic_checks_per_run", Run.ChecksExecuted);
+    Harness->row(std::move(Json));
   }
   std::printf("\n(Interpreter dispatch dilutes the wall-clock gap below "
               "the paper's 30-40%%\n on compiled Pascal; compare the "
@@ -127,8 +133,18 @@ void printStaticTable() {
 } // namespace
 
 int main(int argc, char **argv) {
+  bench::Harness H("boundcheck", argc, argv);
+  Harness = &H;
+  // Hand the arguments the shared parser did not consume on to
+  // google-benchmark (argv[0] plus the leftovers).
+  std::vector<char *> BenchArgv{argv[0]};
+  std::vector<std::string> Rest = H.args();
+  for (std::string &Arg : Rest)
+    BenchArgv.push_back(Arg.data());
+  int BenchArgc = static_cast<int>(BenchArgv.size());
   printStaticTable();
-  benchmark::Initialize(&argc, argv);
+  benchmark::Initialize(&BenchArgc, BenchArgv.data());
   benchmark::RunSpecifiedBenchmarks();
+  H.write();
   return 0;
 }

@@ -10,6 +10,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchSupport.h"
 #include "core/AbstractDebugger.h"
 #include "frontend/PaperPrograms.h"
 
@@ -42,9 +43,12 @@ struct Measurement {
   double ParallelSeconds = 0;
 };
 
-double timeOnce(const std::string &Source,
+double timeOnce(bench::Harness &H, const std::string &Label,
+                const std::string &Source,
                 const AbstractDebugger::Options &Opts, unsigned *Points) {
   double Best = 1e9;
+  const AnalysisStats *Stats = nullptr;
+  std::unique_ptr<AbstractDebugger> Last;
   for (int I = 0; I < 3; ++I) {
     // A fresh debugger per repetition so no state (e.g. an enabled
     // transfer cache) carries fills across analyze() calls.
@@ -61,30 +65,50 @@ double timeOnce(const std::string &Source,
                               .count());
     if (Points)
       *Points = static_cast<unsigned>(Dbg->stats().ControlPoints);
+    Last = std::move(Dbg);
+    Stats = &Last->stats();
   }
+  if (Stats)
+    H.recordPhases(Label, *Stats, Best);
   return Best;
 }
 
-Measurement measure(const std::string &Source) {
+Measurement measure(bench::Harness &H, const std::string &Label,
+                    const std::string &Source) {
   Measurement M;
-  M.Seconds = timeOnce(Source, {}, &M.Points);
-  AbstractDebugger::Options Par;
-  Par.Analysis.Strategy = IterationStrategy::Parallel;
-  Par.Analysis.NumThreads = 4;
-  M.ParallelSeconds = timeOnce(Source, Par, nullptr);
+  M.Seconds = timeOnce(H, Label, Source, H.options(), &M.Points);
+  AbstractDebugger::Options Par = H.options();
+  Par.Strategy = IterationStrategy::Parallel;
+  Par.NumThreads = 4;
+  M.ParallelSeconds =
+      timeOnce(H, Label + "/parallel4", Source, Par, nullptr);
   return M;
+}
+
+void reportRow(bench::Harness &H, const char *Family, unsigned K,
+               const Measurement &M) {
+  json::Value Row = json::Value::object();
+  Row.set("family", Family);
+  Row.set("k", K);
+  Row.set("points", M.Points);
+  Row.set("seconds", M.Seconds);
+  Row.set("parallel4_seconds", M.ParallelSeconds);
+  H.row(std::move(Row));
 }
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  bench::Harness H("complexity", argc, argv);
   std::printf("==== E5: analysis complexity (paper 6.3) ====\n\n");
 
   std::printf("-- Loop chains (expected: near-linear time in size) --\n");
   std::printf("%8s %10s %12s %16s %10s\n", "loops", "points", "time (s)",
               "us per point", "par(4)");
   for (unsigned K : {5u, 10u, 20u, 40u, 80u, 160u}) {
-    Measurement M = measure(loopChain(K));
+    Measurement M =
+        measure(H, "loopChain/" + std::to_string(K), loopChain(K));
+    reportRow(H, "loopChain", K, M);
     std::printf("%8u %10u %12.5f %16.2f %9.2fx\n", K, M.Points, M.Seconds,
                 1e6 * M.Seconds / M.Points, M.Seconds / M.ParallelSeconds);
   }
@@ -98,12 +122,15 @@ int main() {
   std::printf("%8s %10s %12s %16s %10s\n", "k", "points", "time (s)",
               "us per point", "par(4)");
   for (unsigned K : {3u, 6u, 9u, 12u, 18u, 24u, 30u}) {
-    Measurement M = measure(paper::mcCarthyK(K));
+    Measurement M =
+        measure(H, "mcCarthy/" + std::to_string(K), paper::mcCarthyK(K));
+    reportRow(H, "mcCarthy", K, M);
     std::printf("%8u %10u %12.5f %16.2f %9.2fx\n", K, M.Points, M.Seconds,
                 1e6 * M.Seconds / M.Points, M.Seconds / M.ParallelSeconds);
   }
   std::printf("(points grow ~quadratically with k: the unfolded call "
               "graph has k+1 instances\n of a body whose size is itself "
               "proportional to k)\n");
+  H.write();
   return 0;
 }

@@ -7,6 +7,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchSupport.h"
 #include "core/AbstractDebugger.h"
 #include "frontend/PaperPrograms.h"
 
@@ -25,16 +26,12 @@ struct Row {
   const char *ExpectedNeedle; ///< substring that must appear in a condition
 };
 
-bool runRow(const Row &R) {
-  DiagnosticsEngine Diags;
-  AbstractDebugger::Options Opts;
-  Opts.Analysis.TerminationGoal = R.TerminationGoal;
-  auto Dbg = AbstractDebugger::create(R.Source, Diags, Opts);
-  if (!Dbg) {
-    std::printf("%-14s FRONTEND ERROR\n%s", R.Program, Diags.str().c_str());
+bool runRow(bench::Harness &H, const Row &R) {
+  AnalysisOptions Opts = H.options();
+  Opts.TerminationGoal = R.TerminationGoal;
+  auto Dbg = H.analyze(R.Program, R.Source, Opts);
+  if (!Dbg)
     return false;
-  }
-  Dbg->analyze();
   std::string Found = "(no condition)";
   bool Match = false;
   for (const NecessaryCondition &C : Dbg->conditions()) {
@@ -48,12 +45,19 @@ bool runRow(const Row &R) {
     Found = Dbg->conditions().front().str();
   std::printf("%-14s paper: %-34s derived: %-48s %s\n", R.Program,
               R.PaperClaim, Found.c_str(), Match ? "MATCH" : "DIFFER");
+  json::Value Json = json::Value::object();
+  Json.set("program", R.Program);
+  Json.set("paper", R.PaperClaim);
+  Json.set("derived", Found);
+  Json.set("match", Match);
+  H.row(std::move(Json));
   return Match;
 }
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  bench::Harness H("findings", argc, argv);
   std::printf("==== E1: Figure 1 derived necessary conditions ====\n\n");
 
   std::string McIntermittent = paper::McCarthyProgram;
@@ -79,9 +83,10 @@ int main() {
 
   unsigned Matches = 0, Total = 0;
   for (const Row &R : Rows) {
-    Matches += runRow(R);
+    Matches += runRow(H, R);
     ++Total;
   }
   std::printf("\n%u/%u paper findings reproduced\n", Matches, Total);
+  H.write();
   return Matches == Total ? 0 : 1;
 }

@@ -15,6 +15,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchSupport.h"
 #include "core/AbstractDebugger.h"
 #include "frontend/PaperPrograms.h"
 
@@ -22,18 +23,14 @@
 
 using namespace syntox;
 
-static void session(const char *Title, const std::string &Source,
-                    bool TerminationGoal) {
+static void session(bench::Harness &H, const char *Title,
+                    const std::string &Source, bool TerminationGoal) {
   std::printf("---- %s ----\n", Title);
-  DiagnosticsEngine Diags;
-  AbstractDebugger::Options Opts;
-  Opts.Analysis.TerminationGoal = TerminationGoal;
-  auto Dbg = AbstractDebugger::create(Source, Diags, Opts);
-  if (!Dbg) {
-    std::printf("frontend error\n%s", Diags.str().c_str());
+  AnalysisOptions Opts = H.options();
+  Opts.TerminationGoal = TerminationGoal;
+  auto Dbg = H.analyze(Title, Source, Opts);
+  if (!Dbg)
     return;
-  }
-  Dbg->analyze();
   std::printf("%s", Dbg->stats().str().c_str());
   const AnalysisStats &S = Dbg->stats();
   double StepsPerEquation =
@@ -48,18 +45,27 @@ static void session(const char *Title, const std::string &Source,
   std::printf("*** Complexity: %.1f evaluations per equation "
               "(paper: ~4 per phase)\n\n",
               StepsPerEquation);
+  json::Value Row = json::Value::object();
+  Row.set("session", Title);
+  Row.set("equations", S.Equations);
+  Row.set("unions", S.Unions);
+  Row.set("widenings", S.Widenings);
+  Row.set("steps_per_equation", StepsPerEquation);
+  H.row(std::move(Row));
 }
 
-int main() {
+int main(int argc, char **argv) {
+  bench::Harness H("iterations", argc, argv);
   std::printf("==== E2: Figure 2 analysis statistics ====\n\n");
 
   std::string McIntermittent = paper::McCarthyProgram;
   McIntermittent.insert(McIntermittent.find("writeln(m)"),
                         "intermittent(m = 91);\n  ");
 
-  session("McCarthy (plain)", paper::McCarthyProgram, false);
-  session("McCarthy with invariant n <= 101", paper::McCarthyWithInvariant,
+  session(H, "McCarthy (plain)", paper::McCarthyProgram, false);
+  session(H, "McCarthy with invariant n <= 101", paper::McCarthyWithInvariant,
           false);
-  session("McCarthy with intermittent m = 91", McIntermittent, false);
+  session(H, "McCarthy with intermittent m = 91", McIntermittent, false);
+  H.write();
   return 0;
 }

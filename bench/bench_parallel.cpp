@@ -15,6 +15,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchSupport.h"
 #include "core/AbstractDebugger.h"
 
 #include <chrono>
@@ -85,16 +86,18 @@ struct Timing {
 /// Analyzes \p Source once with the given options. A fresh debugger per
 /// run: the transfer cache outlives Analyzer::run(), so reusing one
 /// instance would let later repetitions ride on earlier fills.
-Timing timeAnalysis(const std::string &Source, IterationStrategy S,
+Timing timeAnalysis(bench::Harness &H, const std::string &Label,
+                    const std::string &Source, IterationStrategy S,
                     unsigned Threads, bool Cache, int Reps = 3) {
   Timing T;
   T.Seconds = 1e9;
+  std::unique_ptr<AbstractDebugger> Last;
   for (int Rep = 0; Rep < Reps; ++Rep) {
     DiagnosticsEngine Diags;
-    AbstractDebugger::Options Opts;
-    Opts.Analysis.Strategy = S;
-    Opts.Analysis.NumThreads = Threads;
-    Opts.Analysis.UseTransferCache = Cache;
+    AbstractDebugger::Options Opts = H.options();
+    Opts.Strategy = S;
+    Opts.NumThreads = Threads;
+    Opts.UseTransferCache = Cache;
     auto Dbg = AbstractDebugger::create(Source, Diags, Opts);
     if (!Dbg) {
       std::printf("frontend error\n%s", Diags.str().c_str());
@@ -109,13 +112,17 @@ Timing timeAnalysis(const std::string &Source, IterationStrategy S,
     T.CacheHits = Dbg->stats().CacheHits;
     T.DagWidth = Dbg->stats().ParallelDagWidth;
     T.Points = static_cast<unsigned>(Dbg->stats().ControlPoints);
+    Last = std::move(Dbg);
   }
+  if (Last)
+    H.recordPhases(Label, Last->stats(), T.Seconds);
   return T;
 }
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  bench::Harness H("parallel", argc, argv);
   unsigned Cores = std::thread::hardware_concurrency();
   std::printf("==== Parallel fixpoint strategy ====\n\n");
   std::printf("hardware threads on this host: %u\n", Cores);
@@ -132,20 +139,29 @@ int main() {
               "8 thr");
   for (unsigned Leaves : {2u, 4u, 8u}) {
     std::string Source = parallelProgram(Leaves, /*Stmts=*/120);
-    Timing Serial =
-        timeAnalysis(Source, IterationStrategy::Recursive, 0, false);
+    std::string Tag = "leaves" + std::to_string(Leaves);
+    Timing Serial = timeAnalysis(H, Tag + "/serial", Source,
+                                 IterationStrategy::Recursive, 0, false);
     uint64_t Width = 0;
     std::printf("%8u %8u", Leaves, Serial.Points);
     std::string Row;
+    json::Value Json = json::Value::object();
+    Json.set("leaves", Leaves);
+    Json.set("points", Serial.Points);
+    Json.set("serial_seconds", Serial.Seconds);
     for (unsigned Threads : {1u, 2u, 4u, 8u}) {
       Timing Par =
-          timeAnalysis(Source, IterationStrategy::Parallel, Threads, false);
+          timeAnalysis(H, Tag + "/par" + std::to_string(Threads), Source,
+                       IterationStrategy::Parallel, Threads, false);
       Width = Par.DagWidth;
+      Json.set("par" + std::to_string(Threads) + "_seconds", Par.Seconds);
       char Buf[32];
       std::snprintf(Buf, sizeof(Buf), "   %6.2fx ",
                     Serial.Seconds / Par.Seconds);
       Row += Buf;
     }
+    Json.set("dag_width", Width);
+    H.row(std::move(Json));
     std::printf(" %6llu %12.4f |%s\n",
                 static_cast<unsigned long long>(Width), Serial.Seconds,
                 Row.c_str());
@@ -163,10 +179,10 @@ int main() {
                         "  read(c);\n" +
                         heavyBlob(0, 120) + ";\n" + heavyBlob(1, 120) +
                         "\nend.\n";
-    Timing Serial =
-        timeAnalysis(Chain, IterationStrategy::Recursive, 0, false);
-    Timing Par =
-        timeAnalysis(Chain, IterationStrategy::Parallel, 4, false);
+    Timing Serial = timeAnalysis(H, "chain/serial", Chain,
+                                 IterationStrategy::Recursive, 0, false);
+    Timing Par = timeAnalysis(H, "chain/par4", Chain,
+                              IterationStrategy::Parallel, 4, false);
     std::printf("  serial %.4f s, parallel(4) %.4f s -> %.2fx (DAG width "
                 "%llu: no independent\n  components, so ~1x is expected "
                 "on any host)\n\n",
@@ -178,16 +194,19 @@ int main() {
               "strategy) --\n");
   {
     std::string Source = parallelProgram(8, /*Stmts=*/120);
-    Timing Off =
-        timeAnalysis(Source, IterationStrategy::Recursive, 0, false);
-    Timing On = timeAnalysis(Source, IterationStrategy::Recursive, 0, true);
+    Timing Off = timeAnalysis(H, "cache/off", Source,
+                              IterationStrategy::Recursive, 0, false);
+    Timing On = timeAnalysis(H, "cache/on", Source,
+                             IterationStrategy::Recursive, 0, true);
     std::printf("  cache off %.4f s, cache on %.4f s (%.2fx, %llu hits)\n",
                 Off.Seconds, On.Seconds, Off.Seconds / On.Seconds,
                 static_cast<unsigned long long>(On.CacheHits));
-    Timing Both = timeAnalysis(Source, IterationStrategy::Parallel, 4, true);
+    Timing Both = timeAnalysis(H, "cache/par4", Source,
+                               IterationStrategy::Parallel, 4, true);
     std::printf("  parallel(4) + cache: %.4f s (%.2fx over serial "
                 "uncached)\n",
                 Both.Seconds, Off.Seconds / Both.Seconds);
   }
+  H.write();
   return 0;
 }

@@ -19,6 +19,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchSupport.h"
 #include "core/AbstractDebugger.h"
 #include "frontend/PaperPrograms.h"
 
@@ -36,9 +37,10 @@ struct PaperRow {
   double Seconds;
 };
 
-void row(const char *Name, const std::string &Source, PaperRow Paper) {
+void row(bench::Harness &H, const char *Name, const std::string &Source,
+         PaperRow Paper) {
   DiagnosticsEngine Diags;
-  auto Dbg = AbstractDebugger::create(Source, Diags);
+  auto Dbg = AbstractDebugger::create(Source, Diags, H.options());
   if (!Dbg) {
     std::printf("%-12s frontend error\n", Name);
     return;
@@ -54,26 +56,38 @@ void row(const char *Name, const std::string &Source, PaperRow Paper) {
     Best = std::min(Best, T);
   }
   const AnalysisStats &S = Dbg->stats();
+  H.recordPhases(Name, S, Best);
   std::printf("%-12s %8llu %9llu kb %9.4f s   | paper: %5u %6u kb %7.1f s\n",
               Name, (unsigned long long)S.ControlPoints,
               (unsigned long long)(S.BytesUsed / 1024), Best, Paper.Size,
               Paper.MemoryKb, Paper.Seconds);
+  json::Value Row = json::Value::object();
+  Row.set("program", Name);
+  Row.set("size", S.ControlPoints);
+  Row.set("memory_kb", S.BytesUsed / 1024);
+  Row.set("seconds", Best);
+  Row.set("paper_size", Paper.Size);
+  Row.set("paper_memory_kb", Paper.MemoryKb);
+  Row.set("paper_seconds", Paper.Seconds);
+  H.row(std::move(Row));
 }
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  bench::Harness H("statistics", argc, argv);
   std::printf("==== E4: Figure 4 statistics "
               "(size = control points after unfolding) ====\n\n");
   std::printf("%-12s %8s %12s %11s\n", "Program", "Size", "Memory", "Time");
-  row("Fact", paper::FactProgram, {24, 44, 0.5});
-  row("Select", paper::SelectProgram, {61, 64, 0.9});
-  row("Ackermann", paper::AckermannProgram, {72, 99, 1.9});
-  row("QuickSort", paper::QuickSortProgram, {92, 98, 2.1});
-  row("HeapSort", paper::HeapSortProgram, {96, 108, 2.4});
-  row("McCarthy9", paper::mcCarthyK(9), {176, 230, 5.4});
-  row("McCarthy30", paper::mcCarthyK(30), {1184, 3387, 153.3});
+  row(H, "Fact", paper::FactProgram, {24, 44, 0.5});
+  row(H, "Select", paper::SelectProgram, {61, 64, 0.9});
+  row(H, "Ackermann", paper::AckermannProgram, {72, 99, 1.9});
+  row(H, "QuickSort", paper::QuickSortProgram, {92, 98, 2.1});
+  row(H, "HeapSort", paper::HeapSortProgram, {96, 108, 2.4});
+  row(H, "McCarthy9", paper::mcCarthyK(9), {176, 230, 5.4});
+  row(H, "McCarthy30", paper::mcCarthyK(30), {1184, 3387, 153.3});
   std::printf("\nShape: same ordering as the paper; McCarthy30 is the "
               "super-linear outlier.\n");
+  H.write();
   return 0;
 }

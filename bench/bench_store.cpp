@@ -7,10 +7,11 @@
 //   - join/widen/equal are O(1) on converged inputs via the payload
 //     pointer-equality fast path, entry-wise only when values differ.
 // Results are printed as a table and written to BENCH_store.json (path
-// overridable via argv[1]) so successive PRs can track the trajectory.
+// overridable via --out=FILE) so successive PRs can track the trajectory.
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchSupport.h"
 #include "semantics/AbstractStore.h"
 
 #include <chrono>
@@ -105,43 +106,31 @@ Row measure(unsigned Size) {
 } // namespace
 
 int main(int argc, char **argv) {
+  bench::Harness H("store", argc, argv);
   std::printf("==== E-store: COW store operation throughput ====\n\n");
   std::printf("%6s %14s %14s %14s %14s %14s %14s\n", "size", "copy",
               "join(same)", "join(diff)", "widen(stable)", "equal(ptr)",
               "equal(deep)");
 
-  std::vector<Row> Rows;
+  H.setField("unit", "ops_per_sec");
   for (unsigned Size : {4u, 32u, 256u}) {
     Row R = measure(Size);
-    Rows.push_back(R);
     std::printf("%6u %12.2fM %12.2fM %12.2fM %12.2fM %12.2fM %12.2fM\n",
                 R.Size, R.Copy / 1e6, R.JoinSame / 1e6, R.JoinDiff / 1e6,
                 R.Widen / 1e6, R.EqualPtr / 1e6, R.EqualDeep / 1e6);
+    json::Value Json = json::Value::object();
+    Json.set("size", R.Size);
+    Json.set("copy", R.Copy);
+    Json.set("join_same", R.JoinSame);
+    Json.set("join_diff", R.JoinDiff);
+    Json.set("widen_stable", R.Widen);
+    Json.set("equal_ptr", R.EqualPtr);
+    Json.set("equal_deep", R.EqualDeep);
+    H.row(std::move(Json));
   }
   std::printf("(ops/sec, millions. copy and the same-payload columns should "
               "stay flat across sizes\n — O(1) fast paths — while join(diff) "
               "and equal(deep) scale with the entry count)\n");
 
-  const char *Path = argc > 1 ? argv[1] : "BENCH_store.json";
-  if (FILE *F = std::fopen(Path, "w")) {
-    std::fprintf(F, "{\n  \"benchmark\": \"bench_store\",\n  \"unit\": "
-                    "\"ops_per_sec\",\n  \"rows\": [\n");
-    for (size_t I = 0; I < Rows.size(); ++I) {
-      const Row &R = Rows[I];
-      std::fprintf(F,
-                   "    {\"size\": %u, \"copy\": %.0f, \"join_same\": %.0f, "
-                   "\"join_diff\": %.0f, \"widen_stable\": %.0f, "
-                   "\"equal_ptr\": %.0f, \"equal_deep\": %.0f}%s\n",
-                   R.Size, R.Copy, R.JoinSame, R.JoinDiff, R.Widen,
-                   R.EqualPtr, R.EqualDeep,
-                   I + 1 < Rows.size() ? "," : "");
-    }
-    std::fprintf(F, "  ]\n}\n");
-    std::fclose(F);
-    std::printf("\nwrote %s\n", Path);
-  } else {
-    std::printf("\ncould not write %s\n", Path);
-    return 1;
-  }
-  return 0;
+  return H.write() ? 0 : 1;
 }

@@ -75,8 +75,14 @@ int main() {
   }
   Dbg->analyze();
 
-  std::printf("--- Abstract state at the handler ---\n%s\n",
-              Dbg->stateReport("label 99").c_str());
+  std::printf("--- Abstract state at the handler ---\n");
+  for (const PointState &S : Dbg->mainStates("label 99")) {
+    std::printf("%s %s:", S.Loc.str().c_str(), S.PointDesc.c_str());
+    for (const StateBinding &B : S.Bindings)
+      std::printf(" %s=%s", B.Var.c_str(), B.Value.c_str());
+    std::printf("\n");
+  }
+  std::printf("\n");
   std::printf("The analysis proves errorcode in [0, 99] at the handler:\n"
               "0 on normal exit through the loop, [1, 99] when any\n"
               "activation of fail() raised — the jump unwinds parseitem\n"

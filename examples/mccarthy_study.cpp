@@ -13,7 +13,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "core/AbstractDebugger.h"
+#include "core/AnalysisSession.h"
 #include "frontend/PaperPrograms.h"
 #include "interp/Interpreter.h"
 
@@ -22,21 +22,20 @@
 #include "frontend/Sema.h"
 
 #include <cstdio>
+#include <optional>
 
 using namespace syntox;
 
-static std::unique_ptr<AbstractDebugger>
+static std::optional<AnalysisResult>
 analyze(const std::string &Source, bool TerminationGoal = false) {
   DiagnosticsEngine Diags;
-  AbstractDebugger::Options Opts;
-  Opts.Analysis.TerminationGoal = TerminationGoal;
-  auto Dbg = AbstractDebugger::create(Source, Diags, Opts);
-  if (!Dbg) {
+  auto Session = AnalysisSession::create(
+      Source, Diags, AnalysisOptions().terminationGoal(TerminationGoal));
+  if (!Session) {
     std::fprintf(stderr, "%s", Diags.str().c_str());
-    return nullptr;
+    return std::nullopt;
   }
-  Dbg->analyze();
-  return Dbg;
+  return Session->run();
 }
 
 int main() {
@@ -44,8 +43,14 @@ int main() {
 
   // --- 1. The invariant proves the result ------------------------------
   std::printf("[1] mc with invariant(n <= 101) at the entry:\n");
-  if (auto Dbg = analyze(paper::McCarthyWithInvariant)) {
-    std::printf("%s", Dbg->stateReport("exit of mccarthy").c_str());
+  if (auto Result = analyze(paper::McCarthyWithInvariant)) {
+    for (const PointState &S :
+         Result->debugger().mainStates("exit of mccarthy")) {
+      std::printf("%s %s:", S.Loc.str().c_str(), S.PointDesc.c_str());
+      for (const StateBinding &B : S.Bindings)
+        std::printf(" %s=%s", B.Var.c_str(), B.Value.c_str());
+      std::printf("\n");
+    }
     std::printf("    => the analysis proves m = 91 whenever mc returns\n\n");
   }
 
@@ -54,8 +59,8 @@ int main() {
   std::string WithIntermittent = paper::McCarthyProgram;
   size_t Pos = WithIntermittent.find("writeln(m)");
   WithIntermittent.insert(Pos, "intermittent(m = 91);\n  ");
-  if (auto Dbg = analyze(WithIntermittent)) {
-    for (const NecessaryCondition &C : Dbg->conditions())
+  if (auto Result = analyze(WithIntermittent)) {
+    for (const NecessaryCondition &C : Result->conditions())
       std::printf("    %s\n", C.str().c_str());
     std::printf("    => reaching the output with m = 91 requires"
                 " n <= 101 at the read\n\n");
@@ -63,8 +68,8 @@ int main() {
 
   // --- 3. The buggy generalization -------------------------------------
   std::printf("[3] buggy generalization (n + 71 instead of n + 81):\n");
-  if (auto Dbg = analyze(paper::McCarthyBuggy, /*TerminationGoal=*/true)) {
-    for (const NecessaryCondition &C : Dbg->conditions())
+  if (auto Result = analyze(paper::McCarthyBuggy, /*TerminationGoal=*/true)) {
+    for (const NecessaryCondition &C : Result->conditions())
       std::printf("    %s\n", C.str().c_str());
   }
 

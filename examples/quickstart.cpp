@@ -5,11 +5,14 @@
 // debugger derives the necessary condition n < 0 right after read(n) —
 // the *origin* of the bug, not its occurrence.
 //
+// Uses the AnalysisSession/AnalysisResult API: the session holds the
+// validated program and configuration, run() returns immutable findings.
+//
 // Build & run:  ./build/examples/quickstart
 //
 //===----------------------------------------------------------------------===//
 
-#include "core/AbstractDebugger.h"
+#include "core/AnalysisSession.h"
 
 #include <cstdio>
 
@@ -30,28 +33,39 @@ int main() {
   std::printf("=== Syntox++ quickstart ===\n\nAnalyzing:\n%s\n", Program);
 
   DiagnosticsEngine Diags;
-  auto Dbg = AbstractDebugger::create(Program, Diags);
-  if (!Dbg) {
+  auto Session = AnalysisSession::create(Program, Diags);
+  if (!Session) {
     std::fprintf(stderr, "frontend errors:\n%s", Diags.str().c_str());
     return 1;
   }
-  Dbg->analyze();
+  AnalysisResult Result = Session->run();
 
   std::printf("--- Necessary conditions of correctness ---\n");
-  for (const NecessaryCondition &C : Dbg->conditions())
+  for (const NecessaryCondition &C : Result.conditions())
     std::printf("  %s\n", C.str().c_str());
-  if (Dbg->conditions().empty())
+  if (Result.conditions().empty())
     std::printf("  (none: the program is correct for every input)\n");
 
   std::printf("\n--- Runtime checks ---\n");
-  for (const CheckResult &R : Dbg->checks().results())
-    std::printf("  %s\n",
-                R.str(Dbg->analyzer().storeOps().domain()).c_str());
+  const IntervalDomain &D = Result.analyzer().storeOps().domain();
+  for (const CheckResult &R : Result.checks().results())
+    std::printf("  %s\n", R.str(D).c_str());
 
-  std::printf("\n--- Abstract states at selected points ---\n%s",
-              Dbg->stateReport("read").c_str());
+  // The structured statement inspector: the state after `read(n)` on
+  // line 6 shows the derived bound on n.
+  std::printf("\n--- Abstract state at line 6 (after read(n)) ---\n");
+  for (const PointState &S : Result.stateAt(SourceLoc(6, 0))) {
+    std::printf("  %s %s:", S.Loc.str().c_str(), S.PointDesc.c_str());
+    for (const StateBinding &B : S.Bindings)
+      std::printf(" %s=%s", B.Var.c_str(), B.Value.c_str());
+    std::printf("\n");
+  }
 
   std::printf("\n--- Analysis statistics (Figure 2 style) ---\n%s",
-              Dbg->stats().str().c_str());
+              Result.stats().str().c_str());
+
+  // Findings are also available as one stable JSON document:
+  //   Result.toJson().pretty()
+  // and solver metrics as Session->metrics().snapshot().
   return 0;
 }

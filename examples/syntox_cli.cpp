@@ -3,29 +3,25 @@
 // A CLI replica of the Syntox session of Figure 2: give it a Pascal file
 // (or pipe source to stdin) and it prints the derived necessary
 // conditions, invariant warnings, check classification, abstract states
-// and the analysis statistics.
+// and the analysis statistics — or, with --format=json, one stable
+// machine-readable findings document (schemas/findings.schema.json).
 //
 // Usage:
 //   syntox_cli [options] [file.pas]
-//     --terminate     add the goal "the program must terminate"
-//     --rounds=N      backward/forward refinement rounds (default 1)
-//     --states        print the abstract state at every program point
-//     --no-backward   forward analysis only
-//     --strategy=S    chaotic iteration strategy: recursive (default),
-//                     worklist, or parallel
-//     --threads=N     worker threads for --strategy=parallel
-//                     (0 = all hardware threads)
-//     --cache         enable the memoizing transfer-function cache
-//                     (off by default: it only pays for expensive
-//                     transfer functions)
-//     --no-cache      disable the transfer-function cache
+//     --format=text|json   output encoding (default text)
+//     --states             include the abstract state at every point
+//     --state-at=LINE[:COL] the abstract state at one source location
+//   plus every shared analysis/telemetry flag (see --help): --terminate,
+//   --rounds=N, --strategy=S, --threads=N, --cache/--no-cache,
+//   --trace=FILE, --trace-format=json|chrome, --metrics-json=FILE, ...
 //
 //===----------------------------------------------------------------------===//
 
-#include "core/AbstractDebugger.h"
+#include "core/AnalysisFlags.h"
+#include "core/AnalysisSession.h"
 
 #include <cstdio>
-#include <cstring>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -34,52 +30,82 @@ using namespace syntox;
 
 static void usage() {
   std::fprintf(stderr,
-               "usage: syntox_cli [--terminate] [--rounds=N] [--states] "
-               "[--no-backward] [--strategy=recursive|worklist|parallel] "
-               "[--threads=N] [--cache] [--no-cache] [file.pas]\n");
+               "usage: syntox_cli [options] [file.pas]\n"
+               "  --format=text|json   output encoding (default text)\n"
+               "  --states             print the abstract state at every "
+               "program point\n"
+               "  --state-at=LINE[:COL]\n"
+               "                       print the abstract state at one "
+               "source location\n"
+               "%s",
+               analysisFlagsHelp());
+}
+
+static void printStates(const std::vector<PointState> &States) {
+  for (const PointState &S : States) {
+    std::printf("  %s %s:", S.Loc.str().c_str(), S.PointDesc.c_str());
+    if (!S.InEnvelope) {
+      std::printf(" %s\n", S.Reachable ? "(excluded by specification)"
+                                       : "(unreachable)");
+      continue;
+    }
+    if (S.Bindings.empty())
+      std::printf(" top");
+    for (const StateBinding &B : S.Bindings)
+      std::printf(" %s=%s", B.Var.c_str(), B.Value.c_str());
+    std::printf("\n");
+  }
 }
 
 int main(int Argc, char **Argv) {
-  AbstractDebugger::Options Opts;
-  bool PrintStates = false;
-  std::string Path;
+  AnalysisOptions Opts;
+  TelemetryFlags Telem;
+  std::vector<std::string> Args(Argv + 1, Argv + Argc);
+  std::string Error;
+  if (!parseAnalysisFlags(Args, Opts, Telem, Error)) {
+    std::fprintf(stderr, "syntox_cli: %s\n", Error.c_str());
+    usage();
+    return 2;
+  }
 
-  for (int I = 1; I < Argc; ++I) {
-    std::string Arg = Argv[I];
-    if (Arg == "--terminate") {
-      Opts.Analysis.TerminationGoal = true;
-    } else if (Arg.rfind("--rounds=", 0) == 0) {
-      Opts.Analysis.BackwardRounds =
-          static_cast<unsigned>(std::atoi(Arg.c_str() + 9));
-    } else if (Arg == "--states") {
-      PrintStates = true;
-    } else if (Arg == "--no-backward") {
-      Opts.Analysis.UseBackward = false;
-    } else if (Arg.rfind("--strategy=", 0) == 0) {
-      std::string Name = Arg.substr(11);
-      if (Name == "recursive") {
-        Opts.Analysis.Strategy = IterationStrategy::Recursive;
-      } else if (Name == "worklist") {
-        Opts.Analysis.Strategy = IterationStrategy::Worklist;
-      } else if (Name == "parallel") {
-        Opts.Analysis.Strategy = IterationStrategy::Parallel;
+  bool JsonOutput = false;
+  bool PrintAllStates = false;
+  SourceLoc StateLoc;
+  std::string Path;
+  for (const std::string &Arg : Args) {
+    if (Arg == "--states") {
+      PrintAllStates = true;
+    } else if (Arg.rfind("--format=", 0) == 0) {
+      std::string Name = Arg.substr(9);
+      if (Name == "json") {
+        JsonOutput = true;
+      } else if (Name == "text") {
+        JsonOutput = false;
       } else {
-        std::fprintf(stderr, "syntox_cli: unknown strategy '%s'\n",
+        std::fprintf(stderr, "syntox_cli: unknown format '%s'\n",
                      Name.c_str());
         usage();
         return 2;
       }
-    } else if (Arg.rfind("--threads=", 0) == 0) {
-      Opts.Analysis.NumThreads =
-          static_cast<unsigned>(std::atoi(Arg.c_str() + 10));
-    } else if (Arg == "--cache") {
-      Opts.Analysis.UseTransferCache = true;
-    } else if (Arg == "--no-cache") {
-      Opts.Analysis.UseTransferCache = false;
+    } else if (Arg.rfind("--state-at=", 0) == 0) {
+      std::string Spec = Arg.substr(11);
+      size_t Colon = Spec.find(':');
+      StateLoc.Line =
+          static_cast<uint32_t>(std::atoi(Spec.substr(0, Colon).c_str()));
+      if (Colon != std::string::npos)
+        StateLoc.Column =
+            static_cast<uint32_t>(std::atoi(Spec.c_str() + Colon + 1));
+      if (StateLoc.Line == 0) {
+        std::fprintf(stderr, "syntox_cli: invalid --state-at '%s'\n",
+                     Spec.c_str());
+        return 2;
+      }
     } else if (Arg == "--help" || Arg == "-h") {
       usage();
       return 0;
     } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "syntox_cli: unknown option '%s'\n",
+                   Arg.c_str());
       usage();
       return 2;
     } else {
@@ -104,40 +130,65 @@ int main(int Argc, char **Argv) {
   }
 
   DiagnosticsEngine Diags;
-  auto Dbg = AbstractDebugger::create(Source, Diags, Opts);
+  auto Session = AnalysisSession::create(Source, Diags, Opts);
   for (const Diagnostic &D : Diags.diagnostics())
     std::fprintf(stderr, "%s\n", D.str().c_str());
-  if (!Dbg)
+  if (!Session)
     return 1;
 
-  Dbg->analyze();
+  configureSessionTelemetry(*Session, Telem);
+  AnalysisResult Result = Session->run();
 
-  std::printf("*** Checking syntax... ok\n");
-  if (!Dbg->someExecutionMaySatisfySpec())
-    std::printf("*** NO execution satisfies the specification: the "
-                "program certainly loops or fails\n");
+  if (JsonOutput) {
+    json::Value Doc = Result.toJson();
+    if (PrintAllStates || StateLoc.isValid()) {
+      json::Value States = json::Value::array();
+      for (const PointState &S : PrintAllStates
+                                     ? Result.mainStates()
+                                     : Result.stateAt(StateLoc))
+        States.push(S.toJson());
+      Doc.set("states", std::move(States));
+    }
+    std::printf("%s\n", Doc.pretty().c_str());
+  } else {
+    std::printf("*** Checking syntax... ok\n");
+    if (!Result.someExecutionMaySatisfySpec())
+      std::printf("*** NO execution satisfies the specification: the "
+                  "program certainly loops or fails\n");
 
-  std::printf("*** Correctness conditions\n");
-  for (const NecessaryCondition &C : Dbg->conditions())
-    std::printf("  %s\n", C.str().c_str());
-  if (Dbg->conditions().empty())
-    std::printf("  (none)\n");
+    std::printf("*** Correctness conditions\n");
+    for (const NecessaryCondition &C : Result.conditions())
+      std::printf("  %s\n", C.str().c_str());
+    if (Result.conditions().empty())
+      std::printf("  (none)\n");
 
-  std::printf("*** Invariant assertions\n");
-  for (const InvariantWarning &W : Dbg->invariantWarnings())
-    std::printf("  %s: warning: %s\n", W.Loc.str().c_str(),
-                W.Message.c_str());
-  if (Dbg->invariantWarnings().empty())
-    std::printf("  (all discharged)\n");
+    std::printf("*** Invariant assertions\n");
+    for (const InvariantWarning &W : Result.invariantWarnings())
+      std::printf("  %s: warning: %s\n", W.Loc.str().c_str(),
+                  W.Message.c_str());
+    if (Result.invariantWarnings().empty())
+      std::printf("  (all discharged)\n");
 
-  std::printf("*** Runtime checks\n");
-  for (const CheckResult &R : Dbg->checks().results())
-    std::printf("  %s\n",
-                R.str(Dbg->analyzer().storeOps().domain()).c_str());
+    std::printf("*** Runtime checks\n");
+    const IntervalDomain &D = Result.analyzer().storeOps().domain();
+    for (const CheckResult &R : Result.checks().results())
+      std::printf("  %s\n", R.str(D).c_str());
 
-  if (PrintStates)
-    std::printf("*** Abstract states\n%s", Dbg->stateReport().c_str());
+    if (PrintAllStates) {
+      std::printf("*** Abstract states\n");
+      printStates(Result.mainStates());
+    }
+    if (StateLoc.isValid()) {
+      std::printf("*** Abstract state at %s\n", StateLoc.str().c_str());
+      printStates(Result.stateAt(StateLoc));
+    }
 
-  std::printf("%s", Dbg->stats().str().c_str());
+    std::printf("%s", Result.stats().str().c_str());
+  }
+
+  if (!writeTelemetryOutputs(*Session, Telem, Error)) {
+    std::fprintf(stderr, "syntox_cli: %s\n", Error.c_str());
+    return 1;
+  }
   return 0;
 }

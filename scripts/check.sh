@@ -1,0 +1,146 @@
+#!/usr/bin/env bash
+# Full pre-merge check: warnings-as-errors build + tests (ci preset),
+# race-checked build + tests (tsan preset), then an end-to-end telemetry
+# smoke test that validates the CLI's trace/metrics/findings output
+# against the documented schemas in schemas/.
+#
+# Usage: scripts/check.sh [--no-tsan]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+NO_TSAN=0
+for arg in "$@"; do
+  case "$arg" in
+    --no-tsan) NO_TSAN=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+run_preset() {
+  local preset=$1
+  echo "== preset: $preset =="
+  cmake --preset "$preset"
+  cmake --build --preset "$preset" -j "$(nproc)"
+  ctest --preset "$preset"
+}
+
+run_preset ci
+if [ "$NO_TSAN" -eq 0 ]; then
+  run_preset tsan
+fi
+
+echo "== telemetry smoke test =="
+CLI=build-ci/examples/syntox_cli
+OUT=$(mktemp -d)
+trap 'rm -rf "$OUT"' EXIT
+
+cat > "$OUT/for.pas" <<'EOF'
+program forprog;
+var i, n : integer;
+    T : array [1..100] of integer;
+begin
+  read(n);
+  for i := 0 to n do
+    read(T[i])
+end.
+EOF
+
+"$CLI" --format=json --metrics-json="$OUT/metrics.json" \
+       --trace="$OUT/trace.jsonl" --trace-format=json \
+       "$OUT/for.pas" > "$OUT/findings.json"
+"$CLI" --strategy=parallel --threads=4 \
+       --trace="$OUT/trace-chrome.json" --trace-format=chrome \
+       "$OUT/for.pas" > /dev/null
+
+python3 - "$OUT" <<'EOF'
+import json, sys
+out = sys.argv[1]
+
+def load_schema(path):
+    with open(path) as f:
+        return json.load(f)
+
+def check(cond, what):
+    if not cond:
+        raise SystemExit(f"schema violation: {what}")
+
+def validate(obj, schema, where):
+    for key in schema.get("required", []):
+        check(key in obj, f"{where}: missing required key '{key}'")
+    props = schema.get("properties", {})
+    if schema.get("additionalProperties") is False:
+        for key in obj:
+            check(key in props, f"{where}: unexpected key '{key}'")
+    for key, sub in props.items():
+        if key not in obj:
+            continue
+        v, w = obj[key], f"{where}.{key}"
+        if "enum" in sub:
+            check(v in sub["enum"], f"{w}: '{v}' not in enum")
+        t = sub.get("type")
+        if t == "integer":
+            check(isinstance(v, int) and not isinstance(v, bool), f"{w}: not an integer")
+        elif t == "number":
+            check(isinstance(v, (int, float)) and not isinstance(v, bool), f"{w}: not a number")
+        elif t == "string":
+            check(isinstance(v, str), f"{w}: not a string")
+        elif t == "boolean":
+            check(isinstance(v, bool), f"{w}: not a boolean")
+        elif t == "array":
+            check(isinstance(v, list), f"{w}: not an array")
+            for i, e in enumerate(v):
+                validate(e, sub.get("items", {}), f"{w}[{i}]")
+        elif t == "object":
+            check(isinstance(v, dict), f"{w}: not an object")
+            validate(v, sub, w)
+        if "minimum" in sub and isinstance(v, (int, float)):
+            check(v >= sub["minimum"], f"{w}: {v} < minimum {sub['minimum']}")
+
+# JSON-lines trace: every line validates against the event schema and
+# timestamps are globally ordered.
+trace_schema = load_schema("schemas/trace-jsonl.schema.json")
+last_t = 0
+n = 0
+with open(f"{out}/trace.jsonl") as f:
+    for n, line in enumerate(f, 1):
+        ev = json.loads(line)
+        validate(ev, trace_schema, f"trace.jsonl:{n}")
+        check(ev["t"] >= last_t, f"trace.jsonl:{n}: timestamps out of order")
+        last_t = ev["t"]
+check(n > 0, "trace.jsonl: empty trace")
+
+# Chrome trace: the document shape chrome://tracing expects, with
+# balanced B/E spans per thread.
+with open(f"{out}/trace-chrome.json") as f:
+    doc = json.load(f)
+check(isinstance(doc.get("traceEvents"), list) and doc["traceEvents"],
+      "trace-chrome.json: no traceEvents")
+depth = {}
+for e in doc["traceEvents"]:
+    for key in ("ph", "name", "ts", "pid", "tid"):
+        check(key in e, f"trace-chrome.json: event missing '{key}'")
+    if e["ph"] == "B":
+        depth[e["tid"]] = depth.get(e["tid"], 0) + 1
+    elif e["ph"] == "E":
+        depth[e["tid"]] = depth.get(e["tid"], 0) - 1
+        check(depth[e["tid"]] >= 0, "trace-chrome.json: E before B")
+check(all(d == 0 for d in depth.values()), "trace-chrome.json: unbalanced spans")
+
+# Findings document (includes the metrics snapshot) and the standalone
+# metrics file.
+findings_schema = load_schema("schemas/findings.schema.json")
+with open(f"{out}/findings.json") as f:
+    findings = json.load(f)
+validate(findings, findings_schema, "findings.json")
+check(findings["conditions"], "findings.json: For program must yield a condition")
+with open(f"{out}/metrics.json") as f:
+    metrics = json.load(f)
+validate(metrics, findings_schema["properties"]["metrics"], "metrics.json")
+check(metrics["counters"].get("solver.ascending_steps", 0) > 0,
+      "metrics.json: no solver work recorded")
+
+print(f"telemetry smoke test OK ({n} trace events)")
+EOF
+
+echo "ALL CHECKS PASSED"

@@ -45,6 +45,10 @@ enum class CheckKind {
 
 const char *checkKindName(CheckKind Kind);
 
+/// Stable machine-readable kind key for JSON output ("array_bound",
+/// "subrange_bound", "div_by_zero", "case_match").
+const char *checkKindKey(CheckKind Kind);
+
 /// A runtime check site. Forward semantics: meet the checked expression
 /// with the required set; an empty result means the check *must* fail.
 /// The checks library classifies each site as statically-safe or not.

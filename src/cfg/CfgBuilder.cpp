@@ -20,6 +20,20 @@ const char *syntox::checkKindName(CheckKind Kind) {
   return "check";
 }
 
+const char *syntox::checkKindKey(CheckKind Kind) {
+  switch (Kind) {
+  case CheckKind::ArrayBound:
+    return "array_bound";
+  case CheckKind::SubrangeBound:
+    return "subrange_bound";
+  case CheckKind::DivByZero:
+    return "div_by_zero";
+  case CheckKind::CaseMatch:
+    return "case_match";
+  }
+  return "check";
+}
+
 //===----------------------------------------------------------------------===//
 // Expression helpers
 //===----------------------------------------------------------------------===//

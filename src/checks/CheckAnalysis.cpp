@@ -18,6 +18,20 @@ const char *syntox::checkVerdictName(CheckVerdict Verdict) {
   return "?";
 }
 
+const char *syntox::checkVerdictKey(CheckVerdict Verdict) {
+  switch (Verdict) {
+  case CheckVerdict::Safe:
+    return "safe";
+  case CheckVerdict::Unreachable:
+    return "unreachable";
+  case CheckVerdict::MustFail:
+    return "must_fail";
+  case CheckVerdict::MayFail:
+    return "may_fail";
+  }
+  return "?";
+}
+
 std::string CheckResult::str(const IntervalDomain &D) const {
   std::string Out = Info->Loc.str();
   Out += ": ";
@@ -146,4 +160,44 @@ bool CheckAnalysis::allSafe() const {
       return false;
   }
   return true;
+}
+
+json::Value CheckResult::toJson(const IntervalDomain &D) const {
+  json::Value V = json::Value::object();
+  V.set("id", Info->Id);
+  V.set("kind", checkKindKey(Info->Kind));
+  V.set("subject", Info->Subject);
+  V.set("line", Info->Loc.Line);
+  V.set("column", Info->Loc.Column);
+  V.set("verdict", checkVerdictKey(Verdict));
+  if (Verdict != CheckVerdict::Unreachable)
+    V.set("observed", D.str(Observed));
+  if (Info->Kind != CheckKind::DivByZero) {
+    V.set("required_lo", Info->Lo);
+    V.set("required_hi", Info->Hi);
+  }
+  V.set("input_validation", Info->InputValidation);
+  return V;
+}
+
+json::Value CheckSummary::toJson() const {
+  json::Value V = json::Value::object();
+  V.set("total", Total);
+  V.set("safe", Safe);
+  V.set("unreachable", Unreachable);
+  V.set("must_fail", MustFail);
+  V.set("may_fail", MayFail);
+  V.set("elimination_ratio", eliminationRatio());
+  return V;
+}
+
+json::Value CheckAnalysis::toJson() const {
+  json::Value V = json::Value::object();
+  V.set("summary", summary().toJson());
+  json::Value Rs = json::Value::array();
+  const IntervalDomain &D = An.storeOps().domain();
+  for (const CheckResult &R : Results)
+    Rs.push(R.toJson(D));
+  V.set("results", std::move(Rs));
+  return V;
 }

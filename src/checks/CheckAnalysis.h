@@ -19,6 +19,7 @@
 #define SYNTOX_CHECKS_CHECKANALYSIS_H
 
 #include "semantics/Analyzer.h"
+#include "support/Json.h"
 
 #include <string>
 #include <vector>
@@ -35,6 +36,10 @@ enum class CheckVerdict {
 
 const char *checkVerdictName(CheckVerdict Verdict);
 
+/// Stable machine-readable verdict key for JSON output ("safe",
+/// "unreachable", "must_fail", "may_fail").
+const char *checkVerdictKey(CheckVerdict Verdict);
+
 /// Classification of one check site, aggregated over every activation
 /// instance containing it.
 struct CheckResult {
@@ -44,6 +49,8 @@ struct CheckResult {
   Interval Observed;
 
   std::string str(const IntervalDomain &D) const;
+  /// Stable JSON rendering (schemas/findings.schema.json).
+  json::Value toJson(const IntervalDomain &D) const;
 };
 
 /// Summary counters for a program.
@@ -59,6 +66,9 @@ struct CheckSummary {
     return Total == 0 ? 1.0
                       : static_cast<double>(Safe + Unreachable) / Total;
   }
+
+  /// Stable JSON rendering (schemas/findings.schema.json).
+  json::Value toJson() const;
 };
 
 /// Runs the classification against a finished Analyzer.
@@ -72,6 +82,10 @@ public:
   /// True when every check in the program is statically discharged
   /// (paper §6.5: "every array access statically correct").
   bool allSafe() const;
+
+  /// {"summary": ..., "results": [...]} — see
+  /// schemas/findings.schema.json.
+  json::Value toJson() const;
 
 private:
   const Analyzer &An;

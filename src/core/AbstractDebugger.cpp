@@ -7,7 +7,9 @@
 #include "frontend/Parser.h"
 #include "frontend/Sema.h"
 
+#include <algorithm>
 #include <set>
+#include <stdexcept>
 
 using namespace syntox;
 
@@ -33,8 +35,7 @@ AbstractDebugger::create(const std::string &Source, DiagnosticsEngine &Diags,
   Dbg->Cfg = std::move(Cfg);
   Dbg->Program = Program;
   Dbg->Opts = Opts;
-  Dbg->An =
-      std::make_unique<Analyzer>(*Dbg->Cfg, Program, Opts.Analysis);
+  Dbg->An = std::make_unique<Analyzer>(*Dbg->Cfg, Program, Opts);
   return Dbg;
 }
 
@@ -43,11 +44,19 @@ AbstractDebugger::~AbstractDebugger() = default;
 void AbstractDebugger::analyze() {
   An->run();
   Checks = std::make_unique<CheckAnalysis>(*An);
+  Analyzed = true;
   deriveConditions();
   deriveInvariantWarnings();
 }
 
+void AbstractDebugger::requireAnalyzed(const char *Query) const {
+  if (!Analyzed)
+    throw std::logic_error(std::string(Query) +
+                           " requires a completed analyze() call");
+}
+
 bool AbstractDebugger::someExecutionMaySatisfySpec() const {
+  requireAnalyzed("someExecutionMaySatisfySpec()");
   return !An->envelopeAt(An->graph().mainEntry()).isBottom();
 }
 
@@ -165,7 +174,9 @@ void AbstractDebugger::deriveInvariantWarnings() {
   }
 }
 
-std::string AbstractDebugger::stateReport(const std::string &DescFilter) const {
+std::string
+AbstractDebugger::stateReportImpl(const std::string &DescFilter) const {
+  requireAnalyzed("stateReport()");
   const SuperGraph &G = An->graph();
   const StoreOps &Ops = An->storeOps();
   const Instance &Main = G.instances()[0];
@@ -183,4 +194,106 @@ std::string AbstractDebugger::stateReport(const std::string &DescFilter) const {
     Out += '\n';
   }
   return Out;
+}
+
+/// Builds the PointState of control point \p P of \p Inst.
+static PointState pointState(const Analyzer &An, const Instance &Inst,
+                             unsigned P) {
+  const SuperGraph &G = An.graph();
+  const IntervalDomain &D = An.storeOps().domain();
+  unsigned Node = G.node(Inst, P);
+  const AbstractStore &Env = An.envelopeAt(Node);
+  PointState S;
+  S.Loc = Inst.Cfg->pointLoc(P);
+  S.Routine = Inst.R->name();
+  S.InstanceId = Inst.Id;
+  S.PointDesc = Inst.Cfg->pointDesc(P);
+  S.Reachable = !An.forwardAt(Node).isBottom();
+  S.InEnvelope = !Env.isBottom();
+  Env.forEachEntry([&](const VarDecl *V, const AbsValue &Val) {
+    if (!V->name().empty() && V->name()[0] == '$')
+      return; // analysis temporaries
+    StateBinding B;
+    B.Var = V->name();
+    B.Value = Val.isInt() ? D.str(Val.asInt()) : Val.asBool().str();
+    S.Bindings.push_back(std::move(B));
+  });
+  // forEachEntry iterates in slot order, which is stable but arbitrary
+  // to a reader; present alphabetically.
+  std::sort(S.Bindings.begin(), S.Bindings.end(),
+            [](const StateBinding &A, const StateBinding &B) {
+              return A.Var < B.Var;
+            });
+  return S;
+}
+
+std::vector<PointState> AbstractDebugger::stateAt(SourceLoc Loc) const {
+  requireAnalyzed("stateAt()");
+  const SuperGraph &G = An->graph();
+  std::vector<PointState> Out;
+  for (const Instance &Inst : G.instances()) {
+    for (unsigned P = 0; P < Inst.Cfg->numPoints(); ++P) {
+      SourceLoc PLoc = Inst.Cfg->pointLoc(P);
+      if (!PLoc.isValid() || PLoc.Line != Loc.Line)
+        continue;
+      if (Loc.Column != 0 && PLoc.Column != Loc.Column)
+        continue;
+      Out.push_back(pointState(*An, Inst, P));
+    }
+  }
+  return Out;
+}
+
+std::vector<PointState>
+AbstractDebugger::mainStates(const std::string &DescFilter) const {
+  requireAnalyzed("mainStates()");
+  const SuperGraph &G = An->graph();
+  const Instance &Main = G.instances()[0];
+  std::vector<PointState> Out;
+  for (unsigned P = 0; P < Main.Cfg->numPoints(); ++P) {
+    if (!DescFilter.empty() &&
+        Main.Cfg->pointDesc(P).find(DescFilter) == std::string::npos)
+      continue;
+    Out.push_back(pointState(*An, Main, P));
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// JSON renderings (stable keys; see schemas/findings.schema.json)
+//===----------------------------------------------------------------------===//
+
+json::Value NecessaryCondition::toJson() const {
+  json::Value V = json::Value::object();
+  V.set("line", Loc.Line);
+  V.set("column", Loc.Column);
+  if (!Var.empty())
+    V.set("var", Var);
+  V.set("condition", Condition);
+  V.set("point", PointDesc);
+  return V;
+}
+
+json::Value InvariantWarning::toJson() const {
+  json::Value V = json::Value::object();
+  V.set("line", Loc.Line);
+  V.set("column", Loc.Column);
+  V.set("message", Message);
+  return V;
+}
+
+json::Value PointState::toJson() const {
+  json::Value V = json::Value::object();
+  V.set("line", Loc.Line);
+  V.set("column", Loc.Column);
+  V.set("routine", Routine);
+  V.set("instance", InstanceId);
+  V.set("point", PointDesc);
+  V.set("reachable", Reachable);
+  V.set("in_envelope", InEnvelope);
+  json::Value Bs = json::Value::object();
+  for (const StateBinding &B : Bindings)
+    Bs.set(B.Var, B.Value);
+  V.set("state", std::move(Bs));
+  return V;
 }

@@ -18,6 +18,11 @@
 ///    click-on-a-statement inspector, Figure 2),
 ///  - the Figure 2 analysis statistics.
 ///
+/// Querying before analyze() throws std::logic_error — it used to read
+/// uninitialized state. Prefer the AnalysisSession/AnalysisResult API
+/// (core/AnalysisSession.h), which makes the run/query phases explicit
+/// in the types.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SYNTOX_CORE_ABSTRACTDEBUGGER_H
@@ -27,6 +32,7 @@
 #include "frontend/Ast.h"
 #include "semantics/Analyzer.h"
 #include "support/Diagnostics.h"
+#include "support/Json.h"
 
 #include <memory>
 #include <optional>
@@ -49,19 +55,48 @@ struct NecessaryCondition {
     return Loc.str() + ": necessary condition: " + Condition + " (" +
            PointDesc + ")";
   }
+
+  /// Stable JSON rendering (schemas/findings.schema.json).
+  json::Value toJson() const;
 };
 
 /// A possibly-violated user invariant assertion.
 struct InvariantWarning {
   SourceLoc Loc;
   std::string Message;
+
+  /// Stable JSON rendering (schemas/findings.schema.json).
+  json::Value toJson() const;
+};
+
+/// One variable binding in a point-state query result.
+struct StateBinding {
+  std::string Var;
+  std::string Value; ///< rendered abstract value, e.g. "[1, 100]"
+};
+
+/// The abstract memory state at one control point of one activation
+/// instance — the structured replacement for the stateReport() string.
+struct PointState {
+  SourceLoc Loc;
+  std::string Routine;   ///< routine of the containing instance
+  unsigned InstanceId = 0;
+  std::string PointDesc; ///< e.g. "before i := i + 1"
+  bool Reachable = false;   ///< forward analysis reaches this point
+  bool InEnvelope = false;  ///< reachable within the refined invariant
+  /// Envelope constraints on the named program variables (analysis
+  /// temporaries are omitted); unconstrained variables are absent.
+  std::vector<StateBinding> Bindings;
+
+  json::Value toJson() const;
 };
 
 class AbstractDebugger {
 public:
-  struct Options {
-    Analyzer::Options Analysis;
-  };
+  /// Historical spelling of the shared options struct. The old nested
+  /// `Options::Analysis` member is gone: what used to be
+  /// `Opts.Analysis.Strategy` is now just `Opts.Strategy`.
+  using Options = AnalysisOptions;
 
   /// Parses, checks, lowers and prepares \p Source. Returns null (with
   /// diagnostics in \p Diags) when the program has frontend errors.
@@ -74,34 +109,63 @@ public:
   /// Runs the analysis schedule; must be called before the queries.
   void analyze();
 
+  /// Whether analyze() has completed (the queries below require it).
+  bool analyzed() const { return Analyzed; }
+
   /// The whole-program verdict: false when the analysis proved that *no*
   /// input can satisfy the specification (envelope empty at entry).
   bool someExecutionMaySatisfySpec() const;
 
   /// Derived necessary conditions at their origin points.
   const std::vector<NecessaryCondition> &conditions() const {
+    requireAnalyzed("conditions()");
     return Conditions;
   }
 
   /// Invariant assertions the forward analysis could not discharge.
   const std::vector<InvariantWarning> &invariantWarnings() const {
+    requireAnalyzed("invariantWarnings()");
     return InvariantWarnings;
   }
 
-  /// Classification of every runtime check (needs analyze()).
-  const CheckAnalysis &checks() const { return *Checks; }
+  /// Classification of every runtime check.
+  const CheckAnalysis &checks() const {
+    requireAnalyzed("checks()");
+    return *Checks;
+  }
+
+  /// The abstract state at every control point whose source location
+  /// matches \p Loc — all activation instances, main and callees. A
+  /// zero column matches the whole line. Empty when no point matches.
+  std::vector<PointState> stateAt(SourceLoc Loc) const;
+
+  /// Structured form of the whole-program statement inspector: the
+  /// abstract state at every control point of the main routine whose
+  /// description contains \p DescFilter (empty = all points).
+  std::vector<PointState>
+  mainStates(const std::string &DescFilter = "") const;
 
   /// Renders the abstract memory state (the final invariant) at every
   /// control point of the main routine whose description contains
   /// \p DescFilter — the paper's statement inspector.
-  std::string stateReport(const std::string &DescFilter = "") const;
+  [[deprecated("use stateAt(SourceLoc) for structured state queries")]]
+  std::string stateReport(const std::string &DescFilter = "") const {
+    return stateReportImpl(DescFilter);
+  }
 
   /// Figure 2 statistics.
-  const AnalysisStats &stats() const { return An->stats(); }
+  const AnalysisStats &stats() const {
+    requireAnalyzed("stats()");
+    return An->stats();
+  }
 
   RoutineDecl *program() const { return Program; }
   const Analyzer &analyzer() const { return *An; }
-  Analyzer &analyzer() { return *An; }
+  [[deprecated("mutating the analyzer invalidates published results; "
+               "configure via AnalysisOptions instead")]]
+  Analyzer &analyzer() {
+    return *An;
+  }
   const ProgramCfg &cfg() const { return *Cfg; }
   AstContext &context() { return *Ctx; }
 
@@ -109,6 +173,10 @@ private:
   AbstractDebugger() = default;
   void deriveConditions();
   void deriveInvariantWarnings();
+  /// Throws std::logic_error mentioning \p Query when analyze() has not
+  /// completed (such reads returned garbage before this guard existed).
+  void requireAnalyzed(const char *Query) const;
+  std::string stateReportImpl(const std::string &DescFilter) const;
 
   std::unique_ptr<AstContext> Ctx;
   std::unique_ptr<ProgramCfg> Cfg;
@@ -116,6 +184,7 @@ private:
   std::unique_ptr<CheckAnalysis> Checks;
   RoutineDecl *Program = nullptr;
   Options Opts;
+  bool Analyzed = false;
   std::vector<NecessaryCondition> Conditions;
   std::vector<InvariantWarning> InvariantWarnings;
 };

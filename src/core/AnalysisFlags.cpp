@@ -1,0 +1,194 @@
+//===- core/AnalysisFlags.cpp - Shared command-line flag parsing ----------===//
+
+#include "core/AnalysisFlags.h"
+
+#include "core/AnalysisSession.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+using namespace syntox;
+
+/// Parses the value of a "--flag=N" argument as a non-negative integer.
+static bool parseUnsigned(const std::string &Value, unsigned &Out) {
+  if (Value.empty())
+    return false;
+  char *End = nullptr;
+  unsigned long N = std::strtoul(Value.c_str(), &End, 10);
+  if (*End != '\0')
+    return false;
+  Out = static_cast<unsigned>(N);
+  return true;
+}
+
+FlagParse syntox::parseAnalysisFlag(const std::string &Arg,
+                                    AnalysisOptions &Opts,
+                                    TelemetryFlags &Telem,
+                                    std::string &Error) {
+  auto valueOf = [&](const char *Prefix) -> const char * {
+    size_t Len = std::char_traits<char>::length(Prefix);
+    return Arg.compare(0, Len, Prefix) == 0 ? Arg.c_str() + Len : nullptr;
+  };
+
+  if (Arg == "--terminate") {
+    Opts.TerminationGoal = true;
+  } else if (Arg == "--no-backward") {
+    Opts.UseBackward = false;
+  } else if (Arg == "--context-insensitive") {
+    Opts.ContextInsensitive = true;
+  } else if (Arg == "--cache") {
+    Opts.UseTransferCache = true;
+  } else if (Arg == "--no-cache") {
+    Opts.UseTransferCache = false;
+  } else if (Arg == "--trace-detail") {
+    Telem.TraceDetail = true;
+  } else if (const char *V = valueOf("--rounds=")) {
+    if (!parseUnsigned(V, Opts.BackwardRounds)) {
+      Error = "invalid --rounds value '" + std::string(V) + "'";
+      return FlagParse::Error;
+    }
+  } else if (const char *V = valueOf("--narrowing=")) {
+    if (!parseUnsigned(V, Opts.NarrowingPasses)) {
+      Error = "invalid --narrowing value '" + std::string(V) + "'";
+      return FlagParse::Error;
+    }
+  } else if (const char *V = valueOf("--threads=")) {
+    if (!parseUnsigned(V, Opts.NumThreads)) {
+      Error = "invalid --threads value '" + std::string(V) + "'";
+      return FlagParse::Error;
+    }
+  } else if (const char *V = valueOf("--strategy=")) {
+    std::string Name = V;
+    if (Name == "recursive") {
+      Opts.Strategy = IterationStrategy::Recursive;
+    } else if (Name == "worklist") {
+      Opts.Strategy = IterationStrategy::Worklist;
+    } else if (Name == "parallel") {
+      Opts.Strategy = IterationStrategy::Parallel;
+    } else {
+      Error = "unknown strategy '" + Name +
+              "' (expected recursive, worklist or parallel)";
+      return FlagParse::Error;
+    }
+  } else if (const char *V = valueOf("--trace-format=")) {
+    std::string Name = V;
+    if (Name == "json") {
+      Telem.TraceFmt = TraceFormat::JsonLines;
+    } else if (Name == "chrome") {
+      Telem.TraceFmt = TraceFormat::Chrome;
+    } else {
+      Error = "unknown trace format '" + Name +
+              "' (expected json or chrome)";
+      return FlagParse::Error;
+    }
+  } else if (const char *V = valueOf("--trace=")) {
+    if (*V == '\0') {
+      Error = "--trace needs a file name (or - for stdout)";
+      return FlagParse::Error;
+    }
+    Telem.TracePath = V;
+  } else if (const char *V = valueOf("--metrics-json=")) {
+    if (*V == '\0') {
+      Error = "--metrics-json needs a file name (or - for stdout)";
+      return FlagParse::Error;
+    }
+    Telem.MetricsPath = V;
+  } else {
+    return FlagParse::NotAnalysisFlag;
+  }
+  return FlagParse::Consumed;
+}
+
+bool syntox::parseAnalysisFlags(std::vector<std::string> &Args,
+                                AnalysisOptions &Opts,
+                                TelemetryFlags &Telem, std::string &Error) {
+  for (auto It = Args.begin(); It != Args.end();) {
+    switch (parseAnalysisFlag(*It, Opts, Telem, Error)) {
+    case FlagParse::Consumed:
+      It = Args.erase(It);
+      break;
+    case FlagParse::NotAnalysisFlag:
+      ++It;
+      break;
+    case FlagParse::Error:
+      return false;
+    }
+  }
+  return true;
+}
+
+const char *syntox::analysisFlagsHelp() {
+  return "  --strategy=recursive|worklist|parallel\n"
+         "                       chaotic iteration strategy\n"
+         "  --threads=N          workers for --strategy=parallel (0 = all)\n"
+         "  --cache, --no-cache  memoizing transfer-function cache\n"
+         "  --rounds=N           backward/forward refinement rounds\n"
+         "  --narrowing=N        narrowing passes per ascending phase\n"
+         "  --terminate          add the goal 'the program terminates'\n"
+         "  --no-backward        forward analysis only\n"
+         "  --context-insensitive\n"
+         "                       merge the call sites of each routine\n"
+         "  --trace=FILE         write an event trace (- = stdout)\n"
+         "  --trace-format=json|chrome\n"
+         "                       trace encoding (default json-lines)\n"
+         "  --trace-detail       include cache and store-detach events\n"
+         "  --metrics-json=FILE  write a metrics snapshot (- = stdout)\n";
+}
+
+void syntox::configureSessionTelemetry(AnalysisSession &S,
+                                       const TelemetryFlags &Telem) {
+  if (Telem.wantsTrace())
+    S.enableTracing(Telem.traceMask());
+}
+
+/// Runs \p Fn with the stream named by \p Path ("-" selects stdout).
+template <typename Fn>
+static bool withOutputStream(const std::string &Path, std::string &Error,
+                             Fn &&F) {
+  if (Path == "-") {
+    F(std::cout);
+    return true;
+  }
+  std::ofstream OS(Path);
+  if (!OS) {
+    Error = "cannot open '" + Path + "' for writing";
+    return false;
+  }
+  F(OS);
+  OS.flush();
+  if (!OS) {
+    Error = "error writing '" + Path + "'";
+    return false;
+  }
+  return true;
+}
+
+bool syntox::writeTelemetryOutputs(AnalysisSession &S,
+                                   const TelemetryFlags &Telem,
+                                   std::string &Error) {
+  return writeTelemetryOutputs(S.traceRecorder(), &S.metrics(), Telem, Error);
+}
+
+bool syntox::writeTelemetryOutputs(TraceRecorder *Trace,
+                                   const MetricsRegistry *Metrics,
+                                   const TelemetryFlags &Telem,
+                                   std::string &Error) {
+  if (Telem.wantsTrace() && Trace) {
+    bool Ok = withOutputStream(Telem.TracePath, Error, [&](std::ostream &OS) {
+      StreamTraceSink Sink(OS, Telem.TraceFmt);
+      Trace->flushTo(Sink);
+    });
+    if (!Ok)
+      return false;
+  }
+  if (Telem.wantsMetrics() && Metrics) {
+    bool Ok =
+        withOutputStream(Telem.MetricsPath, Error, [&](std::ostream &OS) {
+          OS << Metrics->snapshot().pretty() << '\n';
+        });
+    if (!Ok)
+      return false;
+  }
+  return true;
+}

@@ -1,0 +1,80 @@
+//===- core/AnalysisSession.cpp - Session/result analysis API -------------===//
+
+#include "core/AnalysisSession.h"
+
+#include <cassert>
+
+using namespace syntox;
+
+json::Value AnalysisResult::toJson() const {
+  json::Value V = json::Value::object();
+  V.set("verdict", someExecutionMaySatisfySpec()
+                       ? "some_execution_may_satisfy_spec"
+                       : "no_execution_satisfies_spec");
+  json::Value Cs = json::Value::array();
+  for (const NecessaryCondition &C : conditions())
+    Cs.push(C.toJson());
+  V.set("conditions", std::move(Cs));
+  json::Value Ws = json::Value::array();
+  for (const InvariantWarning &W : invariantWarnings())
+    Ws.push(W.toJson());
+  V.set("invariant_warnings", std::move(Ws));
+  V.set("checks", checks().toJson());
+  V.set("stats", stats().toJson());
+  V.set("metrics", MetricsSnapshot);
+  return V;
+}
+
+std::unique_ptr<AnalysisSession>
+AnalysisSession::create(std::string Source, DiagnosticsEngine &Diags,
+                        AnalysisOptions Opts) {
+  // Validate the program up front so run() cannot fail: frontend errors
+  // surface here, once, with diagnostics.
+  std::unique_ptr<AbstractDebugger> Probe =
+      AbstractDebugger::create(Source, Diags, Opts);
+  if (!Probe)
+    return nullptr;
+  std::unique_ptr<AnalysisSession> S(new AnalysisSession());
+  S->Source = std::move(Source);
+  S->Opts = std::move(Opts);
+  return S;
+}
+
+AnalysisSession::~AnalysisSession() = default;
+
+TraceRecorder &AnalysisSession::enableTracing(uint32_t Mask) {
+  if (!Trace || Trace->mask() != Mask)
+    Trace = std::make_unique<TraceRecorder>(Mask);
+  return *Trace;
+}
+
+void AnalysisSession::flushTrace(TraceSink &Sink) {
+  if (Trace)
+    Trace->flushTo(Sink);
+}
+
+AnalysisResult AnalysisSession::run() {
+  Opts.Telem.Trace = Trace.get();
+  if (!Opts.Telem.Metrics)
+    Opts.Telem.Metrics = &Metrics;
+
+  // Store detaches happen inside a value type with no telemetry
+  // context; route them through the process-global hook for the
+  // duration of this run when detail tracing asked for them.
+  TraceRecorder *DetachHook =
+      Trace && Trace->wants(TraceEventKind::StoreDetach) ? Trace.get()
+                                                         : nullptr;
+  if (DetachHook)
+    trace::StoreDetachHook.store(DetachHook, std::memory_order_relaxed);
+
+  DiagnosticsEngine Diags;
+  std::shared_ptr<AbstractDebugger> Dbg =
+      AbstractDebugger::create(Source, Diags, Opts);
+  assert(Dbg && "session source was validated by create()");
+  Dbg->analyze();
+
+  if (DetachHook)
+    trace::StoreDetachHook.store(nullptr, std::memory_order_relaxed);
+
+  return AnalysisResult(std::move(Dbg), Metrics.snapshot());
+}

@@ -1,0 +1,150 @@
+//===- core/AnalysisSession.h - Session/result analysis API -----*- C++ -*-===//
+//
+// Part of Syntox++, a reproduction of Bourdoncle's abstract debugger
+// (PLDI 1993). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The preferred entry point to the abstract debugger: an AnalysisSession
+/// holds a validated program plus the analysis configuration and the
+/// telemetry plumbing (an owned MetricsRegistry, an optional owned
+/// TraceRecorder); run() executes the full schedule and returns an
+/// *immutable* AnalysisResult that owns every finding — necessary
+/// conditions, invariant warnings, check classifications, statistics, a
+/// metrics snapshot, and structured per-point state queries.
+///
+/// The split fixes the footgun of the bare AbstractDebugger API, where
+/// results were mutable views into an object that a later analyze() (or
+/// a mutable analyzer() poke) could silently invalidate: each run()
+/// analyzes a fresh debugger and freezes it behind shared const
+/// ownership, so results outlive the session and never change under the
+/// caller.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYNTOX_CORE_ANALYSISSESSION_H
+#define SYNTOX_CORE_ANALYSISSESSION_H
+
+#include "core/AbstractDebugger.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace syntox {
+
+/// Immutable findings of one completed analysis run. Cheap to copy
+/// (shared const ownership of the underlying debugger); valid after the
+/// creating session is gone.
+class AnalysisResult {
+public:
+  /// The whole-program verdict: false when the analysis proved that *no*
+  /// input can satisfy the specification.
+  bool someExecutionMaySatisfySpec() const {
+    return Dbg->someExecutionMaySatisfySpec();
+  }
+
+  /// Derived necessary conditions of correctness at their origin points.
+  const std::vector<NecessaryCondition> &conditions() const {
+    return Dbg->conditions();
+  }
+
+  /// Invariant assertions the forward analysis could not discharge.
+  const std::vector<InvariantWarning> &invariantWarnings() const {
+    return Dbg->invariantWarnings();
+  }
+
+  /// Classification of every runtime check.
+  const CheckAnalysis &checks() const { return Dbg->checks(); }
+
+  /// Figure 2 statistics of this run.
+  const AnalysisStats &stats() const { return Dbg->stats(); }
+
+  /// Metrics snapshot taken when the run finished. Counters accumulate
+  /// over the owning session's lifetime, so in a multi-run session this
+  /// is "session totals as of this run".
+  const json::Value &metrics() const { return MetricsSnapshot; }
+
+  /// The abstract state at every control point matching \p Loc (zero
+  /// column matches the whole line) — the structured statement
+  /// inspector.
+  std::vector<PointState> stateAt(SourceLoc Loc) const {
+    return Dbg->stateAt(Loc);
+  }
+
+  /// The abstract state at every control point of the main routine
+  /// (optionally filtered by point-description substring).
+  std::vector<PointState> mainStates(const std::string &DescFilter = "") const {
+    return Dbg->mainStates(DescFilter);
+  }
+
+  /// The complete findings document (verdict, conditions, warnings,
+  /// checks, stats, metrics) with stable keys — see
+  /// schemas/findings.schema.json.
+  json::Value toJson() const;
+
+  /// Read-only access to the underlying engine for advanced queries.
+  const Analyzer &analyzer() const { return Dbg->analyzer(); }
+  const AbstractDebugger &debugger() const { return *Dbg; }
+
+private:
+  friend class AnalysisSession;
+  AnalysisResult(std::shared_ptr<const AbstractDebugger> Dbg,
+                 json::Value MetricsSnapshot)
+      : Dbg(std::move(Dbg)), MetricsSnapshot(std::move(MetricsSnapshot)) {}
+
+  std::shared_ptr<const AbstractDebugger> Dbg;
+  json::Value MetricsSnapshot;
+};
+
+/// A validated program plus configuration; factory of AnalysisResults.
+class AnalysisSession {
+public:
+  /// Parses and validates \p Source. Returns null (with diagnostics in
+  /// \p Diags) when the program has frontend errors.
+  static std::unique_ptr<AnalysisSession>
+  create(std::string Source, DiagnosticsEngine &Diags,
+         AnalysisOptions Opts = {});
+
+  ~AnalysisSession();
+
+  /// Enables event tracing for subsequent run() calls and returns the
+  /// recorder. Repeated calls replace the recorder (and drop any
+  /// unflushed events) only when \p Mask differs.
+  TraceRecorder &enableTracing(uint32_t Mask = TraceRecorder::DefaultEvents);
+
+  /// The recorder installed by enableTracing, or null.
+  TraceRecorder *traceRecorder() { return Trace.get(); }
+
+  /// Merges and clears the events recorded so far into \p Sink.
+  /// No-op without enableTracing().
+  void flushTrace(TraceSink &Sink);
+
+  /// The session-owned metrics registry (live values; results carry
+  /// frozen snapshots).
+  MetricsRegistry &metrics() { return Metrics; }
+
+  /// Runs the full analysis schedule on a fresh engine and returns the
+  /// frozen findings. May be called repeatedly (e.g. after changing
+  /// options()); earlier results remain valid and unchanged.
+  AnalysisResult run();
+
+  /// The analysis configuration used by the next run(). Telemetry
+  /// members are managed by the session and reset on run().
+  AnalysisOptions &options() { return Opts; }
+
+private:
+  AnalysisSession() = default;
+
+  std::string Source;
+  AnalysisOptions Opts;
+  MetricsRegistry Metrics;
+  std::unique_ptr<TraceRecorder> Trace;
+};
+
+} // namespace syntox
+
+#endif // SYNTOX_CORE_ANALYSISSESSION_H

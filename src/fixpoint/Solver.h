@@ -54,6 +54,7 @@
 
 #include "fixpoint/Digraph.h"
 #include "fixpoint/Wto.h"
+#include "support/Telemetry.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
@@ -115,10 +116,14 @@ public:
     /// Worker threads for the parallel strategy (0 = one per hardware
     /// thread). Ignored by the serial strategies.
     unsigned NumThreads = 0;
+    /// Optional trace/metrics sinks; every hook is a null-pointer check
+    /// when absent.
+    Telemetry Telem;
   };
 
   FixpointSolver(const System &Sys, Options Opts)
-      : Sys(Sys), Opts(Opts), Order(Sys.graph(), Sys.roots()) {}
+      : Sys(Sys), Opts(Opts), Order(Sys.graph(), Sys.roots()),
+        Trace(Opts.Telem.Trace) {}
 
   /// Runs the solver and returns the per-node solution.
   std::vector<Value> solve() {
@@ -200,6 +205,8 @@ private:
       IsLeaf &= !Sub.IsComponent;
     if (IsLeaf)
       resetComponent(E);
+    traceEvent(Trace, TraceEventKind::ComponentBegin, E.Vertex,
+               /*Descending=*/0);
     // Stabilize: body then head, widening at the head, until the head's
     // equation is satisfied. The body runs first so that equations with
     // their own sources inside the component (e.g. intermittent
@@ -213,8 +220,11 @@ private:
       if (Sys.leq(New, X[E.Vertex]))
         break;
       ++S.Widenings;
+      traceEvent(Trace, TraceEventKind::Widening, E.Vertex);
       X[E.Vertex] = Sys.widen(X[E.Vertex], New);
     }
+    traceEvent(Trace, TraceEventKind::ComponentEnd, E.Vertex,
+               /*Descending=*/0);
   }
 
   //===--------------------------------------------------------------------===//
@@ -240,6 +250,7 @@ private:
         continue;
       if (Order.isHead(Node)) {
         ++Stats.Widenings;
+        traceEvent(Trace, TraceEventKind::Widening, Node);
         X[Node] = Sys.widen(X[Node], New);
       } else {
         X[Node] = std::move(New);
@@ -280,10 +291,13 @@ private:
     // still changes. Termination: every cycle passes through a head, and
     // heads use narrowing (finite chains); between heads the body is
     // acyclic. The sweep bound is a safety net only.
+    traceEvent(Trace, TraceEventKind::ComponentBegin, E.Vertex,
+               /*Descending=*/1);
     for (unsigned Sweep = 0; Sweep < MaxComponentSweeps; ++Sweep) {
       ++S.DescendingSteps;
       Value New = Sys.evaluate(E.Vertex, X);
       ++S.Narrowings;
+      traceEvent(Trace, TraceEventKind::Narrowing, E.Vertex);
       Value Narrowed = Sys.narrow(X[E.Vertex], New);
       // A stable head comes back pointer-identical (delta-aware
       // narrow), so this equality check — the convergence test of the
@@ -299,6 +313,8 @@ private:
       if (!SweepChanged)
         break;
     }
+    traceEvent(Trace, TraceEventKind::ComponentEnd, E.Vertex,
+               /*Descending=*/1);
   }
 
   //===--------------------------------------------------------------------===//
@@ -422,14 +438,21 @@ private:
     for (size_t T = 0; T < Tasks.size(); ++T)
       Pending[T].store(Tasks[T].NumPreds, std::memory_order_relaxed);
     std::function<void(unsigned)> Exec = [&](unsigned TaskIdx) {
+      traceEvent(Trace, TraceEventKind::TaskRun, TaskIdx,
+                 Tasks[TaskIdx].Elems.size());
       RunTask(TaskIdx);
+      traceEvent(Trace, TraceEventKind::TaskComplete, TaskIdx);
       for (unsigned S : Tasks[TaskIdx].Succs)
-        if (Pending[S].fetch_sub(1, std::memory_order_acq_rel) == 1)
+        if (Pending[S].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          traceEvent(Trace, TraceEventKind::TaskEnqueue, S);
           Pool->submit([&Exec, S] { Exec(S); });
+        }
     };
     for (unsigned T = 0; T < Tasks.size(); ++T)
-      if (Tasks[T].NumPreds == 0)
+      if (Tasks[T].NumPreds == 0) {
+        traceEvent(Trace, TraceEventKind::TaskEnqueue, T);
         Pool->submit([&Exec, T] { Exec(T); });
+      }
     Pool->wait();
   }
 
@@ -471,6 +494,7 @@ private:
   const System &Sys;
   Options Opts;
   Wto Order;
+  TraceRecorder *Trace; ///< null = tracing off
   std::vector<Value> X;
   SolverStats Stats;
   std::vector<ParallelTask> Tasks;

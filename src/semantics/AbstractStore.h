@@ -32,6 +32,7 @@
 #include "frontend/Ast.h"
 #include "lattice/BoolLattice.h"
 #include "lattice/Interval.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <atomic>
@@ -260,10 +261,18 @@ private:
 
   /// Makes the payload exclusively owned (clone on shared write).
   void detach() {
-    if (!P)
+    if (!P) {
       P = std::make_shared<detail::StorePayload>();
-    else if (P.use_count() != 1)
+    } else if (P.use_count() != 1) {
       P = std::make_shared<detail::StorePayload>(*P);
+      // Stores are context-free value types, so detail tracing of COW
+      // clones goes through a process-global hook (one relaxed load
+      // when off). NumPresent sizes the clone that just happened.
+      if (TraceRecorder *R =
+              trace::StoreDetachHook.load(std::memory_order_relaxed);
+          R && R->wants(TraceEventKind::StoreDetach))
+        R->record(TraceEventKind::StoreDetach, P->NumPresent);
+    }
   }
 
   void invalidateHash() {

@@ -1,0 +1,120 @@
+//===- semantics/AnalysisOptions.h - All analysis knobs ---------*- C++ -*-===//
+//
+// Part of Syntox++, a reproduction of Bourdoncle's abstract debugger
+// (PLDI 1993). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The single options struct for the whole analysis stack. It used to be
+/// scattered: Analyzer::Options, AbstractDebugger::Options wrapping it,
+/// a test-only fluent builder, and ad-hoc flag parsing duplicated across
+/// the CLI and every bench. Now there is one struct with chainable
+/// setters (so `AnalysisOptions().terminationGoal().backwardRounds(2)`
+/// reads like the old builder), consumed identically by Analyzer,
+/// AbstractDebugger, AnalysisSession, and the shared CLI parser
+/// (core/AnalysisFlags.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYNTOX_SEMANTICS_ANALYSISOPTIONS_H
+#define SYNTOX_SEMANTICS_ANALYSISOPTIONS_H
+
+#include "fixpoint/Solver.h"
+#include "support/Telemetry.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace syntox {
+
+struct AnalysisOptions {
+  /// Chaotic iteration strategy for every phase.
+  IterationStrategy Strategy = IterationStrategy::Recursive;
+  /// Worker threads for the parallel strategy (0 = one per hardware
+  /// thread). Ignored by the serial strategies.
+  unsigned NumThreads = 0;
+  /// Memoize the per-edge transfer functions across all phases (the
+  /// cache is purely memoizing: results are identical either way).
+  /// Off by default: interval transfers are about as cheap as the
+  /// hash-and-probe bookkeeping, so memoization only pays once the
+  /// transfer functions themselves are expensive (richer domains,
+  /// costly expression semantics).
+  bool UseTransferCache = false;
+  /// Narrowing passes after each ascending phase.
+  unsigned NarrowingPasses = 1;
+  /// Rounds of (always, eventually, forward) refinement after the
+  /// initial forward analysis (Syntox's default is one).
+  unsigned BackwardRounds = 1;
+  /// Treat program termination as a goal: seed `eventually true` at the
+  /// program exit (the paper's "intermittent assertion true at the
+  /// end").
+  bool TerminationGoal = false;
+  /// Disable backward propagation entirely (forward-only baseline).
+  bool UseBackward = true;
+  /// Harrison-77 baseline (paper §6.5): compute the *greatest* fixpoint
+  /// of the forward system, "which has no semantic justification and
+  /// gives poor results". Implies forward-only.
+  bool HarrisonGfp = false;
+  /// Merge every call site of a routine into one activation class
+  /// (§6.4: "it is possible to avoid [the duplication], at the cost of
+  /// a loss of precision").
+  bool ContextInsensitive = false;
+  /// Widening thresholds (empty = the standard §6.1 operator).
+  std::vector<int64_t> WideningThresholds;
+  /// Optional trace/metrics sinks (borrowed; owned by the session or
+  /// the caller). Null members disable that half of the telemetry.
+  Telemetry Telem;
+
+  /// \name Chainable setters
+  /// @{
+  AnalysisOptions &strategy(IterationStrategy S) {
+    Strategy = S;
+    return *this;
+  }
+  AnalysisOptions &threads(unsigned N) {
+    NumThreads = N;
+    return *this;
+  }
+  AnalysisOptions &transferCache(bool On) {
+    UseTransferCache = On;
+    return *this;
+  }
+  AnalysisOptions &narrowingPasses(unsigned N) {
+    NarrowingPasses = N;
+    return *this;
+  }
+  AnalysisOptions &backwardRounds(unsigned N) {
+    BackwardRounds = N;
+    return *this;
+  }
+  AnalysisOptions &terminationGoal(bool On = true) {
+    TerminationGoal = On;
+    return *this;
+  }
+  AnalysisOptions &backward(bool On) {
+    UseBackward = On;
+    return *this;
+  }
+  AnalysisOptions &harrisonGfp(bool On = true) {
+    HarrisonGfp = On;
+    return *this;
+  }
+  AnalysisOptions &contextInsensitive(bool On = true) {
+    ContextInsensitive = On;
+    return *this;
+  }
+  AnalysisOptions &wideningThresholds(std::vector<int64_t> T) {
+    WideningThresholds = std::move(T);
+    return *this;
+  }
+  AnalysisOptions &telemetry(Telemetry T) {
+    Telem = T;
+    return *this;
+  }
+  /// @}
+};
+
+} // namespace syntox
+
+#endif // SYNTOX_SEMANTICS_ANALYSISOPTIONS_H

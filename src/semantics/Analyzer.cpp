@@ -177,10 +177,13 @@ Analyzer::Analyzer(const ProgramCfg &Cfg, RoutineDecl *Program, Options Opts)
       Ops(Domain), Exprs(Ops), Xfer(Ops, Exprs, Cfg) {
   if (!this->Opts.WideningThresholds.empty())
     Ops.setWideningThresholds(this->Opts.WideningThresholds);
-  if (this->Opts.UseTransferCache)
+  if (this->Opts.UseTransferCache) {
     Cache = std::make_unique<TransferCache>(Ops);
+    Cache->setTrace(this->Opts.Telem.Trace);
+  }
   Graph = std::make_unique<SuperGraph>(Cfg, Program, Ops, Exprs, Xfer,
-                                       this->Opts.ContextInsensitive);
+                                       this->Opts.ContextInsensitive,
+                                       this->Opts.Telem);
 }
 
 Analyzer::Analyzer(const ProgramCfg &Cfg, RoutineDecl *Program)
@@ -197,31 +200,65 @@ bool Analyzer::hasEventuallySeeds() const {
   return false;
 }
 
+/// Phase begin/end events around a solver run, with the phase name as
+/// the span label.
+void Analyzer::tracePhase(bool Begin, const PhaseStats &Phase) {
+  TraceRecorder *R = Opts.Telem.Trace;
+  TraceEventKind K =
+      Begin ? TraceEventKind::PhaseBegin : TraceEventKind::PhaseEnd;
+  if (R && R->wants(K))
+    R->record(K, Stats.Phases.size() - 1, 0, Phase.Name);
+}
+
+/// Folds one solver run's counters into the aggregate stats and the
+/// metrics registry.
+void Analyzer::accumulateSolverStats(const SolverStats &S,
+                                     uint64_t SysUnions,
+                                     PhaseStats &Phase) {
+  Phase.WideningSteps = S.AscendingSteps;
+  Phase.NarrowingSteps = S.DescendingSteps;
+  Stats.Widenings += S.Widenings;
+  Stats.Narrowings += S.Narrowings;
+  Stats.ParallelComponents += S.ParallelComponents;
+  Stats.ParallelTasks = std::max(Stats.ParallelTasks, S.ParallelTasks);
+  Stats.ParallelDagWidth =
+      std::max(Stats.ParallelDagWidth, S.ParallelDagWidth);
+  Stats.Unions += SysUnions;
+  if (MetricsRegistry *M = Opts.Telem.Metrics) {
+    M->counter("solver.ascending_steps").inc(S.AscendingSteps);
+    M->counter("solver.descending_steps").inc(S.DescendingSteps);
+    M->counter("solver.widenings").inc(S.Widenings);
+    M->counter("solver.narrowings").inc(S.Narrowings);
+    M->counter("solver.unions").inc(SysUnions);
+    M->counter("parallel.components").inc(S.ParallelComponents);
+    M->gauge("parallel.tasks")
+        .accumulateMax(static_cast<int64_t>(S.ParallelTasks));
+    M->gauge("parallel.dag_width")
+        .accumulateMax(static_cast<int64_t>(S.ParallelDagWidth));
+    M->histogram("phase.seconds").observe(Phase.Seconds);
+    M->histogram("phase." + Phase.Name + ".seconds").observe(Phase.Seconds);
+  }
+}
+
 std::vector<AbstractStore>
 Analyzer::solveForward(const std::vector<AbstractStore> *Env,
                        PhaseStats &Phase) {
   auto Start = std::chrono::steady_clock::now();
+  tracePhase(/*Begin=*/true, Phase);
   ForwardSystem Sys(*Graph, Ops, Xfer, Cache.get(), Env);
   FixpointSolver<ForwardSystem>::Options SolverOpts;
   SolverOpts.Kind = Opts.HarrisonGfp ? FixpointKind::Gfp : FixpointKind::Lfp;
   SolverOpts.Strategy = Opts.Strategy;
   SolverOpts.NumThreads = Opts.NumThreads;
   SolverOpts.NarrowingPasses = Opts.NarrowingPasses;
+  SolverOpts.Telem = Opts.Telem;
   FixpointSolver<ForwardSystem> Solver(Sys, SolverOpts);
   std::vector<AbstractStore> Result = Solver.solve();
-  Phase.WideningSteps = Solver.stats().AscendingSteps;
-  Phase.NarrowingSteps = Solver.stats().DescendingSteps;
-  Stats.Widenings += Solver.stats().Widenings;
-  Stats.Narrowings += Solver.stats().Narrowings;
-  Stats.ParallelComponents += Solver.stats().ParallelComponents;
-  Stats.ParallelTasks =
-      std::max(Stats.ParallelTasks, Solver.stats().ParallelTasks);
-  Stats.ParallelDagWidth =
-      std::max(Stats.ParallelDagWidth, Solver.stats().ParallelDagWidth);
-  Stats.Unions += Sys.Unions;
   Phase.Seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
           .count();
+  accumulateSolverStats(Solver.stats(), Sys.Unions, Phase);
+  tracePhase(/*Begin=*/false, Phase);
   return Result;
 }
 
@@ -230,6 +267,7 @@ Analyzer::solveBackward(bool Eventually,
                         const std::vector<AbstractStore> &Env,
                         PhaseStats &Phase) {
   auto Start = std::chrono::steady_clock::now();
+  tracePhase(/*Begin=*/true, Phase);
   BackwardSystem Sys(*Graph, Ops, Xfer, Cache.get(), Env);
   if (Eventually) {
     // Seeds: the intermittent assertions (and optionally termination).
@@ -253,21 +291,14 @@ Analyzer::solveBackward(bool Eventually,
   SolverOpts.Strategy = Opts.Strategy;
   SolverOpts.NumThreads = Opts.NumThreads;
   SolverOpts.NarrowingPasses = Opts.NarrowingPasses;
+  SolverOpts.Telem = Opts.Telem;
   FixpointSolver<BackwardSystem> Solver(Sys, SolverOpts);
   std::vector<AbstractStore> Result = Solver.solve();
-  Phase.WideningSteps = Solver.stats().AscendingSteps;
-  Phase.NarrowingSteps = Solver.stats().DescendingSteps;
-  Stats.Widenings += Solver.stats().Widenings;
-  Stats.Narrowings += Solver.stats().Narrowings;
-  Stats.ParallelComponents += Solver.stats().ParallelComponents;
-  Stats.ParallelTasks =
-      std::max(Stats.ParallelTasks, Solver.stats().ParallelTasks);
-  Stats.ParallelDagWidth =
-      std::max(Stats.ParallelDagWidth, Solver.stats().ParallelDagWidth);
-  Stats.Unions += Sys.Unions;
   Phase.Seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
           .count();
+  accumulateSolverStats(Solver.stats(), Sys.Unions, Phase);
+  tracePhase(/*Begin=*/false, Phase);
   return Result;
 }
 
@@ -334,4 +365,18 @@ void Analyzer::run() {
   Stats.CpuSeconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
           .count();
+
+  if (MetricsRegistry *M = Opts.Telem.Metrics) {
+    M->gauge("graph.control_points")
+        .set(static_cast<int64_t>(Stats.ControlPoints));
+    M->gauge("graph.equations").set(static_cast<int64_t>(Stats.Equations));
+    M->gauge("graph.instances")
+        .set(static_cast<int64_t>(Graph->instances().size()));
+    M->gauge("memory.bytes").set(static_cast<int64_t>(Stats.BytesUsed));
+    if (Cache) {
+      M->counter("cache.hits").inc(Stats.CacheHits);
+      M->counter("cache.misses").inc(Stats.CacheMisses);
+    }
+    M->histogram("analysis.seconds").observe(Stats.CpuSeconds);
+  }
 }

@@ -24,6 +24,7 @@
 #define SYNTOX_SEMANTICS_ANALYZER_H
 
 #include "fixpoint/Solver.h"
+#include "semantics/AnalysisOptions.h"
 #include "semantics/Interproc.h"
 #include "support/Stats.h"
 
@@ -33,41 +34,10 @@ namespace syntox {
 
 class Analyzer {
 public:
-  struct Options {
-    /// Chaotic iteration strategy for every phase.
-    IterationStrategy Strategy = IterationStrategy::Recursive;
-    /// Worker threads for the parallel strategy (0 = one per hardware
-    /// thread). Ignored by the serial strategies.
-    unsigned NumThreads = 0;
-    /// Memoize the per-edge transfer functions across all phases (the
-    /// cache is purely memoizing: results are identical either way).
-    /// Off by default: interval transfers are about as cheap as the
-    /// hash-and-probe bookkeeping, so memoization only pays once the
-    /// transfer functions themselves are expensive (richer domains,
-    /// costly expression semantics).
-    bool UseTransferCache = false;
-    /// Narrowing passes after each ascending phase.
-    unsigned NarrowingPasses = 1;
-    /// Rounds of (always, eventually, forward) refinement after the
-    /// initial forward analysis (Syntox's default is one).
-    unsigned BackwardRounds = 1;
-    /// Treat program termination as a goal: seed `eventually true` at
-    /// the program exit (the paper's "intermittent assertion true at the
-    /// end").
-    bool TerminationGoal = false;
-    /// Disable backward propagation entirely (forward-only baseline).
-    bool UseBackward = true;
-    /// Harrison-77 baseline (paper §6.5): compute the *greatest* fixpoint
-    /// of the forward system, "which has no semantic justification and
-    /// gives poor results". Implies forward-only.
-    bool HarrisonGfp = false;
-    /// Merge every call site of a routine into one activation class
-    /// (§6.4: "it is possible to avoid [the duplication], at the cost of
-    /// a loss of precision").
-    bool ContextInsensitive = false;
-    /// Widening thresholds (empty = the standard §6.1 operator).
-    std::vector<int64_t> WideningThresholds;
-  };
+  /// The analysis knobs — one struct shared by the whole stack (see
+  /// semantics/AnalysisOptions.h). The alias keeps the historical
+  /// `Analyzer::Options` spelling compiling.
+  using Options = AnalysisOptions;
 
   Analyzer(const ProgramCfg &Cfg, RoutineDecl *Program, Options Opts);
   Analyzer(const ProgramCfg &Cfg, RoutineDecl *Program);
@@ -111,6 +81,9 @@ private:
   bool hasEventuallySeeds() const;
   void meetInto(std::vector<AbstractStore> &Env,
                 const std::vector<AbstractStore> &Refinement);
+  void tracePhase(bool Begin, const PhaseStats &Phase);
+  void accumulateSolverStats(const SolverStats &S, uint64_t SysUnions,
+                             PhaseStats &Phase);
 
   const ProgramCfg &Cfg;
   RoutineDecl *Program;

@@ -24,11 +24,14 @@ VarNumbering::VarNumbering(const ProgramCfg &Cfg) {
 
 SuperGraph::SuperGraph(const ProgramCfg &Cfg, RoutineDecl *Program,
                        const StoreOps &Ops, const ExprSemantics &Exprs,
-                       const Transfer &Xfer, bool ContextInsensitive)
-    : Cfg(Cfg), Numbering(Cfg), Ops(Ops), Exprs(Exprs), Xfer(Xfer),
-      ContextInsensitive(ContextInsensitive) {
+                       const Transfer &Xfer, bool ContextInsensitive,
+                       Telemetry Telem)
+    : Cfg(Cfg), Numbering(Cfg), Ops(Ops), Exprs(Exprs), Telem(Telem),
+      Xfer(Xfer), ContextInsensitive(ContextInsensitive) {
   discoverInstances(Program);
   buildEdges();
+  if (Telem.Metrics)
+    Telem.Metrics->counter("interproc.instances").inc(Instances.size());
 }
 
 unsigned SuperGraph::mainEntry() const {
@@ -80,6 +83,12 @@ unsigned SuperGraph::getOrCreateInstance(RoutineDecl *R, ActivationToken Tok) {
   Inst.SharedKeys.assign(Shared.begin(), Shared.end());
 
   InstanceByToken[Tok] = Inst.Id;
+  // One token_unfold event per activation class created (§6.4): the
+  // routine name labels the event, the call site ties it to the source.
+  if (TraceRecorder *Rec = Telem.Trace;
+      Rec && Rec->wants(TraceEventKind::TokenUnfold))
+    Rec->record(TraceEventKind::TokenUnfold, Inst.Id, Tok.CallSiteId,
+                R->name());
   Instances.push_back(std::move(Inst));
   return Instances.back().Id;
 }

@@ -130,9 +130,12 @@ class SuperGraph {
 public:
   /// \p ContextInsensitive merges every call site of a routine into one
   /// activation class (tokens keep only the alias partition).
+  /// \p Telem optionally records a token_unfold event per created
+  /// instance and counts interproc.instances.
   SuperGraph(const ProgramCfg &Cfg, RoutineDecl *Program,
              const StoreOps &Ops, const ExprSemantics &Exprs,
-             const Transfer &Xfer, bool ContextInsensitive = false);
+             const Transfer &Xfer, bool ContextInsensitive = false,
+             Telemetry Telem = {});
 
   unsigned numNodes() const { return NumNodes; }
   const std::vector<Instance> &instances() const { return Instances; }
@@ -197,6 +200,7 @@ private:
   VarNumbering Numbering; ///< assigns store slots; must precede analysis
   const StoreOps &Ops;
   const ExprSemantics &Exprs;
+  Telemetry Telem;
   const Transfer &Xfer;
 
   std::vector<Instance> Instances;

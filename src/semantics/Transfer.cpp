@@ -111,6 +111,7 @@ const AbstractStore *TransferCache::lookupOrCompute(bool Forward,
   Key = hashCombine(Key, Ops.hash(In));
   Shard &Sh = Shards[Key % NumShards];
   auto &Bucket = Sh.Buckets[(Key / NumShards) % Shard::NumBuckets];
+  const AbstractStore *Found = nullptr;
   {
     std::lock_guard<std::mutex> Lock(Sh.M);
     for (const Entry &E : Bucket)
@@ -121,10 +122,20 @@ const AbstractStore *TransferCache::lookupOrCompute(bool Forward,
       if (E.Key == Key && E.EdgeId == EdgeId && E.Forward == Forward &&
           Ops.equal(E.In, In)) {
         ++Sh.Hits;
-        return E.Result.get();
+        Found = E.Result.get();
+        break;
       }
-    ++Sh.Misses;
+    if (!Found)
+      ++Sh.Misses;
   }
+  // Trace outside the shard lock; the recorder appends to a per-thread
+  // buffer, so this never contends, but there is no reason to hold the
+  // shard hostage while it does.
+  if (Found) {
+    traceEvent(Trace, TraceEventKind::CacheHit, EdgeId, Forward);
+    return Found;
+  }
+  traceEvent(Trace, TraceEventKind::CacheMiss, EdgeId, Forward);
   // Compute outside the lock; a racing miss on the same key computes the
   // same pure function twice, which is benign.
   auto Result = std::make_unique<const AbstractStore>(Fn());

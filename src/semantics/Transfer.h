@@ -17,6 +17,7 @@
 
 #include "cfg/Cfg.h"
 #include "semantics/ExprSemantics.h"
+#include "support/Telemetry.h"
 
 #include <array>
 #include <cstdint>
@@ -98,6 +99,10 @@ public:
   size_t size() const;
   void clear();
 
+  /// Installs a trace recorder for per-lookup cache_hit/cache_miss
+  /// events (high-volume: masked out of TraceRecorder::DefaultEvents).
+  void setTrace(TraceRecorder *R) { Trace = R; }
+
 private:
   struct Entry {
     uint64_t Key = 0;
@@ -130,6 +135,7 @@ private:
   static constexpr unsigned NumShards = 64;
   const StoreOps &Ops;
   size_t MaxPerShard;
+  TraceRecorder *Trace = nullptr;
   std::array<Shard, NumShards> Shards;
 };
 

@@ -48,3 +48,33 @@ std::string AnalysisStats::str() const {
   }
   return Out;
 }
+
+json::Value PhaseStats::toJson() const {
+  json::Value V = json::Value::object();
+  V.set("name", Name);
+  V.set("widening_steps", static_cast<int64_t>(WideningSteps));
+  V.set("narrowing_steps", static_cast<int64_t>(NarrowingSteps));
+  V.set("seconds", Seconds);
+  return V;
+}
+
+json::Value AnalysisStats::toJson() const {
+  json::Value V = json::Value::object();
+  V.set("control_points", static_cast<int64_t>(ControlPoints));
+  V.set("equations", static_cast<int64_t>(Equations));
+  V.set("unions", static_cast<int64_t>(Unions));
+  V.set("widenings", static_cast<int64_t>(Widenings));
+  V.set("narrowings", static_cast<int64_t>(Narrowings));
+  V.set("cache_hits", static_cast<int64_t>(CacheHits));
+  V.set("cache_misses", static_cast<int64_t>(CacheMisses));
+  V.set("parallel_components", static_cast<int64_t>(ParallelComponents));
+  V.set("parallel_tasks", static_cast<int64_t>(ParallelTasks));
+  V.set("parallel_dag_width", static_cast<int64_t>(ParallelDagWidth));
+  V.set("bytes_used", static_cast<int64_t>(BytesUsed));
+  V.set("cpu_seconds", CpuSeconds);
+  json::Value Ps = json::Value::array();
+  for (const PhaseStats &P : Phases)
+    Ps.push(P.toJson());
+  V.set("phases", std::move(Ps));
+  return V;
+}

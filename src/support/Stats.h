@@ -16,6 +16,8 @@
 #ifndef SYNTOX_SUPPORT_STATS_H
 #define SYNTOX_SUPPORT_STATS_H
 
+#include "support/Json.h"
+
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -29,6 +31,9 @@ struct PhaseStats {
   uint64_t WideningSteps = 0;  ///< equation evaluations in the ascending phase
   uint64_t NarrowingSteps = 0; ///< equation evaluations in the descending phase
   double Seconds = 0.0;        ///< wall-clock time of this phase
+
+  /// Stable JSON rendering (schemas/findings.schema.json).
+  json::Value toJson() const;
 };
 
 /// Aggregate statistics for one complete abstract-debugging run.
@@ -57,6 +62,9 @@ struct AnalysisStats {
 
   /// Renders a Figure-2-style summary block.
   std::string str() const;
+
+  /// Stable JSON rendering (schemas/findings.schema.json).
+  json::Value toJson() const;
 };
 
 } // namespace syntox

@@ -80,60 +80,12 @@ struct AnalyzedProgram {
   }
 };
 
-/// Fluent one-expression construction of Analyzer::Options, so tests
+/// Fluent one-expression construction of AnalysisOptions, so tests
 /// don't repeat the declare-mutate-pass boilerplate:
 ///   analyzeProgram(Src, withOptions().terminationGoal().backwardRounds(2))
-class OptionsBuilder {
-public:
-  OptionsBuilder &strategy(IterationStrategy S) {
-    O.Strategy = S;
-    return *this;
-  }
-  OptionsBuilder &threads(unsigned N) {
-    O.NumThreads = N;
-    return *this;
-  }
-  OptionsBuilder &transferCache(bool On) {
-    O.UseTransferCache = On;
-    return *this;
-  }
-  OptionsBuilder &narrowingPasses(unsigned N) {
-    O.NarrowingPasses = N;
-    return *this;
-  }
-  OptionsBuilder &backwardRounds(unsigned N) {
-    O.BackwardRounds = N;
-    return *this;
-  }
-  OptionsBuilder &terminationGoal(bool On = true) {
-    O.TerminationGoal = On;
-    return *this;
-  }
-  OptionsBuilder &backward(bool On) {
-    O.UseBackward = On;
-    return *this;
-  }
-  OptionsBuilder &harrisonGfp(bool On = true) {
-    O.HarrisonGfp = On;
-    return *this;
-  }
-  OptionsBuilder &contextInsensitive(bool On = true) {
-    O.ContextInsensitive = On;
-    return *this;
-  }
-  OptionsBuilder &wideningThresholds(std::vector<int64_t> T) {
-    O.WideningThresholds = std::move(T);
-    return *this;
-  }
-
-  /*implicit*/ operator Analyzer::Options() const { return O; }
-
-private:
-  Analyzer::Options O;
-};
-
-/// Entry point of the builder above.
-inline OptionsBuilder withOptions() { return {}; }
+/// The chainable setters live on AnalysisOptions itself now; this is
+/// just the spelled-out starting point.
+inline AnalysisOptions withOptions() { return {}; }
 
 /// Runs the whole pipeline over \p Source.
 inline AnalyzedProgram analyzeProgram(const std::string &Source,

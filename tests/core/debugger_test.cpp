@@ -13,7 +13,7 @@ std::unique_ptr<AbstractDebugger>
 makeDebugger(const std::string &Source, bool TerminationGoal = false) {
   DiagnosticsEngine Diags;
   AbstractDebugger::Options Opts;
-  Opts.Analysis.TerminationGoal = TerminationGoal;
+  Opts.TerminationGoal = TerminationGoal;
   auto Dbg = AbstractDebugger::create(Source, Diags, Opts);
   EXPECT_NE(Dbg, nullptr) << Diags.str();
   if (Dbg)
@@ -112,14 +112,20 @@ TEST(AbstractDebuggerTest, SpecSatisfiabilityVerdict) {
   EXPECT_FALSE(Bad->someExecutionMaySatisfySpec());
 }
 
-TEST(AbstractDebuggerTest, StateReportRendersStores) {
+TEST(AbstractDebuggerTest, MainStatesRendersStores) {
   auto Dbg = makeDebugger("program p; var i : integer;\n"
                           "begin i := 0; while i < 100 do i := i + 1 end.");
   ASSERT_NE(Dbg, nullptr);
-  std::string Report = Dbg->stateReport("exit");
-  EXPECT_NE(Report.find("i -> [100, 100]"), std::string::npos) << Report;
-  // Filtered report only contains matching points.
-  EXPECT_EQ(Report.find("while head"), std::string::npos);
+  std::vector<PointState> States = Dbg->mainStates("exit");
+  ASSERT_FALSE(States.empty());
+  bool Found = false;
+  for (const PointState &S : States) {
+    // Filtered query only contains matching points.
+    EXPECT_EQ(S.PointDesc.find("while head"), std::string::npos);
+    for (const StateBinding &B : S.Bindings)
+      Found |= B.Var == "i" && B.Value == "[100, 100]";
+  }
+  EXPECT_TRUE(Found);
 }
 
 TEST(AbstractDebuggerTest, StatsArePopulated) {
@@ -145,8 +151,30 @@ TEST(AbstractDebuggerTest, McCarthyInvariantStudy) {
   auto Dbg = makeDebugger(paper::McCarthyWithInvariant);
   ASSERT_NE(Dbg, nullptr);
   // m = 91 is visible in the final state at the exit.
-  std::string Report = Dbg->stateReport("exit of mccarthy");
-  EXPECT_NE(Report.find("m -> [91, 91]"), std::string::npos) << Report;
+  bool Found = false;
+  for (const PointState &S : Dbg->mainStates("exit of mccarthy"))
+    for (const StateBinding &B : S.Bindings)
+      Found |= B.Var == "m" && B.Value == "[91, 91]";
+  EXPECT_TRUE(Found);
+}
+
+TEST(AbstractDebuggerTest, QueriesBeforeAnalyzeThrow) {
+  DiagnosticsEngine Diags;
+  auto Dbg = AbstractDebugger::create(
+      "program p; var i : integer; begin i := 1 end.", Diags);
+  ASSERT_NE(Dbg, nullptr);
+  EXPECT_FALSE(Dbg->analyzed());
+  EXPECT_THROW(Dbg->stats(), std::logic_error);
+  EXPECT_THROW(Dbg->conditions(), std::logic_error);
+  EXPECT_THROW(Dbg->invariantWarnings(), std::logic_error);
+  EXPECT_THROW(Dbg->checks(), std::logic_error);
+  EXPECT_THROW(Dbg->someExecutionMaySatisfySpec(), std::logic_error);
+  EXPECT_THROW(Dbg->stateAt(SourceLoc(1, 0)), std::logic_error);
+  EXPECT_THROW(Dbg->mainStates(), std::logic_error);
+  Dbg->analyze();
+  EXPECT_TRUE(Dbg->analyzed());
+  EXPECT_NO_THROW(Dbg->stats());
+  EXPECT_NO_THROW(Dbg->conditions());
 }
 
 } // namespace

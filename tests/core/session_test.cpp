@@ -1,0 +1,305 @@
+//===- tests/core/session_test.cpp - AnalysisSession/Result API tests -----===//
+
+#include "core/AnalysisSession.h"
+#include "frontend/PaperPrograms.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace syntox;
+
+namespace {
+
+std::unique_ptr<AnalysisSession> makeSession(const std::string &Source,
+                                             AnalysisOptions Opts = {}) {
+  DiagnosticsEngine Diags;
+  auto Session = AnalysisSession::create(Source, Diags, Opts);
+  EXPECT_NE(Session, nullptr) << Diags.str();
+  return Session;
+}
+
+std::vector<std::string> conditionStrings(
+    const std::vector<NecessaryCondition> &Conds) {
+  std::vector<std::string> Out;
+  for (const NecessaryCondition &C : Conds)
+    Out.push_back(C.str());
+  return Out;
+}
+
+TEST(AnalysisSessionTest, CreateRejectsBadSource) {
+  DiagnosticsEngine Diags;
+  EXPECT_EQ(AnalysisSession::create("program p; begin x := end.", Diags),
+            nullptr);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(AnalysisSessionTest, MigrationOldAndNewApiFindingsAgree) {
+  // The same program and options through the deprecated direct-debugger
+  // path and through the session must produce identical findings.
+  std::string McIntermittent = paper::McCarthyProgram;
+  McIntermittent.insert(McIntermittent.find("writeln(m)"),
+                        "intermittent(m = 91);\n  ");
+  for (const std::string &Source :
+       {std::string(paper::ForProgram), McIntermittent}) {
+    DiagnosticsEngine Diags;
+    auto Dbg = AbstractDebugger::create(Source, Diags);
+    ASSERT_NE(Dbg, nullptr);
+    Dbg->analyze();
+
+    auto Session = makeSession(Source);
+    ASSERT_NE(Session, nullptr);
+    AnalysisResult Result = Session->run();
+
+    EXPECT_EQ(conditionStrings(Dbg->conditions()),
+              conditionStrings(Result.conditions()));
+    EXPECT_EQ(Dbg->invariantWarnings().size(),
+              Result.invariantWarnings().size());
+    EXPECT_EQ(Dbg->checks().summary().Total, Result.checks().summary().Total);
+    EXPECT_EQ(Dbg->checks().summary().Safe, Result.checks().summary().Safe);
+    EXPECT_EQ(Dbg->someExecutionMaySatisfySpec(),
+              Result.someExecutionMaySatisfySpec());
+    EXPECT_EQ(Dbg->stats().ControlPoints, Result.stats().ControlPoints);
+  }
+}
+
+TEST(AnalysisSessionTest, ResultsSurviveLaterRuns) {
+  auto Session = makeSession(paper::ForProgram);
+  ASSERT_NE(Session, nullptr);
+  AnalysisResult First = Session->run();
+  std::vector<std::string> FirstConds = conditionStrings(First.conditions());
+  ASSERT_FALSE(FirstConds.empty());
+
+  // A second run with different options must not disturb the first
+  // result (it owns a separate frozen engine).
+  Session->options().terminationGoal(true);
+  AnalysisResult Second = Session->run();
+  EXPECT_EQ(conditionStrings(First.conditions()), FirstConds);
+
+  // Results outlive the session.
+  Session.reset();
+  EXPECT_EQ(conditionStrings(First.conditions()), FirstConds);
+  EXPECT_FALSE(conditionStrings(Second.conditions()).empty());
+}
+
+TEST(AnalysisSessionTest, StateAtQueriesTheStatementInspector) {
+  auto Session = makeSession(paper::ForProgram);
+  ASSERT_NE(Session, nullptr);
+  AnalysisResult Result = Session->run();
+  // Line 6 of the For program is `read(n)`.
+  std::vector<PointState> States = Result.stateAt(SourceLoc(6, 0));
+  ASSERT_FALSE(States.empty());
+  bool SawN = false;
+  for (const PointState &S : States) {
+    EXPECT_EQ(S.Loc.Line, 6u);
+    for (const StateBinding &B : S.Bindings)
+      SawN |= B.Var == "n";
+  }
+  EXPECT_TRUE(SawN);
+  // A line with no control point yields no states, not an error.
+  EXPECT_TRUE(Result.stateAt(SourceLoc(9999, 0)).empty());
+}
+
+TEST(AnalysisSessionTest, FindingsJsonRoundTripsAndMatchesSchema) {
+  auto Session = makeSession(paper::ForProgram);
+  ASSERT_NE(Session, nullptr);
+  AnalysisResult Result = Session->run();
+  json::Value Doc = Result.toJson();
+
+  // Required top-level keys of schemas/findings.schema.json.
+  for (const char *Key : {"verdict", "conditions", "invariant_warnings",
+                          "checks", "stats", "metrics"})
+    EXPECT_TRUE(Doc.has(Key)) << Key;
+  EXPECT_EQ(Doc.find("verdict")->asString(),
+            "some_execution_may_satisfy_spec");
+  const json::Value *Conds = Doc.find("conditions");
+  ASSERT_TRUE(Conds && Conds->isArray());
+  ASSERT_EQ(Conds->size(), Result.conditions().size());
+  for (const json::Value &C : Conds->elements()) {
+    EXPECT_TRUE(C.find("line") && C.find("line")->isInt());
+    EXPECT_TRUE(C.find("condition") && C.find("condition")->isString());
+    EXPECT_TRUE(C.find("point") && C.find("point")->isString());
+  }
+  const json::Value *Checks = Doc.find("checks");
+  ASSERT_TRUE(Checks && Checks->find("summary") && Checks->find("results"));
+  EXPECT_EQ(Checks->find("summary")->find("total")->asInt(),
+            static_cast<int64_t>(Result.checks().summary().Total));
+  for (const json::Value &R : Checks->find("results")->elements()) {
+    EXPECT_TRUE(R.find("kind") && R.find("kind")->isString());
+    EXPECT_TRUE(R.find("verdict") && R.find("verdict")->isString());
+  }
+  EXPECT_TRUE(Doc.find("stats")->find("phases")->isArray());
+
+  // Writer -> parser round trip is the identity.
+  std::optional<json::Value> Back = json::parse(Doc.pretty());
+  ASSERT_TRUE(Back.has_value());
+  EXPECT_TRUE(*Back == Doc);
+}
+
+TEST(AnalysisSessionTest, MetricsAccumulateAcrossRuns) {
+  auto Session = makeSession(paper::ForProgram);
+  ASSERT_NE(Session, nullptr);
+  AnalysisResult First = Session->run();
+  const json::Value *C1 = First.metrics().find("counters");
+  ASSERT_TRUE(C1 && C1->find("solver.ascending_steps"));
+  int64_t Steps1 = C1->find("solver.ascending_steps")->asInt();
+  EXPECT_GT(Steps1, 0);
+
+  AnalysisResult Second = Session->run();
+  const json::Value *C2 = Second.metrics().find("counters");
+  int64_t Steps2 = C2->find("solver.ascending_steps")->asInt();
+  EXPECT_EQ(Steps2, 2 * Steps1) << "counters are session totals";
+  // The first result's snapshot is frozen.
+  EXPECT_EQ(First.metrics().find("counters")
+                ->find("solver.ascending_steps")
+                ->asInt(),
+            Steps1);
+}
+
+TEST(AnalysisSessionTest, TraceJsonLinesGolden) {
+  auto Session = makeSession(paper::ForProgram);
+  ASSERT_NE(Session, nullptr);
+  Session->enableTracing();
+  Session->run();
+
+  std::ostringstream OS;
+  StreamTraceSink Sink(OS, TraceFormat::JsonLines);
+  Session->flushTrace(Sink);
+
+  const std::set<std::string> Vocabulary{
+      "phase_begin", "phase_end",  "component_begin", "component_end",
+      "widening",    "narrowing",  "token_unfold",    "cache_hit",
+      "cache_miss",  "task_enqueue", "task_run",      "task_complete",
+      "store_detach"};
+  std::vector<std::string> PhaseBegins;
+  int PhaseDepth = 0;
+  uint64_t LastTs = 0;
+  std::istringstream In(OS.str());
+  std::string Line;
+  unsigned NumEvents = 0;
+  while (std::getline(In, Line)) {
+    ++NumEvents;
+    std::optional<json::Value> V = json::parse(Line);
+    ASSERT_TRUE(V.has_value()) << Line;
+    std::string Ev = V->find("ev")->asString();
+    EXPECT_TRUE(Vocabulary.count(Ev)) << Ev;
+    // The default mask excludes the detail kinds.
+    EXPECT_NE(Ev, "cache_hit");
+    EXPECT_NE(Ev, "store_detach");
+    uint64_t Ts = static_cast<uint64_t>(V->find("t")->asInt());
+    EXPECT_GE(Ts, LastTs);
+    LastTs = Ts;
+    if (Ev == "phase_begin") {
+      ++PhaseDepth;
+      PhaseBegins.push_back(V->find("label")->asString());
+    } else if (Ev == "phase_end") {
+      --PhaseDepth;
+    }
+    EXPECT_GE(PhaseDepth, 0);
+  }
+  EXPECT_EQ(PhaseDepth, 0);
+  EXPECT_GT(NumEvents, 4u);
+  // The §3 schedule begins with the forward lfp phase.
+  ASSERT_FALSE(PhaseBegins.empty());
+  EXPECT_EQ(PhaseBegins.front(), "Forward analysis");
+
+  // Flushing consumed the events.
+  std::ostringstream OS2;
+  StreamTraceSink Sink2(OS2, TraceFormat::JsonLines);
+  Session->flushTrace(Sink2);
+  EXPECT_TRUE(OS2.str().empty());
+}
+
+/// K independent heavy loop nests behind a branch tree: the parallel
+/// strategy schedules them as separate tasks.
+std::string wideProgram(unsigned Leaves) {
+  std::string Out = "program gen;\nvar c : integer;\n";
+  for (unsigned I = 0; I < Leaves; ++I)
+    Out += "  x" + std::to_string(I) + ", y" + std::to_string(I) +
+           " : integer;\n";
+  Out += "begin\n  read(c);\n";
+  for (unsigned I = 0; I < Leaves; ++I) {
+    std::string X = "x" + std::to_string(I), Y = "y" + std::to_string(I);
+    Out += "  if c = " + std::to_string(I) + " then begin\n";
+    Out += "    " + X + " := 0;\n";
+    Out += "    while " + X + " < 500 do begin\n";
+    Out += "      " + Y + " := 0;\n";
+    Out += "      while " + Y + " < 500 do " + Y + " := " + Y + " + 1;\n";
+    Out += "      " + X + " := " + X + " + 1\n";
+    Out += "    end\n";
+    Out += "  end;\n";
+  }
+  Out += "  c := 0\nend.\n";
+  return Out;
+}
+
+TEST(AnalysisSessionTest, ChromeTraceOfParallelRunShowsTaskSpans) {
+  auto Session = makeSession(
+      wideProgram(4),
+      AnalysisOptions().strategy(IterationStrategy::Parallel).threads(4));
+  ASSERT_NE(Session, nullptr);
+  Session->enableTracing();
+  Session->run();
+
+  std::ostringstream OS;
+  StreamTraceSink Sink(OS, TraceFormat::Chrome);
+  Session->flushTrace(Sink);
+
+  std::string Error;
+  std::optional<json::Value> Doc = json::parse(OS.str(), &Error);
+  ASSERT_TRUE(Doc.has_value()) << Error;
+  const json::Value *Events = Doc->find("traceEvents");
+  ASSERT_TRUE(Events && Events->isArray());
+
+  // Spans balance per thread; component spans exist on worker threads.
+  std::map<int64_t, int> DepthPerTid;
+  std::set<int64_t> ComponentTids;
+  unsigned TaskSpans = 0;
+  for (const json::Value &E : Events->elements()) {
+    const std::string &Ph = E.find("ph")->asString();
+    int64_t Tid = E.find("tid")->asInt();
+    const std::string &Kind = E.find("args")->find("kind")->asString();
+    if (Ph == "B") {
+      ++DepthPerTid[Tid];
+      if (Kind == "component_begin")
+        ComponentTids.insert(Tid);
+      if (Kind == "task_run")
+        ++TaskSpans;
+    } else if (Ph == "E") {
+      --DepthPerTid[Tid];
+      EXPECT_GE(DepthPerTid[Tid], 0);
+    }
+  }
+  for (const auto &[Tid, Depth] : DepthPerTid)
+    EXPECT_EQ(Depth, 0) << "unbalanced spans on tid " << Tid;
+  EXPECT_GE(TaskSpans, 4u) << "one task_run span per independent component";
+  EXPECT_GE(ComponentTids.size(), 2u)
+      << "component stabilizations spread over worker threads";
+}
+
+TEST(AnalysisSessionTest, DeprecatedAccessorsStillWork) {
+  // The compat shims must keep old call sites building (with a
+  // deprecation warning, silenced here) and behaving identically.
+  DiagnosticsEngine Diags;
+  auto Dbg = AbstractDebugger::create(
+      "program p; var i : integer;\n"
+      "begin i := 0; while i < 100 do i := i + 1 end.",
+      Diags);
+  ASSERT_NE(Dbg, nullptr);
+  Dbg->analyze();
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  std::string Report = Dbg->stateReport("exit");
+  Analyzer &Mutable = Dbg->analyzer();
+#pragma GCC diagnostic pop
+  EXPECT_NE(Report.find("i -> [100, 100]"), std::string::npos) << Report;
+  EXPECT_EQ(&Mutable, &static_cast<const AbstractDebugger &>(*Dbg).analyzer());
+}
+
+} // namespace

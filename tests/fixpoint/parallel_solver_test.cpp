@@ -115,9 +115,9 @@ std::vector<std::string> conditionsUnder(const char *Source,
                                          unsigned Threads) {
   DiagnosticsEngine Diags;
   AbstractDebugger::Options Opts;
-  Opts.Analysis.TerminationGoal = true;
-  Opts.Analysis.Strategy = S;
-  Opts.Analysis.NumThreads = Threads;
+  Opts.TerminationGoal = true;
+  Opts.Strategy = S;
+  Opts.NumThreads = Threads;
   auto Dbg = AbstractDebugger::create(Source, Diags, Opts);
   EXPECT_NE(Dbg, nullptr) << Diags.str();
   std::vector<std::string> Out;
