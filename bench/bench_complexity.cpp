@@ -41,6 +41,10 @@ struct Measurement {
   unsigned Points = 0;
   double Seconds = 0;
   double ParallelSeconds = 0;
+  /// A 3-round refinement chain, warm-started vs cold: the `warm`
+  /// column is Cold3Seconds / Warm3Seconds.
+  double Warm3Seconds = 0;
+  double Cold3Seconds = 0;
 };
 
 double timeOnce(bench::Harness &H, const std::string &Label,
@@ -82,6 +86,12 @@ Measurement measure(bench::Harness &H, const std::string &Label,
   Par.NumThreads = 4;
   M.ParallelSeconds =
       timeOnce(H, Label + "/parallel4", Source, Par, nullptr);
+  AbstractDebugger::Options Chain = H.options();
+  Chain.BackwardRounds = 3;
+  Chain.WarmStart = true;
+  M.Warm3Seconds = timeOnce(H, Label + "/warm3", Source, Chain, nullptr);
+  Chain.WarmStart = false;
+  M.Cold3Seconds = timeOnce(H, Label + "/cold3", Source, Chain, nullptr);
   return M;
 }
 
@@ -93,6 +103,8 @@ void reportRow(bench::Harness &H, const char *Family, unsigned K,
   Row.set("points", M.Points);
   Row.set("seconds", M.Seconds);
   Row.set("parallel4_seconds", M.ParallelSeconds);
+  Row.set("warm3_seconds", M.Warm3Seconds);
+  Row.set("cold3_seconds", M.Cold3Seconds);
   H.row(std::move(Row));
 }
 
@@ -103,14 +115,16 @@ int main(int argc, char **argv) {
   std::printf("==== E5: analysis complexity (paper 6.3) ====\n\n");
 
   std::printf("-- Loop chains (expected: near-linear time in size) --\n");
-  std::printf("%8s %10s %12s %16s %10s\n", "loops", "points", "time (s)",
-              "us per point", "par(4)");
+  std::printf("%8s %10s %12s %16s %10s %8s\n", "loops", "points",
+              "time (s)", "us per point", "par(4)", "warm");
   for (unsigned K : {5u, 10u, 20u, 40u, 80u, 160u}) {
     Measurement M =
         measure(H, "loopChain/" + std::to_string(K), loopChain(K));
     reportRow(H, "loopChain", K, M);
-    std::printf("%8u %10u %12.5f %16.2f %9.2fx\n", K, M.Points, M.Seconds,
-                1e6 * M.Seconds / M.Points, M.Seconds / M.ParallelSeconds);
+    std::printf("%8u %10u %12.5f %16.2f %9.2fx %7.2fx\n", K, M.Points,
+                M.Seconds, 1e6 * M.Seconds / M.Points,
+                M.Seconds / M.ParallelSeconds,
+                M.Cold3Seconds / M.Warm3Seconds);
   }
   std::printf("(a flat us-per-point column = linear scaling; the par(4) "
               "speedup stays ~1x because a\n sequential chain has no "
@@ -119,14 +133,16 @@ int main(int argc, char **argv) {
 
   std::printf("-- McCarthy_k (expected: super-linear, the paper's "
               "pathological case) --\n");
-  std::printf("%8s %10s %12s %16s %10s\n", "k", "points", "time (s)",
-              "us per point", "par(4)");
+  std::printf("%8s %10s %12s %16s %10s %8s\n", "k", "points", "time (s)",
+              "us per point", "par(4)", "warm");
   for (unsigned K : {3u, 6u, 9u, 12u, 18u, 24u, 30u}) {
     Measurement M =
         measure(H, "mcCarthy/" + std::to_string(K), paper::mcCarthyK(K));
     reportRow(H, "mcCarthy", K, M);
-    std::printf("%8u %10u %12.5f %16.2f %9.2fx\n", K, M.Points, M.Seconds,
-                1e6 * M.Seconds / M.Points, M.Seconds / M.ParallelSeconds);
+    std::printf("%8u %10u %12.5f %16.2f %9.2fx %7.2fx\n", K, M.Points,
+                M.Seconds, 1e6 * M.Seconds / M.Points,
+                M.Seconds / M.ParallelSeconds,
+                M.Cold3Seconds / M.Warm3Seconds);
   }
   std::printf("(points grow ~quadratically with k: the unfolded call "
               "graph has k+1 instances\n of a body whose size is itself "

@@ -143,4 +143,51 @@ check(metrics["counters"].get("solver.ascending_steps", 0) > 0,
 print(f"telemetry smoke test OK ({n} trace events)")
 EOF
 
+echo "== incremental-solving smoke test =="
+build-ci/bench/bench_incremental --out="$OUT/BENCH_incremental.json" \
+    --bench-rounds=3 > /dev/null
+
+python3 - "$OUT" <<'EOF'
+import json, sys
+out = sys.argv[1]
+
+def check(cond, what):
+    if not cond:
+        raise SystemExit(f"bench_incremental violation: {what}")
+
+with open("schemas/bench.schema.json") as f:
+    schema = json.load(f)
+with open(f"{out}/BENCH_incremental.json") as f:
+    report = json.load(f)
+
+for key in schema["required"]:
+    check(key in report, f"missing required key '{key}'")
+check(report["benchmark"] == "bench_incremental", "wrong benchmark name")
+check(isinstance(report["rows"], list) and report["rows"], "no rows")
+for i, row in enumerate(report["rows"]):
+    check(isinstance(row, dict), f"rows[{i}] not an object")
+    for col in ("family", "k", "round", "cold_evals", "warm_evals",
+                "warm_component_skips", "warm_skipped_evals"):
+        check(col in row, f"rows[{i}] missing '{col}'")
+for a in report["analyses"]:
+    for key in ("label", "seconds", "stats"):
+        check(key in a, f"analysis entry missing '{key}'")
+check("counters" in report["metrics"], "metrics missing counters")
+
+# The acceptance claim: from round 2 on, warm starts cut the live
+# evaluations at least 2x on both families (full replay counts as inf).
+families = set()
+for row in report["rows"]:
+    families.add(row["family"])
+    if row["round"] >= 2:
+        check(row["warm_evals"] * 2 <= row["cold_evals"],
+              f"{row['family']}/{row['k']} round {row['round']}: "
+              f"warm {row['warm_evals']} vs cold {row['cold_evals']} "
+              "is under a 2x reduction")
+check(families == {"loopChain", "mcCarthy"}, f"unexpected families {families}")
+
+print("incremental-solving smoke test OK "
+      f"({len(report['rows'])} rows, both families >= 2x from round 2)")
+EOF
+
 echo "ALL CHECKS PASSED"

@@ -42,6 +42,11 @@ AbstractDebugger::create(const std::string &Source, DiagnosticsEngine &Diags,
 AbstractDebugger::~AbstractDebugger() = default;
 
 void AbstractDebugger::analyze() {
+  // Repeated analyze() calls re-run the chain on the same engine. With
+  // warm starts on (the default), the analyzer's warm slots survive
+  // between runs, so a re-analysis replays every phase whose recorded
+  // inputs still verify and only re-derives the findings — the results
+  // are bitwise-identical to the first call either way.
   An->run();
   Checks = std::make_unique<CheckAnalysis>(*An);
   Analyzed = true;

@@ -107,6 +107,9 @@ public:
   ~AbstractDebugger();
 
   /// Runs the analysis schedule; must be called before the queries.
+  /// May be called again: a re-analysis warm-starts from the previous
+  /// run's recordings (unless WarmStart is off) and produces identical
+  /// results.
   void analyze();
 
   /// Whether analyze() has completed (the queries below require it).

@@ -41,6 +41,10 @@ FlagParse syntox::parseAnalysisFlag(const std::string &Arg,
     Opts.UseTransferCache = true;
   } else if (Arg == "--no-cache") {
     Opts.UseTransferCache = false;
+  } else if (Arg == "--warm-start") {
+    Opts.WarmStart = true;
+  } else if (Arg == "--no-warm-start") {
+    Opts.WarmStart = false;
   } else if (Arg == "--trace-detail") {
     Telem.TraceDetail = true;
   } else if (const char *V = valueOf("--rounds=")) {
@@ -123,6 +127,10 @@ const char *syntox::analysisFlagsHelp() {
          "                       chaotic iteration strategy\n"
          "  --threads=N          workers for --strategy=parallel (0 = all)\n"
          "  --cache, --no-cache  memoizing transfer-function cache\n"
+         "  --warm-start, --no-warm-start\n"
+         "                       replay stable WTO components across\n"
+         "                       refinement rounds (default on; results\n"
+         "                       are identical either way)\n"
          "  --rounds=N           backward/forward refinement rounds\n"
          "  --narrowing=N        narrowing passes per ascending phase\n"
          "  --terminate          add the goal 'the program terminates'\n"

@@ -123,6 +123,13 @@ void render(const std::vector<WtoElement> &Elements, std::string &Out) {
   }
 }
 
+void markTopElement(const WtoElement &E, unsigned Idx,
+                    std::vector<unsigned> &TopElem) {
+  TopElem[E.Vertex] = Idx;
+  for (const WtoElement &Sub : E.Body)
+    markTopElement(Sub, Idx, TopElem);
+}
+
 void collectHeads(const std::vector<WtoElement> &Elements,
                   std::vector<unsigned> &Out) {
   for (const WtoElement &E : Elements)
@@ -142,6 +149,9 @@ Wto::Wto(const Digraph &Graph, const std::vector<unsigned> &Roots) {
   Depth.assign(Graph.numNodes(), 0);
   unsigned Pos = 0;
   annotate(Elements, 0, Head, Position, Depth, Pos);
+  TopElem.assign(Graph.numNodes(), 0);
+  for (unsigned I = 0; I < Elements.size(); ++I)
+    markTopElement(Elements[I], I, TopElem);
 }
 
 std::vector<unsigned> Wto::wideningPoints() const {

@@ -56,6 +56,11 @@ public:
   /// the paper's complexity bound is h * sum of depths.
   unsigned depth(unsigned Vertex) const { return Depth[Vertex]; }
 
+  /// Index into elements() of the *top-level* element containing
+  /// \p Vertex — the scheduling granule of the parallel strategy and the
+  /// replay granule of warm starts.
+  unsigned topElement(unsigned Vertex) const { return TopElem[Vertex]; }
+
   /// All widening points (component heads), in order.
   std::vector<unsigned> wideningPoints() const;
 
@@ -67,6 +72,7 @@ private:
   std::vector<bool> Head;
   std::vector<unsigned> Position;
   std::vector<unsigned> Depth;
+  std::vector<unsigned> TopElem;
 };
 
 } // namespace syntox

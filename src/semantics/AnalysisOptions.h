@@ -60,6 +60,13 @@ struct AnalysisOptions {
   /// (§6.4: "it is possible to avoid [the duplication], at the cost of
   /// a loss of precision").
   bool ContextInsensitive = false;
+  /// Warm-start the refinement chain: each phase records its iteration
+  /// trajectory and the next round replays the WTO components whose
+  /// inputs provably did not change (see fixpoint/Solver.h). The replay
+  /// is exact, so results are bit-for-bit those of a cold chain; only
+  /// the iteration counters differ. On by default — turn off to
+  /// reproduce the pre-warm-start cold behavior (--no-warm-start).
+  bool WarmStart = true;
   /// Widening thresholds (empty = the standard §6.1 operator).
   std::vector<int64_t> WideningThresholds;
   /// Optional trace/metrics sinks (borrowed; owned by the session or
@@ -102,6 +109,10 @@ struct AnalysisOptions {
   }
   AnalysisOptions &contextInsensitive(bool On = true) {
     ContextInsensitive = On;
+    return *this;
+  }
+  AnalysisOptions &warmStart(bool On) {
+    WarmStart = On;
     return *this;
   }
   AnalysisOptions &wideningThresholds(std::vector<int64_t> T) {

@@ -73,6 +73,19 @@ public:
   }
 
 private:
+  /// Warm-start state for one slot of the refinement chain: the memo
+  /// the solver records/replays, plus the external inputs the recorded
+  /// run solved under (to mark the nodes whose inputs changed since).
+  /// Three slots exist — the forward phases share one, and the two
+  /// backward analyses get one each — because replay is only exact
+  /// against a run of the *same* equation system.
+  struct WarmSlot {
+    WarmStartMemo<AbstractStore> Memo;
+    bool HadEnv = false; ///< the recorded run solved inside an envelope
+    std::vector<AbstractStore> Env;   ///< envelope of the recorded run
+    std::vector<AbstractStore> Seeds; ///< seeds of the recorded run
+  };
+
   std::vector<AbstractStore> solveForward(
       const std::vector<AbstractStore> *Env, PhaseStats &Phase);
   std::vector<AbstractStore> solveBackward(
@@ -84,6 +97,9 @@ private:
   void tracePhase(bool Begin, const PhaseStats &Phase);
   void accumulateSolverStats(const SolverStats &S, uint64_t SysUnions,
                              PhaseStats &Phase);
+  std::vector<uint8_t> unchangedInputs(
+      const WarmSlot &Slot, const std::vector<AbstractStore> *Env,
+      const std::vector<AbstractStore> *Seeds) const;
 
   const ProgramCfg &Cfg;
   RoutineDecl *Program;
@@ -98,6 +114,7 @@ private:
   std::vector<AbstractStore> Envelope;
   std::vector<std::pair<std::string, std::vector<AbstractStore>>> Snapshots;
   AnalysisStats Stats;
+  WarmSlot FwdSlot, AlwaysSlot, EventuallySlot;
 };
 
 } // namespace syntox

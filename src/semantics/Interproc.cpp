@@ -328,6 +328,81 @@ SuperGraph::bwdChannelOut(const CallLink &L,
   return S;
 }
 
+AbstractStore
+SuperGraph::fwdTransfer(unsigned EdgeIdx,
+                        const std::vector<AbstractStore> &X) const {
+  const SuperEdge &E = Edges[EdgeIdx];
+  const CallLink &L = Links[E.Link];
+  const AbstractStore &In1 = X[E.From];
+  // CallOut/ChannelOut combine the callee state with the frozen caller
+  // state before the call.
+  const AbstractStore *In2 =
+      E.K == SuperEdge::Kind::CallIn ? nullptr : &X[L.NodeP];
+  LinkTransferMemo *M =
+      TransferMemoEnabled ? &EdgeMemos[EdgeIdx][0] : nullptr;
+  if (M && M->Valid && Ops.equal(M->In1, In1) &&
+      (!In2 || Ops.equal(M->In2, *In2))) {
+    TransferMemoHits.fetch_add(1, std::memory_order_relaxed);
+    return M->Out;
+  }
+  AbstractStore Out;
+  switch (E.K) {
+  case SuperEdge::Kind::CallIn:
+    Out = copyIn(L, In1);
+    break;
+  case SuperEdge::Kind::CallOut:
+    Out = copyOut(L, In1, *In2);
+    break;
+  case SuperEdge::Kind::ChannelOut:
+    Out = channelOut(L, In1, *In2);
+    break;
+  case SuperEdge::Kind::Local:
+    break; // not an interprocedural edge; unreachable by contract
+  }
+  if (M) {
+    M->Valid = true;
+    M->In1 = In1;
+    if (In2)
+      M->In2 = *In2;
+    M->Out = Out;
+  }
+  return Out;
+}
+
+AbstractStore
+SuperGraph::bwdTransfer(unsigned EdgeIdx,
+                        const std::vector<AbstractStore> &X) const {
+  const SuperEdge &E = Edges[EdgeIdx];
+  const CallLink &L = Links[E.Link];
+  const AbstractStore &In = X[E.To];
+  LinkTransferMemo *M =
+      TransferMemoEnabled ? &EdgeMemos[EdgeIdx][1] : nullptr;
+  if (M && M->Valid && Ops.equal(M->In1, In)) {
+    TransferMemoHits.fetch_add(1, std::memory_order_relaxed);
+    return M->Out;
+  }
+  AbstractStore Out;
+  switch (E.K) {
+  case SuperEdge::Kind::CallIn:
+    Out = bwdCopyIn(L, In);
+    break;
+  case SuperEdge::Kind::CallOut:
+    Out = bwdCopyOut(L, In);
+    break;
+  case SuperEdge::Kind::ChannelOut:
+    Out = bwdChannelOut(L, In);
+    break;
+  case SuperEdge::Kind::Local:
+    break; // unreachable by contract
+  }
+  if (M) {
+    M->Valid = true;
+    M->In1 = In;
+    M->Out = Out;
+  }
+  return Out;
+}
+
 size_t SuperGraph::approximateBytes() const {
   size_t Bytes = sizeof(*this);
   Bytes += Instances.size() * sizeof(Instance);

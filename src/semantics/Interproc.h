@@ -30,6 +30,8 @@
 #include "fixpoint/Digraph.h"
 #include "semantics/Transfer.h"
 
+#include <array>
+#include <atomic>
 #include <map>
 #include <vector>
 
@@ -124,6 +126,17 @@ private:
   std::map<const RoutineDecl *, Range> Ranges;
 };
 
+/// Single-slot memo for one interprocedural edge transfer: the inputs
+/// last seen and the result they produced. The transfers are pure
+/// functions of their input stores, so a verified input match makes the
+/// recorded output exact — and returning the recorded store preserves
+/// its payload identity, which keeps downstream delta-aware joins and
+/// equality checks O(1) across refinement rounds.
+struct LinkTransferMemo {
+  bool Valid = false;
+  AbstractStore In1, In2, Out;
+};
+
 /// The fully unfolded program: instances, links, edges, and the
 /// interprocedural transfer functions.
 class SuperGraph {
@@ -185,6 +198,30 @@ public:
                               const AbstractStore &AtTarget) const;
   /// @}
 
+  /// \name Memoized edge transfers (warm-started refinement chains)
+  /// @{
+  /// Enables the per-edge transfer memo. Keyed on the unfolded token's
+  /// entry/exit states: a refinement round that leaves an edge's input
+  /// stores unchanged reuses the recorded summary instead of re-running
+  /// the copy-in/copy-out remap.
+  void enableTransferMemo() {
+    TransferMemoEnabled = true;
+    EdgeMemos.assign(Edges.size(), {});
+  }
+  /// Verified memo hits since construction.
+  uint64_t transferMemoHits() const {
+    return TransferMemoHits.load(std::memory_order_relaxed);
+  }
+  /// Forward transfer of interprocedural edge \p EdgeIdx (CallIn,
+  /// CallOut or ChannelOut) over the current solution \p X, through the
+  /// memo when enabled.
+  AbstractStore fwdTransfer(unsigned EdgeIdx,
+                            const std::vector<AbstractStore> &X) const;
+  /// Backward dual, seeded from X[edge target].
+  AbstractStore bwdTransfer(unsigned EdgeIdx,
+                            const std::vector<AbstractStore> &X) const;
+  /// @}
+
   /// The dense store-slot numbering this supergraph's stores run on.
   const VarNumbering &varNumbering() const { return Numbering; }
 
@@ -212,6 +249,15 @@ private:
   std::vector<unsigned> NodeInstance; ///< node -> instance id
   unsigned NumNodes = 0;
   bool ContextInsensitive = false;
+
+  /// Per-edge transfer memos, [edge][0 = forward, 1 = backward]. A slot
+  /// is read and written only while evaluating one fixed supergraph
+  /// node (the edge's target forward, its source backward), phases run
+  /// sequentially, and the parallel strategy never schedules one node
+  /// on two threads — so plain single-writer slots are race-free.
+  mutable std::vector<std::array<LinkTransferMemo, 2>> EdgeMemos;
+  mutable std::atomic<uint64_t> TransferMemoHits{0};
+  bool TransferMemoEnabled = false;
 };
 
 } // namespace syntox

@@ -11,10 +11,20 @@ std::string AnalysisStats::str() const {
   char Buf[160];
   for (const PhaseStats &P : Phases) {
     std::snprintf(Buf, sizeof(Buf),
-                  "*** %s: widening (%llu), narrowing (%llu), %.3f s\n",
-                  P.Name.c_str(), (unsigned long long)P.WideningSteps,
+                  "*** %s [round %u]: widening (%llu), narrowing (%llu), "
+                  "%.3f s\n",
+                  P.Name.c_str(), P.Round,
+                  (unsigned long long)P.WideningSteps,
                   (unsigned long long)P.NarrowingSteps, P.Seconds);
     Out += Buf;
+    if (P.ComponentSkips > 0) {
+      std::snprintf(Buf, sizeof(Buf),
+                    "***   warm start: %llu components replayed "
+                    "(%llu evaluations avoided)\n",
+                    (unsigned long long)P.ComponentSkips,
+                    (unsigned long long)P.SkippedSteps);
+      Out += Buf;
+    }
   }
   std::snprintf(Buf, sizeof(Buf), "*** CPU: %.3f seconds\n", CpuSeconds);
   Out += Buf;
@@ -37,6 +47,15 @@ std::string AnalysisStats::str() const {
                   100.0 * CacheHits / (CacheHits + CacheMisses));
     Out += Buf;
   }
+  if (ComponentSkips > 0) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "*** Warm start: %llu component replays, %llu "
+                  "evaluations avoided, %llu summaries reused\n",
+                  (unsigned long long)ComponentSkips,
+                  (unsigned long long)SkippedSteps,
+                  (unsigned long long)SummaryReuses);
+    Out += Buf;
+  }
   if (ParallelComponents > 0) {
     std::snprintf(Buf, sizeof(Buf),
                   "*** Parallel components: %llu (%llu tasks, DAG "
@@ -52,8 +71,11 @@ std::string AnalysisStats::str() const {
 json::Value PhaseStats::toJson() const {
   json::Value V = json::Value::object();
   V.set("name", Name);
+  V.set("round", static_cast<int64_t>(Round));
   V.set("widening_steps", static_cast<int64_t>(WideningSteps));
   V.set("narrowing_steps", static_cast<int64_t>(NarrowingSteps));
+  V.set("component_skips", static_cast<int64_t>(ComponentSkips));
+  V.set("skipped_steps", static_cast<int64_t>(SkippedSteps));
   V.set("seconds", Seconds);
   return V;
 }
@@ -67,6 +89,9 @@ json::Value AnalysisStats::toJson() const {
   V.set("narrowings", static_cast<int64_t>(Narrowings));
   V.set("cache_hits", static_cast<int64_t>(CacheHits));
   V.set("cache_misses", static_cast<int64_t>(CacheMisses));
+  V.set("component_skips", static_cast<int64_t>(ComponentSkips));
+  V.set("skipped_steps", static_cast<int64_t>(SkippedSteps));
+  V.set("summary_reuses", static_cast<int64_t>(SummaryReuses));
   V.set("parallel_components", static_cast<int64_t>(ParallelComponents));
   V.set("parallel_tasks", static_cast<int64_t>(ParallelTasks));
   V.set("parallel_dag_width", static_cast<int64_t>(ParallelDagWidth));

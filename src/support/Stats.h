@@ -30,6 +30,18 @@ struct PhaseStats {
   std::string Name;            ///< e.g. "forward", "intermittent", "invariant"
   uint64_t WideningSteps = 0;  ///< equation evaluations in the ascending phase
   uint64_t NarrowingSteps = 0; ///< equation evaluations in the descending phase
+  /// Refinement round this phase ran in: 0 for the initial forward
+  /// analyses, 1..BackwardRounds for the (always, eventually, forward)
+  /// chain. Phases of the same name recur across rounds; reporting them
+  /// per round is what lets E2 plot the convergence of the decreasing
+  /// chain instead of one summed entry.
+  unsigned Round = 0;
+  /// Stable top-level WTO elements replayed from the warm-start memo
+  /// (one count per element per sweep) instead of re-iterated.
+  uint64_t ComponentSkips = 0;
+  /// Equation evaluations those skips avoided (the recorded cost of the
+  /// replayed elements in the round that computed them).
+  uint64_t SkippedSteps = 0;
   double Seconds = 0.0;        ///< wall-clock time of this phase
 
   /// Stable JSON rendering (schemas/findings.schema.json).
@@ -45,6 +57,15 @@ struct AnalysisStats {
   uint64_t Narrowings = 0;    ///< narrowing applications
   uint64_t CacheHits = 0;     ///< transfer-function cache hits (all phases)
   uint64_t CacheMisses = 0;   ///< transfer-function cache misses
+  /// Stable WTO elements replayed by the warm-started refinement chain
+  /// instead of re-iterated, summed over all phases.
+  uint64_t ComponentSkips = 0;
+  /// Equation evaluations avoided by those replays.
+  uint64_t SkippedSteps = 0;
+  /// Callee instances whose every WTO element was replayed in some
+  /// phase — rounds that left the token's entry state unchanged and
+  /// reused its exit summary outright.
+  uint64_t SummaryReuses = 0;
   /// Top-level WTO components scheduled as independent tasks, summed
   /// over all phases (parallel strategy only).
   uint64_t ParallelComponents = 0;

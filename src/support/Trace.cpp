@@ -38,6 +38,8 @@ const char *syntox::traceEventKindName(TraceEventKind K) {
     return "task_complete";
   case TraceEventKind::StoreDetach:
     return "store_detach";
+  case TraceEventKind::ComponentSkip:
+    return "component_skip";
   }
   return "unknown";
 }
@@ -179,6 +181,8 @@ ChromeMapping chromeMapping(TraceEventKind K) {
     return {"i", "task"};
   case TraceEventKind::StoreDetach:
     return {"i", "store"};
+  case TraceEventKind::ComponentSkip:
+    return {"i", "component"};
   }
   return {"i", "other"};
 }

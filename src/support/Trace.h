@@ -61,11 +61,14 @@ enum class TraceEventKind : uint8_t {
                   ///< Arg1 = number of top-level WTO elements in the task
   TaskComplete,   ///< parallel task finished; Arg0 = task index
   StoreDetach,    ///< COW store payload cloned; Arg0 = entry count
+  ComponentSkip,  ///< stable WTO element replayed from the warm-start
+                  ///< memo instead of re-iterated; Arg0 = head vertex,
+                  ///< Arg1 = 0 ascending / 1 descending sweep
 };
 
 /// Number of distinct event kinds (for masks and tables).
 constexpr unsigned NumTraceEventKinds =
-    static_cast<unsigned>(TraceEventKind::StoreDetach) + 1;
+    static_cast<unsigned>(TraceEventKind::ComponentSkip) + 1;
 
 /// Stable machine-readable name ("phase_begin", "cache_hit", ...).
 const char *traceEventKindName(TraceEventKind K);

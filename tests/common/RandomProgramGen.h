@@ -1,0 +1,134 @@
+//===- tests/common/RandomProgramGen.h - Random program source --*- C++ -*-===//
+
+#ifndef SYNTOX_TESTS_COMMON_RANDOMPROGRAMGEN_H
+#define SYNTOX_TESTS_COMMON_RANDOMPROGRAMGEN_H
+
+#include "support/Rng.h"
+
+#include <cstdint>
+#include <string>
+
+namespace syntox {
+namespace test {
+
+/// Generates random *terminating* Pascal programs over the integer
+/// variables v0..v4 (plus dedicated loop counters), using only
+/// constructs that always terminate and never fault: constant-bounded
+/// for loops, if/else, assignments with +, -, * and division by
+/// non-zero constants. Shared by the end-to-end soundness battery and
+/// the warm-start differential battery.
+class ProgramGenerator {
+public:
+  explicit ProgramGenerator(uint64_t Seed) : R(Seed) {}
+
+  std::string generate() {
+    Body.clear();
+    LoopDepth = 0;
+    std::string Out = "program gen;\nvar v0, v1, v2, v3, v4 : integer;\n";
+    Out += "    l0, l1, l2 : integer;\n";
+    Out += "begin\n";
+    for (int I = 0; I < 5; ++I)
+      Body += "  v" + std::to_string(I) + " := " +
+              std::to_string(R.range(-50, 50)) + ";\n";
+    unsigned N = 3 + R.below(6);
+    for (unsigned I = 0; I < N; ++I)
+      statement(1);
+    Out += Body;
+    Out += "  writeln(v0, v1, v2, v3, v4)\nend.\n";
+    return Out;
+  }
+
+private:
+  std::string var() { return "v" + std::to_string(R.below(5)); }
+
+  std::string expr(unsigned Depth) {
+    if (Depth == 0 || R.chance(2, 5)) {
+      if (R.chance(1, 2))
+        return std::to_string(R.range(-20, 20));
+      return var();
+    }
+    std::string L = expr(Depth - 1);
+    std::string Rhs = expr(Depth - 1);
+    switch (R.below(4)) {
+    case 0:
+      return "(" + L + " + " + Rhs + ")";
+    case 1:
+      return "(" + L + " - " + Rhs + ")";
+    case 2:
+      return "(" + L + " * " + Rhs + ")";
+    default:
+      // Division by a non-zero constant keeps the program total.
+      return "(" + L + " div " + std::to_string(R.range(1, 9)) + ")";
+    }
+  }
+
+  std::string cond() {
+    static const char *const Ops[] = {"<", "<=", ">", ">=", "=", "<>"};
+    return expr(1) + " " + Ops[R.below(6)] + " " + expr(1);
+  }
+
+  void statement(unsigned Depth) {
+    switch (R.below(Depth < 3 && LoopDepth < 2 ? 4 : 2)) {
+    case 0:
+    case 1: {
+      indent();
+      Body += var() + " := " + expr(2) + ";\n";
+      return;
+    }
+    case 2: {
+      indent();
+      Body += "if " + cond() + " then\n";
+      indent();
+      Body += "begin\n";
+      ++Indent;
+      statement(Depth + 1);
+      --Indent;
+      indent();
+      Body += "end\n";
+      indent();
+      Body += "else\n";
+      indent();
+      Body += "begin\n";
+      ++Indent;
+      statement(Depth + 1);
+      --Indent;
+      indent();
+      Body += "end;\n";
+      return;
+    }
+    default: {
+      std::string Counter = "l" + std::to_string(LoopDepth);
+      int64_t Lo = R.range(-5, 5);
+      int64_t Hi = Lo + R.range(0, 8);
+      indent();
+      Body += "for " + Counter + " := " + std::to_string(Lo) +
+              (R.chance(1, 2) ? " to " : " downto ") + std::to_string(Hi) +
+              " do\n";
+      indent();
+      Body += "begin\n";
+      ++Indent;
+      ++LoopDepth;
+      statement(Depth + 1);
+      if (R.chance(1, 2))
+        statement(Depth + 1);
+      --LoopDepth;
+      --Indent;
+      indent();
+      Body += "end;\n";
+      return;
+    }
+    }
+  }
+
+  void indent() { Body += std::string(2 + 2 * Indent, ' '); }
+
+  Rng R;
+  std::string Body;
+  unsigned Indent = 0;
+  unsigned LoopDepth = 0;
+};
+
+} // namespace test
+} // namespace syntox
+
+#endif // SYNTOX_TESTS_COMMON_RANDOMPROGRAMGEN_H

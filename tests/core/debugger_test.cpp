@@ -177,4 +177,45 @@ TEST(AbstractDebuggerTest, QueriesBeforeAnalyzeThrow) {
   EXPECT_NO_THROW(Dbg->conditions());
 }
 
+TEST(AbstractDebuggerTest, RepeatedAnalyzeWarmStartsAndIsIdentical) {
+  DiagnosticsEngine Diags;
+  AbstractDebugger::Options Opts;
+  Opts.TerminationGoal = true;
+  Opts.BackwardRounds = 3;
+  auto Dbg = AbstractDebugger::create(paper::McCarthyProgram, Diags, Opts);
+  ASSERT_NE(Dbg, nullptr) << Diags.str();
+
+  Dbg->analyze();
+  std::string FirstConditions = allConditions(*Dbg);
+  size_t FirstWarnings = Dbg->invariantWarnings().size();
+  json::Value FirstStates = json::Value::array();
+  for (const PointState &S : Dbg->mainStates())
+    FirstStates.push(S.toJson());
+
+  // A second analyze() on the same engine warm-starts from the first
+  // run's recordings: the stable bulk of the chain replays (skips > 0)
+  // and every published result is unchanged.
+  Dbg->analyze();
+  EXPECT_GT(Dbg->stats().ComponentSkips, 0u);
+  EXPECT_GT(Dbg->stats().SkippedSteps, 0u);
+  EXPECT_EQ(allConditions(*Dbg), FirstConditions);
+  EXPECT_EQ(Dbg->invariantWarnings().size(), FirstWarnings);
+  json::Value SecondStates = json::Value::array();
+  for (const PointState &S : Dbg->mainStates())
+    SecondStates.push(S.toJson());
+  EXPECT_EQ(SecondStates.str(), FirstStates.str());
+
+  // With warm starts off, a repeated analyze() records nothing and
+  // skips nothing — it reproduces the cold run exactly.
+  Opts.WarmStart = false;
+  DiagnosticsEngine ColdDiags;
+  auto Cold = AbstractDebugger::create(paper::McCarthyProgram, ColdDiags, Opts);
+  ASSERT_NE(Cold, nullptr) << ColdDiags.str();
+  Cold->analyze();
+  Cold->analyze();
+  EXPECT_EQ(Cold->stats().ComponentSkips, 0u);
+  EXPECT_EQ(Cold->stats().SkippedSteps, 0u);
+  EXPECT_EQ(allConditions(*Cold), FirstConditions);
+}
+
 } // namespace

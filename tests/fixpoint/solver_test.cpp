@@ -209,6 +209,158 @@ TEST(SolverTest, NestedLoopsConverge) {
   EXPECT_EQ(Solver.wto().depth(4), 2u);
 }
 
+/// IntervalSystem plus the optional warm-start concept method: per-node
+/// dirty bits modelling "this node's seed was edited between rounds".
+/// (The plain IntervalSystem lacks the method, which exercises the
+/// trait-default path: absent means always unchanged.)
+struct DirtyIntervalSystem : IntervalSystem {
+  std::vector<uint8_t> Unchanged;
+  explicit DirtyIntervalSystem(unsigned N)
+      : IntervalSystem(N), Unchanged(N, 1) {}
+  bool externalInputsUnchanged(unsigned Node) const {
+    return Unchanged[Node];
+  }
+};
+
+class WarmStartTest : public ::testing::TestWithParam<IterationStrategy> {};
+
+TEST_P(WarmStartTest, IdenticalResolveIsFullyReplayed) {
+  IntervalSystem S = countingLoop();
+  WarmStartMemo<Interval> Memo;
+  FixpointSolver<IntervalSystem>::Options Opts;
+  Opts.Strategy = GetParam();
+  Opts.Memo = &Memo;
+
+  FixpointSolver<IntervalSystem> Cold(S, Opts);
+  std::vector<Interval> X0 = Cold.solve();
+  EXPECT_TRUE(Memo.Valid);
+  EXPECT_EQ(Cold.stats().ComponentSkips, 0u);
+  uint64_t ColdSteps =
+      Cold.stats().AscendingSteps + Cold.stats().DescendingSteps;
+
+  // Nothing changed, so the warm run replays every element: zero live
+  // evaluations, and the skipped-step tally accounts for exactly the
+  // work the cold run performed.
+  FixpointSolver<IntervalSystem> Warm(S, Opts);
+  std::vector<Interval> X1 = Warm.solve();
+  EXPECT_EQ(X0, X1);
+  EXPECT_GT(Warm.stats().ComponentSkips, 0u);
+  EXPECT_EQ(Warm.stats().AscendingSteps + Warm.stats().DescendingSteps, 0u);
+  EXPECT_EQ(Warm.stats().SkippedSteps, ColdSteps);
+  for (uint8_t Replayed : Warm.fullyReplayedElements())
+    EXPECT_TRUE(Replayed);
+}
+
+TEST_P(WarmStartTest, DirtySeedForcesRecomputationAndStaysExact) {
+  DirtyIntervalSystem S(5);
+  S.Seeds[0] = Interval(0, 0);
+  S.addEdge(0, 1, 0, S.D.top());
+  S.addEdge(3, 1, 0, S.D.top());
+  S.addEdge(1, 2, 0, S.D.make(INT64_MIN, 99));
+  S.addEdge(2, 3, 1, S.D.top());
+  S.addEdge(1, 4, 0, S.D.make(100, INT64_MAX));
+
+  WarmStartMemo<Interval> Memo;
+  FixpointSolver<DirtyIntervalSystem>::Options Opts;
+  Opts.Strategy = GetParam();
+  Opts.Memo = &Memo;
+  FixpointSolver<DirtyIntervalSystem>(S, Opts).solve();
+
+  // Edit the entry seed and mark node 0 dirty: the warm run must produce
+  // exactly what a cold run over the edited system produces.
+  S.Seeds[0] = Interval(5, 5);
+  S.Unchanged[0] = 0;
+  FixpointSolver<DirtyIntervalSystem> Warm(S, Opts);
+  std::vector<Interval> XWarm = Warm.solve();
+
+  FixpointSolver<DirtyIntervalSystem>::Options ColdOpts;
+  ColdOpts.Strategy = GetParam();
+  FixpointSolver<DirtyIntervalSystem> Cold(S, ColdOpts);
+  EXPECT_EQ(XWarm, Cold.solve());
+}
+
+TEST_P(WarmStartTest, UpstreamEditInvalidatesDownstreamReplay) {
+  // Two straight-line nodes feeding a loop: editing the straight-line
+  // seed changes the loop's inputs, so the loop component must be
+  // re-iterated, not replayed — and the result must match a cold solve.
+  DirtyIntervalSystem S(4);
+  S.Seeds[0] = Interval(0, 0);
+  S.addEdge(0, 1, 2, S.D.top());
+  S.addEdge(1, 2, 0, S.D.top());
+  S.addEdge(3, 2, 0, S.D.top());
+  S.addEdge(2, 3, 1, S.D.make(INT64_MIN, 50));
+
+  WarmStartMemo<Interval> Memo;
+  FixpointSolver<DirtyIntervalSystem>::Options Opts;
+  Opts.Strategy = GetParam();
+  Opts.Memo = &Memo;
+  FixpointSolver<DirtyIntervalSystem>(S, Opts).solve();
+
+  S.Seeds[0] = Interval(10, 10);
+  S.Unchanged[0] = 0;
+  FixpointSolver<DirtyIntervalSystem> Warm(S, Opts);
+  std::vector<Interval> XWarm = Warm.solve();
+  for (unsigned I = 0; I < 4; ++I)
+    EXPECT_FALSE(Warm.fullyReplayedElements()[Warm.wto().topElement(I)])
+        << "node " << I << " sits downstream of the edit";
+
+  FixpointSolver<DirtyIntervalSystem>::Options ColdOpts;
+  ColdOpts.Strategy = GetParam();
+  FixpointSolver<DirtyIntervalSystem> Cold(S, ColdOpts);
+  EXPECT_EQ(XWarm, Cold.solve());
+}
+
+TEST_P(WarmStartTest, GfpReplayIsExactToo) {
+  IntervalSystem S(2);
+  S.addEdge(0, 0, 0, S.D.make(0, 50));
+  S.addEdge(0, 1, 1, S.D.top());
+  WarmStartMemo<Interval> Memo;
+  FixpointSolver<IntervalSystem>::Options Opts;
+  Opts.Kind = FixpointKind::Gfp;
+  Opts.Strategy = GetParam();
+  Opts.Memo = &Memo;
+  std::vector<Interval> X0 = FixpointSolver<IntervalSystem>(S, Opts).solve();
+  FixpointSolver<IntervalSystem> Warm(S, Opts);
+  EXPECT_EQ(Warm.solve(), X0);
+  EXPECT_GT(Warm.stats().ComponentSkips, 0u);
+}
+
+TEST(WarmStartTest, StrategyMismatchInvalidatesMemo) {
+  // A memo recorded under one strategy must not seed replay under
+  // another: the sweep boundaries are strategy-specific.
+  IntervalSystem S = countingLoop();
+  WarmStartMemo<Interval> Memo;
+  FixpointSolver<IntervalSystem>::Options Rec;
+  Rec.Memo = &Memo;
+  std::vector<Interval> X0 = FixpointSolver<IntervalSystem>(S, Rec).solve();
+
+  FixpointSolver<IntervalSystem>::Options Wl;
+  Wl.Strategy = IterationStrategy::Worklist;
+  Wl.Memo = &Memo;
+  FixpointSolver<IntervalSystem> Warm(S, Wl);
+  EXPECT_EQ(Warm.solve(), X0);
+  EXPECT_EQ(Warm.stats().ComponentSkips, 0u);
+  // The mismatched run re-records, so a second worklist run replays.
+  FixpointSolver<IntervalSystem> Warm2(S, Wl);
+  EXPECT_EQ(Warm2.solve(), X0);
+  EXPECT_GT(Warm2.stats().ComponentSkips, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, WarmStartTest,
+                         ::testing::Values(IterationStrategy::Recursive,
+                                           IterationStrategy::Worklist,
+                                           IterationStrategy::Parallel),
+                         [](const auto &Info) {
+                           switch (Info.param) {
+                           case IterationStrategy::Recursive:
+                             return "Recursive";
+                           case IterationStrategy::Worklist:
+                             return "Worklist";
+                           default:
+                             return "Parallel";
+                           }
+                         });
+
 TEST(SolverTest, FourStepConvergenceClaim) {
   // Paper §6.1: with widening and narrowing, the per-equation cost is
   // about four iterations. The counting loop has 5 equations; the total

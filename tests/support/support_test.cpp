@@ -89,8 +89,9 @@ TEST(StatsTest, RenderingContainsFigure2Fields) {
   S.BytesUsed = 46 * 1024;
   S.Phases.push_back(PhaseStats{"Forward analysis", 84, 56});
   std::string Out = S.str();
-  EXPECT_NE(Out.find("Forward analysis: widening (84), narrowing (56)"),
-            std::string::npos);
+  EXPECT_NE(
+      Out.find("Forward analysis [round 0]: widening (84), narrowing (56)"),
+      std::string::npos);
   EXPECT_NE(Out.find("Control points: 32"), std::string::npos);
   EXPECT_NE(Out.find("Equations: 448 (2104 unions, 814 widenings)"),
             std::string::npos);
