@@ -43,19 +43,29 @@ void build(Built &B, const std::string &Source) {
   B.Cfg = Builder.build(B.Prog);
 }
 
-void runConfig(bench::Harness &H, const char *Name, const Built &B,
-               const char *Label, Analyzer::Options Opts) {
+/// Runs one ablation configuration. When \p Warm is given, the sweep
+/// tries to transplant its chain-slot memos first (importWarmFrom):
+/// phases the swept knob does not affect then replay instead of
+/// re-iterating, and the row reports the work saved. Knobs that change
+/// solver semantics (narrowing passes, widening thresholds) are
+/// auto-rejected by the transplant check, so every configuration's
+/// numbers stay those of a sound fixpoint.
+std::unique_ptr<Analyzer> runConfig(bench::Harness &H, const char *Name,
+                                    const Built &B, const char *Label,
+                                    Analyzer::Options Opts,
+                                    const Analyzer *Warm = nullptr) {
   auto Start = std::chrono::steady_clock::now();
-  Analyzer An(*B.Cfg, B.Prog, Opts);
-  An.run();
+  auto An = std::make_unique<Analyzer>(*B.Cfg, B.Prog, Opts);
+  bool Transplanted = Warm && An->importWarmFrom(*Warm);
+  An->run();
   double Seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
           .count();
-  H.recordPhases(std::string(Name) + "/" + Label, An.stats(), Seconds);
-  const IntervalDomain &D = An.storeOps().domain();
+  H.recordPhases(std::string(Name) + "/" + Label, An->stats(), Seconds);
+  const IntervalDomain &D = An->storeOps().domain();
   uint64_t FiniteBounds = 0;
-  for (unsigned Node = 0; Node < An.graph().numNodes(); ++Node) {
-    const AbstractStore &S = An.forwardAt(Node);
+  for (unsigned Node = 0; Node < An->graph().numNodes(); ++Node) {
+    const AbstractStore &S = An->forwardAt(Node);
     if (S.isBottom())
       continue;
     S.forEachEntry([&](const VarDecl *, const AbsValue &Value) {
@@ -65,20 +75,28 @@ void runConfig(bench::Harness &H, const char *Name, const Built &B,
       FiniteBounds += Value.asInt().Hi < D.maxValue();
     });
   }
-  uint64_t Steps = 0;
-  for (const PhaseStats &P : An.stats().Phases)
+  uint64_t Steps = 0, Skips = 0, Saved = 0;
+  for (const PhaseStats &P : An->stats().Phases) {
     Steps += P.WideningSteps + P.NarrowingSteps;
+    Skips += P.ComponentSkips;
+    Saved += P.SkippedSteps;
+  }
   std::printf("  %-34s precision: %6llu finite bounds, steps: %7llu, "
-              "time: %.4fs\n",
+              "time: %.4fs%s\n",
               Label, (unsigned long long)FiniteBounds,
-              (unsigned long long)Steps, Seconds);
+              (unsigned long long)Steps, Seconds,
+              Transplanted ? " [warm]" : "");
   json::Value Row = json::Value::object();
   Row.set("program", Name);
   Row.set("config", Label);
   Row.set("finite_bounds", FiniteBounds);
   Row.set("steps", Steps);
   Row.set("seconds", Seconds);
+  Row.set("warm_transplant", Transplanted);
+  Row.set("component_skips", Skips);
+  Row.set("saved_steps", Saved);
   H.row(std::move(Row));
+  return An;
 }
 
 void ablate(bench::Harness &H, const char *Name, const std::string &Source) {
@@ -91,27 +109,31 @@ void ablate(bench::Harness &H, const char *Name, const std::string &Source) {
   std::printf("---- %s ----\n", Name);
 
   Analyzer::Options Base = H.options();
-  runConfig(H, Name, B, "recursive strategy (default)", Base);
+  std::unique_ptr<Analyzer> BaseRun =
+      runConfig(H, Name, B, "recursive strategy (default)", Base);
 
   Analyzer::Options Worklist = Base;
   Worklist.Strategy = IterationStrategy::Worklist;
-  runConfig(H, Name, B, "worklist strategy", Worklist);
+  runConfig(H, Name, B, "worklist strategy", Worklist, BaseRun.get());
 
   Analyzer::Options NoNarrow = Base;
   NoNarrow.NarrowingPasses = 0;
-  runConfig(H, Name, B, "no narrowing (overshoots)", NoNarrow);
+  runConfig(H, Name, B, "no narrowing (overshoots)", NoNarrow,
+            BaseRun.get());
 
   Analyzer::Options TwoNarrow = Base;
   TwoNarrow.NarrowingPasses = 2;
-  runConfig(H, Name, B, "two narrowing passes", TwoNarrow);
+  runConfig(H, Name, B, "two narrowing passes", TwoNarrow, BaseRun.get());
 
   Analyzer::Options Thresholds = Base;
   Thresholds.WideningThresholds = {-1, 0, 1, 10, 100, 101};
-  runConfig(H, Name, B, "threshold widening {0,1,10,100,...}", Thresholds);
+  runConfig(H, Name, B, "threshold widening {0,1,10,100,...}", Thresholds,
+            BaseRun.get());
 
   Analyzer::Options Rounds = Base;
   Rounds.BackwardRounds = 2;
-  runConfig(H, Name, B, "two backward/forward rounds", Rounds);
+  runConfig(H, Name, B, "two backward/forward rounds", Rounds,
+            BaseRun.get());
 
   std::printf("\n");
 }

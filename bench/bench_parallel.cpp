@@ -97,7 +97,7 @@ Timing timeAnalysis(bench::Harness &H, const std::string &Label,
     AbstractDebugger::Options Opts = H.options();
     Opts.Strategy = S;
     Opts.NumThreads = Threads;
-    Opts.UseTransferCache = Cache;
+    Opts.transferCache(Cache); // pin: keep the adaptive heuristic out
     auto Dbg = AbstractDebugger::create(Source, Diags, Opts);
     if (!Dbg) {
       std::printf("frontend error\n%s", Diags.str().c_str());

@@ -1,0 +1,188 @@
+//===- bench/bench_persist.cpp - E-persist: on-disk warm-start cache ------===//
+//
+// Measures the persistent warm-start cache end to end, through the same
+// AbstractDebugger entry point the CLI uses. Three scenarios per
+// program family:
+//
+//   cold       first run against an empty cache directory (pays the
+//              full fixpoint plus the serialization cost),
+//   persisted  a fresh process-equivalent rerun of the *unchanged*
+//              program against the populated cache — every stable
+//              component must replay, so live evaluations drop to ~0,
+//   edited     one routine of the program is edited and the rerun pays
+//              only for the components whose fingerprint set changed;
+//              the edited-cold row is the no-cache baseline for the
+//              same edited source.
+//
+// Families: procChain(K) (K independent procedures, the best case for
+// per-routine invalidation) and McCarthy_k (mutually dependent
+// recursion, the worst case: an edit to the callee re-keys every
+// instance below it).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+#include "core/AbstractDebugger.h"
+#include "frontend/PaperPrograms.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+using namespace syntox;
+
+namespace {
+
+/// K procedures, each a self-contained counting loop over a var
+/// parameter, called in sequence from the main body. Each procedure is
+/// its own fingerprint domain: editing one leaves K-1 untouched.
+std::string procChain(unsigned K, unsigned EditedProc = ~0u) {
+  std::string Out = "program gen;\nvar\n";
+  for (unsigned I = 0; I < K; ++I)
+    Out += "  g" + std::to_string(I) + " : integer;\n";
+  for (unsigned I = 0; I < K; ++I) {
+    std::string P = std::to_string(I);
+    // The edit: a different loop bound in one procedure.
+    std::string Bound = I == EditedProc ? "60" : "100";
+    Out += "procedure p" + P + "(var x : integer);\n";
+    Out += "var i : integer;\nbegin\n";
+    Out += "  i := 0;\n";
+    Out += "  while i < " + Bound + " do begin\n";
+    Out += "    i := i + 1;\n";
+    Out += "    x := i\n";
+    Out += "  end\nend;\n";
+  }
+  Out += "begin\n";
+  for (unsigned I = 0; I < K; ++I) {
+    std::string P = std::to_string(I);
+    Out += "  g" + P + " := 0;\n  p" + P + "(g" + P + ");\n";
+  }
+  Out += "  g0 := 0\nend.\n";
+  return Out;
+}
+
+struct RunNumbers {
+  uint64_t LiveEvals = 0;
+  uint64_t Skips = 0;
+  uint64_t SkippedEvals = 0;
+  double Seconds = 0;
+};
+
+RunNumbers numbersOf(const AnalysisStats &S, double Seconds) {
+  RunNumbers N;
+  N.Seconds = Seconds;
+  for (const PhaseStats &P : S.Phases) {
+    N.LiveEvals += P.WideningSteps + P.NarrowingSteps;
+    N.Skips += P.ComponentSkips;
+    N.SkippedEvals += P.SkippedSteps;
+  }
+  return N;
+}
+
+RunNumbers scenario(bench::Harness &H, const std::string &Label,
+                    const std::string &Source, const std::string &CacheDir) {
+  AnalysisOptions Opts = H.options();
+  Opts.CacheDir = CacheDir;
+  double Seconds = 0;
+  auto Dbg = H.analyze(Label, Source, Opts, &Seconds);
+  if (!Dbg)
+    return RunNumbers();
+  return numbersOf(Dbg->stats(), Seconds);
+}
+
+void runFamily(bench::Harness &H, const char *Family, unsigned K,
+               const std::string &Source, const std::string &Edited,
+               const std::string &EditedLast = std::string()) {
+  namespace fs = std::filesystem;
+  fs::path Dir =
+      fs::temp_directory_path() / ("syntox_bench_persist_" + std::string(Family));
+  std::error_code EC;
+  fs::remove_all(Dir, EC);
+  fs::create_directories(Dir, EC);
+
+  std::string Label = std::string(Family) + "/" + std::to_string(K);
+  RunNumbers Cold = scenario(H, Label + "/cold", Source, Dir.string());
+  RunNumbers Persisted =
+      scenario(H, Label + "/persisted", Source, Dir.string());
+  RunNumbers EditedWarm =
+      scenario(H, Label + "/edited", Edited, Dir.string());
+  RunNumbers EditedCold = scenario(H, Label + "/edited-cold", Edited, "");
+  // The edited-first scenario consumed the cache and re-saved the
+  // edited program's state; restore the original program's cache before
+  // the edited-last scenario so both edits start from the same point.
+  RunNumbers EditedLastWarm;
+  if (!EditedLast.empty()) {
+    fs::remove_all(Dir, EC);
+    fs::create_directories(Dir, EC);
+    scenario(H, Label + "/reseed", Source, Dir.string());
+    EditedLastWarm =
+        scenario(H, Label + "/edited-last", EditedLast, Dir.string());
+  }
+
+  std::printf("%s:\n", Label.c_str());
+  std::printf("  %-12s %12s %10s %12s %10s\n", "scenario", "live evals",
+              "replays", "avoided", "seconds");
+  auto Line = [](const char *Name, const RunNumbers &N) {
+    std::printf("  %-12s %12llu %10llu %12llu %10.4f\n", Name,
+                (unsigned long long)N.LiveEvals,
+                (unsigned long long)N.Skips,
+                (unsigned long long)N.SkippedEvals, N.Seconds);
+  };
+  Line("cold", Cold);
+  Line("persisted", Persisted);
+  Line("edited", EditedWarm);
+  if (!EditedLast.empty())
+    Line("edited-last", EditedLastWarm);
+  Line("edited-cold", EditedCold);
+  if (Persisted.LiveEvals == 0)
+    std::printf("  unchanged rerun: full replay (0 live evaluations)\n");
+  if (EditedCold.LiveEvals) {
+    std::printf("  edit of first routine re-paid %.0f%% of the cold "
+                "edited run (changed values\n  flow through everything "
+                "downstream)\n",
+                100.0 * EditedWarm.LiveEvals / EditedCold.LiveEvals);
+    if (!EditedLast.empty())
+      std::printf("  edit of last routine re-paid %.0f%%: upstream "
+                  "components replay from disk\n",
+                  100.0 * EditedLastWarm.LiveEvals / EditedCold.LiveEvals);
+  }
+  std::printf("\n");
+
+  json::Value Row = json::Value::object();
+  Row.set("family", Family);
+  Row.set("k", K);
+  Row.set("cold_evals", Cold.LiveEvals);
+  Row.set("persisted_evals", Persisted.LiveEvals);
+  Row.set("persisted_replays", Persisted.Skips);
+  Row.set("persisted_avoided", Persisted.SkippedEvals);
+  Row.set("edited_evals", EditedWarm.LiveEvals);
+  if (!EditedLast.empty())
+    Row.set("edited_last_evals", EditedLastWarm.LiveEvals);
+  Row.set("edited_cold_evals", EditedCold.LiveEvals);
+  Row.set("cold_seconds", Cold.Seconds);
+  Row.set("persisted_seconds", Persisted.Seconds);
+  Row.set("edited_seconds", EditedWarm.Seconds);
+  Row.set("edited_cold_seconds", EditedCold.Seconds);
+  H.row(std::move(Row));
+
+  fs::remove_all(Dir, EC);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bench::Harness H("persist", argc, argv);
+  std::printf("==== E-persist: on-disk warm-start cache ====\n\n");
+  H.setField("note",
+             json::Value("persisted_evals must be 0: the unchanged rerun "
+                         "replays every stable component from disk"));
+  for (unsigned K : {4u, 8u, 16u})
+    runFamily(H, "procchain", K, procChain(K),
+              procChain(K, /*EditedProc=*/0),
+              procChain(K, /*EditedProc=*/K - 1));
+  // McCarthy_k: editing the innermost recursion is the invalidation
+  // worst case — the fingerprint chain re-keys everything below it.
+  runFamily(H, "mccarthy", 9, paper::mcCarthyK(9), paper::mcCarthyK(8));
+  H.write();
+  return 0;
+}

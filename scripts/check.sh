@@ -190,4 +190,176 @@ print("incremental-solving smoke test OK "
       f"({len(report['rows'])} rows, both families >= 2x from round 2)")
 EOF
 
+echo "== persistent-cache smoke test =="
+cat > "$OUT/two.pas" <<'EOF'
+program two;
+var a, b : integer;
+
+procedure p1(var x : integer);
+var i : integer;
+begin
+  i := 0;
+  while i < 50 do begin
+    i := i + 1;
+    x := i
+  end
+end;
+
+procedure p2(var y : integer);
+var j : integer;
+begin
+  j := 10;
+  while j > 0 do begin
+    j := j - 1;
+    y := j
+  end
+end;
+
+begin
+  a := 0;
+  b := 0;
+  p1(a);
+  p2(b);
+  assert(a >= 0);
+  assert(b >= 0)
+end.
+EOF
+sed 's/j := 10/j := 20/' "$OUT/two.pas" > "$OUT/two-edited.pas"
+
+CACHE="$OUT/cache"
+"$CLI" --cache-dir="$CACHE" --format=json \
+       --metrics-json="$OUT/persist-cold.json" "$OUT/two.pas" \
+       > "$OUT/persist-findings-cold.json"
+"$CLI" --cache-dir="$CACHE" --format=json \
+       --metrics-json="$OUT/persist-warm.json" "$OUT/two.pas" \
+       > "$OUT/persist-findings-warm.json"
+"$CLI" --cache-dir="$CACHE" --format=json \
+       --metrics-json="$OUT/persist-edit.json" "$OUT/two-edited.pas" \
+       > "$OUT/persist-findings-edit.json"
+"$CLI" --format=json --metrics-json="$OUT/persist-editcold.json" \
+       "$OUT/two-edited.pas" > "$OUT/persist-findings-editcold.json"
+
+python3 - "$OUT" <<'EOF'
+import glob, json, sys
+out = sys.argv[1]
+
+def check(cond, what):
+    if not cond:
+        raise SystemExit(f"persistent-cache violation: {what}")
+
+def counters(path):
+    with open(path) as f:
+        return json.load(f)["counters"]
+
+def live_steps(c):
+    return c.get("solver.ascending_steps", 0) + c.get("solver.descending_steps", 0)
+
+def findings(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {k: v for k, v in doc.items() if k not in ("stats", "metrics")}
+
+cold = counters(f"{out}/persist-cold.json")
+warm = counters(f"{out}/persist-warm.json")
+edit = counters(f"{out}/persist-edit.json")
+editcold = counters(f"{out}/persist-editcold.json")
+
+# Run 1 saved, run 2 replayed the whole chain: zero live solver steps,
+# every component skipped, identical findings.
+check(cold.get("persist.saved") == 1, "run 1 did not save a cache")
+check(warm.get("persist.loaded") == 1, "run 2 did not load the cache")
+check(live_steps(cold) > 0, "cold run did no solver work")
+check(live_steps(warm) == 0,
+      f"unchanged rerun performed {live_steps(warm)} live solver steps")
+check(warm.get("solver.component_skips", 0) > 0, "rerun replayed nothing")
+check(findings(f"{out}/persist-findings-cold.json")
+      == findings(f"{out}/persist-findings-warm.json"),
+      "replayed findings differ from cold findings")
+
+# Editing one routine of two: the cache still loads, only the changed
+# routine's components (and what its values feed) re-solve, and the
+# findings equal an uncached run of the edited program.
+check(edit.get("persist.loaded") == 1, "edited run did not load the cache")
+check(edit.get("persist.invalidated_nodes", 0) > 0,
+      "edit invalidated no nodes")
+check(edit.get("persist.matched_elements", 0) > 0,
+      "edit run matched no elements (cache was useless)")
+check(0 < live_steps(edit) < live_steps(editcold),
+      f"edited run did {live_steps(edit)} live steps vs cold "
+      f"{live_steps(editcold)}: expected a strict partial re-solve")
+check(findings(f"{out}/persist-findings-edit.json")
+      == findings(f"{out}/persist-findings-editcold.json"),
+      "edited-warm findings differ from edited-cold findings")
+
+# The .meta.json sidecar matches schemas/cache.schema.json.
+with open("schemas/cache.schema.json") as f:
+    schema = json.load(f)
+sidecars = glob.glob(f"{out}/cache/*.meta.json")
+check(sidecars, "no .meta.json sidecar written")
+import re
+for path in sidecars:
+    with open(path) as f:
+        meta = json.load(f)
+    for key in schema["required"]:
+        check(key in meta, f"{path}: missing '{key}'")
+    for key in meta:
+        check(key in schema["properties"], f"{path}: unexpected key '{key}'")
+    for key, sub in schema["properties"].items():
+        v = meta[key]
+        if sub["type"] == "integer":
+            check(isinstance(v, int) and not isinstance(v, bool),
+                  f"{path}.{key}: not an integer")
+            check(v >= sub.get("minimum", v), f"{path}.{key}: below minimum")
+        else:
+            check(isinstance(v, str), f"{path}.{key}: not a string")
+            if "pattern" in sub:
+                check(re.fullmatch(sub["pattern"], v),
+                      f"{path}.{key}: '{v}' fails pattern")
+            if "enum" in sub:
+                check(v in sub["enum"], f"{path}.{key}: '{v}' not in enum")
+
+print("persistent-cache smoke test OK "
+      f"(replay: {warm.get('solver.component_skips', 0)} skips, edit: "
+      f"{live_steps(edit)}/{live_steps(editcold)} live steps)")
+EOF
+
+echo "== persistence benchmark =="
+build-ci/bench/bench_persist --out="$OUT/BENCH_persist.json" > /dev/null
+
+python3 - "$OUT" <<'EOF'
+import json, sys
+out = sys.argv[1]
+
+def check(cond, what):
+    if not cond:
+        raise SystemExit(f"bench_persist violation: {what}")
+
+with open("schemas/bench.schema.json") as f:
+    schema = json.load(f)
+with open(f"{out}/BENCH_persist.json") as f:
+    report = json.load(f)
+
+for key in schema["required"]:
+    check(key in report, f"missing required key '{key}'")
+check(report["benchmark"] == "bench_persist", "wrong benchmark name")
+check(isinstance(report["rows"], list) and report["rows"], "no rows")
+for i, row in enumerate(report["rows"]):
+    for col in ("family", "k", "cold_evals", "persisted_evals",
+                "persisted_replays", "edited_evals", "edited_cold_evals"):
+        check(col in row, f"rows[{i}] missing '{col}'")
+    # The acceptance claim: a rerun of the unchanged program replays the
+    # whole refinement chain from disk.
+    check(row["persisted_evals"] == 0,
+          f"{row['family']}/{row['k']}: unchanged rerun performed "
+          f"{row['persisted_evals']} live evaluations")
+    check(row["persisted_replays"] > 0,
+          f"{row['family']}/{row['k']}: no components replayed")
+for a in report["analyses"]:
+    for key in ("label", "seconds", "stats"):
+        check(key in a, f"analysis entry missing '{key}'")
+
+print(f"persistence benchmark OK ({len(report['rows'])} rows, all "
+      "unchanged reruns at 0 live evaluations)")
+EOF
+
 echo "ALL CHECKS PASSED"

@@ -6,6 +6,8 @@
 #include "frontend/Lexer.h"
 #include "frontend/Parser.h"
 #include "frontend/Sema.h"
+#include "persist/WarmCache.h"
+#include "support/Metrics.h"
 
 #include <algorithm>
 #include <set>
@@ -47,7 +49,39 @@ void AbstractDebugger::analyze() {
   // between runs, so a re-analysis replays every phase whose recorded
   // inputs still verify and only re-derives the findings — the results
   // are bitwise-identical to the first call either way.
+  //
+  // With a cache directory configured, the first analyze() of this
+  // process additionally warm-starts from the persisted recordings of
+  // an earlier process (falling back to cold on any mismatch), and
+  // every analyze() saves its recordings back.
+  bool Persist = !Opts.CacheDir.empty() && Opts.WarmStart;
+  MetricsRegistry *M = Opts.Telem.Metrics;
+  if (Persist && !Analyzed) {
+    persist::CacheLoadResult R =
+        persist::loadWarmCache(Opts.CacheDir, *An);
+    if (M) {
+      if (R.Loaded) {
+        M->counter("persist.loaded").inc();
+        M->counter("persist.slots").inc(R.Slots);
+        M->counter("persist.restored_nodes").inc(R.RestoredNodes);
+        M->counter("persist.invalidated_nodes").inc(R.InvalidatedNodes);
+        M->counter("persist.matched_elements").inc(R.MatchedElements);
+        M->counter("persist.unmatched_elements")
+            .inc(R.UnmatchedElements);
+        M->counter("persist.restored_edge_memos")
+            .inc(R.RestoredEdgeMemos);
+      } else {
+        M->counter("persist.fallback").inc();
+      }
+    }
+  }
   An->run();
+  if (Persist) {
+    if (persist::saveWarmCache(Opts.CacheDir, *An)) {
+      if (M)
+        M->counter("persist.saved").inc();
+    }
+  }
   Checks = std::make_unique<CheckAnalysis>(*An);
   Analyzed = true;
   deriveConditions();

@@ -38,9 +38,9 @@ FlagParse syntox::parseAnalysisFlag(const std::string &Arg,
   } else if (Arg == "--context-insensitive") {
     Opts.ContextInsensitive = true;
   } else if (Arg == "--cache") {
-    Opts.UseTransferCache = true;
+    Opts.transferCache(true);
   } else if (Arg == "--no-cache") {
-    Opts.UseTransferCache = false;
+    Opts.transferCache(false);
   } else if (Arg == "--warm-start") {
     Opts.WarmStart = true;
   } else if (Arg == "--no-warm-start") {
@@ -98,6 +98,12 @@ FlagParse syntox::parseAnalysisFlag(const std::string &Arg,
       return FlagParse::Error;
     }
     Telem.MetricsPath = V;
+  } else if (const char *V = valueOf("--cache-dir=")) {
+    if (*V == '\0') {
+      Error = "--cache-dir needs a directory name";
+      return FlagParse::Error;
+    }
+    Opts.CacheDir = V;
   } else {
     return FlagParse::NotAnalysisFlag;
   }
@@ -127,6 +133,12 @@ const char *syntox::analysisFlagsHelp() {
          "                       chaotic iteration strategy\n"
          "  --threads=N          workers for --strategy=parallel (0 = all)\n"
          "  --cache, --no-cache  memoizing transfer-function cache\n"
+         "                       (default: auto-enabled for large token\n"
+         "                       unfoldings)\n"
+         "  --cache-dir=DIR      persistent warm-start cache: reruns\n"
+         "                       replay unchanged analysis state from\n"
+         "                       disk; edits re-solve only the changed\n"
+         "                       components (results are identical)\n"
          "  --warm-start, --no-warm-start\n"
          "                       replay stable WTO components across\n"
          "                       refinement rounds (default on; results\n"

@@ -743,6 +743,16 @@ public:
   unsigned routineId() const { return RoutineId; }
   void setRoutineId(unsigned Id) { RoutineId = Id; }
 
+  /// Structural fingerprint: a content hash of this routine's signature
+  /// and body with nested routine bodies elided, computed by
+  /// computeFingerprints() (frontend/Fingerprint.h). Zero until that
+  /// pass runs. Stable across process runs and across edits to other
+  /// routines; every content-addressed identity of the analysis
+  /// pipeline (variable keys, supergraph node keys, the persistent
+  /// warm-start cache) derives from it.
+  uint64_t fingerprint() const { return Fingerprint; }
+  void setFingerprint(uint64_t F) { Fingerprint = F; }
+
   static bool classof(const Decl *D) { return D->kind() == Kind::Routine; }
 
 private:
@@ -754,6 +764,7 @@ private:
   RoutineDecl *Parent = nullptr;
   unsigned Level = 0;
   unsigned RoutineId = 0;
+  uint64_t Fingerprint = 0;
   std::vector<VarDecl *> OwnedVars;
 };
 

@@ -24,6 +24,7 @@
 #include "support/Telemetry.h"
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace syntox {
@@ -41,6 +42,17 @@ struct AnalysisOptions {
   /// transfer functions themselves are expensive (richer domains,
   /// costly expression semantics).
   bool UseTransferCache = false;
+  /// True once transferCache() (or --cache/--no-cache) pinned the cache
+  /// explicitly. When false, the Analyzer auto-enables the cache for
+  /// programs whose token unfolding crosses
+  /// AdaptiveCacheInstanceThreshold instances — the regime where the
+  /// EXPERIMENTS.md E-store measurements show the cache winning
+  /// (McCarthy's 11-instance unfolding gains 1.11-1.25x; small loop
+  /// chains lose 0.66-0.79x).
+  bool TransferCacheSet = false;
+  /// Instance count at which the adaptive heuristic turns the transfer
+  /// cache on (only when TransferCacheSet is false).
+  unsigned AdaptiveCacheInstanceThreshold = 10;
   /// Narrowing passes after each ascending phase.
   unsigned NarrowingPasses = 1;
   /// Rounds of (always, eventually, forward) refinement after the
@@ -69,9 +81,50 @@ struct AnalysisOptions {
   bool WarmStart = true;
   /// Widening thresholds (empty = the standard §6.1 operator).
   std::vector<int64_t> WideningThresholds;
+  /// Directory of the persistent warm-start cache (empty = disabled).
+  /// When set, AbstractDebugger::analyze() loads matching chain-slot
+  /// memos before solving and saves the recorded ones after (see
+  /// persist/WarmCache.h).
+  std::string CacheDir;
   /// Optional trace/metrics sinks (borrowed; owned by the session or
   /// the caller). Null members disable that half of the telemetry.
   Telemetry Telem;
+
+  /// Hash of every knob that changes the *values* the solver computes
+  /// (as opposed to how fast it computes them). Two runs with equal
+  /// solverSemanticsHash() and equal programs produce bitwise-identical
+  /// stores, so warm-start state may flow between them.
+  uint64_t solverSemanticsHash() const {
+    uint64_t H = 0xcbf29ce484222325ull;
+    auto Mix = [&H](uint64_t V) {
+      H ^= V + 0x9e3779b97f4a7c15ull + (H << 12) + (H >> 3);
+      H *= 0x100000001b3ull;
+    };
+    Mix(NarrowingPasses);
+    Mix(WideningThresholds.size());
+    for (int64_t T : WideningThresholds)
+      Mix(static_cast<uint64_t>(T));
+    Mix(HarrisonGfp);
+    Mix(ContextInsensitive);
+    Mix(TerminationGoal);
+    Mix(UseBackward);
+    return H;
+  }
+
+  /// Semantics hash plus the knobs that change the *shape* of the
+  /// recorded warm-start state (iteration strategy, chain length).
+  /// This keys the on-disk cache file: state recorded under a different
+  /// options hash is never even loaded.
+  uint64_t optionsHash() const {
+    uint64_t H = solverSemanticsHash();
+    auto Mix = [&H](uint64_t V) {
+      H ^= V + 0x9e3779b97f4a7c15ull + (H << 12) + (H >> 3);
+      H *= 0x100000001b3ull;
+    };
+    Mix(static_cast<uint64_t>(Strategy));
+    Mix(BackwardRounds);
+    return H;
+  }
 
   /// \name Chainable setters
   /// @{
@@ -85,6 +138,15 @@ struct AnalysisOptions {
   }
   AnalysisOptions &transferCache(bool On) {
     UseTransferCache = On;
+    TransferCacheSet = true;
+    return *this;
+  }
+  AnalysisOptions &adaptiveCacheThreshold(unsigned N) {
+    AdaptiveCacheInstanceThreshold = N;
+    return *this;
+  }
+  AnalysisOptions &cacheDir(std::string Dir) {
+    CacheDir = std::move(Dir);
     return *this;
   }
   AnalysisOptions &narrowingPasses(unsigned N) {

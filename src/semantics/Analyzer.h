@@ -46,7 +46,30 @@ public:
   /// Runs the full analysis schedule.
   void run();
 
+  /// The equation-system signature of one slot of the refinement chain.
+  /// Replay is only exact against a run of the same system, so each
+  /// chain slot remembers which system recorded it and resets when the
+  /// schedule changes shape under its ordinal.
+  enum class PhaseSig : uint8_t { FwdNoEnv, FwdEnv, Always, Eventually };
+
+  /// Warm-start state for one slot of the refinement chain: the memo
+  /// the solver records/replays, plus the external inputs the recorded
+  /// run solved under (to mark the nodes whose inputs changed since).
+  /// One slot exists per *phase ordinal* of the chain (F0, F1, A1, E1,
+  /// F2, ... in execution order), so a repeated run() replays each
+  /// phase against the same phase of the previous run — including the
+  /// envelope-free initial forward pass, which a shared slot would
+  /// poison with the final pass's envelope.
+  struct WarmSlot {
+    WarmStartMemo<AbstractStore> Memo;
+    PhaseSig Sig = PhaseSig::FwdNoEnv;
+    bool HadEnv = false; ///< the recorded run solved inside an envelope
+    std::vector<AbstractStore> Env;   ///< envelope of the recorded run
+    std::vector<AbstractStore> Seeds; ///< seeds of the recorded run
+  };
+
   const SuperGraph &graph() const { return *Graph; }
+  const Options &options() const { return Opts; }
   const StoreOps &storeOps() const { return Ops; }
   const ExprSemantics &exprSemantics() const { return Exprs; }
   const ProgramCfg &programCfg() const { return Cfg; }
@@ -72,19 +95,51 @@ public:
     return Snapshots;
   }
 
+  /// \name Warm-start state access (persistence, warm bench transplants)
+  /// @{
+  /// The chain slots in phase-ordinal order, as recorded by the last
+  /// run(). Empty before the first warm-started run.
+  const std::vector<WarmSlot> &chainSlots() const { return ChainSlots; }
+  /// Installs externally restored chain slots (e.g. loaded from the
+  /// on-disk cache). The solver re-validates every memo header and every
+  /// replayed value, so a stale import degrades to cold solving, never
+  /// to wrong results.
+  void importChainSlots(std::vector<WarmSlot> Slots) {
+    ChainSlots = std::move(Slots);
+  }
+  /// Installs a restored edge-transfer memo (input-verified on every
+  /// probe, so stale imports cost a miss, never a wrong summary).
+  void importEdgeMemo(unsigned EdgeIdx, unsigned Dir, LinkTransferMemo M) {
+    Graph->importEdgeMemo(EdgeIdx, Dir, std::move(M));
+  }
+  /// Transplants the warm-start state (chain slots and edge-transfer
+  /// memos) recorded by \p Other into this analyzer. Returns false — and
+  /// imports nothing — unless both analyzers solve the same supergraph
+  /// (equal stable hashes) under the same value semantics: replayed
+  /// values were *computed* under the donor's widening/narrowing
+  /// configuration, so value verification alone cannot catch a
+  /// semantics mismatch.
+  bool importWarmFrom(const Analyzer &Other);
+  /// The forward / backward dependency digraphs — built by the same
+  /// shared helpers the internal equation systems use, so WTOs derived
+  /// from them can never diverge from the ones the solver iterated.
+  Digraph forwardDependencies() const;
+  Digraph backwardDependencies() const;
+  std::vector<unsigned> forwardRoots() const;
+  std::vector<unsigned> backwardRoots() const;
+  /// True when the transfer cache is live (explicitly requested, or
+  /// auto-enabled by the instance-count heuristic).
+  bool transferCacheEnabled() const { return Cache != nullptr; }
+  /// @}
+
 private:
-  /// Warm-start state for one slot of the refinement chain: the memo
-  /// the solver records/replays, plus the external inputs the recorded
-  /// run solved under (to mark the nodes whose inputs changed since).
-  /// Three slots exist — the forward phases share one, and the two
-  /// backward analyses get one each — because replay is only exact
-  /// against a run of the *same* equation system.
-  struct WarmSlot {
-    WarmStartMemo<AbstractStore> Memo;
-    bool HadEnv = false; ///< the recorded run solved inside an envelope
-    std::vector<AbstractStore> Env;   ///< envelope of the recorded run
-    std::vector<AbstractStore> Seeds; ///< seeds of the recorded run
-  };
+  /// Claims the next chain slot of this run and tags it \p Sig. A slot
+  /// whose recorded signature differs is reset (the schedule changed
+  /// shape under its ordinal); a fresh slot is seeded with a copy of
+  /// the nearest earlier same-signature slot, which preserves the
+  /// within-run reuse of the old shared-slot scheme (round k+1 replays
+  /// against round k) on top of the across-run per-ordinal replay.
+  WarmSlot &chainSlot(PhaseSig Sig);
 
   std::vector<AbstractStore> solveForward(
       const std::vector<AbstractStore> *Env, PhaseStats &Phase);
@@ -114,7 +169,11 @@ private:
   std::vector<AbstractStore> Envelope;
   std::vector<std::pair<std::string, std::vector<AbstractStore>>> Snapshots;
   AnalysisStats Stats;
-  WarmSlot FwdSlot, AlwaysSlot, EventuallySlot;
+  /// One warm slot per phase ordinal of the refinement chain, surviving
+  /// across run() calls (and importable from the persistent cache).
+  std::vector<WarmSlot> ChainSlots;
+  /// Ordinal of the next phase within the current run().
+  unsigned ChainOrdinal = 0;
 };
 
 } // namespace syntox

@@ -30,6 +30,7 @@ SuperGraph::SuperGraph(const ProgramCfg &Cfg, RoutineDecl *Program,
       Xfer(Xfer), ContextInsensitive(ContextInsensitive) {
   discoverInstances(Program);
   buildEdges();
+  Ids = std::make_unique<StableIds>(*this, Cfg, Program);
   if (Telem.Metrics)
     Telem.Metrics->counter("interproc.instances").inc(Instances.size());
 }
@@ -414,5 +415,9 @@ size_t SuperGraph::approximateBytes() const {
   Bytes += NumNodes * 2 * sizeof(std::vector<unsigned>);
   for (unsigned N = 0; N < NumNodes; ++N)
     Bytes += (In[N].size() + Out[N].size()) * sizeof(unsigned);
+  // The stable-key side tables are shared by every store snapshot and
+  // memo; they are charged exactly once, here.
+  if (Ids)
+    Bytes += Ids->approximateBytes();
   return Bytes;
 }

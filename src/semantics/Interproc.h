@@ -28,11 +28,13 @@
 
 #include "cfg/Cfg.h"
 #include "fixpoint/Digraph.h"
+#include "semantics/StableIds.h"
 #include "semantics/Transfer.h"
 
 #include <array>
 #include <atomic>
 #include <map>
+#include <memory>
 #include <vector>
 
 namespace syntox {
@@ -225,13 +227,39 @@ public:
   /// The dense store-slot numbering this supergraph's stores run on.
   const VarNumbering &varNumbering() const { return Numbering; }
 
-  /// Rough bytes held by the supergraph structures (Figure 4 memory).
+  /// The content-addressed key layer over this supergraph (node,
+  /// instance, edge and variable keys; see StableIds.h). Built once in
+  /// the constructor.
+  const StableIds &stableIds() const { return *Ids; }
+
+  /// \name Persistence access to the edge memos
+  /// @{
+  bool transferMemoEnabled() const { return TransferMemoEnabled; }
+  /// All memo slots, [edge][0 = forward, 1 = backward]; empty unless
+  /// enableTransferMemo() ran.
+  const std::vector<std::array<LinkTransferMemo, 2>> &edgeMemos() const {
+    return EdgeMemos;
+  }
+  /// Installs a restored memo for one edge direction. Requires
+  /// enableTransferMemo(); the transfer functions re-verify the
+  /// recorded inputs by value before any reuse, so a stale import can
+  /// cost a miss but never an incorrect summary.
+  void importEdgeMemo(unsigned EdgeIdx, unsigned Dir, LinkTransferMemo M) {
+    EdgeMemos[EdgeIdx][Dir] = std::move(M);
+  }
+  /// @}
+
+  /// Rough bytes held by the supergraph structures (Figure 4 memory),
+  /// including the stable-key side tables — charged once here, not per
+  /// store payload that shares them.
   size_t approximateBytes() const;
 
 private:
   void discoverInstances(RoutineDecl *Program);
   unsigned getOrCreateInstance(RoutineDecl *R, ActivationToken Tok);
   void buildEdges();
+
+  std::unique_ptr<StableIds> Ids;
 
   const ProgramCfg &Cfg;
   VarNumbering Numbering; ///< assigns store slots; must precede analysis
