@@ -11,6 +11,9 @@
 //     --format=text|json   output encoding (default text)
 //     --states             include the abstract state at every point
 //     --state-at=LINE[:COL] the abstract state at one source location
+//     --query=point:LINE[:COL] | --query=assertion:ID
+//                          demand-driven query: solve only the
+//                          dependency cone of one point / runtime check
 //   plus every shared analysis/telemetry flag (see --help): --terminate,
 //   --rounds=N, --strategy=S, --threads=N, --cache/--no-cache,
 //   --trace=FILE, --trace-format=json|chrome, --metrics-json=FILE, ...
@@ -37,6 +40,11 @@ static void usage() {
                "  --state-at=LINE[:COL]\n"
                "                       print the abstract state at one "
                "source location\n"
+               "  --query=point:LINE[:COL] | --query=assertion:ID\n"
+               "                       demand-driven query: solve only "
+               "the dependency cone\n"
+               "                       of one source point / one runtime "
+               "check id\n"
                "%s",
                analysisFlagsHelp());
 }
@@ -71,6 +79,8 @@ int main(int Argc, char **Argv) {
   bool JsonOutput = false;
   bool PrintAllStates = false;
   SourceLoc StateLoc;
+  bool HaveQuery = false;
+  DemandSpec Query;
   std::string Path;
   for (const std::string &Arg : Args) {
     if (Arg == "--states") {
@@ -97,6 +107,35 @@ int main(int Argc, char **Argv) {
             static_cast<uint32_t>(std::atoi(Spec.c_str() + Colon + 1));
       if (StateLoc.Line == 0) {
         std::fprintf(stderr, "syntox_cli: invalid --state-at '%s'\n",
+                     Spec.c_str());
+        return 2;
+      }
+    } else if (Arg.rfind("--query=", 0) == 0) {
+      std::string Spec = Arg.substr(8);
+      if (Spec.rfind("point:", 0) == 0) {
+        std::string Pt = Spec.substr(6);
+        size_t Colon = Pt.find(':');
+        SourceLoc Loc;
+        Loc.Line =
+            static_cast<uint32_t>(std::atoi(Pt.substr(0, Colon).c_str()));
+        if (Colon != std::string::npos)
+          Loc.Column =
+              static_cast<uint32_t>(std::atoi(Pt.c_str() + Colon + 1));
+        if (Loc.Line == 0) {
+          std::fprintf(stderr, "syntox_cli: invalid --query '%s'\n",
+                       Spec.c_str());
+          return 2;
+        }
+        Query = DemandSpec::point(Loc);
+        HaveQuery = true;
+      } else if (Spec.rfind("assertion:", 0) == 0) {
+        Query = DemandSpec::check(
+            static_cast<unsigned>(std::atoi(Spec.c_str() + 10)));
+        HaveQuery = true;
+      } else {
+        std::fprintf(stderr,
+                     "syntox_cli: invalid --query '%s' (expected "
+                     "point:LINE[:COL] or assertion:ID)\n",
                      Spec.c_str());
         return 2;
       }
@@ -137,6 +176,49 @@ int main(int Argc, char **Argv) {
     return 1;
 
   configureSessionTelemetry(*Session, Telem);
+
+  if (HaveQuery) {
+    // Demand-driven path: solve only the query's dependency cone and
+    // report the partial findings.
+    try {
+      DemandResult R = Query.K == DemandSpec::Kind::Point
+                           ? Session->demandStateAt(Query.Loc)
+                           : Session->demandCheck(Query.CheckId);
+      if (JsonOutput) {
+        std::printf("%s\n", R.toJson().pretty().c_str());
+      } else {
+        const AnalysisStats &S = R.stats();
+        if (Query.K == DemandSpec::Kind::Point) {
+          std::printf("*** Demand query: point %s\n",
+                      Query.Loc.str().c_str());
+          printStates(R.states());
+          if (R.states().empty())
+            std::printf("  (no control point at this location)\n");
+        } else {
+          std::printf("*** Demand query: runtime check %u\n",
+                      Query.CheckId);
+          const IntervalDomain &D =
+              R.analyzer().storeOps().domain();
+          std::printf("  %s\n", R.check()->str(D).c_str());
+        }
+        std::printf("*** Cone conditions\n");
+        for (const NecessaryCondition &C : R.conditions())
+          std::printf("  %s\n", C.str().c_str());
+        if (R.conditions().empty())
+          std::printf("  (none)\n");
+        std::printf("%s", S.str().c_str());
+      }
+    } catch (const std::out_of_range &E) {
+      std::fprintf(stderr, "syntox_cli: %s\n", E.what());
+      return 1;
+    }
+    if (!writeTelemetryOutputs(*Session, Telem, Error)) {
+      std::fprintf(stderr, "syntox_cli: %s\n", Error.c_str());
+      return 1;
+    }
+    return 0;
+  }
+
   AnalysisResult Result = Session->run();
 
   if (JsonOutput) {

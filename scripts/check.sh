@@ -1,18 +1,21 @@
 #!/usr/bin/env bash
 # Full pre-merge check: warnings-as-errors build + tests (ci preset),
-# race-checked build + tests (tsan preset), then an end-to-end telemetry
+# race-checked build + tests (tsan preset), memory/UB-checked
+# fixpoint+semantics suites (asan preset), then an end-to-end telemetry
 # smoke test that validates the CLI's trace/metrics/findings output
 # against the documented schemas in schemas/.
 #
-# Usage: scripts/check.sh [--no-tsan]
+# Usage: scripts/check.sh [--no-tsan] [--no-asan]
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 NO_TSAN=0
+NO_ASAN=0
 for arg in "$@"; do
   case "$arg" in
     --no-tsan) NO_TSAN=1 ;;
+    --no-asan) NO_ASAN=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -28,6 +31,24 @@ run_preset() {
 run_preset ci
 if [ "$NO_TSAN" -eq 0 ]; then
   run_preset tsan
+fi
+if [ "$NO_ASAN" -eq 0 ]; then
+  # ASan+UBSan over the suites that exercise the solver and the
+  # semantics layer (including the demand-driven query battery).
+  echo "== preset: asan (fixpoint/semantics suites) =="
+  ASAN_SUITES="wto_test solver_test parallel_solver_test analyzer_test
+               transfer_test interproc_test store_test store_cow_test
+               expr_semantics_test soundness_test demand_query_test"
+  cmake --preset asan
+  # shellcheck disable=SC2086
+  cmake --build build-asan -j "$(nproc)" --target $ASAN_SUITES
+  for suite in $ASAN_SUITES; do
+    echo "-- asan: $suite"
+    # ASan redzones inflate the concrete interpreter's recursive eval
+    # frames ~8x; the recursion depth is program-bounded, so give the
+    # sanitized runs a larger stack instead of capping the programs.
+    (ulimit -s 65536; exec "build-asan/tests/$suite" --gtest_brief=1)
+  done
 fi
 
 echo "== telemetry smoke test =="
@@ -360,6 +381,88 @@ for a in report["analyses"]:
 
 print(f"persistence benchmark OK ({len(report['rows'])} rows, all "
       "unchanged reruns at 0 live evaluations)")
+EOF
+
+echo "== demand-query smoke test =="
+# CLI query path: a demanded point answer must come back with a strict
+# non-empty subset of components scheduled (the solved-cone claim, read
+# off the demand stats).
+"$CLI" --query=point:9 --format=json "$OUT/two.pas" > "$OUT/demand-point.json"
+
+python3 - "$OUT" <<'EOF'
+import json, sys
+out = sys.argv[1]
+
+def check(cond, what):
+    if not cond:
+        raise SystemExit(f"demand query violation: {what}")
+
+with open(f"{out}/demand-point.json") as f:
+    doc = json.load(f)
+check(doc["query"]["kind"] == "point", "wrong query kind")
+check(doc["query"]["line"] == 9, "wrong query line")
+check(isinstance(doc["states"], list) and doc["states"],
+      "point query returned no states")
+stats = doc["stats"]
+check(stats["demanded_components"] > 0, "no components demanded")
+check(stats["skipped_by_demand"] > 0,
+      "no components skipped: the demand cone was not a strict subset")
+
+print("demand CLI smoke OK "
+      f"({stats['demanded_components']} demanded, "
+      f"{stats['skipped_by_demand']} skipped)")
+EOF
+
+build-ci/bench/bench_demand --out="$OUT/BENCH_demand.json" > /dev/null
+
+python3 - "$OUT" <<'EOF'
+import json, sys
+out = sys.argv[1]
+
+def check(cond, what):
+    if not cond:
+        raise SystemExit(f"bench_demand violation: {what}")
+
+with open("schemas/bench.schema.json") as f:
+    schema = json.load(f)
+with open(f"{out}/BENCH_demand.json") as f:
+    report = json.load(f)
+
+for key in schema["required"]:
+    check(key in report, f"missing required key '{key}'")
+check(report["benchmark"] == "bench_demand", "wrong benchmark name")
+check(isinstance(report["rows"], list) and report["rows"], "no rows")
+families = set()
+for i, row in enumerate(report["rows"]):
+    for col in ("family", "k", "query", "cold_evals", "demand_evals",
+                "warm_demand_evals", "demanded_components",
+                "skipped_components"):
+        check(col in row, f"rows[{i}] missing '{col}'")
+    families.add(row["family"])
+    where = f"{row['family']}/{row['k']} {row['query']}"
+    # The solved-cone-is-a-strict-subset claim, on every query.
+    check(row["demanded_components"] > 0, f"{where}: no components demanded")
+    check(row["skipped_components"] > 0,
+          f"{where}: no components skipped (cone == whole program)")
+    # A demand solve never does more live work than a full solve.
+    check(row["demand_evals"] <= row["cold_evals"],
+          f"{where}: demand {row['demand_evals']} > cold {row['cold_evals']}")
+    # The acceptance claim: a cache-warmed demand query costs at least
+    # 2x fewer live evaluations than a cold full solve.
+    check(row["warm_demand_evals"] * 2 <= row["cold_evals"],
+          f"{where}: warm demand {row['warm_demand_evals']} vs cold "
+          f"{row['cold_evals']} is under a 2x reduction")
+check(families == {"loopChain", "dispatchChain", "mcCarthy"},
+      f"unexpected families {families}")
+check(any(r["family"] == "loopChain" and r["query"] == "check:far"
+          for r in report["rows"]),
+      "missing the far-end assertion query on loopChain")
+for a in report["analyses"]:
+    for key in ("label", "seconds", "stats"):
+        check(key in a, f"analysis entry missing '{key}'")
+
+print(f"demand benchmark OK ({len(report['rows'])} rows, every query a "
+      "strict subset, warm queries >= 2x under cold full solves)")
 EOF
 
 echo "ALL CHECKS PASSED"

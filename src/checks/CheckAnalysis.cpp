@@ -2,6 +2,8 @@
 
 #include "checks/CheckAnalysis.h"
 
+#include <stdexcept>
+
 using namespace syntox;
 
 const char *syntox::checkVerdictName(CheckVerdict Verdict) {
@@ -96,37 +98,82 @@ CheckAnalysis::CheckAnalysis(const Analyzer &An) : An(An) {
     R.Info = &Info;
     PerCheck P = Info.Id < Per.size() ? Per[Info.Id] : PerCheck();
     R.Observed = P.Observed;
-    if (!P.SeenReachable || P.Observed.isBottom()) {
-      R.Verdict = CheckVerdict::Unreachable;
-    } else {
-      switch (Info.Kind) {
-      case CheckKind::ArrayBound:
-      case CheckKind::SubrangeBound: {
-        Interval Required = D.make(Info.Lo, Info.Hi);
-        if (D.leq(P.Observed, Required))
-          R.Verdict = CheckVerdict::Safe;
-        else if (D.meet(P.Observed, Required).isBottom())
-          R.Verdict = CheckVerdict::MustFail;
-        else
-          R.Verdict = CheckVerdict::MayFail;
-        break;
-      }
-      case CheckKind::DivByZero:
-        if (!P.Observed.contains(0))
-          R.Verdict = CheckVerdict::Safe;
-        else if (P.Observed.isSingleton())
-          R.Verdict = CheckVerdict::MustFail;
-        else
-          R.Verdict = CheckVerdict::MayFail;
-        break;
-      case CheckKind::CaseMatch:
-        // Reaching the fallthrough is itself the error.
-        R.Verdict = CheckVerdict::MustFail;
-        break;
-      }
-    }
+    R.Verdict = classify(D, Info, P.Observed, P.SeenReachable);
     Results.push_back(R);
   }
+}
+
+CheckVerdict CheckAnalysis::classify(const IntervalDomain &D,
+                                     const CheckInfo &Info,
+                                     const Interval &Observed,
+                                     bool SeenReachable) {
+  if (!SeenReachable || Observed.isBottom())
+    return CheckVerdict::Unreachable;
+  switch (Info.Kind) {
+  case CheckKind::ArrayBound:
+  case CheckKind::SubrangeBound: {
+    Interval Required = D.make(Info.Lo, Info.Hi);
+    if (D.leq(Observed, Required))
+      return CheckVerdict::Safe;
+    if (D.meet(Observed, Required).isBottom())
+      return CheckVerdict::MustFail;
+    return CheckVerdict::MayFail;
+  }
+  case CheckKind::DivByZero:
+    if (!Observed.contains(0))
+      return CheckVerdict::Safe;
+    if (Observed.isSingleton())
+      return CheckVerdict::MustFail;
+    return CheckVerdict::MayFail;
+  case CheckKind::CaseMatch:
+    // Reaching the fallthrough is itself the error.
+    return CheckVerdict::MustFail;
+  }
+  return CheckVerdict::MayFail;
+}
+
+CheckResult CheckAnalysis::classifyCheck(const Analyzer &An,
+                                         unsigned CheckId) {
+  const SuperGraph &G = An.graph();
+  const IntervalDomain &D = An.storeOps().domain();
+  const ExprSemantics &Exprs = An.exprSemantics();
+  const CheckInfo *Info = nullptr;
+  for (const CheckInfo &I : An.checkTable())
+    if (I.Id == CheckId) {
+      Info = &I;
+      break;
+    }
+  if (!Info)
+    throw std::out_of_range("no runtime check with id " +
+                            std::to_string(CheckId));
+  CheckResult R;
+  R.Info = Info;
+  Interval Observed = Interval::bottom();
+  bool SeenReachable = false;
+  for (const SuperEdge &E : G.edges()) {
+    if (E.K != SuperEdge::Kind::Local ||
+        E.Act->K != Action::Kind::Check || E.Act->CheckId != CheckId)
+      continue;
+    const AbstractStore &In = An.forwardAt(E.From);
+    if (In.isBottom())
+      continue;
+    SeenReachable = true;
+    Observed = D.join(
+        Observed, Exprs.evalInt(E.Act->Value, In, G.instanceOf(E.From).Frame));
+  }
+  R.Observed = Observed;
+  R.Verdict = classify(D, *Info, Observed, SeenReachable);
+  return R;
+}
+
+std::vector<unsigned> CheckAnalysis::checkNodes(const Analyzer &An,
+                                                unsigned CheckId) {
+  std::vector<unsigned> Out;
+  for (const SuperEdge &E : An.graph().edges())
+    if (E.K == SuperEdge::Kind::Local &&
+        E.Act->K == Action::Kind::Check && E.Act->CheckId == CheckId)
+      Out.push_back(E.From);
+  return Out;
 }
 
 CheckSummary CheckAnalysis::summary() const {

@@ -76,6 +76,28 @@ class CheckAnalysis {
 public:
   explicit CheckAnalysis(const Analyzer &An);
 
+  /// The verdict for one check site given the join \p Observed of the
+  /// checked value over every reaching state (\p SeenReachable false
+  /// when no instance of the check is forward-reachable). The single
+  /// classification rule shared by the full table and the demand path.
+  static CheckVerdict classify(const IntervalDomain &D,
+                               const CheckInfo &Info,
+                               const Interval &Observed,
+                               bool SeenReachable);
+
+  /// Classifies one check site against \p An without building the full
+  /// table — the demand-query path. Requires An's forward values to be
+  /// valid at every edge performing the check (a demand run seeded
+  /// with checkNodes() guarantees this by construction). Throws
+  /// std::out_of_range for an unknown check id.
+  static CheckResult classifyCheck(const Analyzer &An, unsigned CheckId);
+
+  /// The source nodes of every supergraph edge performing check
+  /// \p CheckId, across all activation instances — the demand-query
+  /// seed set for a check query.
+  static std::vector<unsigned> checkNodes(const Analyzer &An,
+                                          unsigned CheckId);
+
   const std::vector<CheckResult> &results() const { return Results; }
   CheckSummary summary() const;
 

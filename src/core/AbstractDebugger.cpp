@@ -43,6 +43,30 @@ AbstractDebugger::create(const std::string &Source, DiagnosticsEngine &Diags,
 
 AbstractDebugger::~AbstractDebugger() = default;
 
+void AbstractDebugger::maybeLoadPersistCache() {
+  // With a cache directory configured, the first run of this process
+  // (full or demand) warm-starts from the persisted recordings of an
+  // earlier process, falling back to cold on any mismatch.
+  if (PersistProbed)
+    return;
+  PersistProbed = true;
+  MetricsRegistry *M = Opts.Telem.Metrics;
+  persist::CacheLoadResult R = persist::loadWarmCache(Opts.CacheDir, *An);
+  if (M) {
+    if (R.Loaded) {
+      M->counter("persist.loaded").inc();
+      M->counter("persist.slots").inc(R.Slots);
+      M->counter("persist.restored_nodes").inc(R.RestoredNodes);
+      M->counter("persist.invalidated_nodes").inc(R.InvalidatedNodes);
+      M->counter("persist.matched_elements").inc(R.MatchedElements);
+      M->counter("persist.unmatched_elements").inc(R.UnmatchedElements);
+      M->counter("persist.restored_edge_memos").inc(R.RestoredEdgeMemos);
+    } else {
+      M->counter("persist.fallback").inc();
+    }
+  }
+}
+
 void AbstractDebugger::analyze() {
   // Repeated analyze() calls re-run the chain on the same engine. With
   // warm starts on (the default), the analyzer's warm slots survive
@@ -56,25 +80,8 @@ void AbstractDebugger::analyze() {
   // every analyze() saves its recordings back.
   bool Persist = !Opts.CacheDir.empty() && Opts.WarmStart;
   MetricsRegistry *M = Opts.Telem.Metrics;
-  if (Persist && !Analyzed) {
-    persist::CacheLoadResult R =
-        persist::loadWarmCache(Opts.CacheDir, *An);
-    if (M) {
-      if (R.Loaded) {
-        M->counter("persist.loaded").inc();
-        M->counter("persist.slots").inc(R.Slots);
-        M->counter("persist.restored_nodes").inc(R.RestoredNodes);
-        M->counter("persist.invalidated_nodes").inc(R.InvalidatedNodes);
-        M->counter("persist.matched_elements").inc(R.MatchedElements);
-        M->counter("persist.unmatched_elements")
-            .inc(R.UnmatchedElements);
-        M->counter("persist.restored_edge_memos")
-            .inc(R.RestoredEdgeMemos);
-      } else {
-        M->counter("persist.fallback").inc();
-      }
-    }
-  }
+  if (Persist)
+    maybeLoadPersistCache();
   An->run();
   if (Persist) {
     if (persist::saveWarmCache(Opts.CacheDir, *An)) {
@@ -84,14 +91,62 @@ void AbstractDebugger::analyze() {
   }
   Checks = std::make_unique<CheckAnalysis>(*An);
   Analyzed = true;
+  DemandAnalyzed = false;
   deriveConditions();
   deriveInvariantWarnings();
+}
+
+void AbstractDebugger::analyzeDemand(const DemandSpec &Spec) {
+  if (Analyzed)
+    throw std::logic_error(
+        "analyzeDemand() on an analyzed debugger would overwrite the "
+        "published full-analysis results; use a fresh debugger (the "
+        "AnalysisSession demand queries do)");
+
+  const SuperGraph &G = An->graph();
+  std::vector<unsigned> Query;
+  if (Spec.K == DemandSpec::Kind::Check) {
+    Query = CheckAnalysis::checkNodes(*An, Spec.CheckId);
+    bool Known = false;
+    for (const CheckInfo &I : An->checkTable())
+      Known |= I.Id == Spec.CheckId;
+    if (!Known)
+      throw std::out_of_range("no runtime check with id " +
+                              std::to_string(Spec.CheckId));
+  } else {
+    for (const Instance &Inst : G.instances())
+      for (unsigned P = 0; P < Inst.Cfg->numPoints(); ++P) {
+        SourceLoc PLoc = Inst.Cfg->pointLoc(P);
+        if (!PLoc.isValid() || PLoc.Line != Spec.Loc.Line)
+          continue;
+        if (Spec.Loc.Column != 0 && PLoc.Column != Spec.Loc.Column)
+          continue;
+        Query.push_back(G.node(Inst, P));
+      }
+  }
+
+  // Demand runs compose with the on-disk cache exactly like full runs
+  // (out-of-cone components replay from the loaded chain), but never
+  // save: the cache must only ever hold full recordings, and a demand
+  // run leaves the chain slots untouched.
+  if (!Opts.CacheDir.empty() && Opts.WarmStart)
+    maybeLoadPersistCache();
+  An->runDemand(Query);
+  DemandAnalyzed = true;
+  deriveConditions(&An->demandMask());
+  deriveInvariantWarnings(&An->demandMask());
 }
 
 void AbstractDebugger::requireAnalyzed(const char *Query) const {
   if (!Analyzed)
     throw std::logic_error(std::string(Query) +
                            " requires a completed analyze() call");
+}
+
+void AbstractDebugger::requireDemandAnalyzed(const char *Query) const {
+  if (!DemandAnalyzed)
+    throw std::logic_error(std::string(Query) +
+                           " requires a completed analyzeDemand() call");
 }
 
 bool AbstractDebugger::someExecutionMaySatisfySpec() const {
@@ -114,7 +169,7 @@ static std::vector<unsigned> predecessors(const SuperGraph &G,
   return Out;
 }
 
-void AbstractDebugger::deriveConditions() {
+void AbstractDebugger::deriveConditions(const std::vector<uint8_t> *Cone) {
   Conditions.clear();
   const SuperGraph &G = An->graph();
   const StoreOps &Ops = An->storeOps();
@@ -129,6 +184,8 @@ void AbstractDebugger::deriveConditions() {
   };
 
   for (unsigned Node = 0; Node < G.numNodes(); ++Node) {
+    if (Cone && !(*Cone)[Node])
+      continue; // demand run: values outside the cone are unspecified
     const AbstractStore &Fwd = An->forwardAt(Node);
     const AbstractStore &Env = An->envelopeAt(Node);
     if (Fwd.isBottom())
@@ -186,7 +243,8 @@ void AbstractDebugger::deriveConditions() {
   }
 }
 
-void AbstractDebugger::deriveInvariantWarnings() {
+void AbstractDebugger::deriveInvariantWarnings(
+    const std::vector<uint8_t> *Cone) {
   InvariantWarnings.clear();
   const SuperGraph &G = An->graph();
   const ExprSemantics &Exprs = An->exprSemantics();
@@ -195,6 +253,8 @@ void AbstractDebugger::deriveInvariantWarnings() {
     if (E.K != SuperEdge::Kind::Local ||
         E.Act->K != Action::Kind::Invariant)
       continue;
+    if (Cone && !(*Cone)[E.From])
+      continue; // demand run: values outside the cone are unspecified
     const AbstractStore &In = An->forwardAt(E.From);
     if (In.isBottom())
       continue;
@@ -281,6 +341,62 @@ std::vector<PointState> AbstractDebugger::stateAt(SourceLoc Loc) const {
     }
   }
   return Out;
+}
+
+std::vector<PointState>
+AbstractDebugger::demandStateAt(SourceLoc Loc) const {
+  requireDemandAnalyzed("demandStateAt()");
+  const SuperGraph &G = An->graph();
+  const std::vector<uint8_t> &Cone = An->demandMask();
+  std::vector<PointState> Out;
+  for (const Instance &Inst : G.instances()) {
+    for (unsigned P = 0; P < Inst.Cfg->numPoints(); ++P) {
+      SourceLoc PLoc = Inst.Cfg->pointLoc(P);
+      if (!PLoc.isValid() || PLoc.Line != Loc.Line)
+        continue;
+      if (Loc.Column != 0 && PLoc.Column != Loc.Column)
+        continue;
+      unsigned Node = G.node(Inst, P);
+      if (Cone.empty() || !Cone[Node])
+        throw std::out_of_range(
+            "demandStateAt(): " + PLoc.str() +
+            " is outside the solved demand cone; re-query through "
+            "analyzeDemand() for this point or run a full analyze()");
+      Out.push_back(pointState(*An, Inst, P));
+    }
+  }
+  return Out;
+}
+
+bool AbstractDebugger::demandCovers(SourceLoc Loc) const {
+  requireDemandAnalyzed("demandCovers()");
+  const SuperGraph &G = An->graph();
+  const std::vector<uint8_t> &Cone = An->demandMask();
+  for (const Instance &Inst : G.instances()) {
+    for (unsigned P = 0; P < Inst.Cfg->numPoints(); ++P) {
+      SourceLoc PLoc = Inst.Cfg->pointLoc(P);
+      if (!PLoc.isValid() || PLoc.Line != Loc.Line)
+        continue;
+      if (Loc.Column != 0 && PLoc.Column != Loc.Column)
+        continue;
+      unsigned Node = G.node(Inst, P);
+      if (Cone.empty() || !Cone[Node])
+        return false;
+    }
+  }
+  return true;
+}
+
+CheckResult AbstractDebugger::demandCheck(unsigned CheckId) const {
+  requireDemandAnalyzed("demandCheck()");
+  const std::vector<uint8_t> &Cone = An->demandMask();
+  for (unsigned Node : CheckAnalysis::checkNodes(*An, CheckId))
+    if (Cone.empty() || !Cone[Node])
+      throw std::out_of_range(
+          "demandCheck(): check " + std::to_string(CheckId) +
+          " has sites outside the solved demand cone; query it through "
+          "analyzeDemand(DemandSpec::check(id))");
+  return CheckAnalysis::classifyCheck(*An, CheckId);
 }
 
 std::vector<PointState>

@@ -91,6 +91,30 @@ struct PointState {
   json::Value toJson() const;
 };
 
+/// What a demand-driven analysis is asked about: the abstract state at
+/// one source point, or the verdict of one runtime check. The demand
+/// cone — the set of control points actually solved — is derived from
+/// the spec.
+struct DemandSpec {
+  enum class Kind { Point, Check };
+  Kind K = Kind::Point;
+  SourceLoc Loc;        ///< Kind::Point: the queried source location
+  unsigned CheckId = 0; ///< Kind::Check: id in the program's check table
+
+  static DemandSpec point(SourceLoc Loc) {
+    DemandSpec S;
+    S.K = Kind::Point;
+    S.Loc = Loc;
+    return S;
+  }
+  static DemandSpec check(unsigned Id) {
+    DemandSpec S;
+    S.K = Kind::Check;
+    S.CheckId = Id;
+    return S;
+  }
+};
+
 class AbstractDebugger {
 public:
   /// Historical spelling of the shared options struct. The old nested
@@ -114,6 +138,62 @@ public:
 
   /// Whether analyze() has completed (the queries below require it).
   bool analyzed() const { return Analyzed; }
+
+  /// \name Demand-driven queries
+  /// Solves only the backward dependency cone of one query instead of
+  /// the whole program: the same refinement-chain schedule as
+  /// analyze(), restricted per phase to the cone, with out-of-cone
+  /// components replayed from warm memos (or the on-disk cache) at
+  /// zero live solver steps. Answers at in-cone points are
+  /// bitwise-identical to a full analyze(); queries outside the solved
+  /// cone are refused (std::out_of_range), never answered wrongly.
+  /// @{
+
+  /// Runs the cone-restricted analysis for \p Spec. Composes with
+  /// WarmStart/CacheDir exactly like analyze() — a warm or
+  /// cache-loaded chain replays everything outside the cone — but
+  /// never writes back (the chain slots and the on-disk cache only
+  /// ever hold full recordings). Throws std::logic_error on a debugger
+  /// that already ran a full analyze() (the demand run would overwrite
+  /// its published results); std::out_of_range for an unknown check
+  /// id. May be called repeatedly with different specs.
+  void analyzeDemand(const DemandSpec &Spec);
+
+  /// Whether analyzeDemand() has completed (the demand queries below
+  /// require it).
+  bool demandAnalyzed() const { return DemandAnalyzed; }
+
+  /// The abstract state at every control point matching \p Loc, like
+  /// stateAt(), but answered from the demand run. Throws
+  /// std::logic_error before analyzeDemand(), and std::out_of_range
+  /// when any matching point lies outside the solved cone.
+  std::vector<PointState> demandStateAt(SourceLoc Loc) const;
+
+  /// True when every control point matching \p Loc is inside the
+  /// solved cone, i.e. demandStateAt(Loc) will answer.
+  bool demandCovers(SourceLoc Loc) const;
+
+  /// The classification of runtime check \p CheckId from the demand
+  /// run. Throws std::logic_error before analyzeDemand(), and
+  /// std::out_of_range when the check's sites are outside the cone.
+  CheckResult demandCheck(unsigned CheckId) const;
+
+  /// Necessary conditions derived inside the solved cone. At in-cone
+  /// points these equal the full-analysis conditions; conditions whose
+  /// origin lies outside the cone are absent.
+  const std::vector<NecessaryCondition> &demandConditions() const {
+    requireDemandAnalyzed("demandConditions()");
+    return Conditions;
+  }
+
+  /// Invariant warnings derived inside the solved cone (same caveat as
+  /// demandConditions()).
+  const std::vector<InvariantWarning> &demandInvariantWarnings() const {
+    requireDemandAnalyzed("demandInvariantWarnings()");
+    return InvariantWarnings;
+  }
+
+  /// @}
 
   /// The whole-program verdict: false when the analysis proved that *no*
   /// input can satisfy the specification (envelope empty at entry).
@@ -156,9 +236,11 @@ public:
     return stateReportImpl(DescFilter);
   }
 
-  /// Figure 2 statistics.
+  /// Figure 2 statistics (of the full or the demand run, whichever
+  /// completed).
   const AnalysisStats &stats() const {
-    requireAnalyzed("stats()");
+    if (!Analyzed)
+      requireDemandAnalyzed("stats()");
     return An->stats();
   }
 
@@ -174,11 +256,19 @@ public:
 
 private:
   AbstractDebugger() = default;
-  void deriveConditions();
-  void deriveInvariantWarnings();
+  /// \p Cone restricts derivation to in-cone nodes (demand runs; null
+  /// = all nodes). The cone is predecessor-closed over the forward
+  /// dependencies, so every value the frontier tests read is in-cone.
+  void deriveConditions(const std::vector<uint8_t> *Cone = nullptr);
+  void deriveInvariantWarnings(const std::vector<uint8_t> *Cone = nullptr);
   /// Throws std::logic_error mentioning \p Query when analyze() has not
   /// completed (such reads returned garbage before this guard existed).
   void requireAnalyzed(const char *Query) const;
+  /// Same contract for the demand-query entry points: pre-run queries
+  /// throw std::logic_error, exactly like the full-analysis queries.
+  void requireDemandAnalyzed(const char *Query) const;
+  /// One-time warm-cache load shared by analyze() and analyzeDemand().
+  void maybeLoadPersistCache();
   std::string stateReportImpl(const std::string &DescFilter) const;
 
   std::unique_ptr<AstContext> Ctx;
@@ -188,6 +278,8 @@ private:
   RoutineDecl *Program = nullptr;
   Options Opts;
   bool Analyzed = false;
+  bool DemandAnalyzed = false;
+  bool PersistProbed = false;
   std::vector<NecessaryCondition> Conditions;
   std::vector<InvariantWarning> InvariantWarnings;
 };

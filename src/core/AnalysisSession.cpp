@@ -25,6 +25,37 @@ json::Value AnalysisResult::toJson() const {
   return V;
 }
 
+json::Value DemandResult::toJson() const {
+  json::Value V = json::Value::object();
+  json::Value Q = json::Value::object();
+  if (Spec.K == DemandSpec::Kind::Point) {
+    Q.set("kind", "point");
+    Q.set("line", Spec.Loc.Line);
+    Q.set("column", Spec.Loc.Column);
+  } else {
+    Q.set("kind", "check");
+    Q.set("check_id", Spec.CheckId);
+  }
+  V.set("query", std::move(Q));
+  json::Value Ss = json::Value::array();
+  for (const PointState &S : States)
+    Ss.push(S.toJson());
+  V.set("states", std::move(Ss));
+  if (const CheckResult *C = check())
+    V.set("check", C->toJson(Dbg->analyzer().storeOps().domain()));
+  json::Value Cs = json::Value::array();
+  for (const NecessaryCondition &C : conditions())
+    Cs.push(C.toJson());
+  V.set("conditions", std::move(Cs));
+  json::Value Ws = json::Value::array();
+  for (const InvariantWarning &W : invariantWarnings())
+    Ws.push(W.toJson());
+  V.set("invariant_warnings", std::move(Ws));
+  V.set("stats", stats().toJson());
+  V.set("metrics", MetricsSnapshot);
+  return V;
+}
+
 std::unique_ptr<AnalysisSession>
 AnalysisSession::create(std::string Source, DiagnosticsEngine &Diags,
                         AnalysisOptions Opts) {
@@ -77,4 +108,48 @@ AnalysisResult AnalysisSession::run() {
     trace::StoreDetachHook.store(nullptr, std::memory_order_relaxed);
 
   return AnalysisResult(std::move(Dbg), Metrics.snapshot());
+}
+
+DemandResult AnalysisSession::runDemandQuery(const DemandSpec &Spec) {
+  Opts.Telem.Trace = Trace.get();
+  if (!Opts.Telem.Metrics)
+    Opts.Telem.Metrics = &Metrics;
+
+  TraceRecorder *DetachHook =
+      Trace && Trace->wants(TraceEventKind::StoreDetach) ? Trace.get()
+                                                         : nullptr;
+  if (DetachHook)
+    trace::StoreDetachHook.store(DetachHook, std::memory_order_relaxed);
+
+  DiagnosticsEngine Diags;
+  std::shared_ptr<AbstractDebugger> Dbg =
+      AbstractDebugger::create(Source, Diags, Opts);
+  assert(Dbg && "session source was validated by create()");
+  std::vector<PointState> States;
+  CheckResult Check;
+  try {
+    Dbg->analyzeDemand(Spec);
+    if (Spec.K == DemandSpec::Kind::Point)
+      States = Dbg->demandStateAt(Spec.Loc);
+    else
+      Check = Dbg->demandCheck(Spec.CheckId);
+  } catch (...) {
+    if (DetachHook)
+      trace::StoreDetachHook.store(nullptr, std::memory_order_relaxed);
+    throw;
+  }
+
+  if (DetachHook)
+    trace::StoreDetachHook.store(nullptr, std::memory_order_relaxed);
+
+  return DemandResult(std::move(Dbg), Spec, std::move(States), Check,
+                      Metrics.snapshot());
+}
+
+DemandResult AnalysisSession::demandStateAt(SourceLoc Loc) {
+  return runDemandQuery(DemandSpec::point(Loc));
+}
+
+DemandResult AnalysisSession::demandCheck(unsigned CheckId) {
+  return runDemandQuery(DemandSpec::check(CheckId));
 }

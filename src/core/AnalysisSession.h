@@ -100,6 +100,79 @@ private:
   json::Value MetricsSnapshot;
 };
 
+/// Immutable result of one demand-driven query: the answer plus the
+/// findings derived inside the solved cone. A *partial* result — only
+/// the points inside the cone carry trustworthy values, and every
+/// accessor that could touch an out-of-cone point refuses
+/// (std::out_of_range) instead of answering from unspecified state.
+/// Cheap to copy; valid after the creating session is gone.
+class DemandResult {
+public:
+  /// What was asked.
+  const DemandSpec &spec() const { return Spec; }
+
+  /// Point query: the abstract state at every control point matching
+  /// the queried location (empty for check queries and for locations
+  /// matching no point — same contract as AnalysisResult::stateAt).
+  const std::vector<PointState> &states() const { return States; }
+
+  /// Check query: the classification of the queried check, or null for
+  /// point queries. The CheckInfo pointer stays valid for this
+  /// result's lifetime.
+  const CheckResult *check() const {
+    return Check.Info ? &Check : nullptr;
+  }
+
+  /// Follow-up state query against the same demand run. Throws
+  /// std::out_of_range when any matching point is outside the cone.
+  std::vector<PointState> stateAt(SourceLoc Loc) const {
+    return Dbg->demandStateAt(Loc);
+  }
+
+  /// True when stateAt(\p Loc) will answer (every matching point is
+  /// inside the solved cone).
+  bool covers(SourceLoc Loc) const { return Dbg->demandCovers(Loc); }
+
+  /// Necessary conditions whose origin lies inside the cone (equal to
+  /// the full-analysis conditions at those points).
+  const std::vector<NecessaryCondition> &conditions() const {
+    return Dbg->demandConditions();
+  }
+
+  /// Invariant warnings derived inside the cone.
+  const std::vector<InvariantWarning> &invariantWarnings() const {
+    return Dbg->demandInvariantWarnings();
+  }
+
+  /// Statistics of the demand run (DemandedComponents/SkippedByDemand
+  /// carry the cone accounting).
+  const AnalysisStats &stats() const { return Dbg->stats(); }
+
+  /// Metrics snapshot taken when the query finished.
+  const json::Value &metrics() const { return MetricsSnapshot; }
+
+  /// The partial-findings document — see schemas/demand.schema.json.
+  json::Value toJson() const;
+
+  /// Read-only access to the underlying engine (demandMask() etc.).
+  const Analyzer &analyzer() const { return Dbg->analyzer(); }
+  const AbstractDebugger &debugger() const { return *Dbg; }
+
+private:
+  friend class AnalysisSession;
+  DemandResult(std::shared_ptr<const AbstractDebugger> Dbg,
+               DemandSpec Spec, std::vector<PointState> States,
+               CheckResult Check, json::Value MetricsSnapshot)
+      : Dbg(std::move(Dbg)), Spec(Spec), States(std::move(States)),
+        Check(Check), MetricsSnapshot(std::move(MetricsSnapshot)) {}
+
+  std::shared_ptr<const AbstractDebugger> Dbg;
+  DemandSpec Spec;
+  std::vector<PointState> States;
+  CheckResult Check; ///< Info null for point queries
+  json::Value MetricsSnapshot;
+};
+
 /// A validated program plus configuration; factory of AnalysisResults.
 class AnalysisSession {
 public:
@@ -132,12 +205,27 @@ public:
   /// options()); earlier results remain valid and unchanged.
   AnalysisResult run();
 
+  /// Demand-driven point query: solves only the backward dependency
+  /// cone of the control points matching \p Loc (replaying everything
+  /// outside the cone from warm memos at zero live steps) and returns
+  /// the frozen partial result. Answers are bitwise-identical to the
+  /// same query against run(). Like run(), may be called repeatedly;
+  /// each query analyzes a fresh engine.
+  DemandResult demandStateAt(SourceLoc Loc);
+
+  /// Demand-driven check query: solves only the cone of runtime check
+  /// \p CheckId (an id from the findings document / check table) and
+  /// returns its classification. Throws std::out_of_range for an
+  /// unknown check id.
+  DemandResult demandCheck(unsigned CheckId);
+
   /// The analysis configuration used by the next run(). Telemetry
   /// members are managed by the session and reset on run().
   AnalysisOptions &options() { return Opts; }
 
 private:
   AnalysisSession() = default;
+  DemandResult runDemandQuery(const DemandSpec &Spec);
 
   std::string Source;
   AnalysisOptions Opts;

@@ -127,6 +127,12 @@ struct SolverStats {
   /// chain and threading cannot help; the attainable speedup is bounded
   /// by the width regardless of thread count.
   uint64_t ParallelDagWidth = 0;
+  /// Top-level WTO elements scheduled under the demand mask (demand
+  /// solves only; 0 on a full solve).
+  uint64_t DemandedComponents = 0;
+  /// Top-level WTO elements outside the demand cone, excluded from the
+  /// schedule entirely — they perform zero live evaluations.
+  uint64_t SkippedByDemand = 0;
 };
 
 /// Cross-run memo connecting consecutive solver runs of one slot of a
@@ -203,6 +209,24 @@ public:
     /// and then overwrites it with this run's trajectory. Null = cold
     /// solve, bit-for-bit the pre-warm-start behavior.
     WarmStartMemo<typename System::Value> *Memo = nullptr;
+    /// Demand-driven solve: per-node mask (numNodes() entries, 1 =
+    /// demanded). Top-level WTO elements containing no demanded node
+    /// are excluded from the schedule — never evaluated, never
+    /// activated — and when a replayable memo is present their values
+    /// are spliced in from its last recorded boundary instead. The
+    /// mask must be closed under graph predecessors; closure makes
+    /// every feeder of a demanded element demanded itself, so the
+    /// demanded sub-solution is bitwise-identical to the same nodes of
+    /// a full solve. Null = full solve.
+    const std::vector<uint8_t> *DemandNodes = nullptr;
+    /// Replay from Options::Memo but never overwrite it. A
+    /// demand-restricted run's recording describes a partial schedule —
+    /// genuine rows for scheduled elements, placeholder rows elsewhere —
+    /// so callers must either set this flag or hand a demand solve a
+    /// private memo copy they will not replay full solves from (the
+    /// analyzer's demand chain does the latter, which keeps cross-round
+    /// replay alive inside one demand run).
+    bool MemoReadOnly = false;
   };
 
   FixpointSolver(const System &Sys, Options Opts)
@@ -218,10 +242,12 @@ public:
     for (unsigned Node = 0; Node < N; ++Node)
       X.push_back(Sys.initialValue(Node, FromTop));
 
+    NodeSteps.assign(N, 0);
     bool Par = Opts.Strategy == IterationStrategy::Parallel;
     if (Par)
       prepareParallel();
     prepareWarm();
+    prepareDemand();
 
     if (Opts.Kind == FixpointKind::Lfp) {
       if (Par)
@@ -257,6 +283,12 @@ public:
     return FullyReplayed;
   }
 
+  /// Per node: live equation evaluations this run performed on it
+  /// (replays and demand skips contribute nothing). The audit trail
+  /// behind the demand-mode guarantee that out-of-cone nodes run zero
+  /// live steps.
+  const std::vector<uint64_t> &nodeLiveSteps() const { return NodeSteps; }
+
 private:
   //===--------------------------------------------------------------------===//
   // Warm start: exact replay of stable top-level elements
@@ -283,10 +315,11 @@ private:
       return true;
   }
 
-  void prepareWarm() {
-    if (!Opts.Memo)
+  /// Fills the node -> top-level-element maps (idempotent; shared by the
+  /// warm-start and demand preparations).
+  void prepareElements() {
+    if (!ElemOf.empty())
       return;
-    Recording = true;
     unsigned N = Sys.numNodes();
     NumElems = static_cast<unsigned>(Order.elements().size());
     ElemOf.assign(N, 0);
@@ -295,6 +328,14 @@ private:
       ElemOf[V] = Order.topElement(V);
       ElemVerts[ElemOf[V]].push_back(V);
     }
+  }
+
+  void prepareWarm() {
+    if (!Opts.Memo)
+      return;
+    Recording = true;
+    unsigned N = Sys.numNodes();
+    prepareElements();
     // External feeders: nodes outside the element with an edge into it.
     // They live in strictly earlier top-level elements, so their values
     // are final for the current sweep by the time the element runs.
@@ -360,8 +401,77 @@ private:
   void finishWarm() {
     if (!Recording)
       return;
+    // A read-only run replays from the memo but must not replace it.
+    // (Demand-restricted runs may record — their recording is genuine
+    // for every scheduled element and the mask shrinks monotonically
+    // along a demand chain — but only into a memo the caller keeps
+    // private to the demand run; see Options::MemoReadOnly.)
+    if (Opts.MemoReadOnly)
+      return;
     NewMemo.Valid = true;
     *Opts.Memo = std::move(NewMemo);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Demand-driven scheduling: cone-restricted solves
+  //===--------------------------------------------------------------------===//
+  //
+  // The demand mask is closed under graph predecessors, and a top-level
+  // WTO component is a strongly connected set of its cyclic dependency
+  // structure: one demanded member node therefore implies every member
+  // is demanded (each member reaches the demanded one, so the closure
+  // pulls the whole component in). Element-level demand flags are thus
+  // exact, every feeder of a demanded element lives in a demanded
+  // element, and the restricted iteration reads only values the full
+  // schedule would produce identically — the demanded sub-solution is
+  // bitwise-equal to the full solve by the same induction that makes
+  // warm replay exact. Skipped elements are never evaluated; their
+  // values are either the untouched initial values or, when a
+  // replayable memo is present, the memo's final boundary (a splice for
+  // presentation only — demand callers must not read out-of-cone
+  // results, and the analyzer's query layer refuses to answer there).
+
+  void prepareDemand() {
+    if (!Opts.DemandNodes)
+      return;
+    Demand = true;
+    unsigned N = Sys.numNodes();
+    prepareElements();
+    const std::vector<uint8_t> &D = *Opts.DemandNodes;
+    ElemDemanded.assign(NumElems, 0);
+    for (unsigned V = 0; V < N && V < D.size(); ++V)
+      if (D[V])
+        ElemDemanded[ElemOf[V]] = 1;
+    for (unsigned E = 0; E < NumElems; ++E) {
+      if (ElemDemanded[E]) {
+        ++Stats.DemandedComponents;
+        continue;
+      }
+      ++Stats.SkippedByDemand;
+      if (!FullyReplayed.empty())
+        FullyReplayed[E] = 0; // excluded, not replayed
+      traceEvent(Trace, TraceEventKind::DemandSkip,
+                 Order.elements()[E].Vertex);
+      if (WarmReplay) {
+        const std::vector<Value> &B = Opts.Memo->Boundaries.back();
+        const std::vector<uint8_t> &NV = Opts.Memo->NodeValid;
+        for (unsigned V : ElemVerts[E])
+          if (NV.empty() || NV[V])
+            X[V] = B[V];
+      }
+    }
+  }
+
+  /// Whether top-level element \p E is scheduled (always true on a full
+  /// solve).
+  bool elemDemanded(unsigned E) const {
+    return ElemDemanded.empty() || ElemDemanded[E] != 0;
+  }
+
+  /// Whether \p V belongs to a scheduled element (worklist activation
+  /// filter; element-exact because demand flags are — see above).
+  bool nodeDemanded(unsigned V) const {
+    return !Demand || ElemDemanded[ElemOf[V]] != 0;
   }
 
   void beginSweep() {
@@ -445,13 +555,16 @@ private:
 
   void ascendRecursive() {
     if (!Recording) {
-      for (const WtoElement &E : Order.elements())
-        ascendElement(E, Stats);
+      for (unsigned E = 0; E < Order.elements().size(); ++E)
+        if (elemDemanded(E))
+          ascendElement(Order.elements()[E], Stats);
       return;
     }
     beginSweep();
     bool Ignored = false;
     for (unsigned E = 0; E < NumElems; ++E) {
+      if (!elemDemanded(E))
+        continue;
       if (canReplay(E)) {
         replayElement(E, /*Descending=*/false, Stats, Ignored);
         continue;
@@ -479,6 +592,7 @@ private:
   void ascendElement(const WtoElement &E, SolverStats &S) {
     if (!E.IsComponent) {
       ++S.AscendingSteps;
+      ++NodeSteps[E.Vertex];
       X[E.Vertex] = Sys.evaluate(E.Vertex, X);
       return;
     }
@@ -509,6 +623,7 @@ private:
       for (const WtoElement &Sub : E.Body)
         ascendElement(Sub, S);
       ++S.AscendingSteps;
+      ++NodeSteps[E.Vertex];
       Value New = Sys.evaluate(E.Vertex, X);
       if (Sys.leq(New, X[E.Vertex]))
         break;
@@ -536,6 +651,7 @@ private:
       unsigned Node = *Pending.begin();
       Pending.erase(Pending.begin());
       ++Stats.AscendingSteps;
+      ++NodeSteps[Node];
       Value New = Sys.evaluate(Node, X);
       if (Sys.leq(New, X[Node]))
         return;
@@ -546,12 +662,17 @@ private:
       } else {
         X[Node] = std::move(New);
       }
+      // Successor activations stay inside the demand cone: an
+      // out-of-cone successor is never evaluated, not even when its
+      // in-cone predecessor changes.
       for (unsigned Succ : Sys.graph().succs(Node))
-        Pending.insert(Succ);
+        if (nodeDemanded(Succ))
+          Pending.insert(Succ);
     };
     if (!Recording) {
       for (unsigned Node = 0; Node < Sys.numNodes(); ++Node)
-        Pending.insert(Node);
+        if (nodeDemanded(Node))
+          Pending.insert(Node);
       while (!Pending.empty())
         Step();
       return;
@@ -565,6 +686,8 @@ private:
     beginSweep();
     bool Ignored = false;
     for (unsigned E = 0; E < NumElems; ++E) {
+      if (!elemDemanded(E))
+        continue; // activation is filtered, so nothing can be pending
       if (canReplay(E)) {
         // Nodes of this element re-activated by earlier elements are
         // provably stable (that is what the replay check verified), so
@@ -596,13 +719,16 @@ private:
   bool descendOnce() {
     if (!Recording) {
       bool Changed = false;
-      for (const WtoElement &E : Order.elements())
-        descendElement(E, Changed, Stats);
+      for (unsigned E = 0; E < Order.elements().size(); ++E)
+        if (elemDemanded(E))
+          descendElement(Order.elements()[E], Changed, Stats);
       return Changed;
     }
     beginSweep();
     bool Changed = false;
     for (unsigned E = 0; E < NumElems; ++E) {
+      if (!elemDemanded(E))
+        continue;
       if (canReplay(E)) {
         replayElement(E, /*Descending=*/true, Stats, Changed);
         continue;
@@ -622,6 +748,7 @@ private:
   void descendElement(const WtoElement &E, bool &Changed, SolverStats &S) {
     if (!E.IsComponent) {
       ++S.DescendingSteps;
+      ++NodeSteps[E.Vertex];
       Value New = Sys.evaluate(E.Vertex, X);
       // Converged equations resolve in O(1) when the lattice ops are
       // delta-aware: evaluate() then returns a value sharing its
@@ -641,6 +768,7 @@ private:
                /*Descending=*/1);
     for (unsigned Sweep = 0; Sweep < MaxComponentSweeps; ++Sweep) {
       ++S.DescendingSteps;
+      ++NodeSteps[E.Vertex];
       Value New = Sys.evaluate(E.Vertex, X);
       ++S.Narrowings;
       traceEvent(Trace, TraceEventKind::Narrowing, E.Vertex);
@@ -825,6 +953,8 @@ private:
       SolverStats Local;
       bool Ignored = false;
       for (unsigned E : Tasks[TaskIdx].Elems) {
+        if (!elemDemanded(E))
+          continue;
         if (Recording && canReplay(E)) {
           replayElement(E, /*Descending=*/false, Local, Ignored);
           continue;
@@ -849,6 +979,8 @@ private:
       SolverStats Local;
       bool TaskChanged = false;
       for (unsigned E : Tasks[TaskIdx].Elems) {
+        if (!elemDemanded(E))
+          continue;
         if (Recording && canReplay(E)) {
           replayElement(E, /*Descending=*/true, Local, TaskChanged);
           continue;
@@ -884,6 +1016,14 @@ private:
   std::vector<ParallelTask> Tasks;
   std::unique_ptr<ThreadPool> Pool;
   std::mutex StatsMutex;
+  /// Per-node live evaluation counts (see nodeLiveSteps()). Parallel
+  /// tasks write disjoint vertex slots — same argument as the
+  /// per-element sweep buffers below.
+  std::vector<uint64_t> NodeSteps;
+
+  // Demand-driven scheduling state; empty/false on a full solve.
+  bool Demand = false;
+  std::vector<uint8_t> ElemDemanded; ///< per top-level element
 
   // Warm-start state; all empty/false when Options::Memo is null.
   bool Recording = false;  ///< memo present: record this run into it

@@ -343,6 +343,8 @@ void Analyzer::accumulateSolverStats(const SolverStats &S,
   Stats.ParallelTasks = std::max(Stats.ParallelTasks, S.ParallelTasks);
   Stats.ParallelDagWidth =
       std::max(Stats.ParallelDagWidth, S.ParallelDagWidth);
+  Stats.DemandedComponents += S.DemandedComponents;
+  Stats.SkippedByDemand += S.SkippedByDemand;
   Stats.Unions += SysUnions;
   if (MetricsRegistry *M = Opts.Telem.Metrics) {
     M->counter("solver.ascending_steps").inc(S.AscendingSteps);
@@ -353,6 +355,10 @@ void Analyzer::accumulateSolverStats(const SolverStats &S,
     M->counter("solver.skipped_steps").inc(S.SkippedSteps);
     M->counter("solver.unions").inc(SysUnions);
     M->counter("parallel.components").inc(S.ParallelComponents);
+    if (S.DemandedComponents + S.SkippedByDemand > 0) {
+      M->counter("demand.components").inc(S.DemandedComponents);
+      M->counter("demand.skipped_components").inc(S.SkippedByDemand);
+    }
     M->gauge("parallel.tasks")
         .accumulateMax(static_cast<int64_t>(S.ParallelTasks));
     M->gauge("parallel.dag_width")
@@ -388,7 +394,8 @@ Analyzer::unchangedInputs(const WarmSlot &Slot,
 
 std::vector<AbstractStore>
 Analyzer::solveForward(const std::vector<AbstractStore> *Env,
-                       PhaseStats &Phase) {
+                       PhaseStats &Phase,
+                       const std::vector<uint8_t> *Demand) {
   auto Start = std::chrono::steady_clock::now();
   tracePhase(/*Begin=*/true, Phase);
   ForwardSystem Sys(*Graph, Ops, Xfer, Cache.get(), Env);
@@ -398,8 +405,13 @@ Analyzer::solveForward(const std::vector<AbstractStore> *Env,
   SolverOpts.NumThreads = Opts.NumThreads;
   SolverOpts.NarrowingPasses = Opts.NarrowingPasses;
   SolverOpts.Telem = Opts.Telem;
+  SolverOpts.DemandNodes = Demand;
   WarmSlot *Slot = nullptr;
   if (Opts.WarmStart) {
+    // Demand runs take the same path: runImpl swapped in a private copy
+    // of the chain, so the slot they replay from holds the published
+    // recordings while their own (cone-partial) recording never reaches
+    // the chain future full runs replay against.
     Slot = &chainSlot(Env ? PhaseSig::FwdEnv : PhaseSig::FwdNoEnv);
     Sys.ExternalUnchanged = unchangedInputs(*Slot, Env, nullptr);
     SolverOpts.Memo = &Slot->Memo;
@@ -409,12 +421,15 @@ Analyzer::solveForward(const std::vector<AbstractStore> *Env,
   if (Slot) {
     Slot->HadEnv = Env != nullptr;
     Slot->Env = Env ? *Env : std::vector<AbstractStore>();
-    Stats.SummaryReuses += countFullInstanceReplays(Solver, *Graph);
+    if (!Demand)
+      Stats.SummaryReuses += countFullInstanceReplays(Solver, *Graph);
   }
   Phase.Seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
           .count();
   accumulateSolverStats(Solver.stats(), Sys.Unions, Phase);
+  if (Demand)
+    DemandAudit.push_back({Phase.Name, *Demand, Solver.nodeLiveSteps()});
   tracePhase(/*Begin=*/false, Phase);
   return Result;
 }
@@ -422,7 +437,8 @@ Analyzer::solveForward(const std::vector<AbstractStore> *Env,
 std::vector<AbstractStore>
 Analyzer::solveBackward(bool Eventually,
                         const std::vector<AbstractStore> &Env,
-                        PhaseStats &Phase) {
+                        PhaseStats &Phase,
+                        const std::vector<uint8_t> *Demand) {
   auto Start = std::chrono::steady_clock::now();
   tracePhase(/*Begin=*/true, Phase);
   BackwardSystem Sys(*Graph, Ops, Xfer, Cache.get(), Env);
@@ -449,10 +465,11 @@ Analyzer::solveBackward(bool Eventually,
   SolverOpts.NumThreads = Opts.NumThreads;
   SolverOpts.NarrowingPasses = Opts.NarrowingPasses;
   SolverOpts.Telem = Opts.Telem;
+  SolverOpts.DemandNodes = Demand;
   WarmSlot *Slot = nullptr;
   if (Opts.WarmStart) {
-    Slot =
-        &chainSlot(Eventually ? PhaseSig::Eventually : PhaseSig::Always);
+    // Same private-chain arrangement as solveForward for demand runs.
+    Slot = &chainSlot(Eventually ? PhaseSig::Eventually : PhaseSig::Always);
     Sys.ExternalUnchanged = unchangedInputs(*Slot, &Env, &Sys.Seeds);
     SolverOpts.Memo = &Slot->Memo;
   }
@@ -462,12 +479,15 @@ Analyzer::solveBackward(bool Eventually,
     Slot->HadEnv = true;
     Slot->Env = Env;
     Slot->Seeds = Sys.Seeds;
-    Stats.SummaryReuses += countFullInstanceReplays(Solver, *Graph);
+    if (!Demand)
+      Stats.SummaryReuses += countFullInstanceReplays(Solver, *Graph);
   }
   Phase.Seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
           .count();
   accumulateSolverStats(Solver.stats(), Sys.Unions, Phase);
+  if (Demand)
+    DemandAudit.push_back({Phase.Name, *Demand, Solver.nodeLiveSteps()});
   tracePhase(/*Begin=*/false, Phase);
   return Result;
 }
@@ -478,7 +498,75 @@ void Analyzer::meetInto(std::vector<AbstractStore> &Env,
     Env[I] = Ops.meet(Env[I], Refinement[I]);
 }
 
-void Analyzer::run() {
+std::vector<Analyzer::PlannedPhase> Analyzer::phasePlan() const {
+  std::vector<PlannedPhase> Plan;
+  Plan.push_back({PhaseSig::FwdNoEnv, 0, "Forward analysis"});
+  Plan.push_back({PhaseSig::FwdEnv, 0, "Forward refinement"});
+  bool Backward = Opts.UseBackward && !Opts.HarrisonGfp;
+  for (unsigned Round = 0; Round < Opts.BackwardRounds && Backward;
+       ++Round) {
+    Plan.push_back({PhaseSig::Always, Round + 1, "Invariant assertions"});
+    if (hasEventuallySeeds())
+      Plan.push_back(
+          {PhaseSig::Eventually, Round + 1, "Intermittent assertions"});
+    Plan.push_back({PhaseSig::FwdEnv, Round + 1, "Forward analysis"});
+  }
+  return Plan;
+}
+
+std::vector<uint8_t>
+Analyzer::dependencyCone(const Digraph &Dep,
+                         const std::vector<unsigned> &Query) {
+  std::vector<uint8_t> In(Dep.numNodes(), 0);
+  std::vector<unsigned> Work;
+  for (unsigned Q : Query)
+    if (Q < In.size() && !In[Q]) {
+      In[Q] = 1;
+      Work.push_back(Q);
+    }
+  while (!Work.empty()) {
+    unsigned V = Work.back();
+    Work.pop_back();
+    for (unsigned P : Dep.preds(V))
+      if (!In[P]) {
+        In[P] = 1;
+        Work.push_back(P);
+      }
+  }
+  return In;
+}
+
+void Analyzer::run() { runImpl(nullptr); }
+
+void Analyzer::runDemand(const std::vector<unsigned> &QueryNodes) {
+  // One mask per planned phase, computed back-to-front: the cone of
+  // phase k is everything whose value phase k+1's cone reads — its own
+  // transitive dependencies under phase k's equation system, seeded by
+  // the *nodes* of phase k+1's cone (envelope/seed reads are per-node).
+  // Masks therefore grow monotonically backward (Masks.back() is the
+  // smallest), every mask contains the query nodes, and each is closed
+  // under its phase's dependency-graph predecessors — the invariant
+  // Solver::Options::DemandNodes requires for exact sub-solutions.
+  std::vector<PlannedPhase> Plan = phasePlan();
+  Digraph Fwd = buildForwardDep(*Graph);
+  Digraph Bwd = buildBackwardDep(*Graph);
+  std::vector<std::vector<uint8_t>> Masks(Plan.size());
+  std::vector<unsigned> Want = QueryNodes;
+  for (size_t I = Plan.size(); I-- > 0;) {
+    const Digraph &Dep = (Plan[I].Sig == PhaseSig::Always ||
+                          Plan[I].Sig == PhaseSig::Eventually)
+                             ? Bwd
+                             : Fwd;
+    Masks[I] = dependencyCone(Dep, Want);
+    Want.clear();
+    for (unsigned V = 0; V < Masks[I].size(); ++V)
+      if (Masks[I][V])
+        Want.push_back(V);
+  }
+  runImpl(&Masks);
+}
+
+void Analyzer::runImpl(const std::vector<std::vector<uint8_t>> *Masks) {
   auto Start = std::chrono::steady_clock::now();
   Stats = AnalysisStats();
   Stats.ControlPoints = Graph->numNodes();
@@ -492,46 +580,70 @@ void Analyzer::run() {
   // anything else is solved cold. A second AbstractDebugger::analyze()
   // of an unchanged program therefore replays the *entire* chain —
   // zero live solver steps — while remaining bitwise-identical.
+  // Demand runs (Masks != null) walk the same ordinals against a
+  // private copy of the chain: they replay whatever the published
+  // slots allow AND record their own phases (so a later round replays
+  // the earlier round's cone — the masks only shrink along the plan),
+  // but the copy is discarded below, so a demand run never poisons the
+  // chain a future full run replays against.
   ChainOrdinal = 0;
+  std::vector<WarmSlot> PublishedChain;
+  if (Masks)
+    PublishedChain = ChainSlots; // COW stores: structural sharing
   uint64_t MemoHitsAtStart = Graph->transferMemoHits();
 
   Snapshots.clear();
-  Stats.Phases.push_back(PhaseStats{"Forward analysis", 0, 0});
-  Forward = solveForward(nullptr, Stats.Phases.back());
-  // Second ascent from bottom *inside* the first result: widening at
-  // nested component heads mixes iterations of enclosing loops (an outer
-  // loop's variable overshoots at an inner head, and narrowing cannot
-  // descend past the first finite bound it finds). Restarting within the
-  // sound envelope removes that loss — this is what proves the Matrix
-  // accesses of §6.5. Still pure reachability, so check elimination may
-  // rely on it.
-  Stats.Phases.push_back(PhaseStats{"Forward refinement", 0, 0});
-  Forward = solveForward(&Forward, Stats.Phases.back());
-  Envelope = Forward;
-  Snapshots.emplace_back("forward", Envelope);
+  DemandMask.clear();
+  DemandAudit.clear();
 
-  bool Backward = Opts.UseBackward && !Opts.HarrisonGfp;
-  for (unsigned Round = 0; Round < Opts.BackwardRounds && Backward;
-       ++Round) {
-    Stats.Phases.push_back(PhaseStats{"Invariant assertions", 0, 0});
-    Stats.Phases.back().Round = Round + 1;
-    std::vector<AbstractStore> Always =
-        solveBackward(/*Eventually=*/false, Envelope, Stats.Phases.back());
-    meetInto(Envelope, Always);
-    Snapshots.emplace_back("always", Envelope);
-
-    if (hasEventuallySeeds()) {
-      Stats.Phases.push_back(PhaseStats{"Intermittent assertions", 0, 0});
-      Stats.Phases.back().Round = Round + 1;
-      Envelope = solveBackward(/*Eventually=*/true, Envelope,
-                               Stats.Phases.back());
-      Snapshots.emplace_back("eventually", Envelope);
+  std::vector<PlannedPhase> Plan = phasePlan();
+  for (size_t I = 0; I < Plan.size(); ++I) {
+    const PlannedPhase &P = Plan[I];
+    const std::vector<uint8_t> *Mask = Masks ? &(*Masks)[I] : nullptr;
+    Stats.Phases.push_back(PhaseStats{P.Name, 0, 0});
+    Stats.Phases.back().Round = P.Round;
+    PhaseStats &Phase = Stats.Phases.back();
+    switch (P.Sig) {
+    case PhaseSig::FwdNoEnv:
+      Forward = solveForward(nullptr, Phase, Mask);
+      break;
+    case PhaseSig::FwdEnv:
+      if (P.Round == 0) {
+        // Second ascent from bottom *inside* the first result: widening
+        // at nested component heads mixes iterations of enclosing loops
+        // (an outer loop's variable overshoots at an inner head, and
+        // narrowing cannot descend past the first finite bound it
+        // finds). Restarting within the sound envelope removes that
+        // loss — this is what proves the Matrix accesses of §6.5.
+        // Still pure reachability, so check elimination may rely on it.
+        Forward = solveForward(&Forward, Phase, Mask);
+        Envelope = Forward;
+      } else {
+        Envelope = solveForward(&Envelope, Phase, Mask);
+      }
+      Snapshots.emplace_back("forward", Envelope);
+      break;
+    case PhaseSig::Always: {
+      std::vector<AbstractStore> Always =
+          solveBackward(/*Eventually=*/false, Envelope, Phase, Mask);
+      meetInto(Envelope, Always);
+      Snapshots.emplace_back("always", Envelope);
+      break;
     }
+    case PhaseSig::Eventually:
+      Envelope =
+          solveBackward(/*Eventually=*/true, Envelope, Phase, Mask);
+      Snapshots.emplace_back("eventually", Envelope);
+      break;
+    }
+  }
 
-    Stats.Phases.push_back(PhaseStats{"Forward analysis", 0, 0});
-    Stats.Phases.back().Round = Round + 1;
-    Envelope = solveForward(&Envelope, Stats.Phases.back());
-    Snapshots.emplace_back("forward", Envelope);
+  // The answerable set of a demand run is the final phase's cone (the
+  // last phase is always forward, so the mask is predecessor-closed
+  // under the forward dependencies the findings derivations read).
+  if (Masks) {
+    DemandMask = Masks->back();
+    ChainSlots = std::move(PublishedChain);
   }
 
   if (Cache) {

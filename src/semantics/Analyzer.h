@@ -46,11 +46,63 @@ public:
   /// Runs the full analysis schedule.
   void run();
 
+  /// Demand-driven solve: runs the same refinement-chain schedule as
+  /// run(), but restricts every phase to the backward dependency cone
+  /// of \p QueryNodes — the phase masks are computed back-to-front
+  /// (each phase must deliver correct values wherever the next phase's
+  /// cone reads its envelope/seeds, and those reads are per-node), so
+  /// the values at every node of demandMask() are bitwise-identical to
+  /// a full run() while out-of-cone components perform zero live
+  /// evaluations. The run replays from (and records into) a private
+  /// copy of the warm-start chain, so earlier rounds of the demand run
+  /// itself replay while the published chain is never mutated; results
+  /// outside demandMask() are unspecified and must not be read.
+  void runDemand(const std::vector<unsigned> &QueryNodes);
+
+  /// After runDemand(): the per-node answerable mask (the final
+  /// phase's cone). Empty after a full run(), where every node is
+  /// answerable.
+  const std::vector<uint8_t> &demandMask() const { return DemandMask; }
+
+  /// Audit record of one phase of a demand-driven run: the cone the
+  /// phase was restricted to, and the per-node live evaluation counts
+  /// its solver performed. Tests assert the zero-out-of-cone-steps
+  /// guarantee directly from this.
+  struct DemandPhaseAudit {
+    std::string Phase;
+    std::vector<uint8_t> Mask;
+    std::vector<uint64_t> NodeLiveSteps;
+  };
+  const std::vector<DemandPhaseAudit> &demandAudit() const {
+    return DemandAudit;
+  }
+
+  /// Predecessor closure of \p Query in \p Dep: the nodes whose values
+  /// the queried equations transitively depend on. The cone primitive
+  /// behind runDemand(), exposed for direct unit testing on hand-built
+  /// dependency digraphs.
+  static std::vector<uint8_t> dependencyCone(const Digraph &Dep,
+                                             const std::vector<unsigned> &Query);
+
   /// The equation-system signature of one slot of the refinement chain.
   /// Replay is only exact against a run of the same system, so each
   /// chain slot remembers which system recorded it and resets when the
   /// schedule changes shape under its ordinal.
   enum class PhaseSig : uint8_t { FwdNoEnv, FwdEnv, Always, Eventually };
+
+  /// One phase of the refinement-chain schedule, computable *before*
+  /// solving: run() and runDemand() both execute exactly this plan, so
+  /// demand masks derived from it line up with the executed phases by
+  /// construction.
+  struct PlannedPhase {
+    PhaseSig Sig;
+    unsigned Round;   ///< 0 for the initial forward passes
+    const char *Name; ///< PhaseStats display name
+  };
+
+  /// The schedule the next run()/runDemand() will execute, from the
+  /// options and the program's assertion structure.
+  std::vector<PlannedPhase> phasePlan() const;
 
   /// Warm-start state for one slot of the refinement chain: the memo
   /// the solver records/replays, plus the external inputs the recorded
@@ -141,11 +193,16 @@ private:
   /// against round k) on top of the across-run per-ordinal replay.
   WarmSlot &chainSlot(PhaseSig Sig);
 
+  /// Executes the phase plan; \p Masks (one per planned phase) restricts
+  /// each phase to its demand cone, null = full run.
+  void runImpl(const std::vector<std::vector<uint8_t>> *Masks);
+
   std::vector<AbstractStore> solveForward(
-      const std::vector<AbstractStore> *Env, PhaseStats &Phase);
+      const std::vector<AbstractStore> *Env, PhaseStats &Phase,
+      const std::vector<uint8_t> *Demand = nullptr);
   std::vector<AbstractStore> solveBackward(
       bool Eventually, const std::vector<AbstractStore> &Env,
-      PhaseStats &Phase);
+      PhaseStats &Phase, const std::vector<uint8_t> *Demand = nullptr);
   bool hasEventuallySeeds() const;
   void meetInto(std::vector<AbstractStore> &Env,
                 const std::vector<AbstractStore> &Refinement);
@@ -174,6 +231,10 @@ private:
   std::vector<WarmSlot> ChainSlots;
   /// Ordinal of the next phase within the current run().
   unsigned ChainOrdinal = 0;
+  /// Answerable mask of the last runDemand(); empty after a full run().
+  std::vector<uint8_t> DemandMask;
+  /// Per-phase audit of the last runDemand(); empty after a full run().
+  std::vector<DemandPhaseAudit> DemandAudit;
 };
 
 } // namespace syntox

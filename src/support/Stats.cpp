@@ -65,6 +65,14 @@ std::string AnalysisStats::str() const {
                   (unsigned long long)ParallelDagWidth);
     Out += Buf;
   }
+  if (DemandedComponents + SkippedByDemand > 0) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "*** Demand cone: %llu components solved, %llu "
+                  "skipped\n",
+                  (unsigned long long)DemandedComponents,
+                  (unsigned long long)SkippedByDemand);
+    Out += Buf;
+  }
   return Out;
 }
 
@@ -95,6 +103,8 @@ json::Value AnalysisStats::toJson() const {
   V.set("parallel_components", static_cast<int64_t>(ParallelComponents));
   V.set("parallel_tasks", static_cast<int64_t>(ParallelTasks));
   V.set("parallel_dag_width", static_cast<int64_t>(ParallelDagWidth));
+  V.set("demanded_components", static_cast<int64_t>(DemandedComponents));
+  V.set("skipped_by_demand", static_cast<int64_t>(SkippedByDemand));
   V.set("bytes_used", static_cast<int64_t>(BytesUsed));
   V.set("cpu_seconds", CpuSeconds);
   json::Value Ps = json::Value::array();

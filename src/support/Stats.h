@@ -77,6 +77,12 @@ struct AnalysisStats {
   /// on one longest-path level. Width 1 = the schedule is a chain and
   /// threads cannot overlap; attainable speedup is bounded by the width.
   uint64_t ParallelDagWidth = 0;
+  /// Top-level WTO elements scheduled under a demand cone, summed over
+  /// all phases (demand-driven queries only; 0 on a full run).
+  uint64_t DemandedComponents = 0;
+  /// Top-level WTO elements outside the demand cone, excluded from the
+  /// schedule (zero live evaluations), summed over all phases.
+  uint64_t SkippedByDemand = 0;
   uint64_t BytesUsed = 0;     ///< live analysis structures, in bytes
   double CpuSeconds = 0.0;    ///< wall-clock analysis time
   std::vector<PhaseStats> Phases;

@@ -40,6 +40,8 @@ const char *syntox::traceEventKindName(TraceEventKind K) {
     return "store_detach";
   case TraceEventKind::ComponentSkip:
     return "component_skip";
+  case TraceEventKind::DemandSkip:
+    return "demand_skip";
   }
   return "unknown";
 }
@@ -182,6 +184,7 @@ ChromeMapping chromeMapping(TraceEventKind K) {
   case TraceEventKind::StoreDetach:
     return {"i", "store"};
   case TraceEventKind::ComponentSkip:
+  case TraceEventKind::DemandSkip:
     return {"i", "component"};
   }
   return {"i", "other"};

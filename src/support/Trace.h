@@ -64,11 +64,14 @@ enum class TraceEventKind : uint8_t {
   ComponentSkip,  ///< stable WTO element replayed from the warm-start
                   ///< memo instead of re-iterated; Arg0 = head vertex,
                   ///< Arg1 = 0 ascending / 1 descending sweep
+  DemandSkip,     ///< top-level WTO element outside the demand cone,
+                  ///< excluded from the schedule for the whole run;
+                  ///< Arg0 = head vertex
 };
 
 /// Number of distinct event kinds (for masks and tables).
 constexpr unsigned NumTraceEventKinds =
-    static_cast<unsigned>(TraceEventKind::ComponentSkip) + 1;
+    static_cast<unsigned>(TraceEventKind::DemandSkip) + 1;
 
 /// Stable machine-readable name ("phase_begin", "cache_hit", ...).
 const char *traceEventKindName(TraceEventKind K);

@@ -5,8 +5,11 @@
 
 #include "support/Rng.h"
 
+#include <cctype>
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace syntox {
 namespace test {
@@ -15,15 +18,24 @@ namespace test {
 /// variables v0..v4 (plus dedicated loop counters), using only
 /// constructs that always terminate and never fault: constant-bounded
 /// for loops, if/else, assignments with +, -, * and division by
-/// non-zero constants. Shared by the end-to-end soundness battery and
-/// the warm-start differential battery.
+/// non-zero constants. Shared by the end-to-end soundness battery, the
+/// warm-start differential battery and the demand-query battery.
+///
+/// With \p WithAssertions the programs additionally carry invariant
+/// (`assert`) and intermittent assertions at random statement depths,
+/// so the backward Always/Eventually phases of the refinement chain
+/// have real work; the extra random draws happen only under the flag,
+/// so assertion-free generation is bit-for-bit what it always was for
+/// a given seed.
 class ProgramGenerator {
 public:
-  explicit ProgramGenerator(uint64_t Seed) : R(Seed) {}
+  explicit ProgramGenerator(uint64_t Seed, bool WithAssertions = false)
+      : R(Seed), WithAssertions(WithAssertions) {}
 
   std::string generate() {
     Body.clear();
     LoopDepth = 0;
+    Asserts = Intermittents = 0;
     std::string Out = "program gen;\nvar v0, v1, v2, v3, v4 : integer;\n";
     Out += "    l0, l1, l2 : integer;\n";
     Out += "begin\n";
@@ -33,9 +45,35 @@ public:
     unsigned N = 3 + R.below(6);
     for (unsigned I = 0; I < N; ++I)
       statement(1);
+    if (WithAssertions) {
+      // Guarantee both assertion kinds so every generated program
+      // exercises the Always *and* Eventually phases.
+      if (Asserts == 0) {
+        Body += "  assert(" + cond() + ");\n";
+        ++Asserts;
+      }
+      if (Intermittents == 0) {
+        Body += "  intermittent(" + cond() + ");\n";
+        ++Intermittents;
+      }
+    }
     Out += Body;
     Out += "  writeln(v0, v1, v2, v3, v4)\nend.\n";
     return Out;
+  }
+
+  /// An edit sequence: the generated program followed by \p Edits
+  /// successive single-literal mutations of it (each step edits its
+  /// predecessor, modelling a user typing). Mutations only touch
+  /// integer literals and never produce 0, so loop bounds stay
+  /// constant and divisions stay total — every step of the sequence
+  /// keeps the generator's termination/no-fault guarantees.
+  std::vector<std::string> editSequence(unsigned Edits) {
+    std::vector<std::string> Seq;
+    Seq.push_back(generate());
+    for (unsigned I = 0; I < Edits; ++I)
+      Seq.push_back(mutateLiteral(Seq.back()));
+    return Seq;
   }
 
 private:
@@ -67,7 +105,46 @@ private:
     return expr(1) + " " + Ops[R.below(6)] + " " + expr(1);
   }
 
+  /// Replaces one random integer literal of \p Src with a fresh
+  /// positive constant. Digit runs preceded by an identifier character
+  /// are skipped (v0..v4 / l0..l2 are not literals).
+  std::string mutateLiteral(std::string Src) {
+    std::vector<std::pair<size_t, size_t>> Lits;
+    for (size_t I = 0; I < Src.size();) {
+      bool AfterIdent =
+          I > 0 && (std::isalnum(static_cast<unsigned char>(Src[I - 1])) ||
+                    Src[I - 1] == '_');
+      if (std::isdigit(static_cast<unsigned char>(Src[I])) && !AfterIdent) {
+        size_t J = I;
+        while (J < Src.size() &&
+               std::isdigit(static_cast<unsigned char>(Src[J])))
+          ++J;
+        Lits.push_back({I, J - I});
+        I = J;
+      } else {
+        ++I;
+      }
+    }
+    if (Lits.empty())
+      return Src;
+    auto [Pos, Len] = Lits[R.below(Lits.size())];
+    Src.replace(Pos, Len, std::to_string(R.range(1, 30)));
+    return Src;
+  }
+
   void statement(unsigned Depth) {
+    if (WithAssertions && R.chance(1, 6)) {
+      // Assertion at this random depth instead of a regular statement.
+      indent();
+      if (R.chance(1, 3)) {
+        Body += "intermittent(" + cond() + ");\n";
+        ++Intermittents;
+      } else {
+        Body += "assert(" + cond() + ");\n";
+        ++Asserts;
+      }
+      return;
+    }
     switch (R.below(Depth < 3 && LoopDepth < 2 ? 4 : 2)) {
     case 0:
     case 1: {
@@ -123,9 +200,12 @@ private:
   void indent() { Body += std::string(2 + 2 * Indent, ' '); }
 
   Rng R;
+  bool WithAssertions = false;
   std::string Body;
   unsigned Indent = 0;
   unsigned LoopDepth = 0;
+  unsigned Asserts = 0;
+  unsigned Intermittents = 0;
 };
 
 } // namespace test

@@ -176,7 +176,7 @@ TEST(AnalysisSessionTest, TraceJsonLinesGolden) {
       "phase_begin", "phase_end",  "component_begin", "component_end",
       "widening",    "narrowing",  "token_unfold",    "cache_hit",
       "cache_miss",  "task_enqueue", "task_run",      "task_complete",
-      "store_detach", "component_skip"};
+      "store_detach", "component_skip", "demand_skip"};
   std::vector<std::string> PhaseBegins;
   int PhaseDepth = 0;
   uint64_t LastTs = 0;
