@@ -465,4 +465,63 @@ print(f"demand benchmark OK ({len(report['rows'])} rows, every query a "
       "strict subset, warm queries >= 2x under cold full solves)")
 EOF
 
+echo "== batch-corpus smoke test =="
+# A small corpus through both serving paths: the binary itself exits
+# non-zero if any batch wave's findings diverge from the sequential
+# reference, and the report it writes is validated against the bench
+# schema below. (The owned-cache merge protocol and the shared thread
+# budget get their concurrency stress from cache_owned_test and
+# batch_test, which the tsan preset above runs with the rest of ctest.)
+build-ci/bench/bench_corpus --programs=24 --batch=4 \
+    --out="$OUT/BENCH_corpus.json" > /dev/null
+
+python3 - "$OUT" <<'EOF'
+import json, sys
+out = sys.argv[1]
+
+def check(cond, what):
+    if not cond:
+        raise SystemExit(f"bench_corpus violation: {what}")
+
+with open("schemas/bench.schema.json") as f:
+    schema = json.load(f)
+with open(f"{out}/BENCH_corpus.json") as f:
+    report = json.load(f)
+
+for key in schema["required"]:
+    check(key in report, f"missing required key '{key}'")
+check(report["benchmark"] == "bench_corpus", "wrong benchmark name")
+check(isinstance(report["rows"], list) and report["rows"], "no rows")
+waves = set()
+for i, row in enumerate(report["rows"]):
+    for col in ("wave", "mode", "programs", "seconds", "programs_per_sec",
+                "p50_ms", "p99_ms", "cache_hits", "cache_misses"):
+        check(col in row, f"rows[{i}] missing '{col}'")
+    waves.add((row["wave"], row["mode"]))
+    # The determinism claim, per wave: batch findings are bitwise equal
+    # to the sequential reference on cold, warm, and edit traffic.
+    if row["mode"] == "batch":
+        check(row.get("matches_sequential") is True,
+              f"{row['wave']}/batch findings diverge from sequential")
+check(waves == {(w, m) for w in ("cold", "warm", "edit")
+                for m in ("seq", "batch")} | {("prime", "seq")},
+      f"unexpected wave coverage {sorted(waves)}")
+check(report["batch_matches_sequential"] is True,
+      "batch_matches_sequential is not true")
+# The throughput claim only makes sense with real parallel hardware:
+# on a single-core host the batch path measures overlap overhead, so
+# the wall-clock assertion is gated on hardware_threads >= 2.
+if report["hardware_threads"] >= 2:
+    check(report["aggregate_speedup"] > 1.0,
+          f"aggregate batch speedup {report['aggregate_speedup']:.2f}x "
+          f"on {report['hardware_threads']} hardware threads")
+    print("batch-corpus smoke test OK "
+          f"({len(report['rows'])} waves, batch == sequential, "
+          f"{report['aggregate_speedup']:.2f}x aggregate)")
+else:
+    print("batch-corpus smoke test OK "
+          f"({len(report['rows'])} waves, batch == sequential; "
+          "single hardware thread, throughput assertion skipped)")
+EOF
+
 echo "ALL CHECKS PASSED"

@@ -1,0 +1,73 @@
+//===- core/AnalysisBatch.cpp - Cross-request analysis scheduling ---------===//
+
+#include "core/AnalysisBatch.h"
+
+#include "support/Diagnostics.h"
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+
+using namespace syntox;
+
+unsigned AnalysisBatch::add(std::string Source, AnalysisOptions Opts) {
+  unsigned Index = size();
+  // Route every session's metrics into the batch registry. Session
+  // run() only substitutes its own registry when none is set, so the
+  // batch one sticks; the registry is thread-safe, so concurrent
+  // requests may report into it freely.
+  Opts.Telem.Metrics = &Metrics;
+  Request R;
+  DiagnosticsEngine Diags;
+  R.Session = AnalysisSession::create(std::move(Source), Diags,
+                                      std::move(Opts));
+  if (!R.Session)
+    R.Error = Diags.str();
+  Requests.push_back(std::move(R));
+  return Index;
+}
+
+std::vector<AnalysisBatch::Outcome> AnalysisBatch::runAll() {
+  std::vector<Outcome> Outcomes(Requests.size());
+  ThreadBudget Budget(Cfg.TotalThreads);
+  unsigned Workers = Budget.total();
+  if (Cfg.MaxConcurrentRequests)
+    Workers = std::min(Workers, Cfg.MaxConcurrentRequests);
+  {
+    // The request pool draws from the budget like any other pool; its
+    // workers inherit the budget, so nested parallel solvers inside
+    // run() borrow whatever the request pool left over.
+    ThreadBudget::Scope Scope(Budget);
+    ThreadPool Pool(Workers);
+    for (size_t I = 0; I < Requests.size(); ++I)
+      Pool.submit([this, I, &Outcomes] {
+        Outcome &O = Outcomes[I];
+        O.Index = static_cast<unsigned>(I);
+        Request &R = Requests[I];
+        if (!R.Session) {
+          O.Error = R.Error;
+          return;
+        }
+        auto Start = std::chrono::steady_clock::now();
+        try {
+          O.Result.emplace(R.Session->run());
+          O.OK = true;
+        } catch (const std::exception &E) {
+          O.Error = E.what();
+        }
+        O.Seconds = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - Start)
+                        .count();
+        Metrics.histogram("batch.request_seconds").observe(O.Seconds);
+      });
+    // wait() + pool destruction publish every outcome slot to this
+    // thread before the budget goes out of scope.
+    Pool.wait();
+  }
+  PeakLive = std::max(PeakLive, Budget.peakLiveThreads());
+  Metrics.counter("batch.requests").inc(Requests.size());
+  Metrics.gauge("batch.peak_live_threads")
+      .set(static_cast<int64_t>(PeakLive));
+  return Outcomes;
+}

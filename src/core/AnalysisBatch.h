@@ -1,0 +1,111 @@
+//===- core/AnalysisBatch.h - Cross-request analysis scheduling -*- C++ -*-===//
+//
+// Part of Syntox++, a reproduction of Bourdoncle's abstract debugger
+// (PLDI 1993). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Batch execution of many AnalysisSessions over one shared worker-slot
+/// budget — the throughput layer under the future syntox_serve. A batch
+/// composes two axes of parallelism without oversubscribing:
+///
+///  - *outer*: requests run concurrently on a batch-owned ThreadPool;
+///  - *inner*: a request whose options select IterationStrategy::Parallel
+///    spawns a nested solver pool, which borrows its workers from the
+///    same ThreadBudget (workers inherit the budget; see ThreadPool.h).
+///    On a saturated budget the nested pool is granted zero slots and
+///    degrades to inline execution — correctness identical, threads
+///    bounded.
+///
+/// The total number of live pool threads therefore never exceeds
+/// Config::TotalThreads regardless of how requests and strategies mix.
+///
+/// Isolation: each request is a self-contained AnalysisSession over its
+/// own source text; the engine's copy-on-write stores share nothing
+/// across requests, so no cross-request synchronization is needed beyond
+/// the scheduler itself. All sessions report into the batch-owned
+/// MetricsRegistry (thread-safe), giving one aggregate metrics snapshot
+/// for the whole batch.
+///
+/// Results are bitwise-identical to running each program through its own
+/// sequential AnalysisSession: scheduling affects only *when* a request
+/// runs, never what it computes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYNTOX_CORE_ANALYSISBATCH_H
+#define SYNTOX_CORE_ANALYSISBATCH_H
+
+#include "core/AnalysisSession.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace syntox {
+
+class AnalysisBatch {
+public:
+  struct Config {
+    /// Global worker-slot budget shared by the request pool and every
+    /// nested parallel solver (0 = one slot per hardware thread).
+    unsigned TotalThreads = 0;
+    /// Cap on requests in flight at once (0 = up to the whole budget).
+    /// Lowering it below TotalThreads leaves slots for nested parallel
+    /// solvers inside each request.
+    unsigned MaxConcurrentRequests = 0;
+  };
+
+  AnalysisBatch() = default;
+  explicit AnalysisBatch(Config Cfg) : Cfg(Cfg) {}
+
+  /// Queues \p Source for analysis under \p Opts and returns its request
+  /// index. The program is validated here; a frontend error is recorded
+  /// and surfaces as a failed Outcome (runAll never throws for it).
+  /// Telemetry metrics are routed to the batch registry.
+  unsigned add(std::string Source, AnalysisOptions Opts = {});
+
+  /// Number of queued requests.
+  unsigned size() const { return static_cast<unsigned>(Requests.size()); }
+
+  /// One request's result: OK with the frozen findings, or the frontend/
+  /// runtime error that stopped it. Index is the add() order, which
+  /// runAll()'s return preserves.
+  struct Outcome {
+    unsigned Index = 0;
+    bool OK = false;
+    std::string Error;
+    std::optional<AnalysisResult> Result;
+    double Seconds = 0.0; ///< wall-clock of this request's run()
+  };
+
+  /// Runs every queued request to completion and returns the outcomes in
+  /// add() order. May be called again (e.g. a warm second wave): each
+  /// call re-runs all requests.
+  std::vector<Outcome> runAll();
+
+  /// The batch-owned registry all sessions report into. Snapshot it for
+  /// the batch-level metrics document.
+  MetricsRegistry &metrics() { return Metrics; }
+
+  /// Largest number of budgeted pool threads ever live at once across
+  /// runAll() calls — the oversubscription guard's observable.
+  unsigned peakLiveThreads() const { return PeakLive; }
+
+private:
+  struct Request {
+    std::unique_ptr<AnalysisSession> Session; ///< null on frontend error
+    std::string Error;
+  };
+
+  Config Cfg;
+  MetricsRegistry Metrics;
+  std::vector<Request> Requests;
+  unsigned PeakLive = 0;
+};
+
+} // namespace syntox
+
+#endif // SYNTOX_CORE_ANALYSISBATCH_H

@@ -186,6 +186,24 @@ struct HasExternalInputs<
     S, std::void_t<decltype(static_cast<bool>(
            std::declval<const S &>().externalInputsUnchanged(0u)))>>
     : std::true_type {};
+
+/// Detects the optional cache-ownership hooks a system may expose so the
+/// parallel strategy can drive a component-owned transfer cache (see
+/// TransferCache's ownership model): parallelPhaseBegin/End bracket one
+/// parallel solve, parallelTaskBegin/End bracket one scheduled task on
+/// its worker thread, and parallelMergeBarrier runs on the coordinating
+/// thread after each sweep's pool drain, while no task is in flight.
+/// Absent hooks cost nothing — the calls compile away.
+template <typename S, typename = void>
+struct HasCacheOwnership : std::false_type {};
+template <typename S>
+struct HasCacheOwnership<
+    S, std::void_t<decltype(std::declval<const S &>().parallelPhaseBegin()),
+                   decltype(std::declval<const S &>().parallelPhaseEnd()),
+                   decltype(std::declval<const S &>().parallelTaskBegin()),
+                   decltype(std::declval<const S &>().parallelTaskEnd()),
+                   decltype(std::declval<const S &>().parallelMergeBarrier())>>
+    : std::true_type {};
 } // namespace solver_detail
 
 template <typename System> class FixpointSolver {
@@ -244,8 +262,10 @@ public:
 
     NodeSteps.assign(N, 0);
     bool Par = Opts.Strategy == IterationStrategy::Parallel;
-    if (Par)
+    if (Par) {
       prepareParallel();
+      hookParallelPhaseBegin();
+    }
     prepareWarm();
     prepareDemand();
 
@@ -267,6 +287,8 @@ public:
         if (!(Par ? descendOnceParallel() : descendOnce()))
           break;
     }
+    if (Par)
+      hookParallelPhaseEnd();
     finishWarm();
     return X;
   }
@@ -314,6 +336,30 @@ private:
     else
       return true;
   }
+
+  /// \name Cache-ownership hooks (no-ops unless the system opts in).
+  /// @{
+  void hookParallelPhaseBegin() {
+    if constexpr (solver_detail::HasCacheOwnership<System>::value)
+      Sys.parallelPhaseBegin();
+  }
+  void hookParallelPhaseEnd() {
+    if constexpr (solver_detail::HasCacheOwnership<System>::value)
+      Sys.parallelPhaseEnd();
+  }
+  void hookParallelTaskBegin() {
+    if constexpr (solver_detail::HasCacheOwnership<System>::value)
+      Sys.parallelTaskBegin();
+  }
+  void hookParallelTaskEnd() {
+    if constexpr (solver_detail::HasCacheOwnership<System>::value)
+      Sys.parallelTaskEnd();
+  }
+  void hookParallelMergeBarrier() {
+    if constexpr (solver_detail::HasCacheOwnership<System>::value)
+      Sys.parallelMergeBarrier();
+  }
+  /// @}
 
   /// Fills the node -> top-level-element maps (idempotent; shared by the
   /// warm-start and demand preparations).
@@ -914,7 +960,12 @@ private:
     std::function<void(unsigned)> Exec = [&](unsigned TaskIdx) {
       traceEvent(Trace, TraceEventKind::TaskRun, TaskIdx,
                  Tasks[TaskIdx].Elems.size());
+      // The task bracket closes before successors run (even inline on a
+      // zero-worker pool, where submit() recurses from the loop below),
+      // so one thread never holds two open brackets of the same solve.
+      hookParallelTaskBegin();
       RunTask(TaskIdx);
+      hookParallelTaskEnd();
       traceEvent(Trace, TraceEventKind::TaskComplete, TaskIdx);
       for (unsigned S : Tasks[TaskIdx].Succs)
         if (Pending[S].fetch_sub(1, std::memory_order_acq_rel) == 1) {
@@ -928,6 +979,10 @@ private:
         Pool->submit([&Exec, T] { Exec(T); });
       }
     Pool->wait();
+    // Every task finished (the pool's queue mutex publishes their
+    // writes); fold the completed tasks' cache arenas into the shared
+    // shards so the next sweep's lock-free probes can see them.
+    hookParallelMergeBarrier();
   }
 
   void mergeStats(const SolverStats &Local) {

@@ -18,6 +18,9 @@ namespace {
 struct SystemBase {
   const SuperGraph &G;
   const StoreOps &Ops;
+  /// The shared transfer cache, or null when caching is off. Owned by
+  /// the Analyzer; the fwd/bwd systems consult it per Local edge.
+  TransferCache *Cache;
   mutable std::atomic<uint64_t> Unions{0};
   /// Warm-start dirty bits: per node, whether the non-graph inputs of
   /// its equation (envelope slot, seed) are unchanged since the run
@@ -25,13 +28,39 @@ struct SystemBase {
   /// provably unchanged) unless the Analyzer filled it in.
   std::vector<uint8_t> ExternalUnchanged;
 
-  explicit SystemBase(const SuperGraph &G, const StoreOps &Ops)
-      : G(G), Ops(Ops) {}
+  SystemBase(const SuperGraph &G, const StoreOps &Ops,
+             TransferCache *Cache = nullptr)
+      : G(G), Ops(Ops), Cache(Cache) {}
 
   using Value = AbstractStore;
 
   bool externalInputsUnchanged(unsigned Node) const {
     return Node < ExternalUnchanged.size() && ExternalUnchanged[Node];
+  }
+
+  /// Cache-ownership hooks driven by the parallel solver (see
+  /// TransferCache's ownership model and the HasCacheOwnership trait).
+  /// The serial strategies never call these; with no cache they are
+  /// no-ops, so systems without one schedule identically.
+  void parallelPhaseBegin() const {
+    if (Cache)
+      Cache->beginOwned();
+  }
+  void parallelPhaseEnd() const {
+    if (Cache)
+      Cache->endOwned();
+  }
+  void parallelTaskBegin() const {
+    if (Cache)
+      Cache->beginTask();
+  }
+  void parallelTaskEnd() const {
+    if (Cache)
+      Cache->endTask();
+  }
+  void parallelMergeBarrier() const {
+    if (Cache)
+      Cache->mergePending();
   }
 
   bool leq(const AbstractStore &A, const AbstractStore &B) const {
@@ -77,14 +106,13 @@ Digraph buildBackwardDep(const SuperGraph &G) {
 /// of the forward transfer, met with the envelope when present.
 struct ForwardSystem : SystemBase {
   const Transfer &Xfer;
-  TransferCache *Cache;
   const std::vector<AbstractStore> *Envelope;
   Digraph Dep;
 
   ForwardSystem(const SuperGraph &G, const StoreOps &Ops,
                 const Transfer &Xfer, TransferCache *Cache,
                 const std::vector<AbstractStore> *Envelope)
-      : SystemBase(G, Ops), Xfer(Xfer), Cache(Cache), Envelope(Envelope),
+      : SystemBase(G, Ops, Cache), Xfer(Xfer), Envelope(Envelope),
         Dep(buildForwardDep(G)) {}
 
   unsigned numNodes() const { return G.numNodes(); }
@@ -135,7 +163,6 @@ struct ForwardSystem : SystemBase {
 /// met with the envelope.
 struct BackwardSystem : SystemBase {
   const Transfer &Xfer;
-  TransferCache *Cache;
   const std::vector<AbstractStore> &Envelope;
   std::vector<AbstractStore> Seeds;
   Digraph Dep;
@@ -143,7 +170,7 @@ struct BackwardSystem : SystemBase {
   BackwardSystem(const SuperGraph &G, const StoreOps &Ops,
                  const Transfer &Xfer, TransferCache *Cache,
                  const std::vector<AbstractStore> &Envelope)
-      : SystemBase(G, Ops), Xfer(Xfer), Cache(Cache), Envelope(Envelope),
+      : SystemBase(G, Ops, Cache), Xfer(Xfer), Envelope(Envelope),
         Dep(buildBackwardDep(G)) {
     Seeds.assign(G.numNodes(), AbstractStore::bottom());
   }
@@ -647,8 +674,15 @@ void Analyzer::runImpl(const std::vector<std::vector<uint8_t>> *Masks) {
   }
 
   if (Cache) {
-    Stats.CacheHits = Cache->hits();
-    Stats.CacheMisses = Cache->misses();
+    // One snapshot pass over the shards (hits()/misses() would each
+    // sweep all 64 again).
+    TransferCache::Stats CS = Cache->statsSnapshot();
+    Stats.CacheHits = CS.Hits;
+    Stats.CacheMisses = CS.Misses;
+    Stats.CacheMergeInserted = CS.MergeInserted;
+    Stats.CacheMergeCombined = CS.MergeCombined;
+    Stats.CacheMergeDiscarded = CS.MergeDiscarded;
+    Stats.CacheTaskArenas = CS.TaskArenas;
   }
   Stats.BytesUsed = Graph->approximateBytes();
   // COW stores structurally share payloads across program points; count
@@ -672,6 +706,10 @@ void Analyzer::runImpl(const std::vector<std::vector<uint8_t>> *Masks) {
     if (Cache) {
       M->counter("cache.hits").inc(Stats.CacheHits);
       M->counter("cache.misses").inc(Stats.CacheMisses);
+      M->counter("cache.merge_inserted").inc(Stats.CacheMergeInserted);
+      M->counter("cache.merge_combined").inc(Stats.CacheMergeCombined);
+      M->counter("cache.merge_discarded").inc(Stats.CacheMergeDiscarded);
+      M->counter("cache.task_arenas").inc(Stats.CacheTaskArenas);
     }
     if (Opts.WarmStart) {
       M->counter("interproc.summary_reuse").inc(Stats.SummaryReuses);

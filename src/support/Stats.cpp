@@ -97,6 +97,10 @@ json::Value AnalysisStats::toJson() const {
   V.set("narrowings", static_cast<int64_t>(Narrowings));
   V.set("cache_hits", static_cast<int64_t>(CacheHits));
   V.set("cache_misses", static_cast<int64_t>(CacheMisses));
+  V.set("cache_merge_inserted", static_cast<int64_t>(CacheMergeInserted));
+  V.set("cache_merge_combined", static_cast<int64_t>(CacheMergeCombined));
+  V.set("cache_merge_discarded", static_cast<int64_t>(CacheMergeDiscarded));
+  V.set("cache_task_arenas", static_cast<int64_t>(CacheTaskArenas));
   V.set("component_skips", static_cast<int64_t>(ComponentSkips));
   V.set("skipped_steps", static_cast<int64_t>(SkippedSteps));
   V.set("summary_reuses", static_cast<int64_t>(SummaryReuses));

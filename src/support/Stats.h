@@ -57,6 +57,14 @@ struct AnalysisStats {
   uint64_t Narrowings = 0;    ///< narrowing applications
   uint64_t CacheHits = 0;     ///< transfer-function cache hits (all phases)
   uint64_t CacheMisses = 0;   ///< transfer-function cache misses
+  /// Owned-mode cache merge ledger (parallel strategy only; 0 under the
+  /// serial strategies): arena entries promoted into the shared shards
+  /// at merge barriers, entries a shard already held, entries dropped
+  /// (unprofitable or shard full), and task arenas merged.
+  uint64_t CacheMergeInserted = 0;
+  uint64_t CacheMergeCombined = 0;
+  uint64_t CacheMergeDiscarded = 0;
+  uint64_t CacheTaskArenas = 0;
   /// Stable WTO elements replayed by the warm-started refinement chain
   /// instead of re-iterated, summed over all phases.
   uint64_t ComponentSkips = 0;

@@ -42,6 +42,8 @@ const char *syntox::traceEventKindName(TraceEventKind K) {
     return "component_skip";
   case TraceEventKind::DemandSkip:
     return "demand_skip";
+  case TraceEventKind::CacheMerge:
+    return "cache_merge";
   }
   return "unknown";
 }
@@ -186,6 +188,8 @@ ChromeMapping chromeMapping(TraceEventKind K) {
   case TraceEventKind::ComponentSkip:
   case TraceEventKind::DemandSkip:
     return {"i", "component"};
+  case TraceEventKind::CacheMerge:
+    return {"i", "cache"};
   }
   return {"i", "other"};
 }

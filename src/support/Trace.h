@@ -67,11 +67,14 @@ enum class TraceEventKind : uint8_t {
   DemandSkip,     ///< top-level WTO element outside the demand cone,
                   ///< excluded from the schedule for the whole run;
                   ///< Arg0 = head vertex
+  CacheMerge,     ///< transfer-cache arena merge barrier; Arg0 = entries
+                  ///< inserted into the shared shards, Arg1 = entries
+                  ///< combined with existing ones or discarded
 };
 
 /// Number of distinct event kinds (for masks and tables).
 constexpr unsigned NumTraceEventKinds =
-    static_cast<unsigned>(TraceEventKind::DemandSkip) + 1;
+    static_cast<unsigned>(TraceEventKind::CacheMerge) + 1;
 
 /// Stable machine-readable name ("phase_begin", "cache_hit", ...).
 const char *traceEventKindName(TraceEventKind K);

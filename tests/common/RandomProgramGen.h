@@ -29,6 +29,32 @@ namespace test {
 /// a given seed.
 class ProgramGenerator {
 public:
+  /// Corpus families (bench_corpus traffic mix). Plain is the original
+  /// generator; the rest stress specific engine paths:
+  ///  - GotoHeavy: labeled segments with conditional forward gotos and
+  ///    one counter-bounded backward goto (irreducible-looking control
+  ///    flow, still terminating);
+  ///  - DeepUnfolding: a chain of procedures with var parameters called
+  ///    from several sites, multiplying unfolded instances (drives the
+  ///    interprocedural token machinery and the adaptive cache);
+  ///  - AliasingHeavy: small var-param routines invoked with
+  ///    overlapping (and occasionally duplicate) actuals.
+  enum class Family { Plain, GotoHeavy, DeepUnfolding, AliasingHeavy };
+
+  static const char *familyName(Family F) {
+    switch (F) {
+    case Family::Plain:
+      return "plain";
+    case Family::GotoHeavy:
+      return "goto";
+    case Family::DeepUnfolding:
+      return "unfold";
+    case Family::AliasingHeavy:
+      return "alias";
+    }
+    return "?";
+  }
+
   explicit ProgramGenerator(uint64_t Seed, bool WithAssertions = false)
       : R(Seed), WithAssertions(WithAssertions) {}
 
@@ -62,6 +88,22 @@ public:
     return Out;
   }
 
+  /// Family dispatch. Plain is byte-identical to generate() for the
+  /// same seed; the other families draw their own random sequences.
+  std::string generate(Family F) {
+    switch (F) {
+    case Family::Plain:
+      return generate();
+    case Family::GotoHeavy:
+      return generateGotoHeavy();
+    case Family::DeepUnfolding:
+      return generateDeepUnfolding();
+    case Family::AliasingHeavy:
+      return generateAliasingHeavy();
+    }
+    return generate();
+  }
+
   /// An edit sequence: the generated program followed by \p Edits
   /// successive single-literal mutations of it (each step edits its
   /// predecessor, modelling a user typing). Mutations only touch
@@ -75,6 +117,11 @@ public:
       Seq.push_back(mutateLiteral(Seq.back()));
     return Seq;
   }
+
+  /// Single edit step on an arbitrary generated program (any family) —
+  /// the bench_corpus edit wave applies this to already-analyzed
+  /// sources to model warm re-analysis after a keystroke.
+  std::string mutate(std::string Src) { return mutateLiteral(std::move(Src)); }
 
 private:
   std::string var() { return "v" + std::to_string(R.below(5)); }
@@ -107,10 +154,21 @@ private:
 
   /// Replaces one random integer literal of \p Src with a fresh
   /// positive constant. Digit runs preceded by an identifier character
-  /// are skipped (v0..v4 / l0..l2 are not literals).
+  /// are skipped (v0..v4 / l0..l2 are not literals), as are statement
+  /// labels, goto targets and label declarations — mutating those would
+  /// change control flow (or break it), not a value.
   std::string mutateLiteral(std::string Src) {
     std::vector<std::pair<size_t, size_t>> Lits;
+    size_t LineStart = 0;
+    bool LabelDeclLine = false;
     for (size_t I = 0; I < Src.size();) {
+      if (Src[I] == '\n') {
+        LineStart = ++I;
+        LabelDeclLine = false;
+        continue;
+      }
+      if (I == LineStart)
+        LabelDeclLine = Src.compare(I, 6, "label ") == 0;
       bool AfterIdent =
           I > 0 && (std::isalnum(static_cast<unsigned char>(Src[I - 1])) ||
                     Src[I - 1] == '_');
@@ -119,7 +177,10 @@ private:
         while (J < Src.size() &&
                std::isdigit(static_cast<unsigned char>(Src[J])))
           ++J;
-        Lits.push_back({I, J - I});
+        bool IsLabel = J < Src.size() && Src[J] == ':';
+        bool IsGotoTarget = I >= 5 && Src.compare(I - 5, 5, "goto ") == 0;
+        if (!IsLabel && !IsGotoTarget && !LabelDeclLine)
+          Lits.push_back({I, J - I});
         I = J;
       } else {
         ++I;
@@ -130,6 +191,142 @@ private:
     auto [Pos, Len] = Lits[R.below(Lits.size())];
     Src.replace(Pos, Len, std::to_string(R.range(1, 30)));
     return Src;
+  }
+
+  /// Shared prologue/epilogue for the family generators: the v0..v4
+  /// initializers into Body, and the assertion guarantee of generate().
+  void beginProgram() {
+    Body.clear();
+    Indent = 0;
+    LoopDepth = 0;
+    Asserts = Intermittents = 0;
+    for (int I = 0; I < 5; ++I)
+      Body += "  v" + std::to_string(I) + " := " +
+              std::to_string(R.range(-50, 50)) + ";\n";
+  }
+
+  void guaranteeAssertions() {
+    if (!WithAssertions)
+      return;
+    if (Asserts == 0) {
+      Body += "  assert(" + cond() + ");\n";
+      ++Asserts;
+    }
+    if (Intermittents == 0) {
+      Body += "  intermittent(" + cond() + ");\n";
+      ++Intermittents;
+    }
+  }
+
+  /// Labeled segments, conditional forward gotos, and one backward goto
+  /// bounded by a dedicated counter — control flow the structured
+  /// statements never produce, but still provably terminating: l0
+  /// increments exactly once per pass through the head label, forward
+  /// jumps only skip work within a pass, and the single backward edge
+  /// is guarded by l0's bound.
+  std::string generateGotoHeavy() {
+    beginProgram();
+    unsigned Segs = 3 + R.below(3);
+    std::string Out = "program gen;\nlabel ";
+    for (unsigned S = 0; S < Segs; ++S)
+      Out += std::to_string(10 * (S + 1)) + ", ";
+    Out += "99;\nvar v0, v1, v2, v3, v4 : integer;\n";
+    Out += "    l0, l1, l2 : integer;\n";
+    Out += "begin\n";
+    // l0 is the backward-goto bound; start nested loops at l1 so no
+    // generated for loop can clobber it (that would void termination).
+    LoopDepth = 1;
+    Body += "  l0 := 0;\n";
+    Body += "  10: l0 := l0 + 1;\n";
+    for (unsigned S = 0; S < Segs; ++S) {
+      if (S > 0)
+        Body += "  " + std::to_string(10 * (S + 1)) + ": " + var() +
+                " := " + expr(1) + ";\n";
+      unsigned N = 1 + R.below(3);
+      for (unsigned I = 0; I < N; ++I)
+        statement(1);
+      if (S + 1 < Segs && R.chance(1, 2)) {
+        unsigned Target = S + 1 + R.below(Segs - S - 1) + 1;
+        Body += "  if " + cond() + " then goto " +
+                std::to_string(10 * Target) + ";\n";
+      }
+    }
+    Body += "  if l0 < " + std::to_string(2 + R.below(4)) +
+            " then goto 10;\n";
+    Body += "  99: v0 := v0 + 1;\n";
+    guaranteeAssertions();
+    Out += Body;
+    Out += "  writeln(v0, v1, v2, v3, v4)\nend.\n";
+    return Out;
+  }
+
+  /// A chain of procedures p1 <- p2 <- ... <- pD with var parameters,
+  /// entered from several call sites (one inside a loop), so the
+  /// context-sensitive unfolding multiplies activation instances —
+  /// enough to cross the adaptive-cache instance threshold.
+  std::string generateDeepUnfolding() {
+    beginProgram();
+    unsigned Depth = 8 + R.below(5);
+    std::string Out = "program gen;\nvar v0, v1, v2, v3, v4 : integer;\n";
+    Out += "    l0, l1, l2 : integer;\n";
+    for (unsigned P = 1; P <= Depth; ++P) {
+      Out += "procedure p" + std::to_string(P) + "(var x : integer);\n";
+      Out += "begin\n";
+      Out += "  x := (x " + std::string(R.chance(1, 2) ? "+" : "-") + " " +
+             std::to_string(R.range(1, 9)) + ")";
+      if (P > 1)
+        Out += ";\n  p" + std::to_string(P - 1) + "(x)\n";
+      else
+        Out += "\n";
+      Out += "end;\n";
+    }
+    Body += "  p" + std::to_string(Depth) + "(v0);\n";
+    Body += "  for l0 := 1 to " + std::to_string(2 + R.below(3)) +
+            " do\n  begin\n    p" + std::to_string(Depth) +
+            "(v1)\n  end;\n";
+    unsigned N = 2 + R.below(3);
+    for (unsigned I = 0; I < N; ++I)
+      statement(1);
+    guaranteeAssertions();
+    Out += "begin\n";
+    Out += Body;
+    Out += "  writeln(v0, v1, v2, v3, v4)\nend.\n";
+    return Out;
+  }
+
+  /// Small var-parameter routines invoked with overlapping (and
+  /// sometimes duplicate) actuals: every call aliases formals onto the
+  /// shared v0..v4 pool, exercising the token machinery's exact
+  /// aliasing tracking from many angles.
+  std::string generateAliasingHeavy() {
+    beginProgram();
+    unsigned Procs = 2 + R.below(2);
+    std::string Out = "program gen;\nvar v0, v1, v2, v3, v4 : integer;\n";
+    Out += "    l0, l1, l2 : integer;\n";
+    for (unsigned P = 0; P < Procs; ++P) {
+      Out += "procedure q" + std::to_string(P) +
+             "(var a : integer; var b : integer);\n";
+      Out += "begin\n";
+      Out += "  a := (a + b);\n";
+      Out += "  b := (b - " + std::to_string(R.range(1, 9)) + ")\n";
+      Out += "end;\n";
+    }
+    unsigned Calls = 4 + R.below(4);
+    for (unsigned C = 0; C < Calls; ++C) {
+      std::string A = var();
+      // Duplicate actuals (a genuine alias of both formals) now and
+      // then; otherwise a distinct second variable.
+      std::string B = R.chance(1, 5) ? A : var();
+      Body += "  q" + std::to_string(R.below(Procs)) + "(" + A + ", " + B +
+              ");\n";
+      if (R.chance(1, 2))
+        statement(1);
+    }
+    guaranteeAssertions();
+    Out += "begin\n";
+    Out += Body;
+    Out += "  writeln(v0, v1, v2, v3, v4)\nend.\n";
+    return Out;
   }
 
   void statement(unsigned Depth) {

@@ -1,0 +1,206 @@
+//===- tests/semantics/cache_owned_test.cpp - Owned-mode cache tests ------===//
+//
+// The component-owned caching protocol: beginOwned() freezes the shared
+// shards for lock-free probing, each parallel task fills a private arena
+// through a beginTask()/endTask() bracket, and mergePending() folds the
+// arenas back into the shards at sweep barriers. These tests pin the
+// protocol's single-threaded semantics (merge, combine, discard, stray
+// lookups, threshold gating) and stress the concurrent shape the solver
+// drives — many tasks probing frozen shards while filling arenas, with
+// merges strictly at barriers — so a tsan build of this binary checks
+// the lock-free reads against the barrier-time insertions.
+//
+//===----------------------------------------------------------------------===//
+
+#include "semantics/Transfer.h"
+
+#include "../common/AnalysisTestUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+using namespace syntox;
+using namespace syntox::test;
+
+namespace {
+
+class CacheOwnedTest : public ::testing::Test {
+protected:
+  CacheOwnedTest()
+      : A(analyzeProgram("program p; var x, y : integer;\n"
+                         "begin x := 1; y := 2 end.")),
+        Ops(A.An->storeOps()), Exprs(Ops), Xfer(Ops, Exprs, *A.Cfg),
+        X(A.var("", "x")) {}
+
+  AbstractStore storeWithX(int64_t Lo, int64_t Hi) const {
+    AbstractStore S = AbstractStore::top();
+    Ops.assign(S, X, AbsValue(Interval(Lo, Hi)));
+    return S;
+  }
+
+  AnalyzedProgram A;
+  const StoreOps &Ops;
+  ExprSemantics Exprs;
+  Transfer Xfer;
+  const VarDecl *X;
+  FrameMap F;
+  Action Nop = Action::nop();
+};
+
+TEST_F(CacheOwnedTest, ArenaFillsMergesAndSeedsTheNextSweep) {
+  TransferCache Cache(Ops);
+  Cache.beginOwned();
+  Cache.beginTask();
+  AbstractStore S = storeWithX(2, 9);
+  AbstractStore R1 = *Cache.fwd(Xfer, /*EdgeId=*/0, Nop, S, F);
+  EXPECT_TRUE(Ops.equal(R1, S)); // Nop is the identity
+  // Second lookup inside the same task hits the arena.
+  Cache.fwd(Xfer, 0, Nop, S, F);
+  Cache.endTask();
+  EXPECT_EQ(Cache.size(), 0u); // nothing merged yet
+  Cache.mergePending();
+  TransferCache::Stats St = Cache.statsSnapshot();
+  EXPECT_EQ(St.TaskArenas, 1u);
+  EXPECT_EQ(St.MergeInserted, 1u);
+  EXPECT_EQ(St.Hits, 1u);
+  EXPECT_EQ(St.Misses, 1u);
+  EXPECT_EQ(Cache.size(), 1u);
+
+  // The next sweep's task reads the merged entry from the frozen shards
+  // without recomputing (copy-on-write seeding).
+  Cache.beginTask();
+  Cache.fwd(Xfer, 0, Nop, S, F);
+  Cache.endTask();
+  Cache.mergePending();
+  St = Cache.statsSnapshot();
+  EXPECT_EQ(St.Hits, 2u);
+  EXPECT_EQ(St.Misses, 1u);
+
+  // And after thawing, the serial locked path reuses it too.
+  Cache.endOwned();
+  Cache.fwd(Xfer, 0, Nop, S, F);
+  EXPECT_EQ(Cache.hits(), 3u);
+}
+
+TEST_F(CacheOwnedTest, MergeThresholdDiscardsEntriesWithoutArenaReuse) {
+  TransferCache Cache(Ops);
+  Cache.setMergeThreshold(1); // require one arena-local reuse
+  Cache.beginOwned();
+  Cache.beginTask();
+  AbstractStore Reused = storeWithX(0, 1);
+  AbstractStore Single = storeWithX(0, 2);
+  Cache.fwd(Xfer, 0, Nop, Reused, F);
+  Cache.fwd(Xfer, 0, Nop, Reused, F); // arena hit: proves reuse
+  Cache.fwd(Xfer, 0, Nop, Single, F); // never reused
+  Cache.endTask();
+  Cache.mergePending();
+  TransferCache::Stats St = Cache.statsSnapshot();
+  EXPECT_EQ(St.MergeInserted, 1u);
+  EXPECT_EQ(St.MergeDiscarded, 1u);
+  EXPECT_EQ(Cache.size(), 1u);
+  Cache.endOwned();
+}
+
+TEST_F(CacheOwnedTest, DuplicateEntriesAcrossTasksCombine) {
+  TransferCache Cache(Ops);
+  AbstractStore S = storeWithX(5, 7);
+  Cache.beginOwned();
+  // Two tasks race to compute the same (edge, store): both arenas hold
+  // the result, the merge keeps one and dissolves the other.
+  for (int Task = 0; Task < 2; ++Task) {
+    Cache.beginTask();
+    Cache.fwd(Xfer, 0, Nop, S, F);
+    Cache.endTask();
+  }
+  Cache.mergePending();
+  TransferCache::Stats St = Cache.statsSnapshot();
+  EXPECT_EQ(St.MergeInserted, 1u);
+  EXPECT_EQ(St.MergeCombined, 1u);
+  EXPECT_EQ(Cache.size(), 1u);
+  Cache.endOwned();
+}
+
+TEST_F(CacheOwnedTest, StrayLookupAnswersButNeverInserts) {
+  TransferCache Cache(Ops);
+  AbstractStore S = storeWithX(1, 3);
+  // Populate one entry through the serial path.
+  Cache.fwd(Xfer, 0, Nop, S, F);
+  ASSERT_EQ(Cache.size(), 1u);
+  Cache.beginOwned();
+  // No task bracket: the lookup answers from the frozen shards...
+  Cache.fwd(Xfer, 0, Nop, S, F);
+  EXPECT_EQ(Cache.hits(), 1u);
+  // ...and a stray miss computes but cannot insert.
+  AbstractStore T = storeWithX(1, 4);
+  AbstractStore R = *Cache.fwd(Xfer, 0, Nop, T, F);
+  EXPECT_TRUE(Ops.equal(R, T));
+  EXPECT_EQ(Cache.size(), 1u);
+  Cache.endOwned();
+  EXPECT_EQ(Cache.size(), 1u);
+}
+
+TEST_F(CacheOwnedTest, EndOwnedMergesStragglerArenas) {
+  TransferCache Cache(Ops);
+  Cache.beginOwned();
+  Cache.beginTask();
+  Cache.fwd(Xfer, 0, Nop, storeWithX(0, 9), F);
+  Cache.endTask();
+  // No explicit barrier: endOwned() must pick up the parked arena.
+  Cache.endOwned();
+  TransferCache::Stats St = Cache.statsSnapshot();
+  EXPECT_EQ(St.TaskArenas, 1u);
+  EXPECT_EQ(St.MergeInserted, 1u);
+  EXPECT_EQ(Cache.size(), 1u);
+}
+
+// The concurrent shape the parallel solver drives: sweeps of tasks run
+// on worker threads, each bracketing a private arena and probing the
+// frozen shards lock-free, with merge-back strictly between sweeps.
+// Under tsan this checks the lock-free probes against the barrier-time
+// insertions; under any build it checks the counters add up and every
+// result is correct.
+TEST_F(CacheOwnedTest, ConcurrentTasksWithMergeBarriers) {
+  TransferCache Cache(Ops);
+  constexpr int Threads = 4;
+  constexpr int Sweeps = 6;
+  constexpr int LookupsPerTask = 64;
+  Cache.beginOwned();
+  for (int Sweep = 0; Sweep < Sweeps; ++Sweep) {
+    std::vector<std::thread> Workers;
+    std::atomic<int> Bad{0};
+    for (int T = 0; T < Threads; ++T)
+      Workers.emplace_back([&, T] {
+        Cache.beginTask();
+        for (int I = 0; I < LookupsPerTask; ++I) {
+          // Overlapping key spaces: threads share most stores (frozen
+          // probes + combine at merge) and own a few (fresh inserts
+          // every sweep).
+          int64_t Lo = (I % 16) + (I % 4 == 0 ? T : 0);
+          AbstractStore S = storeWithX(Lo, Lo + 10);
+          const AbstractStore *R =
+              Cache.fwd(Xfer, static_cast<unsigned>(I % 8), Nop, S, F);
+          if (!Ops.equal(*R, S))
+            Bad.fetch_add(1, std::memory_order_relaxed);
+        }
+        Cache.endTask();
+      });
+    for (std::thread &W : Workers)
+      W.join();
+    EXPECT_EQ(Bad.load(), 0);
+    Cache.mergePending(); // barrier: no task in flight
+  }
+  Cache.endOwned();
+  TransferCache::Stats St = Cache.statsSnapshot();
+  EXPECT_EQ(St.TaskArenas, static_cast<uint64_t>(Threads * Sweeps));
+  EXPECT_EQ(St.Hits + St.Misses,
+            static_cast<uint64_t>(Threads * Sweeps * LookupsPerTask));
+  // Every distinct (edge, store) pair was eventually merged: later
+  // sweeps replay entirely from the shards, so misses stay well below
+  // one sweep's lookup volume times the sweep count.
+  EXPECT_EQ(St.Size, St.MergeInserted);
+  EXPECT_GT(St.Hits, St.Misses);
+}
+
+} // namespace

@@ -1,0 +1,93 @@
+//===- tests/support/thread_budget_test.cpp - Oversubscription guard ------===//
+//
+// The ThreadBudget is the batch scheduler's oversubscription guard: all
+// pools created under a ThreadBudget::Scope draw worker slots from one
+// shared pool, nested pools get only what remains, and a zero-slot grant
+// degrades the pool to inline execution — so the number of live budgeted
+// threads never exceeds the budget no matter how pools nest.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+using namespace syntox;
+
+namespace {
+
+TEST(ThreadBudgetTest, GrantsAreCappedByTheRemainingSlots) {
+  ThreadBudget Budget(4);
+  EXPECT_EQ(Budget.total(), 4u);
+  EXPECT_EQ(Budget.acquire(3), 3u);
+  EXPECT_EQ(Budget.acquire(3), 1u); // only one slot left
+  EXPECT_EQ(Budget.acquire(3), 0u); // exhausted
+  Budget.release(1);
+  EXPECT_EQ(Budget.acquire(3), 1u);
+  Budget.release(4);
+}
+
+TEST(ThreadBudgetTest, PoolsUnderAScopeShareTheBudget) {
+  ThreadBudget Budget(4);
+  ThreadBudget::Scope Scope(Budget);
+  ThreadPool Outer(3);
+  EXPECT_EQ(Outer.size(), 3u);
+  ThreadPool Inner(8); // asks for 8, budget has 1 left
+  EXPECT_EQ(Inner.size(), 1u);
+  ThreadPool Empty(8); // nothing left: inline mode
+  EXPECT_EQ(Empty.size(), 0u);
+  EXPECT_TRUE(Empty.inlineMode());
+}
+
+TEST(ThreadBudgetTest, InlineModeStillRunsEveryJob) {
+  ThreadBudget Budget(1);
+  ThreadBudget::Scope Scope(Budget);
+  ThreadPool Taker(1);
+  ThreadPool Inline(4);
+  ASSERT_TRUE(Inline.inlineMode());
+  std::atomic<int> Ran{0};
+  for (int I = 0; I < 100; ++I)
+    Inline.submit([&] { Ran.fetch_add(1, std::memory_order_relaxed); });
+  Inline.wait();
+  EXPECT_EQ(Ran.load(), 100);
+}
+
+TEST(ThreadBudgetTest, PeakLiveThreadsNeverExceedsTheBudget) {
+  ThreadBudget Budget(4);
+  {
+    ThreadBudget::Scope Scope(Budget);
+    ThreadPool Outer(2);
+    std::atomic<int> Done{0};
+    for (int I = 0; I < 8; ++I)
+      Outer.submit([&] {
+        // Workers inherit the budget, so pools created on a worker
+        // thread draw from the same slot pool (the nested-parallelism
+        // shape AnalysisBatch drives).
+        ThreadPool Nested(4);
+        for (int J = 0; J < 4; ++J)
+          Nested.submit([&] {
+            Done.fetch_add(1, std::memory_order_relaxed);
+          });
+        Nested.wait();
+      });
+    Outer.wait();
+    EXPECT_EQ(Done.load(), 32);
+  }
+  EXPECT_LE(Budget.peakLiveThreads(), 4u);
+  EXPECT_GE(Budget.peakLiveThreads(), 2u); // the outer pool itself ran
+}
+
+TEST(ThreadBudgetTest, UnbudgetedPoolsAreUnaffected) {
+  // No Scope active: pools size themselves as requested.
+  ThreadPool P(3);
+  EXPECT_EQ(P.size(), 3u);
+  std::atomic<int> Ran{0};
+  for (int I = 0; I < 10; ++I)
+    P.submit([&] { Ran.fetch_add(1, std::memory_order_relaxed); });
+  P.wait();
+  EXPECT_EQ(Ran.load(), 10);
+}
+
+} // namespace
