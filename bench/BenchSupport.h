@@ -25,6 +25,7 @@
 
 #include "core/AbstractDebugger.h"
 #include "core/AnalysisFlags.h"
+#include "core/AnalysisRequest.h"
 #include "support/Json.h"
 #include "support/Metrics.h"
 #include "support/Trace.h"
@@ -34,6 +35,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -109,6 +111,52 @@ public:
       *Seconds = T;
     recordPhases(Label, Dbg->stats(), T);
     return Dbg;
+  }
+
+  /// Session-layer counterpart of analyze(): runs \p Source through a
+  /// fresh AnalysisSession (the entry path that owns the persistent
+  /// CacheDir composition), timing the run and folding the per-phase
+  /// breakdown into the report under \p Label. Returns nullopt after
+  /// printing on frontend or runtime errors.
+  std::optional<AnalysisResult> run(const std::string &Label,
+                                    const std::string &Source,
+                                    const AnalysisOptions &Opts,
+                                    double *Seconds = nullptr) {
+    AnalysisRequest R;
+    R.Source = Source;
+    R.Opts = Opts;
+    AnalysisOutcome O = runRequest(std::move(R));
+    if (!O.OK) {
+      std::printf("%s: %s\n", Label.c_str(), O.Error.c_str());
+      return std::nullopt;
+    }
+    if (Seconds)
+      *Seconds = O.Seconds;
+    recordPhases(Label, O.Result->stats(), O.Seconds);
+    return std::move(O.Result);
+  }
+
+  /// Demand-query counterpart of run(): answers \p Spec through a
+  /// fresh AnalysisSession (cone-restricted solve; a non-empty
+  /// Opts.CacheDir replays the cone from the on-disk cache).
+  std::optional<DemandResult> demand(const std::string &Label,
+                                     const std::string &Source,
+                                     const DemandSpec &Spec,
+                                     const AnalysisOptions &Opts,
+                                     double *Seconds = nullptr) {
+    AnalysisRequest R;
+    R.Source = Source;
+    R.Opts = Opts;
+    R.Query = Spec;
+    AnalysisOutcome O = runRequest(std::move(R));
+    if (!O.OK) {
+      std::printf("%s: %s\n", Label.c_str(), O.Error.c_str());
+      return std::nullopt;
+    }
+    if (Seconds)
+      *Seconds = O.Seconds;
+    recordPhases(Label, O.Demand->stats(), O.Seconds);
+    return std::move(O.Demand);
   }
 
   /// Appends one per-phase breakdown entry to the report, for benches

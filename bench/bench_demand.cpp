@@ -115,28 +115,21 @@ RunNumbers numbersOf(const AnalysisStats &S, double Seconds) {
   return N;
 }
 
-/// One demand query against a fresh debugger; records the per-phase
-/// breakdown under \p Label like Harness::analyze does for full solves.
+/// One demand query against a fresh session; records the per-phase
+/// breakdown under \p Label like Harness::run does for full solves.
 /// A non-empty \p CacheDir is the IDE scenario: a full solve already
-/// populated the on-disk cache, and the query replays its cone from it.
+/// populated the on-disk cache, and the query replays its cone from it
+/// (the session layer loads it before the cone-restricted solve).
 RunNumbers demandRun(bench::Harness &H, const std::string &Label,
                      const std::string &Source, const DemandSpec &Spec,
                      const std::string &CacheDir = std::string()) {
   AnalysisOptions Opts = H.options();
   Opts.CacheDir = CacheDir;
-  DiagnosticsEngine Diags;
-  auto Dbg = AbstractDebugger::create(Source, Diags, Opts);
-  if (!Dbg) {
-    std::printf("%s: frontend error\n%s", Label.c_str(), Diags.str().c_str());
+  double Seconds = 0;
+  auto R = H.demand(Label, Source, Spec, Opts, &Seconds);
+  if (!R)
     return RunNumbers();
-  }
-  auto Start = std::chrono::steady_clock::now();
-  Dbg->analyzeDemand(Spec);
-  double T = std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                           Start)
-                 .count();
-  H.recordPhases(Label, Dbg->stats(), T);
-  return numbersOf(Dbg->stats(), T);
+  return numbersOf(R->stats(), Seconds);
 }
 
 /// The id of the single runtime check of \p Source (the far-end
@@ -214,7 +207,7 @@ int main(int argc, char **argv) {
     AnalysisOptions ColdOpts = H.options();
     ColdOpts.CacheDir = Cache; // seed the warm rows' on-disk cache
     double Seconds = 0;
-    auto Cold = H.analyze("loopChain/cold", Source, ColdOpts, &Seconds);
+    auto Cold = H.run("loopChain/cold", Source, ColdOpts, &Seconds);
     RunNumbers ColdN = numbersOf(Cold->stats(), Seconds);
     header("loopChain", K);
     DemandSpec Front =
@@ -246,7 +239,7 @@ int main(int argc, char **argv) {
     AnalysisOptions ColdOpts = H.options();
     ColdOpts.CacheDir = Cache;
     double Seconds = 0;
-    auto Cold = H.analyze("dispatchChain/cold", Source, ColdOpts, &Seconds);
+    auto Cold = H.run("dispatchChain/cold", Source, ColdOpts, &Seconds);
     RunNumbers ColdN = numbersOf(Cold->stats(), Seconds);
     header("dispatchChain", K);
     DemandSpec Far = DemandSpec::check(farCheckId(H, Source));
@@ -265,7 +258,7 @@ int main(int argc, char **argv) {
     AnalysisOptions ColdOpts = H.options();
     ColdOpts.CacheDir = Cache;
     double Seconds = 0;
-    auto Cold = H.analyze("mcCarthy/cold", Source, ColdOpts, &Seconds);
+    auto Cold = H.run("mcCarthy/cold", Source, ColdOpts, &Seconds);
     RunNumbers ColdN = numbersOf(Cold->stats(), Seconds);
     header("mcCarthy", 30);
     DemandSpec Front =

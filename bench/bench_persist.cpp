@@ -1,8 +1,8 @@
 //===- bench/bench_persist.cpp - E-persist: on-disk warm-start cache ------===//
 //
 // Measures the persistent warm-start cache end to end, through the same
-// AbstractDebugger entry point the CLI uses. Three scenarios per
-// program family:
+// AnalysisSession entry point the CLI uses (the session layer owns the
+// CacheDir composition). Three scenarios per program family:
 //
 //   cold       first run against an empty cache directory (pays the
 //              full fixpoint plus the serialization cost),
@@ -22,7 +22,6 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchSupport.h"
-#include "core/AbstractDebugger.h"
 #include "frontend/PaperPrograms.h"
 
 #include <cstdio>
@@ -84,10 +83,10 @@ RunNumbers scenario(bench::Harness &H, const std::string &Label,
   AnalysisOptions Opts = H.options();
   Opts.CacheDir = CacheDir;
   double Seconds = 0;
-  auto Dbg = H.analyze(Label, Source, Opts, &Seconds);
-  if (!Dbg)
+  auto R = H.run(Label, Source, Opts, &Seconds);
+  if (!R)
     return RunNumbers();
-  return numbersOf(Dbg->stats(), Seconds);
+  return numbersOf(R->stats(), Seconds);
 }
 
 void runFamily(bench::Harness &H, const char *Family, unsigned K,

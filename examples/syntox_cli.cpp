@@ -21,7 +21,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/AnalysisFlags.h"
-#include "core/AnalysisSession.h"
+#include "core/AnalysisRequest.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -111,34 +111,13 @@ int main(int Argc, char **Argv) {
         return 2;
       }
     } else if (Arg.rfind("--query=", 0) == 0) {
-      std::string Spec = Arg.substr(8);
-      if (Spec.rfind("point:", 0) == 0) {
-        std::string Pt = Spec.substr(6);
-        size_t Colon = Pt.find(':');
-        SourceLoc Loc;
-        Loc.Line =
-            static_cast<uint32_t>(std::atoi(Pt.substr(0, Colon).c_str()));
-        if (Colon != std::string::npos)
-          Loc.Column =
-              static_cast<uint32_t>(std::atoi(Pt.c_str() + Colon + 1));
-        if (Loc.Line == 0) {
-          std::fprintf(stderr, "syntox_cli: invalid --query '%s'\n",
-                       Spec.c_str());
-          return 2;
-        }
-        Query = DemandSpec::point(Loc);
-        HaveQuery = true;
-      } else if (Spec.rfind("assertion:", 0) == 0) {
-        Query = DemandSpec::check(
-            static_cast<unsigned>(std::atoi(Spec.c_str() + 10)));
-        HaveQuery = true;
-      } else {
-        std::fprintf(stderr,
-                     "syntox_cli: invalid --query '%s' (expected "
-                     "point:LINE[:COL] or assertion:ID)\n",
-                     Spec.c_str());
+      // The same query grammar the serve protocol accepts — one
+      // parser for both drivers.
+      if (!parseQuerySpec(Arg.substr(8), Query, Error)) {
+        std::fprintf(stderr, "syntox_cli: %s\n", Error.c_str());
         return 2;
       }
+      HaveQuery = true;
     } else if (Arg == "--help" || Arg == "-h") {
       usage();
       return 0;
@@ -177,40 +156,42 @@ int main(int Argc, char **Argv) {
 
   configureSessionTelemetry(*Session, Telem);
 
+  // One runner for both paths — the same shared submission model the
+  // batch scheduler and syntox_serve drive.
+  AnalysisOutcome Outcome = runRequest(
+      *Session,
+      HaveQuery ? std::optional<DemandSpec>(Query) : std::nullopt);
+  if (!Outcome.OK) {
+    std::fprintf(stderr, "syntox_cli: %s\n", Outcome.Error.c_str());
+    return 1;
+  }
+
   if (HaveQuery) {
-    // Demand-driven path: solve only the query's dependency cone and
-    // report the partial findings.
-    try {
-      DemandResult R = Query.K == DemandSpec::Kind::Point
-                           ? Session->demandStateAt(Query.Loc)
-                           : Session->demandCheck(Query.CheckId);
-      if (JsonOutput) {
-        std::printf("%s\n", R.toJson().pretty().c_str());
+    // Demand-driven path: the query's dependency cone only, partial
+    // findings.
+    const DemandResult &R = *Outcome.Demand;
+    if (JsonOutput) {
+      std::printf("%s\n", R.toJson().pretty().c_str());
+    } else {
+      const AnalysisStats &S = R.stats();
+      if (Query.K == DemandSpec::Kind::Point) {
+        std::printf("*** Demand query: point %s\n",
+                    Query.Loc.str().c_str());
+        printStates(R.states());
+        if (R.states().empty())
+          std::printf("  (no control point at this location)\n");
       } else {
-        const AnalysisStats &S = R.stats();
-        if (Query.K == DemandSpec::Kind::Point) {
-          std::printf("*** Demand query: point %s\n",
-                      Query.Loc.str().c_str());
-          printStates(R.states());
-          if (R.states().empty())
-            std::printf("  (no control point at this location)\n");
-        } else {
-          std::printf("*** Demand query: runtime check %u\n",
-                      Query.CheckId);
-          const IntervalDomain &D =
-              R.analyzer().storeOps().domain();
-          std::printf("  %s\n", R.check()->str(D).c_str());
-        }
-        std::printf("*** Cone conditions\n");
-        for (const NecessaryCondition &C : R.conditions())
-          std::printf("  %s\n", C.str().c_str());
-        if (R.conditions().empty())
-          std::printf("  (none)\n");
-        std::printf("%s", S.str().c_str());
+        std::printf("*** Demand query: runtime check %u\n",
+                    Query.CheckId);
+        const IntervalDomain &D = R.analyzer().storeOps().domain();
+        std::printf("  %s\n", R.check()->str(D).c_str());
       }
-    } catch (const std::out_of_range &E) {
-      std::fprintf(stderr, "syntox_cli: %s\n", E.what());
-      return 1;
+      std::printf("*** Cone conditions\n");
+      for (const NecessaryCondition &C : R.conditions())
+        std::printf("  %s\n", C.str().c_str());
+      if (R.conditions().empty())
+        std::printf("  (none)\n");
+      std::printf("%s", S.str().c_str());
     }
     if (!writeTelemetryOutputs(*Session, Telem, Error)) {
       std::fprintf(stderr, "syntox_cli: %s\n", Error.c_str());
@@ -219,7 +200,7 @@ int main(int Argc, char **Argv) {
     return 0;
   }
 
-  AnalysisResult Result = Session->run();
+  const AnalysisResult &Result = *Outcome.Result;
 
   if (JsonOutput) {
     json::Value Doc = Result.toJson();

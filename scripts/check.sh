@@ -38,10 +38,11 @@ if [ "$NO_ASAN" -eq 0 ]; then
   echo "== preset: asan (fixpoint/semantics suites) =="
   ASAN_SUITES="wto_test solver_test parallel_solver_test analyzer_test
                transfer_test interproc_test store_test store_cow_test
-               expr_semantics_test soundness_test demand_query_test"
+               expr_semantics_test soundness_test demand_query_test
+               serve_test"
   cmake --preset asan
   # shellcheck disable=SC2086
-  cmake --build build-asan -j "$(nproc)" --target $ASAN_SUITES
+  cmake --build build-asan -j "$(nproc)" --target $ASAN_SUITES syntox_serve
   for suite in $ASAN_SUITES; do
     echo "-- asan: $suite"
     # ASan redzones inflate the concrete interpreter's recursive eval
@@ -523,5 +524,151 @@ else:
           f"({len(report['rows'])} waves, batch == sequential; "
           "single hardware thread, throughput assertion skipped)")
 EOF
+
+echo "== serve smoke test =="
+# The analysis daemon end to end, under the ci binary and (unless
+# disabled) the asan one: cold + warm + malformed + admin traffic over
+# stdio with every response validated against the serve schemas, then a
+# SIGTERM drain with a request in flight.
+serve_smoke() {
+  local bin=$1 tag=$2
+  echo "-- serve smoke: $tag"
+  local dir="$OUT/serve-$tag"
+  mkdir -p "$dir/cache"
+
+  # Sleeps order the traffic so the inline metrics answer observes the
+  # earlier analyses (responses themselves are unordered by contract).
+  {
+    printf '%s\n' '{"protocol_version":1,"id":"cold","source":"program p; var i, n : integer; begin read(n); i := 0; while i < n do begin i := i + 1; assert(i >= 1) end end.","cache_key":"doc"}'
+    sleep 1
+    printf '%s\n' '{"protocol_version":1,"id":"warm","source":"program p; var i, n : integer; begin read(n); i := 0; while i < n do begin i := i + 1; assert(i >= 1) end end.","cache_key":"doc"}'
+    sleep 1
+    printf '%s\n' 'this line is not a request'
+    printf '%s\n' '{"protocol_version":1,"id":"badopt","source":"program p; begin end.","options":{"cache_dir":"/tmp/x"}}'
+    printf '%s\n' '{"protocol_version":1,"id":"sweep","kind":"gc"}'
+    printf '%s\n' '{"protocol_version":1,"id":"snap","kind":"metrics"}'
+    printf '%s\n' '{"protocol_version":1,"id":"alive","kind":"ping"}'
+  } | "$bin" --cache-dir="$dir/cache" --cache-max-bytes=65536 \
+      > "$dir/responses.jsonl"
+
+  python3 - "$dir/responses.jsonl" <<'PYEOF'
+import json, sys
+
+def check(cond, what):
+    if not cond:
+        raise SystemExit(f"serve smoke violation: {what}")
+
+def load_schema(path):
+    with open(path) as f:
+        return json.load(f)
+
+resp_schema = load_schema("schemas/serve-response.schema.json")
+findings_schema = load_schema("schemas/findings.schema.json")
+
+def validate(obj, schema, where):
+    if "$ref" in schema:
+        check(schema["$ref"] == "findings.schema.json",
+              f"{where}: unknown $ref {schema['$ref']}")
+        schema = findings_schema
+    if "const" in schema:
+        check(obj == schema["const"], f"{where}: != const {schema['const']}")
+    if "enum" in schema:
+        check(obj in schema["enum"], f"{where}: '{obj}' not in enum")
+    t = schema.get("type")
+    if t == "integer":
+        check(isinstance(obj, int) and not isinstance(obj, bool),
+              f"{where}: not an integer")
+    elif t == "number":
+        check(isinstance(obj, (int, float)) and not isinstance(obj, bool),
+              f"{where}: not a number")
+    elif t == "string":
+        check(isinstance(obj, str), f"{where}: not a string")
+    elif t == "boolean":
+        check(isinstance(obj, bool), f"{where}: not a boolean")
+    elif t == "array":
+        check(isinstance(obj, list), f"{where}: not an array")
+        for i, e in enumerate(obj):
+            validate(e, schema.get("items", {}), f"{where}[{i}]")
+    elif t == "object" or "properties" in schema or "required" in schema:
+        check(isinstance(obj, dict), f"{where}: not an object")
+        for key in schema.get("required", []):
+            check(key in obj, f"{where}: missing required key '{key}'")
+        props = schema.get("properties", {})
+        if schema.get("additionalProperties") is False:
+            for key in obj:
+                check(key in props, f"{where}: unexpected key '{key}'")
+        for key, sub in props.items():
+            if key in obj:
+                validate(obj[key], sub, f"{where}.{key}")
+    if "minimum" in schema and isinstance(obj, (int, float)):
+        check(obj >= schema["minimum"],
+              f"{where}: {obj} < minimum {schema['minimum']}")
+
+by_id = {}
+with open(sys.argv[1]) as f:
+    for n, line in enumerate(f, 1):
+        resp = json.loads(line)
+        validate(resp, resp_schema, f"responses:{n}")
+        by_id[resp["id"]] = resp
+
+check(set(by_id) == {"cold", "warm", "", "badopt", "sweep", "snap", "alive"},
+      f"unexpected response ids {sorted(by_id)}")
+
+def findings(resp):
+    return {k: v for k, v in resp["findings"].items()
+            if k not in ("stats", "metrics")}
+
+check(by_id["cold"]["status"] == "ok", "cold analyze failed")
+check(by_id["warm"]["status"] == "ok", "warm analyze failed")
+check(findings(by_id["cold"]) == findings(by_id["warm"]),
+      "warm findings differ from cold findings")
+check(by_id[""]["status"] == "error", "malformed line not answered error")
+check(by_id["badopt"]["status"] == "error"
+      and "cache_key" in by_id["badopt"]["error"],
+      "wire cache_dir option not rejected")
+check(by_id["sweep"]["gc"]["max_bytes"] == 65536, "gc cap not reported")
+counters = by_id["snap"]["metrics"]["counters"]
+check(counters.get("serve.session_hits", 0) >= 1,
+      "warm resubmission did not hit the parked session")
+check(counters.get("session.engine_reuses", 0) >= 1,
+      "warm resubmission did not reuse the engine")
+check(counters.get("persist.saved", 0) >= 1, "no cache save recorded")
+check(by_id["alive"]["status"] == "ok", "ping failed")
+
+print(f"serve traffic OK ({len(by_id)} responses, warm == cold, "
+      f"{counters.get('serve.session_hits', 0)} session hits)")
+PYEOF
+
+  # SIGTERM drain: the daemon holds one request in flight (start delay),
+  # gets the signal, and must still answer it and exit 0.
+  mkfifo "$dir/in"
+  "$bin" --test-start-delay-ms=300 < "$dir/in" > "$dir/drain.jsonl" &
+  local pid=$!
+  exec 3>"$dir/in"
+  printf '%s\n' '{"protocol_version":1,"id":"inflight","source":"program p; var i : integer; begin i := 0; while i < 10 do i := i + 1 end."}' >&3
+  sleep 0.1
+  kill -TERM "$pid"
+  local rc=0
+  wait "$pid" || rc=$?
+  exec 3>&-
+  if [ "$rc" -ne 0 ]; then
+    echo "serve smoke violation: SIGTERM drain exited $rc" >&2
+    exit 1
+  fi
+  python3 - "$dir/drain.jsonl" <<'PYEOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    lines = [json.loads(l) for l in f]
+if len(lines) != 1 or lines[0]["id"] != "inflight" or lines[0]["status"] != "ok":
+    raise SystemExit("serve smoke violation: in-flight request not answered "
+                     f"across SIGTERM drain: {lines}")
+print("SIGTERM drain OK (in-flight request answered, exit 0)")
+PYEOF
+}
+
+serve_smoke build-ci/src/serve/syntox_serve ci
+if [ "$NO_ASAN" -eq 0 ]; then
+  (ulimit -s 65536; serve_smoke build-asan/src/serve/syntox_serve asan)
+fi
 
 echo "ALL CHECKS PASSED"

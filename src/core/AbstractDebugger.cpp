@@ -6,8 +6,6 @@
 #include "frontend/Lexer.h"
 #include "frontend/Parser.h"
 #include "frontend/Sema.h"
-#include "persist/WarmCache.h"
-#include "support/Metrics.h"
 
 #include <algorithm>
 #include <set>
@@ -43,30 +41,6 @@ AbstractDebugger::create(const std::string &Source, DiagnosticsEngine &Diags,
 
 AbstractDebugger::~AbstractDebugger() = default;
 
-void AbstractDebugger::maybeLoadPersistCache() {
-  // With a cache directory configured, the first run of this process
-  // (full or demand) warm-starts from the persisted recordings of an
-  // earlier process, falling back to cold on any mismatch.
-  if (PersistProbed)
-    return;
-  PersistProbed = true;
-  MetricsRegistry *M = Opts.Telem.Metrics;
-  persist::CacheLoadResult R = persist::loadWarmCache(Opts.CacheDir, *An);
-  if (M) {
-    if (R.Loaded) {
-      M->counter("persist.loaded").inc();
-      M->counter("persist.slots").inc(R.Slots);
-      M->counter("persist.restored_nodes").inc(R.RestoredNodes);
-      M->counter("persist.invalidated_nodes").inc(R.InvalidatedNodes);
-      M->counter("persist.matched_elements").inc(R.MatchedElements);
-      M->counter("persist.unmatched_elements").inc(R.UnmatchedElements);
-      M->counter("persist.restored_edge_memos").inc(R.RestoredEdgeMemos);
-    } else {
-      M->counter("persist.fallback").inc();
-    }
-  }
-}
-
 void AbstractDebugger::analyze() {
   // Repeated analyze() calls re-run the chain on the same engine. With
   // warm starts on (the default), the analyzer's warm slots survive
@@ -74,21 +48,10 @@ void AbstractDebugger::analyze() {
   // inputs still verify and only re-derives the findings — the results
   // are bitwise-identical to the first call either way.
   //
-  // With a cache directory configured, the first analyze() of this
-  // process additionally warm-starts from the persisted recordings of
-  // an earlier process (falling back to cold on any mismatch), and
-  // every analyze() saves its recordings back.
-  bool Persist = !Opts.CacheDir.empty() && Opts.WarmStart;
-  MetricsRegistry *M = Opts.Telem.Metrics;
-  if (Persist)
-    maybeLoadPersistCache();
+  // The persistent on-disk cache (AnalysisOptions::CacheDir) is the
+  // session layer's business: AnalysisSession loads warm state into
+  // the engine before this call and saves the recordings after it.
   An->run();
-  if (Persist) {
-    if (persist::saveWarmCache(Opts.CacheDir, *An)) {
-      if (M)
-        M->counter("persist.saved").inc();
-    }
-  }
   Checks = std::make_unique<CheckAnalysis>(*An);
   Analyzed = true;
   DemandAnalyzed = false;
@@ -125,12 +88,10 @@ void AbstractDebugger::analyzeDemand(const DemandSpec &Spec) {
       }
   }
 
-  // Demand runs compose with the on-disk cache exactly like full runs
-  // (out-of-cone components replay from the loaded chain), but never
-  // save: the cache must only ever hold full recordings, and a demand
-  // run leaves the chain slots untouched.
-  if (!Opts.CacheDir.empty() && Opts.WarmStart)
-    maybeLoadPersistCache();
+  // Demand runs compose with the warm chain exactly like full runs
+  // (out-of-cone components replay from it) but never record back: the
+  // chain slots — and hence the on-disk cache the session layer saves
+  // them to — only ever hold full recordings.
   An->runDemand(Query);
   DemandAnalyzed = true;
   deriveConditions(&An->demandMask());
@@ -271,28 +232,6 @@ void AbstractDebugger::deriveInvariantWarnings(
     if (Dedup.insert(Key).second)
       InvariantWarnings.push_back(std::move(W));
   }
-}
-
-std::string
-AbstractDebugger::stateReportImpl(const std::string &DescFilter) const {
-  requireAnalyzed("stateReport()");
-  const SuperGraph &G = An->graph();
-  const StoreOps &Ops = An->storeOps();
-  const Instance &Main = G.instances()[0];
-  std::string Out;
-  for (unsigned P = 0; P < Main.Cfg->numPoints(); ++P) {
-    const std::string &Desc = Main.Cfg->pointDesc(P);
-    if (!DescFilter.empty() && Desc.find(DescFilter) == std::string::npos)
-      continue;
-    unsigned Node = G.node(Main, P);
-    Out += Main.Cfg->pointLoc(P).str();
-    Out += " ";
-    Out += Desc;
-    Out += ": ";
-    Out += Ops.str(An->envelopeAt(Node));
-    Out += '\n';
-  }
-  return Out;
 }
 
 /// Builds the PointState of control point \p P of \p Inst.

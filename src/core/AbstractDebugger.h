@@ -76,7 +76,7 @@ struct StateBinding {
 };
 
 /// The abstract memory state at one control point of one activation
-/// instance — the structured replacement for the stateReport() string.
+/// instance — the paper's click-on-a-statement inspector, structured.
 struct PointState {
   SourceLoc Loc;
   std::string Routine;   ///< routine of the containing instance
@@ -150,13 +150,14 @@ public:
   /// @{
 
   /// Runs the cone-restricted analysis for \p Spec. Composes with
-  /// WarmStart/CacheDir exactly like analyze() — a warm or
-  /// cache-loaded chain replays everything outside the cone — but
-  /// never writes back (the chain slots and the on-disk cache only
-  /// ever hold full recordings). Throws std::logic_error on a debugger
-  /// that already ran a full analyze() (the demand run would overwrite
-  /// its published results); std::out_of_range for an unknown check
-  /// id. May be called repeatedly with different specs.
+  /// WarmStart exactly like analyze() — a warm chain (in-memory, or
+  /// one the session layer loaded from the on-disk cache) replays
+  /// everything outside the cone — but never writes back (the chain
+  /// slots and the on-disk cache only ever hold full recordings).
+  /// Throws std::logic_error on a debugger that already ran a full
+  /// analyze() (the demand run would overwrite its published
+  /// results); std::out_of_range for an unknown check id. May be
+  /// called repeatedly with different specs.
   void analyzeDemand(const DemandSpec &Spec);
 
   /// Whether analyzeDemand() has completed (the demand queries below
@@ -228,14 +229,6 @@ public:
   std::vector<PointState>
   mainStates(const std::string &DescFilter = "") const;
 
-  /// Renders the abstract memory state (the final invariant) at every
-  /// control point of the main routine whose description contains
-  /// \p DescFilter — the paper's statement inspector.
-  [[deprecated("use stateAt(SourceLoc) for structured state queries")]]
-  std::string stateReport(const std::string &DescFilter = "") const {
-    return stateReportImpl(DescFilter);
-  }
-
   /// Figure 2 statistics (of the full or the demand run, whichever
   /// completed).
   const AnalysisStats &stats() const {
@@ -246,11 +239,6 @@ public:
 
   RoutineDecl *program() const { return Program; }
   const Analyzer &analyzer() const { return *An; }
-  [[deprecated("mutating the analyzer invalidates published results; "
-               "configure via AnalysisOptions instead")]]
-  Analyzer &analyzer() {
-    return *An;
-  }
   const ProgramCfg &cfg() const { return *Cfg; }
   AstContext &context() { return *Ctx; }
 
@@ -267,9 +255,12 @@ private:
   /// Same contract for the demand-query entry points: pre-run queries
   /// throw std::logic_error, exactly like the full-analysis queries.
   void requireDemandAnalyzed(const char *Query) const;
-  /// One-time warm-cache load shared by analyze() and analyzeDemand().
-  void maybeLoadPersistCache();
-  std::string stateReportImpl(const std::string &DescFilter) const;
+
+  /// The session layer owns the persistent-cache composition (loading
+  /// warm state into the analyzer before a run, saving it after) and
+  /// needs mutable engine access for it; everyone else goes through the
+  /// const surface above.
+  friend class AnalysisSession;
 
   std::unique_ptr<AstContext> Ctx;
   std::unique_ptr<ProgramCfg> Cfg;
@@ -279,7 +270,6 @@ private:
   Options Opts;
   bool Analyzed = false;
   bool DemandAnalyzed = false;
-  bool PersistProbed = false;
   std::vector<NecessaryCondition> Conditions;
   std::vector<InvariantWarning> InvariantWarnings;
 };

@@ -6,26 +6,32 @@
 #include "support/ThreadPool.h"
 
 #include <algorithm>
-#include <chrono>
-#include <exception>
 
 using namespace syntox;
 
-unsigned AnalysisBatch::add(std::string Source, AnalysisOptions Opts) {
+unsigned AnalysisBatch::add(AnalysisRequest R) {
   unsigned Index = size();
   // Route every session's metrics into the batch registry. Session
   // run() only substitutes its own registry when none is set, so the
   // batch one sticks; the registry is thread-safe, so concurrent
   // requests may report into it freely.
-  Opts.Telem.Metrics = &Metrics;
-  Request R;
+  R.Opts.Telem.Metrics = &Metrics;
+  Request Q;
+  Q.Query = R.Query;
   DiagnosticsEngine Diags;
-  R.Session = AnalysisSession::create(std::move(Source), Diags,
-                                      std::move(Opts));
-  if (!R.Session)
-    R.Error = Diags.str();
-  Requests.push_back(std::move(R));
+  Q.Session = AnalysisSession::create(std::move(R.Source), Diags,
+                                      std::move(R.Opts));
+  if (!Q.Session)
+    Q.Error = Diags.str();
+  Requests.push_back(std::move(Q));
   return Index;
+}
+
+unsigned AnalysisBatch::add(std::string Source, AnalysisOptions Opts) {
+  AnalysisRequest R;
+  R.Source = std::move(Source);
+  R.Opts = std::move(Opts);
+  return add(std::move(R));
 }
 
 std::vector<AnalysisBatch::Outcome> AnalysisBatch::runAll() {
@@ -42,23 +48,15 @@ std::vector<AnalysisBatch::Outcome> AnalysisBatch::runAll() {
     ThreadPool Pool(Workers);
     for (size_t I = 0; I < Requests.size(); ++I)
       Pool.submit([this, I, &Outcomes] {
-        Outcome &O = Outcomes[I];
-        O.Index = static_cast<unsigned>(I);
         Request &R = Requests[I];
+        Outcome &O = Outcomes[I];
         if (!R.Session) {
+          O.Index = static_cast<unsigned>(I);
           O.Error = R.Error;
           return;
         }
-        auto Start = std::chrono::steady_clock::now();
-        try {
-          O.Result.emplace(R.Session->run());
-          O.OK = true;
-        } catch (const std::exception &E) {
-          O.Error = E.what();
-        }
-        O.Seconds = std::chrono::duration<double>(
-                        std::chrono::steady_clock::now() - Start)
-                        .count();
+        O = runRequest(*R.Session, R.Query);
+        O.Index = static_cast<unsigned>(I);
         Metrics.histogram("batch.request_seconds").observe(O.Seconds);
       });
     // wait() + pool destruction publish every outcome slot to this

@@ -37,7 +37,7 @@
 #ifndef SYNTOX_CORE_ANALYSISBATCH_H
 #define SYNTOX_CORE_ANALYSISBATCH_H
 
-#include "core/AnalysisSession.h"
+#include "core/AnalysisRequest.h"
 
 #include <memory>
 #include <optional>
@@ -61,25 +61,24 @@ public:
   AnalysisBatch() = default;
   explicit AnalysisBatch(Config Cfg) : Cfg(Cfg) {}
 
-  /// Queues \p Source for analysis under \p Opts and returns its request
-  /// index. The program is validated here; a frontend error is recorded
-  /// and surfaces as a failed Outcome (runAll never throws for it).
-  /// Telemetry metrics are routed to the batch registry.
+  /// Queues \p R (the shared submission type — source, options,
+  /// optional demand query) and returns its request index. The program
+  /// is validated here; a frontend error is recorded and surfaces as a
+  /// failed outcome (runAll never throws for it). Telemetry metrics
+  /// are routed to the batch registry.
+  unsigned add(AnalysisRequest R);
+
+  /// Convenience: a full-analysis request for \p Source under \p Opts.
   unsigned add(std::string Source, AnalysisOptions Opts = {});
 
   /// Number of queued requests.
   unsigned size() const { return static_cast<unsigned>(Requests.size()); }
 
-  /// One request's result: OK with the frozen findings, or the frontend/
-  /// runtime error that stopped it. Index is the add() order, which
-  /// runAll()'s return preserves.
-  struct Outcome {
-    unsigned Index = 0;
-    bool OK = false;
-    std::string Error;
-    std::optional<AnalysisResult> Result;
-    double Seconds = 0.0; ///< wall-clock of this request's run()
-  };
+  /// One request's result, in the shared outcome type: OK with the
+  /// frozen findings (or the partial demand result for query requests),
+  /// or the frontend/runtime error that stopped it. Index is the add()
+  /// order, which runAll()'s return preserves.
+  using Outcome = AnalysisOutcome;
 
   /// Runs every queued request to completion and returns the outcomes in
   /// add() order. May be called again (e.g. a warm second wave): each
@@ -97,6 +96,7 @@ public:
 private:
   struct Request {
     std::unique_ptr<AnalysisSession> Session; ///< null on frontend error
+    std::optional<DemandSpec> Query;
     std::string Error;
   };
 

@@ -128,6 +128,43 @@ bool syntox::parseAnalysisFlags(std::vector<std::string> &Args,
   return true;
 }
 
+bool syntox::parseQuerySpec(const std::string &Spec, DemandSpec &Out,
+                            std::string &Error) {
+  auto parseLoc = [](const std::string &Pt, SourceLoc &Loc) {
+    size_t Colon = Pt.find(':');
+    unsigned Line = 0, Column = 0;
+    if (!parseUnsigned(Pt.substr(0, Colon), Line) || Line == 0)
+      return false;
+    if (Colon != std::string::npos &&
+        !parseUnsigned(Pt.substr(Colon + 1), Column))
+      return false;
+    Loc.Line = Line;
+    Loc.Column = Column;
+    return true;
+  };
+  if (Spec.rfind("point:", 0) == 0) {
+    SourceLoc Loc;
+    if (!parseLoc(Spec.substr(6), Loc)) {
+      Error = "invalid query '" + Spec + "' (expected point:LINE[:COL])";
+      return false;
+    }
+    Out = DemandSpec::point(Loc);
+    return true;
+  }
+  if (Spec.rfind("assertion:", 0) == 0) {
+    unsigned Id = 0;
+    if (!parseUnsigned(Spec.substr(10), Id)) {
+      Error = "invalid query '" + Spec + "' (expected assertion:ID)";
+      return false;
+    }
+    Out = DemandSpec::check(Id);
+    return true;
+  }
+  Error = "invalid query '" + Spec +
+          "' (expected point:LINE[:COL] or assertion:ID)";
+  return false;
+}
+
 const char *syntox::analysisFlagsHelp() {
   return "  --strategy=recursive|worklist|parallel\n"
          "                       chaotic iteration strategy\n"

@@ -28,6 +28,7 @@
 #ifndef SYNTOX_CORE_ANALYSISFLAGS_H
 #define SYNTOX_CORE_ANALYSISFLAGS_H
 
+#include "core/AbstractDebugger.h"
 #include "semantics/AnalysisOptions.h"
 #include "support/Trace.h"
 
@@ -75,6 +76,13 @@ bool parseAnalysisFlags(std::vector<std::string> &Args,
 /// Usage text describing every flag the shared parser accepts, for
 /// embedding in --help output (one flag per line, indented).
 const char *analysisFlagsHelp();
+
+/// Parses a demand-query spec — "point:LINE[:COL]" or "assertion:ID" —
+/// into \p Out. One grammar for every driver: the CLI's --query= flag
+/// and the serve protocol's "query" member go through here. Returns
+/// false with \p Error set on malformed input.
+bool parseQuerySpec(const std::string &Spec, DemandSpec &Out,
+                    std::string &Error);
 
 /// Enables tracing on \p S as requested by \p Telem (no-op when no
 /// --trace flag was given). Call before run().

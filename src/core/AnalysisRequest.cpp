@@ -1,0 +1,48 @@
+//===- core/AnalysisRequest.cpp - One submission model --------------------===//
+
+#include "core/AnalysisRequest.h"
+
+#include <chrono>
+#include <exception>
+
+using namespace syntox;
+
+json::Value AnalysisOutcome::findingsJson() const {
+  if (Demand)
+    return Demand->toJson();
+  return Result->toJson();
+}
+
+AnalysisOutcome syntox::runRequest(AnalysisSession &S,
+                                   const std::optional<DemandSpec> &Query) {
+  AnalysisOutcome O;
+  auto Start = std::chrono::steady_clock::now();
+  try {
+    if (Query) {
+      O.Demand.emplace(Query->K == DemandSpec::Kind::Point
+                           ? S.demandStateAt(Query->Loc)
+                           : S.demandCheck(Query->CheckId));
+    } else {
+      O.Result.emplace(S.run());
+    }
+    O.OK = true;
+  } catch (const std::exception &E) {
+    O.Error = E.what();
+  }
+  O.Seconds = std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - Start)
+                  .count();
+  return O;
+}
+
+AnalysisOutcome syntox::runRequest(AnalysisRequest R) {
+  DiagnosticsEngine Diags;
+  std::unique_ptr<AnalysisSession> S = AnalysisSession::create(
+      std::move(R.Source), Diags, std::move(R.Opts));
+  if (!S) {
+    AnalysisOutcome O;
+    O.Error = Diags.str();
+    return O;
+  }
+  return runRequest(*S, R.Query);
+}

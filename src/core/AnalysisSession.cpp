@@ -2,9 +2,35 @@
 
 #include "core/AnalysisSession.h"
 
+#include "persist/WarmCache.h"
+
 #include <cassert>
 
 using namespace syntox;
+
+/// Whether two configurations build observably identical engines — the
+/// engine-reuse gate. Every field matters: the semantic knobs change
+/// the computed values, the strategy/thread knobs change the recorded
+/// warm-chain shape, and the telemetry pointers are captured by the
+/// Analyzer at construction. Keep in sync with AnalysisOptions.
+static bool sameEngineConfig(const AnalysisOptions &A,
+                             const AnalysisOptions &B) {
+  return A.Strategy == B.Strategy && A.NumThreads == B.NumThreads &&
+         A.UseTransferCache == B.UseTransferCache &&
+         A.TransferCacheSet == B.TransferCacheSet &&
+         A.AdaptiveCacheInstanceThreshold ==
+             B.AdaptiveCacheInstanceThreshold &&
+         A.NarrowingPasses == B.NarrowingPasses &&
+         A.BackwardRounds == B.BackwardRounds &&
+         A.TerminationGoal == B.TerminationGoal &&
+         A.UseBackward == B.UseBackward &&
+         A.HarrisonGfp == B.HarrisonGfp &&
+         A.ContextInsensitive == B.ContextInsensitive &&
+         A.WarmStart == B.WarmStart &&
+         A.WideningThresholds == B.WideningThresholds &&
+         A.CacheDir == B.CacheDir && A.Telem.Trace == B.Telem.Trace &&
+         A.Telem.Metrics == B.Telem.Metrics;
+}
 
 json::Value AnalysisResult::toJson() const {
   json::Value V = json::Value::object();
@@ -84,6 +110,63 @@ void AnalysisSession::flushTrace(TraceSink &Sink) {
     Trace->flushTo(Sink);
 }
 
+std::shared_ptr<AbstractDebugger> AnalysisSession::engineForRun(
+    bool ForDemand) {
+  // Reuse requires: we kept an engine, nothing else can observe it (a
+  // live AnalysisResult/DemandResult shares ownership), the options
+  // are unchanged, and the run kinds compose — a full run must not
+  // recycle a demand engine (the published chain only ever held a
+  // private demand replay) and a demand run must not recycle a fully
+  // analyzed engine (analyzeDemand() refuses, to protect published
+  // results).
+  bool Reusable = Engine && Engine.use_count() == 1 &&
+                  sameEngineConfig(EngineOpts, Opts) &&
+                  (ForDemand ? !Engine->Analyzed : !Engine->DemandAnalyzed);
+  if (Reusable) {
+    if (MetricsRegistry *M = Opts.Telem.Metrics)
+      M->counter("session.engine_reuses").inc();
+    return Engine;
+  }
+  DiagnosticsEngine Diags;
+  Engine = AbstractDebugger::create(Source, Diags, Opts);
+  assert(Engine && "session source was validated by create()");
+  EngineOpts = Opts;
+  EnginePersistProbed = false;
+  return Engine;
+}
+
+void AnalysisSession::loadPersistCache(AbstractDebugger &Dbg) {
+  // With a cache directory configured, the first run on a fresh engine
+  // warm-starts from the persisted recordings of an earlier process,
+  // falling back to cold on any mismatch.
+  if (Opts.CacheDir.empty() || !Opts.WarmStart || EnginePersistProbed)
+    return;
+  EnginePersistProbed = true;
+  MetricsRegistry *M = Opts.Telem.Metrics;
+  persist::CacheLoadResult R = persist::loadWarmCache(Opts.CacheDir, *Dbg.An);
+  if (M) {
+    if (R.Loaded) {
+      M->counter("persist.loaded").inc();
+      M->counter("persist.slots").inc(R.Slots);
+      M->counter("persist.restored_nodes").inc(R.RestoredNodes);
+      M->counter("persist.invalidated_nodes").inc(R.InvalidatedNodes);
+      M->counter("persist.matched_elements").inc(R.MatchedElements);
+      M->counter("persist.unmatched_elements").inc(R.UnmatchedElements);
+      M->counter("persist.restored_edge_memos").inc(R.RestoredEdgeMemos);
+    } else {
+      M->counter("persist.fallback").inc();
+    }
+  }
+}
+
+void AnalysisSession::savePersistCache(const AbstractDebugger &Dbg) {
+  if (Opts.CacheDir.empty() || !Opts.WarmStart)
+    return;
+  if (persist::saveWarmCache(Opts.CacheDir, *Dbg.An))
+    if (MetricsRegistry *M = Opts.Telem.Metrics)
+      M->counter("persist.saved").inc();
+}
+
 AnalysisResult AnalysisSession::run() {
   Opts.Telem.Trace = Trace.get();
   if (!Opts.Telem.Metrics)
@@ -98,11 +181,10 @@ AnalysisResult AnalysisSession::run() {
   if (DetachHook)
     trace::StoreDetachHook.store(DetachHook, std::memory_order_relaxed);
 
-  DiagnosticsEngine Diags;
-  std::shared_ptr<AbstractDebugger> Dbg =
-      AbstractDebugger::create(Source, Diags, Opts);
-  assert(Dbg && "session source was validated by create()");
+  std::shared_ptr<AbstractDebugger> Dbg = engineForRun(/*ForDemand=*/false);
+  loadPersistCache(*Dbg);
   Dbg->analyze();
+  savePersistCache(*Dbg);
 
   if (DetachHook)
     trace::StoreDetachHook.store(nullptr, std::memory_order_relaxed);
@@ -121,10 +203,11 @@ DemandResult AnalysisSession::runDemandQuery(const DemandSpec &Spec) {
   if (DetachHook)
     trace::StoreDetachHook.store(DetachHook, std::memory_order_relaxed);
 
-  DiagnosticsEngine Diags;
-  std::shared_ptr<AbstractDebugger> Dbg =
-      AbstractDebugger::create(Source, Diags, Opts);
-  assert(Dbg && "session source was validated by create()");
+  std::shared_ptr<AbstractDebugger> Dbg = engineForRun(/*ForDemand=*/true);
+  // Demand runs compose with the on-disk cache exactly like full runs
+  // (out-of-cone components replay from the loaded chain) but never
+  // save: the cache must only ever hold full recordings.
+  loadPersistCache(*Dbg);
   std::vector<PointState> States;
   CheckResult Check;
   try {

@@ -15,11 +15,25 @@
 /// metrics snapshot, and structured per-point state queries.
 ///
 /// The split fixes the footgun of the bare AbstractDebugger API, where
-/// results were mutable views into an object that a later analyze() (or
-/// a mutable analyzer() poke) could silently invalidate: each run()
-/// analyzes a fresh debugger and freezes it behind shared const
-/// ownership, so results outlive the session and never change under the
-/// caller.
+/// results were mutable views into an object that a later analyze()
+/// could silently invalidate: each run() freezes its engine behind
+/// shared const ownership, so results outlive the session and never
+/// change under the caller.
+///
+/// The session is also the sole owner of the persistent warm-start
+/// cache composition (AnalysisOptions::CacheDir): it loads matching
+/// recordings into the engine before the first run and saves them back
+/// after every full run, so the CLI, AnalysisBatch and syntox_serve all
+/// share one entry path — the engine itself knows nothing about disk.
+///
+/// Engine reuse: run() keeps the analyzed engine and, when nothing
+/// observable holds a reference to it (no live AnalysisResult) and the
+/// configuration is unchanged, re-analyzes it in place — the in-memory
+/// warm-start chain then replays stable components at zero live steps,
+/// which is what makes resubmit-after-edit traffic cheap for a
+/// long-lived server. Results are bitwise-identical either way; only
+/// iteration counters differ. Any outstanding result pins the engine
+/// and forces the next run onto a fresh one, preserving immutability.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -200,17 +214,19 @@ public:
   /// frozen snapshots).
   MetricsRegistry &metrics() { return Metrics; }
 
-  /// Runs the full analysis schedule on a fresh engine and returns the
-  /// frozen findings. May be called repeatedly (e.g. after changing
-  /// options()); earlier results remain valid and unchanged.
+  /// Runs the full analysis schedule and returns the frozen findings.
+  /// May be called repeatedly (e.g. after changing options()); earlier
+  /// results remain valid and unchanged — when one is still alive the
+  /// run analyzes a fresh engine, otherwise the previous engine is
+  /// re-analyzed in place and its warm chain replays stable work.
   AnalysisResult run();
 
   /// Demand-driven point query: solves only the backward dependency
   /// cone of the control points matching \p Loc (replaying everything
   /// outside the cone from warm memos at zero live steps) and returns
   /// the frozen partial result. Answers are bitwise-identical to the
-  /// same query against run(). Like run(), may be called repeatedly;
-  /// each query analyzes a fresh engine.
+  /// same query against run(). Like run(), may be called repeatedly,
+  /// with the same engine-reuse rule.
   DemandResult demandStateAt(SourceLoc Loc);
 
   /// Demand-driven check query: solves only the cone of runtime check
@@ -226,11 +242,32 @@ public:
 private:
   AnalysisSession() = default;
   DemandResult runDemandQuery(const DemandSpec &Spec);
+  /// The engine the next run will use: the kept one when it is
+  /// uniquely owned, compatible with the current options, and \p
+  /// ForDemand-admissible; a freshly created one otherwise. Bumps the
+  /// "session.engine_reuses" counter on reuse.
+  std::shared_ptr<AbstractDebugger> engineForRun(bool ForDemand);
+  /// One-time per-engine load of the persistent warm cache, with the
+  /// persist.* telemetry counters. No-op without CacheDir/WarmStart.
+  void loadPersistCache(AbstractDebugger &Dbg);
+  /// Saves the engine's recordings back to the cache directory after a
+  /// full run (demand runs never save). No-op without CacheDir.
+  void savePersistCache(const AbstractDebugger &Dbg);
 
   std::string Source;
   AnalysisOptions Opts;
   MetricsRegistry Metrics;
   std::unique_ptr<TraceRecorder> Trace;
+  /// The engine of the last run, kept for warm reuse. A live
+  /// AnalysisResult/DemandResult shares ownership, which is exactly
+  /// the reuse gate: use_count() > 1 means someone can observe the
+  /// engine, so the next run must not touch it.
+  std::shared_ptr<AbstractDebugger> Engine;
+  /// Options the kept engine was built with (reuse requires equality).
+  AnalysisOptions EngineOpts;
+  /// Whether the kept engine already probed the on-disk cache (the
+  /// load happens once per engine, like the old per-debugger probe).
+  bool EnginePersistProbed = false;
 };
 
 } // namespace syntox

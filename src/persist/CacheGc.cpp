@@ -1,0 +1,109 @@
+//===- persist/CacheGc.cpp - Size-capped cache-directory GC ---------------===//
+
+#include "persist/CacheGc.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <system_error>
+#include <vector>
+
+using namespace syntox;
+using namespace syntox::persist;
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Entry {
+  fs::path Warm;
+  fs::path Meta; ///< empty when the sidecar is missing
+  uint64_t Bytes = 0;
+  fs::file_time_type MTime;
+};
+
+bool isWarmFile(const fs::path &P) {
+  return P.extension() == ".warm" &&
+         P.filename().string().rfind("syntox-", 0) == 0;
+}
+
+} // namespace
+
+CacheGcResult persist::gcCacheDir(const std::string &Dir,
+                                  uint64_t MaxBytes) {
+  CacheGcResult R;
+  std::error_code EC;
+  if (Dir.empty() || !fs::is_directory(Dir, EC))
+    return R;
+
+  std::vector<Entry> Entries;
+  for (fs::recursive_directory_iterator
+           It(Dir, fs::directory_options::skip_permission_denied, EC),
+       End;
+       !EC && It != End; It.increment(EC)) {
+    if (!It->is_regular_file(EC) || !isWarmFile(It->path()))
+      continue;
+    Entry E;
+    E.Warm = It->path();
+    E.Bytes = fs::file_size(E.Warm, EC);
+    if (EC)
+      continue;
+    E.MTime = fs::last_write_time(E.Warm, EC);
+    if (EC)
+      continue;
+    fs::path Meta = E.Warm;
+    Meta += ".meta.json";
+    if (fs::is_regular_file(Meta, EC))
+      E.Meta = Meta;
+    if (!E.Meta.empty())
+      E.Bytes += fs::file_size(E.Meta, EC);
+    Entries.push_back(std::move(E));
+  }
+
+  for (const Entry &E : Entries)
+    R.BytesBefore += E.Bytes;
+  R.BytesAfter = R.BytesBefore;
+
+  // Oldest first; mtime ties broken by path for determinism.
+  std::sort(Entries.begin(), Entries.end(),
+            [](const Entry &A, const Entry &B) {
+              if (A.MTime != B.MTime)
+                return A.MTime < B.MTime;
+              return A.Warm < B.Warm;
+            });
+
+  size_t Victim = 0;
+  for (; Victim < Entries.size() && R.BytesAfter > MaxBytes; ++Victim) {
+    const Entry &E = Entries[Victim];
+    std::error_code DelEC;
+    if (!fs::remove(E.Warm, DelEC) || DelEC)
+      continue; // keep counting its bytes: the entry survived
+    ++R.FilesRemoved;
+    if (!E.Meta.empty() && fs::remove(E.Meta, DelEC) && !DelEC)
+      ++R.FilesRemoved;
+    R.BytesAfter -= std::min<uint64_t>(R.BytesAfter, E.Bytes);
+  }
+  for (const Entry &E : Entries)
+    if (fs::exists(E.Warm, EC)) {
+      ++R.FilesKept;
+      if (!E.Meta.empty() && fs::exists(E.Meta, EC))
+        ++R.FilesKept;
+    }
+
+  // Drop per-document shard directories a collection emptied out.
+  std::vector<fs::path> Dirs;
+  for (fs::recursive_directory_iterator
+           It(Dir, fs::directory_options::skip_permission_denied, EC),
+       End;
+       !EC && It != End; It.increment(EC))
+    if (It->is_directory(EC))
+      Dirs.push_back(It->path());
+  std::sort(Dirs.begin(), Dirs.end(),
+            [](const fs::path &A, const fs::path &B) {
+              return A.string().size() > B.string().size();
+            });
+  for (const fs::path &D : Dirs)
+    if (fs::is_empty(D, EC) && !EC)
+      fs::remove(D, EC);
+
+  return R;
+}

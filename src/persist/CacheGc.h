@@ -1,0 +1,56 @@
+//===- persist/CacheGc.h - Size-capped cache-directory GC -------*- C++ -*-===//
+//
+// Part of Syntox++, a reproduction of Bourdoncle's abstract debugger
+// (PLDI 1993). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Garbage collection for a warm-start cache tree: bounds the total
+/// bytes under a directory by deleting the oldest cache entries first.
+/// An *entry* is one `syntox-<hash>.warm` file together with its
+/// `.meta.json` sidecar — the pair is removed (or kept) atomically, and
+/// anything else in the tree is left untouched. Entries are aged by the
+/// `.warm` file's mtime, which the saver rewrites on every run, so
+/// recency of *use* is what the collector preserves (an LRU policy over
+/// cache entries).
+///
+/// The scan is recursive because the serving layer shards its cache
+/// into one subdirectory per client document (see serve/Server.h);
+/// subdirectories left empty by a collection are removed too.
+///
+/// Losing an entry is always safe — the cache is strictly an
+/// optimization and the next run of the evicted configuration simply
+/// solves cold and re-saves.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYNTOX_PERSIST_CACHEGC_H
+#define SYNTOX_PERSIST_CACHEGC_H
+
+#include <cstdint>
+#include <string>
+
+namespace syntox {
+namespace persist {
+
+/// Outcome of one collection, for telemetry and the serve `gc` admin
+/// response.
+struct CacheGcResult {
+  uint64_t BytesBefore = 0; ///< cache-entry bytes found by the scan
+  uint64_t BytesAfter = 0;  ///< cache-entry bytes surviving it
+  uint64_t FilesRemoved = 0; ///< files deleted (.warm and sidecars)
+  uint64_t FilesKept = 0;    ///< files surviving
+};
+
+/// Deletes oldest-first cache entries under \p Dir (recursively) until
+/// the surviving entries total at most \p MaxBytes. \p MaxBytes == 0
+/// means "collect everything". A missing directory is an empty cache,
+/// not an error; individual deletion failures are skipped (the entry
+/// then still counts toward BytesAfter). Never throws.
+CacheGcResult gcCacheDir(const std::string &Dir, uint64_t MaxBytes);
+
+} // namespace persist
+} // namespace syntox
+
+#endif // SYNTOX_PERSIST_CACHEGC_H

@@ -82,9 +82,9 @@ struct AnalysisOptions {
   /// Widening thresholds (empty = the standard §6.1 operator).
   std::vector<int64_t> WideningThresholds;
   /// Directory of the persistent warm-start cache (empty = disabled).
-  /// When set, AbstractDebugger::analyze() loads matching chain-slot
-  /// memos before solving and saves the recorded ones after (see
-  /// persist/WarmCache.h).
+  /// When set, the session layer (AnalysisSession / runRequest) loads
+  /// matching chain-slot memos before solving and saves the recorded
+  /// ones after a full run (see persist/WarmCache.h).
   std::string CacheDir;
   /// Optional trace/metrics sinks (borrowed; owned by the session or
   /// the caller). Null members disable that half of the telemetry.

@@ -1,0 +1,313 @@
+//===- serve/Server.cpp - Long-lived analysis daemon ----------------------===//
+
+#include "serve/Server.h"
+
+#include "frontend/Fingerprint.h"
+#include "persist/CacheGc.h"
+#include "support/Diagnostics.h"
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+#include <unistd.h>
+
+using namespace syntox;
+using namespace syntox::serve;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double msSince(Clock::time_point Start, Clock::time_point End) {
+  return std::chrono::duration<double, std::milli>(End - Start).count();
+}
+
+uint64_t fpString(const std::string &S) {
+  uint64_t H = fpSeed();
+  for (unsigned char C : S)
+    H = fpMix(H, C);
+  return H;
+}
+
+/// Canonical rendering of every option member a request can set (plus
+/// the derived cache shard) — the re-runnable identity half of a
+/// parked-session key.
+std::string renderOptions(const AnalysisOptions &O) {
+  std::string S;
+  S += std::to_string(static_cast<int>(O.Strategy));
+  S += '|';
+  S += std::to_string(O.NumThreads);
+  S += '|';
+  S += O.TransferCacheSet ? (O.UseTransferCache ? '1' : '0') : '-';
+  S += '|';
+  S += std::to_string(O.AdaptiveCacheInstanceThreshold);
+  S += '|';
+  S += std::to_string(O.NarrowingPasses);
+  S += '|';
+  S += std::to_string(O.BackwardRounds);
+  S += '|';
+  S += O.TerminationGoal ? '1' : '0';
+  S += O.UseBackward ? '1' : '0';
+  S += O.HarrisonGfp ? '1' : '0';
+  S += O.ContextInsensitive ? '1' : '0';
+  S += O.WarmStart ? '1' : '0';
+  S += '|';
+  for (int64_t T : O.WideningThresholds) {
+    S += std::to_string(T);
+    S += ',';
+  }
+  S += '|';
+  S += O.CacheDir;
+  return S;
+}
+
+std::string sessionKey(const std::string &Source,
+                       const AnalysisOptions &Opts) {
+  // Hash the (potentially large) source, keep the options readable;
+  // collisions would only ever swap two sessions, never findings —
+  // the session re-runs whatever program it actually holds.
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%016llx:",
+                static_cast<unsigned long long>(fpString(Source)));
+  return Buf + renderOptions(Opts);
+}
+
+} // namespace
+
+/// One admitted analyze request, shared between the read loop and the
+/// worker that runs it.
+struct Server::Pending {
+  ServeRequest R;
+  Clock::time_point Enqueued;
+};
+
+Server::Server(ServerConfig Cfg) : Cfg(std::move(Cfg)) {}
+Server::~Server() = default;
+
+std::unique_ptr<AnalysisSession> Server::takeSession(const std::string &Key) {
+  std::lock_guard<std::mutex> Lock(SessionMutex);
+  for (auto It = Parked.begin(); It != Parked.end(); ++It)
+    if (It->Key == Key) {
+      std::unique_ptr<AnalysisSession> S = std::move(It->Session);
+      Parked.erase(It);
+      Metrics.counter("serve.session_hits").inc();
+      return S;
+    }
+  Metrics.counter("serve.session_misses").inc();
+  return nullptr;
+}
+
+void Server::parkSession(std::string Key,
+                         std::unique_ptr<AnalysisSession> Session) {
+  if (Cfg.SessionCapacity == 0)
+    return;
+  std::lock_guard<std::mutex> Lock(SessionMutex);
+  Parked.push_front(ParkedSession{std::move(Key), std::move(Session)});
+  while (Parked.size() > Cfg.SessionCapacity) {
+    Parked.pop_back();
+    Metrics.counter("serve.session_evictions").inc();
+  }
+}
+
+void Server::writeLine(int OutFd, const json::Value &Response) {
+  std::string Line = Response.str();
+  Line += '\n';
+  std::lock_guard<std::mutex> Lock(WriteMutex);
+  size_t Off = 0;
+  while (Off < Line.size()) {
+    ssize_t N = ::write(OutFd, Line.data() + Off, Line.size() - Off);
+    if (N <= 0)
+      return; // client gone; the drain still completes server-side
+    Off += static_cast<size_t>(N);
+  }
+}
+
+json::Value Server::gcPayload() {
+  persist::CacheGcResult G;
+  {
+    std::lock_guard<std::mutex> Lock(GcMutex);
+    G = persist::gcCacheDir(Cfg.CacheDir, Cfg.CacheMaxBytes);
+  }
+  Metrics.counter("serve.gc_runs").inc();
+  Metrics.counter("serve.gc_files_removed").inc(G.FilesRemoved);
+  json::Value V = json::Value::object();
+  V.set("bytes_before", G.BytesBefore);
+  V.set("bytes_after", G.BytesAfter);
+  V.set("files_removed", G.FilesRemoved);
+  V.set("files_kept", G.FilesKept);
+  V.set("max_bytes", Cfg.CacheMaxBytes);
+  return V;
+}
+
+void Server::runAnalyze(std::shared_ptr<Pending> P, int OutFd) {
+  const ServeRequest &R = P->R;
+  Clock::time_point Picked = Clock::now();
+  double QueueMs = msSince(P->Enqueued, Picked);
+  Metrics.histogram("serve.queue_ms").observe(QueueMs);
+
+  // Admission-time deadline: the solver has no preemption point, so an
+  // expired request is shed here, before it can occupy a worker for a
+  // full solve.
+  unsigned TimeoutMs = R.TimeoutMs ? R.TimeoutMs : Cfg.RequestTimeoutMs;
+  if (TimeoutMs && QueueMs > static_cast<double>(TimeoutMs)) {
+    Metrics.counter("serve.timeouts").inc();
+    json::Value Resp = makeEnvelope(R.Id, R.Kind, "timeout");
+    Resp.set("error", "request spent " + std::to_string(QueueMs) +
+                          "ms in queue, past its " +
+                          std::to_string(TimeoutMs) + "ms deadline");
+    setTiming(Resp, QueueMs, 0.0);
+    writeLine(OutFd, Resp);
+    return;
+  }
+
+  if (Cfg.TestStartDelayMs)
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(Cfg.TestStartDelayMs));
+
+  AnalysisOptions Opts = R.Opts;
+  Opts.Telem.Metrics = &Metrics;
+  Opts.Telem.Trace = nullptr;
+  if (!R.CacheKey.empty() && !Cfg.CacheDir.empty()) {
+    char Shard[24];
+    std::snprintf(Shard, sizeof(Shard), "/%016llx",
+                  static_cast<unsigned long long>(fpString(R.CacheKey)));
+    Opts.CacheDir = Cfg.CacheDir + Shard;
+  } else {
+    Opts.CacheDir.clear();
+  }
+
+  std::string Key = sessionKey(R.Source, Opts);
+  std::unique_ptr<AnalysisSession> Session = takeSession(Key);
+  if (!Session) {
+    DiagnosticsEngine Diags;
+    Session = AnalysisSession::create(R.Source, Diags, Opts);
+    if (!Session) {
+      Metrics.counter("serve.errors").inc();
+      json::Value Resp = makeEnvelope(R.Id, R.Kind, "error");
+      Resp.set("error", Diags.str());
+      setTiming(Resp, QueueMs, msSince(Picked, Clock::now()));
+      writeLine(OutFd, Resp);
+      return;
+    }
+  }
+
+  AnalysisOutcome O = runRequest(*Session, R.Query);
+  double RunMs = msSince(Picked, Clock::now());
+  Metrics.histogram("serve.run_ms").observe(RunMs);
+
+  json::Value Resp = makeEnvelope(R.Id, R.Kind, O.OK ? "ok" : "error");
+  if (!O.OK) {
+    Metrics.counter("serve.errors").inc();
+    Resp.set("error", O.Error);
+  } else if (O.Demand) {
+    Resp.set("demand", O.findingsJson());
+  } else {
+    Resp.set("findings", O.findingsJson());
+  }
+  setTiming(Resp, QueueMs, RunMs);
+
+  if (O.OK)
+    parkSession(std::move(Key), std::move(Session));
+  if (O.OK && !Opts.CacheDir.empty() && Cfg.CacheMaxBytes)
+    gcPayload(); // hold the tree under its cap after every save
+
+  writeLine(OutFd, Resp);
+}
+
+void Server::handleLine(const std::string &Line, ThreadPool &Pool,
+                        int OutFd) {
+  ServeRequest R;
+  std::string Error;
+  if (!parseServeRequest(Line, Cfg.Defaults, R, Error)) {
+    Metrics.counter("serve.errors").inc();
+    json::Value Resp = makeEnvelope(R.Id, R.Kind, "error");
+    Resp.set("error", Error);
+    setTiming(Resp, 0.0, 0.0);
+    writeLine(OutFd, Resp);
+    return;
+  }
+
+  Metrics.counter("serve.requests").inc();
+  switch (R.Kind) {
+  case RequestKind::Analyze: {
+    auto P = std::make_shared<Pending>();
+    P->R = std::move(R);
+    P->Enqueued = Clock::now();
+    Pool.submit([this, P, OutFd] { runAnalyze(P, OutFd); });
+    return;
+  }
+  case RequestKind::Gc: {
+    json::Value Resp = makeEnvelope(R.Id, R.Kind, "ok");
+    Resp.set("gc", gcPayload());
+    setTiming(Resp, 0.0, 0.0);
+    writeLine(OutFd, Resp);
+    return;
+  }
+  case RequestKind::Metrics: {
+    json::Value Resp = makeEnvelope(R.Id, R.Kind, "ok");
+    Resp.set("metrics", Metrics.snapshot());
+    setTiming(Resp, 0.0, 0.0);
+    writeLine(OutFd, Resp);
+    return;
+  }
+  case RequestKind::Ping: {
+    json::Value Resp = makeEnvelope(R.Id, R.Kind, "ok");
+    setTiming(Resp, 0.0, 0.0);
+    writeLine(OutFd, Resp);
+    return;
+  }
+  case RequestKind::Shutdown: {
+    ShutdownRequested.store(true, std::memory_order_relaxed);
+    requestDrain();
+    json::Value Resp = makeEnvelope(R.Id, R.Kind, "ok");
+    setTiming(Resp, 0.0, 0.0);
+    writeLine(OutFd, Resp);
+    return;
+  }
+  }
+}
+
+bool Server::serve(int InFd, int OutFd) {
+  ThreadBudget Budget(Cfg.TotalThreads);
+  unsigned Workers = Budget.total();
+  if (Cfg.MaxConcurrentRequests)
+    Workers = std::min(Workers, Cfg.MaxConcurrentRequests);
+  {
+    // Identical to the AnalysisBatch admission scheme: the request pool
+    // draws from the budget, its workers inherit it, nested parallel
+    // solvers borrow what the request pool left over.
+    ThreadBudget::Scope Scope(Budget);
+    ThreadPool Pool(Workers);
+    ActiveBudget.store(&Budget, std::memory_order_release);
+    LineReader Reader(InFd);
+    std::string Line;
+    while (!draining()) {
+      LineReader::Status S = Reader.next(Line, /*TimeoutMs=*/100);
+      if (S == LineReader::Status::Eof)
+        break;
+      if (S == LineReader::Status::Idle)
+        continue;
+      if (Line.empty())
+        continue;
+      handleLine(Line, Pool, OutFd);
+    }
+    // Graceful drain: every admitted request completes and responds
+    // before the pool (and with it this connection's serving) winds
+    // down.
+    Pool.wait();
+    ActiveBudget.store(nullptr, std::memory_order_release);
+  }
+  unsigned Peak = std::max(PeakLive.load(std::memory_order_relaxed),
+                           Budget.peakLiveThreads());
+  PeakLive.store(Peak, std::memory_order_relaxed);
+  Metrics.gauge("serve.peak_live_threads").set(static_cast<int64_t>(Peak));
+  return !ShutdownRequested.load(std::memory_order_relaxed);
+}
+
+unsigned Server::peakLiveThreads() const {
+  unsigned Peak = PeakLive.load(std::memory_order_relaxed);
+  if (ThreadBudget *B = ActiveBudget.load(std::memory_order_acquire))
+    Peak = std::max(Peak, B->peakLiveThreads());
+  return Peak;
+}

@@ -1,0 +1,165 @@
+//===- serve/Server.h - Long-lived analysis daemon --------------*- C++ -*-===//
+//
+// Part of Syntox++, a reproduction of Bourdoncle's abstract debugger
+// (PLDI 1993). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The serving layer: a Server reads JSON-lines requests (see
+/// serve/Protocol.h) from a descriptor, schedules analyze requests over
+/// one shared worker-slot budget, and writes one response line per
+/// request. It is the third driver of the shared AnalysisRequest /
+/// AnalysisOutcome submission model, after the CLI and AnalysisBatch.
+///
+/// Scheduling. Analyze requests run on a server-owned ThreadPool whose
+/// workers draw from a ThreadBudget of Config::TotalThreads slots —
+/// exactly the AnalysisBatch admission scheme, so a request whose
+/// options select the parallel strategy borrows *nested* solver workers
+/// from the same budget and the process never oversubscribes
+/// (peakLiveThreads() <= TotalThreads, regardless of traffic). Admin
+/// requests (gc, metrics, ping, shutdown) are answered inline on the
+/// reading thread, ahead of queued analyses.
+///
+/// Resource bounds.
+///  - In-memory: completed sessions are parked in an LRU keyed by
+///    (source, effective options, cache shard), capacity
+///    Config::SessionCapacity. A resubmitted identical request takes
+///    the parked session and re-runs it — the engine-reuse path, which
+///    replays unchanged work at zero live steps. Entries are *taken*
+///    while in use, so concurrent identical requests each get their own
+///    session (sessions are not thread-safe).
+///  - On-disk: requests carrying a cache_key persist warm-start state
+///    under CacheDir/<fnv1a(cache_key)>/ (one shard per client
+///    document, so distinct documents never fight over one cache
+///    file). After every save the server collects the tree down to
+///    Config::CacheMaxBytes, oldest entries first (persist/CacheGc.h);
+///    the `gc` admin request forces a collection.
+///
+/// Timeouts are enforced at admission: the solver has no preemption
+/// point, so a deadline cannot cancel a running fixpoint — instead a
+/// request that has already exceeded its deadline when a worker picks
+/// it up is answered status:"timeout" without running. An overloaded
+/// server therefore sheds queued work at the deadline, and every
+/// accepted request is answered in bounded queue time plus at most one
+/// full solve.
+///
+/// Shutdown. requestDrain() (wired to SIGTERM/SIGINT by syntox_serve)
+/// or a `shutdown` request stops the read loop; every admitted request
+/// still runs to completion and writes its response before serve()
+/// returns — a graceful drain, never a mid-response cut.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYNTOX_SERVE_SERVER_H
+#define SYNTOX_SERVE_SERVER_H
+
+#include "core/AnalysisRequest.h"
+#include "serve/Protocol.h"
+#include "support/Metrics.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace syntox {
+
+class ThreadBudget;
+class ThreadPool;
+
+namespace serve {
+
+struct ServerConfig {
+  /// Per-request analysis defaults; a request's "options" object
+  /// overrides them member by member.
+  AnalysisOptions Defaults;
+  /// Worker-slot budget shared by the request pool and nested parallel
+  /// solvers (0 = one slot per hardware thread).
+  unsigned TotalThreads = 0;
+  /// Cap on analyze requests in flight at once (0 = the whole budget).
+  unsigned MaxConcurrentRequests = 0;
+  /// Default admission deadline per analyze request, in milliseconds
+  /// (0 = none). A request's timeout_ms member overrides it.
+  unsigned RequestTimeoutMs = 0;
+  /// Root of the on-disk warm cache (empty = disk cache off). Requests
+  /// name their shard with cache_key; requests without one never touch
+  /// the disk.
+  std::string CacheDir;
+  /// Size cap the post-save collector holds the cache tree to
+  /// (0 = unbounded).
+  uint64_t CacheMaxBytes = 0;
+  /// Capacity of the parked-session LRU (0 = parking disabled).
+  unsigned SessionCapacity = 32;
+  /// Test hook: every analyze job sleeps this long at the start of its
+  /// run phase, making in-flight windows deterministic for the drain
+  /// and timeout tests. Zero in production.
+  unsigned TestStartDelayMs = 0;
+};
+
+class Server {
+public:
+  explicit Server(ServerConfig Cfg);
+  ~Server();
+
+  /// Serves one client connection: requests from \p InFd, responses to
+  /// \p OutFd, until end of input, a shutdown request, or
+  /// requestDrain(). Admitted work is drained before returning.
+  /// Returns false when the client asked the daemon to shut down (the
+  /// accept loop should then stop), true when more clients may follow.
+  bool serve(int InFd, int OutFd);
+
+  /// Initiates a graceful drain from any thread (async-signal-safe: a
+  /// lock-free atomic store).
+  void requestDrain() { Draining.store(true, std::memory_order_relaxed); }
+  bool draining() const { return Draining.load(std::memory_order_relaxed); }
+
+  /// The server-wide registry every request reports into.
+  MetricsRegistry &metrics() { return Metrics; }
+
+  /// Largest number of budgeted pool threads ever live at once — the
+  /// oversubscription guard's observable (<= TotalThreads). Valid both
+  /// mid-serve and after serve() returns.
+  unsigned peakLiveThreads() const;
+
+private:
+  struct Pending; // one admitted analyze request
+
+  void handleLine(const std::string &Line, ThreadPool &Pool, int OutFd);
+  void runAnalyze(std::shared_ptr<Pending> P, int OutFd);
+  json::Value gcPayload();
+  void writeLine(int OutFd, const json::Value &Response);
+
+  /// The parked-session cache (see file comment). Key is the exact
+  /// re-runnable identity: source text, effective options rendering,
+  /// cache shard.
+  struct ParkedSession {
+    std::string Key;
+    std::unique_ptr<AnalysisSession> Session;
+  };
+  std::unique_ptr<AnalysisSession> takeSession(const std::string &Key);
+  void parkSession(std::string Key,
+                   std::unique_ptr<AnalysisSession> Session);
+
+  ServerConfig Cfg;
+  MetricsRegistry Metrics;
+  std::atomic<bool> Draining{false};
+  std::atomic<bool> ShutdownRequested{false};
+  std::mutex WriteMutex;   ///< one response line at a time
+  std::mutex SessionMutex; ///< guards Parked
+  std::mutex GcMutex;      ///< one collection at a time
+  std::list<ParkedSession> Parked; ///< front = most recently used
+  std::atomic<unsigned> PeakLive{0};
+  /// The budget of the connection currently being served, so
+  /// peakLiveThreads() sees live traffic, not just finished
+  /// connections.
+  std::atomic<ThreadBudget *> ActiveBudget{nullptr};
+};
+
+} // namespace serve
+} // namespace syntox
+
+#endif // SYNTOX_SERVE_SERVER_H

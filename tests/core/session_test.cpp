@@ -2,6 +2,8 @@
 
 #include "core/AnalysisSession.h"
 #include "frontend/PaperPrograms.h"
+#include "support/Json.h"
+#include "support/Metrics.h"
 
 #include <gtest/gtest.h>
 
@@ -283,23 +285,71 @@ TEST(AnalysisSessionTest, ChromeTraceOfParallelRunShowsTaskSpans) {
       << "component stabilizations spread over worker threads";
 }
 
-TEST(AnalysisSessionTest, DeprecatedAccessorsStillWork) {
-  // The compat shims must keep old call sites building (with a
-  // deprecation warning, silenced here) and behaving identically.
-  DiagnosticsEngine Diags;
-  auto Dbg = AbstractDebugger::create(
-      "program p; var i : integer;\n"
-      "begin i := 0; while i < 100 do i := i + 1 end.",
-      Diags);
-  ASSERT_NE(Dbg, nullptr);
-  Dbg->analyze();
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  std::string Report = Dbg->stateReport("exit");
-  Analyzer &Mutable = Dbg->analyzer();
-#pragma GCC diagnostic pop
-  EXPECT_NE(Report.find("i -> [100, 100]"), std::string::npos) << Report;
-  EXPECT_EQ(&Mutable, &static_cast<const AbstractDebugger &>(*Dbg).analyzer());
+/// toJson() minus the stats/metrics counters (which legitimately differ
+/// between cold and warm-replayed runs).
+json::Value findingsOnly(const AnalysisResult &R) {
+  json::Value Doc = R.toJson();
+  json::Value Out = json::Value::object();
+  for (const auto &KV : Doc.members())
+    if (KV.first != "stats" && KV.first != "metrics")
+      Out.set(KV.first, KV.second);
+  return Out;
+}
+
+uint64_t liveSteps(const AnalysisResult &R) {
+  uint64_t Live = 0;
+  for (const PhaseStats &P : R.stats().Phases)
+    Live += P.WideningSteps + P.NarrowingSteps;
+  return Live;
+}
+
+TEST(AnalysisSessionTest, EngineReuseOnlyWhenUnobserved) {
+  // A dropped result frees the engine for warm in-place reuse; a held
+  // one pins it and forces the next run onto a fresh engine. Findings
+  // are identical either way.
+  MetricsRegistry Metrics;
+  AnalysisOptions Opts;
+  Opts.Telem.Metrics = &Metrics;
+  auto Session = makeSession(paper::McCarthyProgram, Opts);
+  ASSERT_NE(Session, nullptr);
+
+  json::Value ColdFindings;
+  uint64_t ColdLive = 0;
+  {
+    AnalysisResult First = Session->run();
+    ColdFindings = findingsOnly(First);
+    ColdLive = liveSteps(First);
+  } // First dropped: nothing can observe the engine anymore
+  EXPECT_EQ(Metrics.counterValue("session.engine_reuses"), 0u);
+  EXPECT_GT(ColdLive, 0u);
+
+  AnalysisResult Warm = Session->run();
+  EXPECT_EQ(Metrics.counterValue("session.engine_reuses"), 1u);
+  EXPECT_TRUE(findingsOnly(Warm) == ColdFindings);
+  // The in-memory warm chain replays every stable component.
+  EXPECT_EQ(liveSteps(Warm), 0u);
+
+  // Warm is still alive and shares the engine: this run must not touch
+  // it (immutability of published results) and builds a fresh engine.
+  AnalysisResult Pinned = Session->run();
+  EXPECT_EQ(Metrics.counterValue("session.engine_reuses"), 1u);
+  EXPECT_TRUE(findingsOnly(Pinned) == ColdFindings);
+  EXPECT_EQ(liveSteps(Pinned), ColdLive);
+}
+
+TEST(AnalysisSessionTest, OptionChangeForcesFreshEngine) {
+  MetricsRegistry Metrics;
+  AnalysisOptions Opts;
+  Opts.Telem.Metrics = &Metrics;
+  auto Session = makeSession(paper::ForProgram, Opts);
+  ASSERT_NE(Session, nullptr);
+  Session->run(); // result dropped immediately
+  Session->options().NarrowingPasses += 1;
+  AnalysisResult R = Session->run();
+  // Changed configuration: the kept engine is not compatible, so no
+  // reuse happened and the run paid a cold solve under the new knobs.
+  EXPECT_EQ(Metrics.counterValue("session.engine_reuses"), 0u);
+  EXPECT_GT(liveSteps(R), 0u);
 }
 
 } // namespace

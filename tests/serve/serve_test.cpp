@@ -1,0 +1,471 @@
+//===- tests/serve/serve_test.cpp - Analysis daemon protocol tests --------===//
+//
+// Drives serve::Server in-process over a socketpair — the same code
+// path syntox_serve wires to stdio and sockets — and pins down:
+//
+//  - the protocol goldens: envelope shape, id echo, findings payloads
+//    bitwise-equal to a direct AnalysisSession run;
+//  - malformed-request handling (the daemon answers an error and keeps
+//    serving) and mid-stream disconnect (a clean drain, never a hang);
+//  - concurrent-vs-sequential determinism over a random corpus;
+//  - the resource bounds: parked-session reuse, per-document disk-cache
+//    shards, and the size-capped cache GC under an edit wave;
+//  - graceful drain with requests in flight, admission timeouts, and
+//    the admin requests (gc, metrics, ping, shutdown).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Server.h"
+
+#include "../common/RandomProgramGen.h"
+#include "core/AnalysisRequest.h"
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+using namespace syntox;
+using namespace syntox::serve;
+using test::ProgramGenerator;
+
+namespace {
+
+constexpr const char *CountLoop =
+    "program p; var i : integer;\n"
+    "begin i := 0; while i < 100 do i := i + 1 end.";
+
+/// An in-process client of one Server over a socketpair. The server
+/// runs on its own thread, exactly as syntox_serve drives it.
+class ServeHarness {
+public:
+  explicit ServeHarness(ServerConfig Cfg) : Srv(Cfg) {
+    int Fds[2] = {-1, -1};
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+    ClientFd = Fds[0];
+    ServerFd = Fds[1];
+    Thread = std::thread([this] { More = Srv.serve(ServerFd, ServerFd); });
+  }
+
+  ~ServeHarness() { finish(); }
+
+  Server &server() { return Srv; }
+
+  void send(const std::string &Line) { sendRaw(Line + "\n"); }
+
+  /// Writes bytes verbatim — no terminator — for the disconnect tests.
+  void sendRaw(const std::string &Bytes) {
+    ASSERT_EQ(::write(ClientFd, Bytes.data(), Bytes.size()),
+              static_cast<ssize_t>(Bytes.size()));
+  }
+
+  /// Blocks for the next response line (10s cap) and parses it.
+  json::Value recv() {
+    if (!Reader)
+      Reader = std::make_unique<LineReader>(ClientFd);
+    std::string Line;
+    auto Deadline = std::chrono::steady_clock::now() +
+                    std::chrono::seconds(10);
+    while (std::chrono::steady_clock::now() < Deadline) {
+      LineReader::Status S = Reader->next(Line, 100);
+      if (S == LineReader::Status::Line) {
+        std::string Error;
+        std::optional<json::Value> V = json::parse(Line, &Error);
+        EXPECT_TRUE(V) << Error << "\nline: " << Line;
+        return V ? *V : json::Value();
+      }
+      if (S == LineReader::Status::Eof)
+        break;
+    }
+    ADD_FAILURE() << "no response before deadline";
+    return json::Value();
+  }
+
+  /// Receives \p N responses and indexes them by id.
+  std::map<std::string, json::Value> recvAll(size_t N) {
+    std::map<std::string, json::Value> ById;
+    for (size_t I = 0; I < N; ++I) {
+      json::Value R = recv();
+      if (const json::Value *Id = R.find("id"))
+        ById[Id->asString()] = std::move(R);
+    }
+    return ById;
+  }
+
+  /// Half-closes the client->server direction: the server sees EOF and
+  /// drains.
+  void closeInput() {
+    if (ClientFd >= 0)
+      ::shutdown(ClientFd, SHUT_WR);
+  }
+
+  /// Drains the connection and joins the serving thread. Returns
+  /// Server::serve's result (false = a client shutdown request).
+  bool finish() {
+    if (Thread.joinable()) {
+      closeInput();
+      Thread.join();
+    }
+    if (ServerFd >= 0)
+      ::close(ServerFd);
+    if (ClientFd >= 0)
+      ::close(ClientFd);
+    ServerFd = ClientFd = -1;
+    return More;
+  }
+
+private:
+  Server Srv;
+  int ClientFd = -1;
+  int ServerFd = -1;
+  std::thread Thread;
+  std::unique_ptr<LineReader> Reader;
+  bool More = true;
+};
+
+/// Findings minus the timing/counter members — the determinism payload.
+json::Value findingsOnly(const json::Value &Findings) {
+  json::Value Out = json::Value::object();
+  for (const auto &KV : Findings.members())
+    if (KV.first != "stats" && KV.first != "metrics")
+      Out.set(KV.first, KV.second);
+  return Out;
+}
+
+json::Value sequentialFindings(const std::string &Source,
+                               AnalysisOptions Opts = {}) {
+  AnalysisRequest R;
+  R.Source = Source;
+  R.Opts = std::move(Opts);
+  AnalysisOutcome O = runRequest(std::move(R));
+  EXPECT_TRUE(O.OK) << O.Error;
+  return O.OK ? findingsOnly(O.findingsJson()) : json::Value();
+}
+
+std::string analyzeLine(const std::string &Id, const std::string &Source,
+                        const std::string &Extra = std::string()) {
+  json::Value Req = json::Value::object();
+  Req.set("protocol_version", 1);
+  Req.set("id", Id);
+  Req.set("kind", "analyze");
+  Req.set("source", Source);
+  std::string Line = Req.str();
+  if (!Extra.empty())
+    Line.insert(Line.size() - 1, "," + Extra);
+  return Line;
+}
+
+std::string adminLine(const std::string &Id, const char *Kind) {
+  return std::string("{\"protocol_version\":1,\"id\":\"") + Id +
+         "\",\"kind\":\"" + Kind + "\"}";
+}
+
+uint64_t treeBytes(const std::filesystem::path &Dir) {
+  namespace fs = std::filesystem;
+  uint64_t Total = 0;
+  std::error_code EC;
+  for (fs::recursive_directory_iterator It(Dir, EC), End; !EC && It != End;
+       It.increment(EC))
+    if (It->is_regular_file(EC))
+      Total += It->file_size(EC);
+  return Total;
+}
+
+std::filesystem::path freshDir(const char *Name) {
+  namespace fs = std::filesystem;
+  fs::path Dir = fs::temp_directory_path() / Name;
+  std::error_code EC;
+  fs::remove_all(Dir, EC);
+  fs::create_directories(Dir, EC);
+  return Dir;
+}
+
+TEST(ServeProtocolTest, AnalyzeGoldenEnvelopeAndFindings) {
+  ServeHarness H(ServerConfig{});
+  H.send(analyzeLine("req-1", CountLoop));
+  json::Value R = H.recv();
+
+  ASSERT_TRUE(R.isObject());
+  EXPECT_EQ(R.find("protocol_version")->asInt(), 1);
+  EXPECT_EQ(R.find("id")->asString(), "req-1");
+  EXPECT_EQ(R.find("kind")->asString(), "analyze");
+  EXPECT_EQ(R.find("status")->asString(), "ok");
+  ASSERT_TRUE(R.has("findings"));
+  EXPECT_FALSE(R.has("demand"));
+  EXPECT_FALSE(R.has("error"));
+
+  const json::Value &T = *R.find("timing");
+  EXPECT_GE(T.find("queue_ms")->asDouble(), 0.0);
+  EXPECT_GE(T.find("run_ms")->asDouble(), 0.0);
+  EXPECT_GE(T.find("total_ms")->asDouble(),
+            T.find("run_ms")->asDouble());
+
+  // The findings document matches a direct session run bit for bit
+  // (minus the stats/metrics counters, which carry timings).
+  const json::Value &F = *R.find("findings");
+  for (const char *Key :
+       {"verdict", "conditions", "invariant_warnings", "checks", "stats",
+        "metrics"})
+    EXPECT_TRUE(F.has(Key)) << Key;
+  EXPECT_TRUE(findingsOnly(F) == sequentialFindings(CountLoop));
+}
+
+TEST(ServeProtocolTest, DemandQueryAnswersOverTheWire) {
+  ServeHarness H(ServerConfig{});
+  H.send(analyzeLine("q1", CountLoop, "\"query\":\"point:2\""));
+  json::Value R = H.recv();
+  EXPECT_EQ(R.find("status")->asString(), "ok");
+  ASSERT_TRUE(R.has("demand"));
+  EXPECT_FALSE(R.has("findings"));
+  const json::Value &D = *R.find("demand");
+  EXPECT_EQ(D.find("query")->find("kind")->asString(), "point");
+  EXPECT_EQ(D.find("query")->find("line")->asInt(), 2);
+  EXPECT_FALSE(D.find("states")->elements().empty());
+}
+
+TEST(ServeProtocolTest, PerRequestOptionsOverrideDefaults) {
+  // Server default forward-only; the request turns backward analysis
+  // back on and must see conditions a forward-only run cannot derive.
+  ServerConfig Cfg;
+  Cfg.Defaults.backward(false);
+  ServeHarness H(Cfg);
+  std::string Guarded =
+      "program p; var n : integer;\n"
+      "begin read(n); n := 1 div n end.";
+  H.send(analyzeLine("fwd", Guarded));
+  H.send(analyzeLine("bwd", Guarded, "\"options\":{\"backward\":true}"));
+  auto ById = H.recvAll(2);
+  ASSERT_EQ(ById.size(), 2u);
+  EXPECT_EQ(ById["fwd"].find("status")->asString(), "ok");
+  EXPECT_EQ(ById["bwd"].find("status")->asString(), "ok");
+  EXPECT_TRUE(findingsOnly(*ById["bwd"].find("findings")) ==
+              sequentialFindings(Guarded));
+  EXPECT_TRUE(findingsOnly(*ById["fwd"].find("findings")) ==
+              sequentialFindings(Guarded, AnalysisOptions().backward(false)));
+}
+
+TEST(ServeProtocolTest, MalformedRequestsAnswerErrorsAndServerSurvives) {
+  ServeHarness H(ServerConfig{});
+  struct Case {
+    const char *Line;
+    const char *ErrorNeedle;
+  };
+  const Case Cases[] = {
+      {"this is not json", "malformed request line"},
+      {"[1,2,3]", "must be a JSON object"},
+      {"{\"id\":\"x\"}", "protocol_version"},
+      {"{\"protocol_version\":99,\"id\":\"x\"}", "protocol_version"},
+      {"{\"protocol_version\":1}", "missing request id"},
+      {"{\"protocol_version\":1,\"id\":\"x\",\"kind\":\"dance\"}",
+       "unknown request kind"},
+      {"{\"protocol_version\":1,\"id\":\"x\",\"kind\":\"analyze\"}",
+       "without 'source'"},
+      {"{\"protocol_version\":1,\"id\":\"x\",\"source\":\"program p; "
+       "begin end.\",\"options\":{\"sorcery\":1}}",
+       "unknown option"},
+      {"{\"protocol_version\":1,\"id\":\"x\",\"source\":\"program p; "
+       "begin end.\",\"options\":{\"cache_dir\":\"/tmp/x\"}}",
+       "cache_key"},
+      {"{\"protocol_version\":1,\"id\":\"x\",\"source\":\"program p; "
+       "begin end.\",\"query\":\"sideways:3\"}",
+       "invalid query"},
+      {"{\"protocol_version\":1,\"id\":\"x\",\"kind\":\"ping\","
+       "\"source\":\"program p; begin end.\"}",
+       "only valid on analyze"},
+      {"{\"protocol_version\":1,\"id\":\"x\",\"unicorn\":true}",
+       "unknown request member"},
+  };
+  for (const Case &C : Cases) {
+    H.send(C.Line);
+    json::Value R = H.recv();
+    EXPECT_EQ(R.find("status")->asString(), "error") << C.Line;
+    EXPECT_NE(R.find("error")->asString().find(C.ErrorNeedle),
+              std::string::npos)
+        << C.Line << " -> " << R.find("error")->asString();
+    EXPECT_FALSE(R.has("findings"));
+  }
+  // A frontend error is an error *response*, not a dead daemon.
+  H.send(analyzeLine("bad-src", "program p; begin x := end."));
+  json::Value Bad = H.recv();
+  EXPECT_EQ(Bad.find("status")->asString(), "error");
+  EXPECT_FALSE(Bad.find("error")->asString().empty());
+  // The daemon is still serving.
+  H.send(adminLine("alive", "ping"));
+  EXPECT_EQ(H.recv().find("status")->asString(), "ok");
+}
+
+TEST(ServeProtocolTest, MidStreamDisconnectDrainsCleanly) {
+  ServeHarness H(ServerConfig{});
+  H.send(analyzeLine("done", CountLoop));
+  EXPECT_EQ(H.recv().find("status")->asString(), "ok");
+  // A half request with no terminator, then the client vanishes. The
+  // trailing fragment is flushed as one (malformed) line at EOF; the
+  // daemon answers it and serve() returns instead of hanging.
+  H.sendRaw("{\"protocol_version\":1,\"id\":\"tr");
+  H.closeInput();
+  json::Value Tail = H.recv();
+  EXPECT_EQ(Tail.find("status")->asString(), "error");
+  EXPECT_TRUE(H.finish());
+}
+
+TEST(ServeConcurrencyTest, ConcurrentFindingsMatchSequential) {
+  // The 200-seed differential, serving edition: a random corpus
+  // pipelined through a concurrent daemon must produce findings
+  // bitwise-identical to one-at-a-time sessions.
+  const unsigned N = 60;
+  std::vector<std::string> Sources;
+  for (unsigned I = 0; I < N; ++I) {
+    ProgramGenerator G(9100 + I, /*WithAssertions=*/true);
+    Sources.push_back(G.generate(
+        static_cast<ProgramGenerator::Family>(I % 4)));
+  }
+
+  ServerConfig Cfg;
+  Cfg.TotalThreads = 4;
+  ServeHarness H(Cfg);
+  for (unsigned I = 0; I < N; ++I)
+    H.send(analyzeLine("p" + std::to_string(I), Sources[I]));
+  auto ById = H.recvAll(N);
+  ASSERT_EQ(ById.size(), N);
+
+  for (unsigned I = 0; I < N; ++I) {
+    const json::Value &R = ById["p" + std::to_string(I)];
+    ASSERT_EQ(R.find("status")->asString(), "ok") << I;
+    EXPECT_TRUE(findingsOnly(*R.find("findings")) ==
+                sequentialFindings(Sources[I]))
+        << "seed " << 9100 + I;
+  }
+  H.finish();
+  EXPECT_LE(H.server().peakLiveThreads(), 4u);
+}
+
+TEST(ServeSessionTest, ResubmissionReusesParkedSessions) {
+  ServeHarness H(ServerConfig{});
+  H.send(analyzeLine("a", CountLoop));
+  json::Value First = H.recv();
+  ASSERT_EQ(First.find("status")->asString(), "ok");
+  H.send(analyzeLine("b", CountLoop));
+  json::Value Second = H.recv();
+  ASSERT_EQ(Second.find("status")->asString(), "ok");
+  EXPECT_TRUE(findingsOnly(*First.find("findings")) ==
+              findingsOnly(*Second.find("findings")));
+  EXPECT_GE(H.server().metrics().counterValue("serve.session_hits"), 1u);
+  EXPECT_GE(H.server().metrics().counterValue("session.engine_reuses"),
+            1u);
+}
+
+TEST(ServeCacheTest, CacheKeySharesShardAndGcHoldsCap) {
+  namespace fs = std::filesystem;
+  fs::path Dir = freshDir("syntox_serve_gc_test");
+  ServerConfig Cfg;
+  Cfg.CacheDir = Dir.string();
+  Cfg.CacheMaxBytes = 24 * 1024;
+  ServeHarness H(Cfg);
+
+  // Edit wave over many distinct documents: every save is followed by a
+  // collection, so the tree never rests above the cap.
+  const unsigned Docs = 12;
+  unsigned Sent = 0;
+  for (unsigned Wave = 0; Wave < 2; ++Wave)
+    for (unsigned D = 0; D < Docs; ++D) {
+      ProgramGenerator G(7700 + D, /*WithAssertions=*/true);
+      std::string Source = G.generate();
+      if (Wave == 1)
+        Source = G.mutate(std::move(Source));
+      H.send(analyzeLine(
+          "w" + std::to_string(Wave) + "d" + std::to_string(D), Source,
+          "\"cache_key\":\"doc-" + std::to_string(D) + "\""));
+      ++Sent;
+    }
+  auto ById = H.recvAll(Sent);
+  ASSERT_EQ(ById.size(), Sent);
+  for (const auto &KV : ById)
+    EXPECT_EQ(KV.second.find("status")->asString(), "ok") << KV.first;
+
+  // The warm path actually engaged: some run loaded recorded state.
+  EXPECT_GE(H.server().metrics().counterValue("persist.saved"), 1u);
+
+  // The gc admin request reports a tree at or under the cap, and the
+  // bytes on disk agree.
+  H.send(adminLine("gc", "gc"));
+  json::Value Gc = H.recv();
+  ASSERT_EQ(Gc.find("status")->asString(), "ok");
+  const json::Value &P = *Gc.find("gc");
+  EXPECT_LE(P.find("bytes_after")->asInt(),
+            static_cast<int64_t>(Cfg.CacheMaxBytes));
+  EXPECT_LE(treeBytes(Dir), Cfg.CacheMaxBytes);
+
+  H.finish();
+  std::error_code EC;
+  fs::remove_all(Dir, EC);
+}
+
+TEST(ServeShutdownTest, DrainAnswersEveryInFlightRequest) {
+  ServerConfig Cfg;
+  Cfg.TotalThreads = 2;
+  Cfg.TestStartDelayMs = 200; // hold each run open
+  ServeHarness H(Cfg);
+  H.send(analyzeLine("f1", CountLoop));
+  H.send(analyzeLine("f2", CountLoop));
+  H.send(analyzeLine("f3", CountLoop));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  H.server().requestDrain(); // what SIGTERM does in syntox_serve
+  auto ById = H.recvAll(3);
+  ASSERT_EQ(ById.size(), 3u);
+  for (const char *Id : {"f1", "f2", "f3"})
+    EXPECT_EQ(ById[Id].find("status")->asString(), "ok") << Id;
+  EXPECT_TRUE(H.finish()); // drained, not shut down by a client
+}
+
+TEST(ServeShutdownTest, ShutdownRequestStopsAfterDraining) {
+  ServerConfig Cfg;
+  Cfg.TestStartDelayMs = 100;
+  ServeHarness H(Cfg);
+  H.send(analyzeLine("last", CountLoop));
+  H.send(adminLine("bye", "shutdown"));
+  auto ById = H.recvAll(2);
+  EXPECT_EQ(ById["bye"].find("status")->asString(), "ok");
+  EXPECT_EQ(ById["last"].find("status")->asString(), "ok");
+  EXPECT_FALSE(H.finish()); // serve() reports the client shutdown
+}
+
+TEST(ServeTimeoutTest, ExpiredQueuedRequestsAreShedAtAdmission) {
+  ServerConfig Cfg;
+  Cfg.TotalThreads = 1;
+  Cfg.MaxConcurrentRequests = 1;
+  Cfg.RequestTimeoutMs = 100;
+  Cfg.TestStartDelayMs = 300; // the running request blocks the queue
+  ServeHarness H(Cfg);
+  H.send(analyzeLine("runs", CountLoop));
+  H.send(analyzeLine("sheds", CountLoop));
+  auto ById = H.recvAll(2);
+  ASSERT_EQ(ById.size(), 2u);
+  EXPECT_EQ(ById["runs"].find("status")->asString(), "ok");
+  EXPECT_EQ(ById["sheds"].find("status")->asString(), "timeout");
+  EXPECT_TRUE(ById["sheds"].has("error"));
+  EXPECT_FALSE(ById["sheds"].has("findings"));
+  EXPECT_GE(H.server().metrics().counterValue("serve.timeouts"), 1u);
+}
+
+TEST(ServeAdminTest, MetricsAndPing) {
+  ServeHarness H(ServerConfig{});
+  H.send(analyzeLine("one", CountLoop));
+  ASSERT_EQ(H.recv().find("status")->asString(), "ok");
+  H.send(adminLine("m", "metrics"));
+  json::Value M = H.recv();
+  ASSERT_EQ(M.find("status")->asString(), "ok");
+  const json::Value &Counters = *M.find("metrics")->find("counters");
+  ASSERT_TRUE(Counters.has("serve.requests"));
+  EXPECT_GE(Counters.find("serve.requests")->asInt(), 1);
+  H.send(adminLine("p", "ping"));
+  EXPECT_EQ(H.recv().find("status")->asString(), "ok");
+}
+
+} // namespace
