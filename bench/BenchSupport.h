@@ -37,6 +37,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -183,6 +184,37 @@ public:
   bool write() {
     json::Value Report = json::Value::object();
     Report.set("benchmark", "bench_" + Name);
+    // Host provenance: the ROADMAP's deferred multi-core comparisons
+    // need reports from different machines to be comparable.
+    Report.set("hardware_threads",
+               static_cast<int64_t>(std::thread::hardware_concurrency()));
+    {
+      json::Value Host = json::Value::object();
+#if defined(__linux__)
+      Host.set("os", "linux");
+#elif defined(__APPLE__)
+      Host.set("os", "darwin");
+#elif defined(_WIN32)
+      Host.set("os", "windows");
+#else
+      Host.set("os", "unknown");
+#endif
+#if defined(__aarch64__) || defined(_M_ARM64)
+      Host.set("arch", "arm64");
+#elif defined(__x86_64__) || defined(_M_X64)
+      Host.set("arch", "x86_64");
+#else
+      Host.set("arch", "unknown");
+#endif
+#if defined(__clang__)
+      Host.set("compiler", "clang " __clang_version__);
+#elif defined(__GNUC__)
+      Host.set("compiler", "gcc " __VERSION__);
+#else
+      Host.set("compiler", "unknown");
+#endif
+      Report.set("host", std::move(Host));
+    }
     for (auto &KV : Extra)
       Report.set(KV.first, std::move(KV.second));
     Report.set("rows", std::move(Rows));

@@ -66,7 +66,7 @@ template <typename Fn> double opsPerSec(Fn &&F) {
 
 struct Row {
   unsigned Size;
-  double Copy, JoinSame, JoinDiff, Widen, EqualPtr, EqualDeep;
+  double Copy, JoinSame, JoinDiff, Widen, WidenDiff, EqualPtr, EqualDeep;
 };
 
 Row measure(unsigned Size) {
@@ -76,7 +76,7 @@ Row measure(unsigned Size) {
   AbstractStore C = S.make(0);  // equal to A, distinct payload
   AbstractStore Grown = S.make(-1); // strictly wider than A per entry
 
-  Row R{Size, 0, 0, 0, 0, 0, 0};
+  Row R{Size, 0, 0, 0, 0, 0, 0, 0};
   volatile bool Sink = false;
   R.Copy = opsPerSec([&] {
     AbstractStore Copy = A;
@@ -98,6 +98,12 @@ Row measure(unsigned Size) {
     AbstractStore W = S.Ops.widen(A, B);
     Sink = W.isBottom();
   });
+  // Unstable widening: every entry grows, so the kernel extrapolates
+  // every slot and builds a fresh output payload.
+  R.WidenDiff = opsPerSec([&] {
+    AbstractStore W = S.Ops.widen(A, Grown);
+    Sink = W.isBottom();
+  });
   R.EqualPtr = opsPerSec([&] { Sink = S.Ops.equal(A, B); });
   R.EqualDeep = opsPerSec([&] { Sink = S.Ops.equal(A, C); });
   return R;
@@ -108,22 +114,24 @@ Row measure(unsigned Size) {
 int main(int argc, char **argv) {
   bench::Harness H("store", argc, argv);
   std::printf("==== E-store: COW store operation throughput ====\n\n");
-  std::printf("%6s %14s %14s %14s %14s %14s %14s\n", "size", "copy",
-              "join(same)", "join(diff)", "widen(stable)", "equal(ptr)",
-              "equal(deep)");
+  std::printf("%6s %14s %14s %14s %14s %14s %14s %14s\n", "size", "copy",
+              "join(same)", "join(diff)", "widen(stable)", "widen(diff)",
+              "equal(ptr)", "equal(deep)");
 
   H.setField("unit", "ops_per_sec");
   for (unsigned Size : {4u, 32u, 256u}) {
     Row R = measure(Size);
-    std::printf("%6u %12.2fM %12.2fM %12.2fM %12.2fM %12.2fM %12.2fM\n",
+    std::printf("%6u %12.2fM %12.2fM %12.2fM %12.2fM %12.2fM %12.2fM %12.2fM\n",
                 R.Size, R.Copy / 1e6, R.JoinSame / 1e6, R.JoinDiff / 1e6,
-                R.Widen / 1e6, R.EqualPtr / 1e6, R.EqualDeep / 1e6);
+                R.Widen / 1e6, R.WidenDiff / 1e6, R.EqualPtr / 1e6,
+                R.EqualDeep / 1e6);
     json::Value Json = json::Value::object();
     Json.set("size", R.Size);
     Json.set("copy", R.Copy);
     Json.set("join_same", R.JoinSame);
     Json.set("join_diff", R.JoinDiff);
     Json.set("widen_stable", R.Widen);
+    Json.set("widen_diff", R.WidenDiff);
     Json.set("equal_ptr", R.EqualPtr);
     Json.set("equal_deep", R.EqualDeep);
     H.row(std::move(Json));

@@ -57,10 +57,14 @@ static void printStates(const std::vector<PointState> &States) {
                                        : "(unreachable)");
       continue;
     }
-    if (S.Bindings.empty())
+    if (S.Bindings.empty() && S.PrunedVars.empty())
       std::printf(" top");
     for (const StateBinding &B : S.Bindings)
       std::printf(" %s=%s", B.Var.c_str(), B.Value.c_str());
+    // Dead slots the liveness pruning stopped tracking (DESIGN.md §12):
+    // they read as top here; --no-prune recovers the concrete value.
+    for (const std::string &P : S.PrunedVars)
+      std::printf(" %s=top(pruned)", P.c_str());
     std::printf("\n");
   }
 }

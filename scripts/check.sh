@@ -38,8 +38,8 @@ if [ "$NO_ASAN" -eq 0 ]; then
   echo "== preset: asan (fixpoint/semantics suites) =="
   ASAN_SUITES="wto_test solver_test parallel_solver_test analyzer_test
                transfer_test interproc_test store_test store_cow_test
-               expr_semantics_test soundness_test demand_query_test
-               serve_test"
+               store_soa_test expr_semantics_test soundness_test
+               demand_query_test liveness_prune_test serve_test"
   cmake --preset asan
   # shellcheck disable=SC2086
   cmake --build build-asan -j "$(nproc)" --target $ASAN_SUITES syntox_serve
@@ -163,6 +163,46 @@ check(metrics["counters"].get("solver.ascending_steps", 0) > 0,
       "metrics.json: no solver work recorded")
 
 print(f"telemetry smoke test OK ({n} trace events)")
+EOF
+
+echo "== store-kernel perf floor =="
+# Perf-regression smoke for the SoA lattice kernels: bench_store must
+# not fall more than 25% below the checked-in floor
+# (bench/BENCH_store.floor.json — refresh it when the kernels get
+# faster). Only the ci (unsanitized) binary is measured; the tsan and
+# asan presets never reach this stanza, so sanitizer overhead can not
+# trip the floor.
+build-ci/bench/bench_store --out="$OUT/BENCH_store_check.json" > /dev/null
+
+python3 - "$OUT" <<'EOF'
+import json, sys
+out = sys.argv[1]
+
+def check(cond, what):
+    if not cond:
+        raise SystemExit(f"store perf floor violation: {what}")
+
+with open("bench/BENCH_store.floor.json") as f:
+    floors = json.load(f)
+with open(f"{out}/BENCH_store_check.json") as f:
+    report = json.load(f)
+
+rows = {r["size"]: r for r in report["rows"]}
+checked = 0
+for frow in floors["rows"]:
+    size = frow["size"]
+    check(size in rows, f"bench_store reported no size-{size} row")
+    for col, floor in frow.items():
+        if col == "size":
+            continue
+        got = rows[size].get(col)
+        check(got is not None, f"size {size}: missing column '{col}'")
+        check(got >= floor * 0.75,
+              f"size {size} {col}: {got:,.0f} ops/s is more than 25% below "
+              f"the floor {floor:,.0f}")
+        checked += 1
+
+print(f"store perf floor OK ({checked} cells within 25% of the floor)")
 EOF
 
 echo "== incremental-solving smoke test =="

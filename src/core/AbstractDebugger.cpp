@@ -4,6 +4,7 @@
 
 #include "cfg/CfgBuilder.h"
 #include "frontend/Lexer.h"
+#include "semantics/Liveness.h"
 #include "frontend/Parser.h"
 #include "frontend/Sema.h"
 
@@ -248,20 +249,48 @@ static PointState pointState(const Analyzer &An, const Instance &Inst,
   S.PointDesc = Inst.Cfg->pointDesc(P);
   S.Reachable = !An.forwardAt(Node).isBottom();
   S.InEnvelope = !Env.isBottom();
+  const LivenessInfo *Live = An.liveness();
   Env.forEachEntry([&](const VarDecl *V, const AbsValue &Val) {
     if (!V->name().empty() && V->name()[0] == '$')
       return; // analysis temporaries
+    if (Live && !Live->isLive(Node, V)) {
+      // Dead slot: any envelope entry here is backward-requirement
+      // residue, not a forward fact — the pruned analysis reads it as
+      // top. Flag it instead of showing a value the unpruned analysis
+      // might not agree with.
+      S.PrunedVars.push_back(V->name());
+      return;
+    }
     StateBinding B;
     B.Var = V->name();
     B.Value = Val.isInt() ? D.str(Val.asInt()) : Val.asBool().str();
     S.Bindings.push_back(std::move(B));
   });
+  if (Live && !Env.isBottom()) {
+    // Most dead slots have no residual entry at all — the restriction
+    // drops them from the stores before they are ever written — so the
+    // envelope walk above never sees them. Flag every dead variable of
+    // the point's frame (the routine's own variables plus the ancestor
+    // variables copied across its boundary) so a reader comparing
+    // against an unpruned run can account for each missing binding.
+    auto FlagDead = [&](const VarDecl *V) {
+      if (!V->name().empty() && V->name()[0] == '$')
+        return;
+      if (!Env.hasEntry(V) && !Live->isLive(Node, V))
+        S.PrunedVars.push_back(V->name());
+    };
+    for (const VarDecl *V : Inst.R->ownedVars())
+      FlagDead(V);
+    for (const VarDecl *V : Inst.SharedKeys)
+      FlagDead(V);
+  }
   // forEachEntry iterates in slot order, which is stable but arbitrary
   // to a reader; present alphabetically.
   std::sort(S.Bindings.begin(), S.Bindings.end(),
             [](const StateBinding &A, const StateBinding &B) {
               return A.Var < B.Var;
             });
+  std::sort(S.PrunedVars.begin(), S.PrunedVars.end());
   return S;
 }
 
@@ -389,5 +418,11 @@ json::Value PointState::toJson() const {
   for (const StateBinding &B : Bindings)
     Bs.set(B.Var, B.Value);
   V.set("state", std::move(Bs));
+  if (!PrunedVars.empty()) {
+    json::Value Ps = json::Value::array();
+    for (const std::string &P : PrunedVars)
+      Ps.push(json::Value(P));
+    V.set("pruned", std::move(Ps));
+  }
   return V;
 }

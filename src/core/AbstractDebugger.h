@@ -87,6 +87,11 @@ struct PointState {
   /// Envelope constraints on the named program variables (analysis
   /// temporaries are omitted); unconstrained variables are absent.
   std::vector<StateBinding> Bindings;
+  /// Variables whose store slot is *dead* at this point under
+  /// liveness-driven pruning (--no-prune disables it): the analysis
+  /// never tracked them here, so they read as top regardless of any
+  /// value the unpruned analysis would have shown. JSON: "pruned".
+  std::vector<std::string> PrunedVars;
 
   json::Value toJson() const;
 };

@@ -45,6 +45,10 @@ FlagParse syntox::parseAnalysisFlag(const std::string &Arg,
     Opts.WarmStart = true;
   } else if (Arg == "--no-warm-start") {
     Opts.WarmStart = false;
+  } else if (Arg == "--prune") {
+    Opts.PruneDeadSlots = true;
+  } else if (Arg == "--no-prune") {
+    Opts.PruneDeadSlots = false;
   } else if (Arg == "--trace-detail") {
     Telem.TraceDetail = true;
   } else if (const char *V = valueOf("--rounds=")) {
@@ -180,6 +184,10 @@ const char *syntox::analysisFlagsHelp() {
          "                       replay stable WTO components across\n"
          "                       refinement rounds (default on; results\n"
          "                       are identical either way)\n"
+         "  --prune, --no-prune  liveness-driven dead-slot store pruning\n"
+         "                       (default on; findings and live-variable\n"
+         "                       states are identical, dead variables\n"
+         "                       read as top)\n"
          "  --rounds=N           backward/forward refinement rounds\n"
          "  --narrowing=N        narrowing passes per ascending phase\n"
          "  --terminate          add the goal 'the program terminates'\n"
@@ -189,7 +197,8 @@ const char *syntox::analysisFlagsHelp() {
          "  --trace=FILE         write an event trace (- = stdout)\n"
          "  --trace-format=json|chrome\n"
          "                       trace encoding (default json-lines)\n"
-         "  --trace-detail       include cache and store-detach events\n"
+         "  --trace-detail       include cache, store-detach and\n"
+         "                       store-prune events\n"
          "  --metrics-json=FILE  write a metrics snapshot (- = stdout)\n";
 }
 

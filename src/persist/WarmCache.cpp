@@ -91,59 +91,67 @@ indexByKey(const std::vector<uint64_t> &Keys) {
 constexpr int64_t MinI64 = std::numeric_limits<int64_t>::min();
 constexpr int64_t MaxI64 = std::numeric_limits<int64_t>::max();
 
+/// Row codec (format v2, matching the SoA payload rows): one flags byte
+/// folds the lane tag, the bool kind and the interval sentinels, so a
+/// typical finite interval row is the flags byte plus two svarints and
+/// a bool row is a single byte (format v1 spent a separate tag byte per
+/// value and a whole byte per bool kind).
+///   bit0        1 = bool lane, 0 = interval lane
+///   bool lane:  bits1-2 = BoolLattice kind (Bottom/False/True/Top)
+///   int lane:   bit1 = bottom, bit2 = Lo is -oo, bit3 = Hi is +oo;
+///               finite bounds follow as svarints (zigzag varints)
 void writeValue(ByteWriter &W, const AbsValue &V) {
-  if (V.isInt()) {
-    const Interval &I = V.asInt();
-    W.u8(0);
-    uint8_t Flags = 0;
-    if (I.isBottom())
-      Flags |= 1;
-    else {
-      if (I.Lo == MinI64)
-        Flags |= 2; // -oo sentinel: no bound byte follows
-      if (I.Hi == MaxI64)
-        Flags |= 4; // +oo sentinel
-    }
-    W.u8(Flags);
-    if (!(Flags & 1)) {
-      if (!(Flags & 2))
-        W.svarint(I.Lo);
-      if (!(Flags & 4))
-        W.svarint(I.Hi);
-    }
-  } else {
-    W.u8(1);
-    W.u8(static_cast<uint8_t>(V.asBool().kind()));
+  if (!V.isInt()) {
+    W.u8(static_cast<uint8_t>(
+        1u | (static_cast<unsigned>(V.asBool().kind()) << 1)));
+    return;
+  }
+  const Interval &I = V.asInt();
+  uint8_t Flags = 0;
+  if (I.isBottom())
+    Flags |= 2;
+  else {
+    if (I.Lo == MinI64)
+      Flags |= 4; // -oo sentinel: no bound bytes follow
+    if (I.Hi == MaxI64)
+      Flags |= 8; // +oo sentinel
+  }
+  W.u8(Flags);
+  if (!(Flags & 2)) {
+    if (!(Flags & 4))
+      W.svarint(I.Lo);
+    if (!(Flags & 8))
+      W.svarint(I.Hi);
   }
 }
 
 AbsValue readValue(ByteReader &R, bool &Ok) {
-  uint8_t Tag = R.u8();
-  if (Tag == 0) {
-    uint8_t Flags = R.u8();
-    if (Flags & 1)
-      return AbsValue(Interval::bottom());
-    int64_t Lo = (Flags & 2) ? MinI64 : R.svarint();
-    int64_t Hi = (Flags & 4) ? MaxI64 : R.svarint();
-    return AbsValue(Interval(Lo, Hi));
-  }
-  if (Tag == 1) {
-    switch (R.u8()) {
+  uint8_t Flags = R.u8();
+  if (Flags & 1) {
+    if (Flags & ~0x7u) {
+      Ok = false;
+      return AbsValue();
+    }
+    switch ((Flags >> 1) & 3u) {
     case BoolLattice::Bottom:
       return AbsValue(BoolLattice::bottom());
     case BoolLattice::False:
       return AbsValue(BoolLattice(false));
     case BoolLattice::True:
       return AbsValue(BoolLattice(true));
-    case BoolLattice::Top:
-      return AbsValue(BoolLattice::top());
     default:
-      Ok = false;
-      return AbsValue();
+      return AbsValue(BoolLattice::top());
     }
   }
-  Ok = false;
-  return AbsValue();
+  if (Flags & ~0xeu) {
+    Ok = false;
+    return AbsValue();
+  }
+  if (Flags & 2)
+    return AbsValue(Interval::bottom());
+  int64_t Lo = (Flags & 4) ? MinI64 : R.svarint();
+  int64_t Hi = (Flags & 8) ? MaxI64 : R.svarint();
+  return AbsValue(Interval(Lo, Hi));
 }
 
 //===----------------------------------------------------------------------===//
@@ -479,12 +487,9 @@ CacheLoadResult persist::loadWarmCache(const std::string &Dir,
   if (Data.size() < HeaderBytes)
     return Fallback("truncated header");
 
-  ByteReader Header(Data.data(), HeaderBytes);
-  char Magic[4];
-  for (char &C : Magic)
-    C = static_cast<char>(Header.u8());
-  if (std::memcmp(Magic, CacheMagic, 4) != 0)
+  if (std::memcmp(Data.data(), CacheMagic, 4) != 0)
     return Fallback("bad magic");
+  ByteReader Header(Data.data() + 4, HeaderBytes - 4);
   if (Header.u32() != CacheFormatVersion)
     return Fallback("format version mismatch");
   if (Header.u64() != Opts.optionsHash())

@@ -53,7 +53,9 @@ struct AnalysisOptions;
 namespace persist {
 
 /// Cache file format version; bumped on any layout change.
-inline constexpr uint32_t CacheFormatVersion = 1;
+/// v2: single-flags-byte store row codec matching the SoA payload
+/// layout (bool kind folded into the flags, zigzag varint bounds).
+inline constexpr uint32_t CacheFormatVersion = 2;
 /// The four header magic bytes.
 inline constexpr char CacheMagic[4] = {'S', 'Y', 'X', 'C'};
 

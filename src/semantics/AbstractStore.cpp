@@ -1,4 +1,20 @@
 //===- semantics/AbstractStore.cpp - Abstract memory states ---------------===//
+//
+// The lattice operations here are whole-vector kernels over the
+// structure-of-arrays payload: each walks the 64-slot presence bitmap
+// words (skipping absent words wholesale) and runs a branch-light body
+// over the raw Lo/Hi rows. Boolean lanes are pseudo-intervals over
+// {0, 1} (see AbstractStore.h), so the same min/max/compare formulas
+// serve both kinds once a lane's domain bounds are selected per slot —
+// the single exception is narrowing, where the boolean operator is the
+// lattice *meet* (max-lo/min-hi), not the omega-bound formula.
+//
+// Every kernel must reproduce the scalar per-entry semantics bit for
+// bit (store_soa_test runs a fuzzed differential against a scalar
+// reference), including non-canonical bottom rows (Lo > Hi) that
+// set() may have stored verbatim.
+//
+//===----------------------------------------------------------------------===//
 
 #include "semantics/AbstractStore.h"
 
@@ -29,7 +45,7 @@ AbsValue StoreOps::get(const AbstractStore &S, const VarDecl *V) const {
   }
   unsigned Slot = V->storeSlot();
   if (S.P && S.P->present(Slot))
-    return S.P->Values[Slot];
+    return S.P->value(Slot);
   return topFor(V);
 }
 
@@ -66,6 +82,56 @@ AbsValue StoreOps::widenValues(const AbsValue &A, const AbsValue &B) const {
   return AbsValue(A.asBool().join(B.asBool()));
 }
 
+//===----------------------------------------------------------------------===//
+// Kernel helpers
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Raw row view of a payload word: base slot plus the four bitmap words
+/// a kernel body needs. WordsOf is the payload's word count.
+inline size_t wordsOf(const StorePayload *P) {
+  return P ? P->Bits.size() : 0;
+}
+
+/// Per-slot lane bounds: (0, 1) for boolean lanes, (w-, w+) otherwise.
+struct Lane {
+  int64_t KMin, KMax;
+};
+inline Lane laneOf(uint64_t BoolWord, unsigned Bit, int64_t MinV,
+                   int64_t MaxV) {
+  bool IsBool = (BoolWord >> Bit) & 1;
+  return {IsBool ? 0 : MinV, IsBool ? 1 : MaxV};
+}
+
+/// Top test on raw rows: a non-empty row spanning the whole lane.
+inline bool rowIsTop(int64_t Lo, int64_t Hi, const Lane &L) {
+  return Lo <= Hi && Lo <= L.KMin && Hi >= L.KMax;
+}
+
+/// EqValues on raw rows (the scalar AbsValue/Interval operator==): all
+/// bottom representations compare equal, otherwise the bounds must
+/// match exactly.
+inline bool rowsEqual(int64_t ALo, int64_t AHi, int64_t BLo, int64_t BHi) {
+  bool ABot = ALo > AHi, BBot = BLo > BHi;
+  if (ABot || BBot)
+    return ABot && BBot;
+  return ALo == BLo && AHi == BHi;
+}
+
+/// leqValues on raw rows; valid for both lanes (the boolean encoding
+/// makes interval inclusion coincide with the flat-lattice order).
+inline bool rowLeq(int64_t ALo, int64_t AHi, int64_t BLo, int64_t BHi) {
+  bool ABot = ALo > AHi, BBot = BLo > BHi;
+  return ABot || (!BBot && BLo <= ALo && AHi <= BHi);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Comparison kernels
+//===----------------------------------------------------------------------===//
+
 bool StoreOps::leq(const AbstractStore &A, const AbstractStore &B) const {
   if (A.isBottom())
     return true;
@@ -78,17 +144,38 @@ bool StoreOps::leq(const AbstractStore &A, const AbstractStore &B) const {
     return true; // B is top
   // A <= B iff every constraint of B is implied by A. Slots absent in A
   // are top, which is only below B's entry if that entry is top too.
-  const StorePayload *PA = A.P.get();
-  bool Ok = true;
-  B.P->forEach([&](unsigned Slot, const VarDecl *, const AbsValue &BV) {
-    if (!Ok || isTopValue(BV))
-      return;
-    if (PA && PA->present(Slot))
-      Ok = leqValues(PA->Values[Slot], BV);
-    else
-      Ok = false; // top !<= a real constraint
-  });
-  return Ok;
+  const StorePayload *PA = A.P.get(), *PB = B.P.get();
+  const int64_t MinV = D.minValue(), MaxV = D.maxValue();
+  const size_t WA = wordsOf(PA), WB = wordsOf(PB);
+  uint64_t Blocks = 0;
+  for (size_t W = 0; W < WB; ++W) {
+    uint64_t MB = PB->Bits[W];
+    if (!MB)
+      continue;
+    ++Blocks;
+    uint64_t MA = W < WA ? PA->Bits[W] : 0;
+    uint64_t BoolW = PB->BoolBits[W];
+    size_t Base = W * 64;
+    while (MB) {
+      unsigned Bit = static_cast<unsigned>(__builtin_ctzll(MB));
+      MB &= MB - 1;
+      size_t S = Base + Bit;
+      int64_t BLo = PB->Lo[S], BHi = PB->Hi[S];
+      Lane L = laneOf(BoolW, Bit, MinV, MaxV);
+      if (rowIsTop(BLo, BHi, L))
+        continue; // top BV constrains nothing
+      if (!((MA >> Bit) & 1)) {
+        KernelBlocks.fetch_add(Blocks, std::memory_order_relaxed);
+        return false; // top !<= a real constraint
+      }
+      if (!rowLeq(PA->Lo[S], PA->Hi[S], BLo, BHi)) {
+        KernelBlocks.fetch_add(Blocks, std::memory_order_relaxed);
+        return false;
+      }
+    }
+  }
+  KernelBlocks.fetch_add(Blocks, std::memory_order_relaxed);
+  return true;
 }
 
 bool StoreOps::equal(const AbstractStore &A, const AbstractStore &B) const {
@@ -111,33 +198,58 @@ bool StoreOps::equal(const AbstractStore &A, const AbstractStore &B) const {
   }
   // Synchronized walk over the union of present slots (missing slot =
   // top; explicit top entries match missing ones).
-  auto EqValues = [&](const AbsValue &X, const AbsValue &Y) {
-    return X == Y || (leqValues(X, Y) && leqValues(Y, X));
-  };
-  size_t WordsA = PA ? PA->Bits.size() : 0;
-  size_t WordsB = PB ? PB->Bits.size() : 0;
-  for (size_t W = 0; W < std::max(WordsA, WordsB); ++W) {
-    uint64_t BitsA = W < WordsA ? PA->Bits[W] : 0;
-    uint64_t BitsB = W < WordsB ? PB->Bits[W] : 0;
-    uint64_t Union = BitsA | BitsB;
+  const int64_t MinV = D.minValue(), MaxV = D.maxValue();
+  const size_t WA = wordsOf(PA), WB = wordsOf(PB);
+  uint64_t Blocks = 0;
+  bool Eq = true;
+  for (size_t W = 0; Eq && W < std::max(WA, WB); ++W) {
+    uint64_t MA = W < WA ? PA->Bits[W] : 0;
+    uint64_t MB = W < WB ? PB->Bits[W] : 0;
+    uint64_t Union = MA | MB;
+    if (!Union)
+      continue;
+    ++Blocks;
+    size_t Base = W * 64;
+    uint64_t Common = MA & MB;
+    if (Common == ~0ull) {
+      // Dense word (the dominant shape once a sweep has populated the
+      // store): a pure xor/or reduction the compiler vectorizes. Equal
+      // raw bits mean equal rows; differing bits *almost* always mean a
+      // real difference — the only exception is two bottom rows with
+      // different representations, and a non-bottom payload never holds
+      // a bottom row (any bottom entry collapses the whole store), so
+      // the slow per-slot walk below runs only on genuine mismatches.
+      uint64_t Diff = 0;
+      for (unsigned I = 0; I < 64; ++I) {
+        size_t S = Base + I;
+        Diff |= uint64_t(PA->Lo[S] ^ PB->Lo[S]) |
+                uint64_t(PA->Hi[S] ^ PB->Hi[S]);
+      }
+      if (!Diff)
+        continue;
+    }
     while (Union) {
-      unsigned Slot = static_cast<unsigned>(W * 64) + __builtin_ctzll(Union);
+      unsigned Bit = static_cast<unsigned>(__builtin_ctzll(Union));
       Union &= Union - 1;
-      uint64_t Mask = uint64_t(1) << (Slot & 63);
-      bool InA = BitsA & Mask, InB = BitsB & Mask;
+      size_t S = Base + Bit;
+      bool InA = (MA >> Bit) & 1, InB = (MB >> Bit) & 1;
       if (InA && InB) {
-        if (!EqValues(PA->Values[Slot], PB->Values[Slot]))
-          return false;
-      } else if (InA) {
-        if (!isTopValue(PA->Values[Slot]))
-          return false;
+        if (!rowsEqual(PA->Lo[S], PA->Hi[S], PB->Lo[S], PB->Hi[S])) {
+          Eq = false;
+          break;
+        }
       } else {
-        if (!isTopValue(PB->Values[Slot]))
-          return false;
+        const StorePayload *PX = InA ? PA : PB;
+        Lane L = laneOf(PX->BoolBits[W], Bit, MinV, MaxV);
+        if (!rowIsTop(PX->Lo[S], PX->Hi[S], L)) {
+          Eq = false;
+          break;
+        }
       }
     }
   }
-  return true;
+  KernelBlocks.fetch_add(Blocks, std::memory_order_relaxed);
+  return Eq;
 }
 
 uint64_t StoreOps::hash(const AbstractStore &S) const {
@@ -148,25 +260,52 @@ uint64_t StoreOps::hash(const AbstractStore &S) const {
   uint64_t Cached = S.P->CachedHash.load(std::memory_order_relaxed);
   if (Cached)
     return Cached;
+  const StorePayload *P = S.P.get();
+  const int64_t MinV = D.minValue(), MaxV = D.maxValue();
   uint64_t H = 0x13198a2e03707344ull;
+  uint64_t Blocks = 0;
   // Slot order is deterministic across runs (per-routine declaration
   // order), unlike the pointer order of the old map representation.
-  S.P->forEach([&](unsigned Slot, const VarDecl *, const AbsValue &Value) {
-    if (isTopValue(Value))
-      return; // explicit top entry == missing slot
-    H = hashCombine(H, Slot);
-    if (Value.isInt()) {
-      H = hashCombine(H, hashValue(Value.asInt()));
-    } else {
-      H = hashCombine(H, 0xa4093822299f31d0ull);
-      H = hashCombine(H, static_cast<uint64_t>(Value.asBool().kind()));
+  for (size_t W = 0; W < P->Bits.size(); ++W) {
+    uint64_t Mask = P->Bits[W];
+    if (!Mask)
+      continue;
+    ++Blocks;
+    uint64_t BoolW = P->BoolBits[W];
+    size_t Base = W * 64;
+    while (Mask) {
+      unsigned Bit = static_cast<unsigned>(__builtin_ctzll(Mask));
+      Mask &= Mask - 1;
+      size_t Slot = Base + Bit;
+      int64_t Lo = P->Lo[Slot], Hi = P->Hi[Slot];
+      bool IsBool = (BoolW >> Bit) & 1;
+      Lane L{IsBool ? 0 : MinV, IsBool ? 1 : MaxV};
+      if (rowIsTop(Lo, Hi, L))
+        continue; // explicit top entry == missing slot
+      H = hashCombine(H, static_cast<uint64_t>(Slot));
+      if (!IsBool) {
+        H = hashCombine(H, hashValue(Interval(Lo, Hi)));
+      } else {
+        // BoolLattice::kind(): Bottom=0, False=1, True=2, Top=3,
+        // recovered from the pseudo-interval rows.
+        uint64_t Kind = Lo > Hi ? 0
+                                : static_cast<uint64_t>(1 + Lo +
+                                                        2 * (Hi - Lo));
+        H = hashCombine(H, 0xa4093822299f31d0ull);
+        H = hashCombine(H, Kind);
+      }
     }
-  });
+  }
   if (H == 0)
     H = 0x3f84d5b5b5470917ull; // 0 is the "not yet computed" sentinel
   S.P->CachedHash.store(H, std::memory_order_relaxed);
+  KernelBlocks.fetch_add(Blocks, std::memory_order_relaxed);
   return H;
 }
+
+//===----------------------------------------------------------------------===//
+// Lattice kernels
+//===----------------------------------------------------------------------===//
 
 AbstractStore StoreOps::join(const AbstractStore &A,
                              const AbstractStore &B) const {
@@ -179,38 +318,112 @@ AbstractStore StoreOps::join(const AbstractStore &A,
   if (B.isTop())
     return B;
   const StorePayload *PA = A.P.get(), *PB = B.P.get();
+  const int64_t MinV = D.minValue(), MaxV = D.maxValue();
+  const size_t WA = wordsOf(PA), WB = wordsOf(PB);
+  uint64_t Blocks = 0;
   // Delta pass 1: result == A when every real constraint of A absorbs
   // B's value (B present and below). Explicit top entries of A never
   // constrain anything, so they cannot break equality. No allocation.
   bool EqA = true;
-  PA->forEach([&](unsigned Slot, const VarDecl *, const AbsValue &AV) {
-    if (!EqA || isTopValue(AV))
-      return;
-    EqA = PB->present(Slot) && leqValues(PB->Values[Slot], AV);
-  });
-  if (EqA)
+  for (size_t W = 0; EqA && W < WA; ++W) {
+    uint64_t MA = PA->Bits[W];
+    if (!MA)
+      continue;
+    ++Blocks;
+    uint64_t MB = W < WB ? PB->Bits[W] : 0;
+    uint64_t BoolW = PA->BoolBits[W];
+    size_t Base = W * 64;
+    while (MA) {
+      unsigned Bit = static_cast<unsigned>(__builtin_ctzll(MA));
+      MA &= MA - 1;
+      size_t S = Base + Bit;
+      int64_t ALo = PA->Lo[S], AHi = PA->Hi[S];
+      if (rowIsTop(ALo, AHi, laneOf(BoolW, Bit, MinV, MaxV)))
+        continue;
+      if (!((MB >> Bit) & 1) ||
+          !rowLeq(PB->Lo[S], PB->Hi[S], ALo, AHi)) {
+        EqA = false;
+        break;
+      }
+    }
+  }
+  if (EqA) {
+    KernelBlocks.fetch_add(Blocks, std::memory_order_relaxed);
     return A;
+  }
   // Delta pass 2: symmetric check for result == B (the growing phase of
   // an ascending iteration usually lands here).
   bool EqB = true;
-  PB->forEach([&](unsigned Slot, const VarDecl *, const AbsValue &BV) {
-    if (!EqB || isTopValue(BV))
-      return;
-    EqB = PA->present(Slot) && leqValues(PA->Values[Slot], BV);
-  });
-  if (EqB)
+  for (size_t W = 0; EqB && W < WB; ++W) {
+    uint64_t MB = PB->Bits[W];
+    if (!MB)
+      continue;
+    ++Blocks;
+    uint64_t MA = W < WA ? PA->Bits[W] : 0;
+    uint64_t BoolW = PB->BoolBits[W];
+    size_t Base = W * 64;
+    while (MB) {
+      unsigned Bit = static_cast<unsigned>(__builtin_ctzll(MB));
+      MB &= MB - 1;
+      size_t S = Base + Bit;
+      int64_t BLo = PB->Lo[S], BHi = PB->Hi[S];
+      if (rowIsTop(BLo, BHi, laneOf(BoolW, Bit, MinV, MaxV)))
+        continue;
+      if (!((MA >> Bit) & 1) ||
+          !rowLeq(PA->Lo[S], PA->Hi[S], BLo, BHi)) {
+        EqB = false;
+        break;
+      }
+    }
+  }
+  if (EqB) {
+    KernelBlocks.fetch_add(Blocks, std::memory_order_relaxed);
     return B;
+  }
   // General case: only slots constrained in *both* stores stay
-  // constrained.
+  // constrained. The output rows are written straight from the input
+  // rows — no per-entry growth checks, no AbsValue materialization.
   AbstractStore Out;
-  Out.detach();
-  PA->forEach([&](unsigned Slot, const VarDecl *V, const AbsValue &AV) {
-    if (!PB->present(Slot))
-      return;
-    AbsValue Joined = joinValues(AV, PB->Values[Slot]);
-    if (!isTopValue(Joined)) // skip entries that became top
-      Out.P->put(Slot, V, std::move(Joined));
-  });
+  Out.P = std::make_shared<StorePayload>();
+  StorePayload &PO = *Out.P;
+  const size_t Cap = std::min(PA->capacity(), PB->capacity());
+  const size_t Words = (Cap + 63) / 64;
+  PO.Lo.resize(Cap);
+  PO.Hi.resize(Cap);
+  PO.Bits.assign(Words, 0);
+  PO.BoolBits.assign(PA->BoolBits.begin(), PA->BoolBits.begin() + Words);
+  PO.Keys = PA->Keys;
+  uint32_t Num = 0;
+  for (size_t W = 0; W < Words; ++W) {
+    uint64_t Common = PA->Bits[W] & PB->Bits[W];
+    if (!Common)
+      continue;
+    ++Blocks;
+    uint64_t BoolW = PO.BoolBits[W];
+    size_t Base = W * 64;
+    uint64_t OutBits = 0;
+    uint64_t M = Common;
+    while (M) {
+      unsigned Bit = static_cast<unsigned>(__builtin_ctzll(M));
+      M &= M - 1;
+      size_t S = Base + Bit;
+      int64_t ALo = PA->Lo[S], AHi = PA->Hi[S];
+      int64_t BLo = PB->Lo[S], BHi = PB->Hi[S];
+      bool ABot = ALo > AHi, BBot = BLo > BHi;
+      int64_t JLo = ABot ? BLo : (BBot ? ALo : std::min(ALo, BLo));
+      int64_t JHi = ABot ? BHi : (BBot ? AHi : std::max(AHi, BHi));
+      Lane L = laneOf(BoolW, Bit, MinV, MaxV);
+      if (rowIsTop(JLo, JHi, L))
+        continue; // skip entries that became top
+      PO.Lo[S] = JLo;
+      PO.Hi[S] = JHi;
+      OutBits |= uint64_t(1) << Bit;
+    }
+    PO.Bits[W] = OutBits;
+    Num += static_cast<uint32_t>(__builtin_popcountll(OutBits));
+  }
+  PO.NumPresent = Num;
+  KernelBlocks.fetch_add(Blocks, std::memory_order_relaxed);
   return Out;
 }
 
@@ -223,32 +436,85 @@ AbstractStore StoreOps::meet(const AbstractStore &A,
   if (A.isTop())
     return B;
   const StorePayload *PA = A.P.get(), *PB = B.P.get();
+  const int64_t MinV = D.minValue(), MaxV = D.maxValue();
+  const size_t WA = wordsOf(PA), WB = wordsOf(PB);
+  uint64_t Blocks = 0;
   // Delta pass: result == A when every constraint of B is already
   // implied by A (the common case once the solver iterates inside a
   // previously computed envelope).
   bool EqA = true;
-  PB->forEach([&](unsigned Slot, const VarDecl *, const AbsValue &BV) {
-    if (!EqA || isTopValue(BV))
-      return;
-    EqA = PA->present(Slot) && leqValues(PA->Values[Slot], BV);
-  });
-  if (EqA)
-    return A;
-  AbstractStore Out = A; // shared; detach happens on the first write
-  bool Bottom = false;
-  PB->forEach([&](unsigned Slot, const VarDecl *V, const AbsValue &BV) {
-    if (Bottom || isTopValue(BV))
-      return;
-    AbsValue Met =
-        PA->present(Slot) ? meetValues(PA->Values[Slot], BV) : BV;
-    if (Met.isBottom()) {
-      Bottom = true;
-      return;
+  for (size_t W = 0; EqA && W < WB; ++W) {
+    uint64_t MB = PB->Bits[W];
+    if (!MB)
+      continue;
+    ++Blocks;
+    uint64_t MA = W < WA ? PA->Bits[W] : 0;
+    uint64_t BoolW = PB->BoolBits[W];
+    size_t Base = W * 64;
+    while (MB) {
+      unsigned Bit = static_cast<unsigned>(__builtin_ctzll(MB));
+      MB &= MB - 1;
+      size_t S = Base + Bit;
+      int64_t BLo = PB->Lo[S], BHi = PB->Hi[S];
+      if (rowIsTop(BLo, BHi, laneOf(BoolW, Bit, MinV, MaxV)))
+        continue;
+      if (!((MA >> Bit) & 1) ||
+          !rowLeq(PA->Lo[S], PA->Hi[S], BLo, BHi)) {
+        EqA = false;
+        break;
+      }
     }
-    Out.set(V, std::move(Met));
-  });
-  if (Bottom)
-    return AbstractStore::bottom();
+  }
+  if (EqA) {
+    KernelBlocks.fetch_add(Blocks, std::memory_order_relaxed);
+    return A;
+  }
+  // General case: clone A's payload and fold every non-top constraint
+  // of B into it (meet = max-lo/min-hi on both lanes; an absent A slot
+  // adopts B's value).
+  AbstractStore Out;
+  Out.P = std::make_shared<StorePayload>(*PA);
+  StorePayload &PO = *Out.P;
+  for (size_t W = 0; W < WB; ++W) {
+    uint64_t MB = PB->Bits[W];
+    if (!MB)
+      continue;
+    ++Blocks;
+    uint64_t BoolW = PB->BoolBits[W];
+    size_t Base = W * 64;
+    while (MB) {
+      unsigned Bit = static_cast<unsigned>(__builtin_ctzll(MB));
+      MB &= MB - 1;
+      size_t S = Base + Bit;
+      int64_t BLo = PB->Lo[S], BHi = PB->Hi[S];
+      bool IsBool = (BoolW >> Bit) & 1;
+      Lane L{IsBool ? 0 : MinV, IsBool ? 1 : MaxV};
+      if (rowIsTop(BLo, BHi, L))
+        continue;
+      int64_t MLo = BLo, MHi = BHi;
+      if (PO.present(static_cast<unsigned>(S))) {
+        int64_t ALo = PO.Lo[S], AHi = PO.Hi[S];
+        // meetValues: any bottom operand (or empty overlap) -> bottom.
+        bool ABot = ALo > AHi, BBot = BLo > BHi;
+        if (ABot || BBot) {
+          MLo = 1;
+          MHi = 0;
+        } else {
+          MLo = std::max(ALo, BLo);
+          MHi = std::min(AHi, BHi);
+        }
+      }
+      if (MLo > MHi) {
+        KernelBlocks.fetch_add(Blocks, std::memory_order_relaxed);
+        return AbstractStore::bottom();
+      }
+      PO.ensureCapacity(static_cast<unsigned>(S));
+      PO.noteKey(static_cast<unsigned>(S), PB->key(static_cast<unsigned>(S)));
+      PO.putRaw(static_cast<unsigned>(S), MLo, MHi, IsBool);
+    }
+  }
+  PO.CachedHash.store(0, std::memory_order_relaxed);
+  KernelBlocks.fetch_add(Blocks, std::memory_order_relaxed);
   return Out;
 }
 
@@ -260,30 +526,99 @@ AbstractStore StoreOps::widen(const AbstractStore &A,
     return A;
   if (A.samePayload(B) || A.isTop())
     return A;
-  const StorePayload *PA = A.P.get();
-  const StorePayload *PB = B.P.get();
+  const StorePayload *PA = A.P.get(), *PB = B.P.get();
+  const int64_t MinV = D.minValue(), MaxV = D.maxValue();
+  const size_t WA = wordsOf(PA), WB = wordsOf(PB);
+  const bool Thresholded = !WideningThresholds.empty();
+  uint64_t Blocks = 0;
   // Delta pass: widening is stable (result == A) when every constraint
   // of A already bounds B's value — both the standard and the threshold
   // operator keep stable bounds unchanged.
   bool EqA = true;
-  PA->forEach([&](unsigned Slot, const VarDecl *, const AbsValue &AV) {
-    if (!EqA || isTopValue(AV))
-      return;
-    EqA = PB && PB->present(Slot) && leqValues(PB->Values[Slot], AV);
-  });
-  if (EqA)
+  for (size_t W = 0; EqA && W < WA; ++W) {
+    uint64_t MA = PA->Bits[W];
+    if (!MA)
+      continue;
+    ++Blocks;
+    uint64_t MB = W < WB && PB ? PB->Bits[W] : 0;
+    uint64_t BoolW = PA->BoolBits[W];
+    size_t Base = W * 64;
+    while (MA) {
+      unsigned Bit = static_cast<unsigned>(__builtin_ctzll(MA));
+      MA &= MA - 1;
+      size_t S = Base + Bit;
+      int64_t ALo = PA->Lo[S], AHi = PA->Hi[S];
+      if (rowIsTop(ALo, AHi, laneOf(BoolW, Bit, MinV, MaxV)))
+        continue;
+      if (!((MB >> Bit) & 1) ||
+          !rowLeq(PB->Lo[S], PB->Hi[S], ALo, AHi)) {
+        EqA = false;
+        break;
+      }
+    }
+  }
+  if (EqA) {
+    KernelBlocks.fetch_add(Blocks, std::memory_order_relaxed);
     return A;
+  }
+  // General case: slots of A with B present widen bound-wise (unstable
+  // bounds jump to the lane's w-/w+; boolean join is exactly that
+  // formula over {0, 1}); slots absent in B are unstable towards top
+  // and drop.
   AbstractStore Out;
-  Out.detach();
-  PA->forEach([&](unsigned Slot, const VarDecl *V, const AbsValue &AV) {
-    if (isTopValue(AV))
-      return;
-    if (!PB || !PB->present(Slot))
-      return; // unstable towards top: drop the constraint
-    AbsValue W = widenValues(AV, PB->Values[Slot]);
-    if (!isTopValue(W))
-      Out.P->put(Slot, V, std::move(W));
-  });
+  Out.P = std::make_shared<StorePayload>();
+  StorePayload &PO = *Out.P;
+  const size_t Cap = std::min(PA->capacity(), PB ? PB->capacity() : 0);
+  const size_t Words = (Cap + 63) / 64;
+  PO.Lo.resize(Cap);
+  PO.Hi.resize(Cap);
+  PO.Bits.assign(Words, 0);
+  PO.BoolBits.assign(PA->BoolBits.begin(), PA->BoolBits.begin() + Words);
+  PO.Keys = PA->Keys;
+  uint32_t Num = 0;
+  for (size_t W = 0; W < Words; ++W) {
+    uint64_t Common = PA->Bits[W] & PB->Bits[W];
+    if (!Common)
+      continue;
+    ++Blocks;
+    uint64_t BoolW = PO.BoolBits[W];
+    size_t Base = W * 64;
+    uint64_t OutBits = 0;
+    uint64_t M = Common;
+    while (M) {
+      unsigned Bit = static_cast<unsigned>(__builtin_ctzll(M));
+      M &= M - 1;
+      size_t S = Base + Bit;
+      int64_t ALo = PA->Lo[S], AHi = PA->Hi[S];
+      int64_t BLo = PB->Lo[S], BHi = PB->Hi[S];
+      bool IsBool = (BoolW >> Bit) & 1;
+      Lane L{IsBool ? 0 : MinV, IsBool ? 1 : MaxV};
+      int64_t WLo, WHi;
+      if (Thresholded && !IsBool) {
+        // Scalar fallback: the threshold operator scans the threshold
+        // list per unstable bound — rare enough to stay off the fast
+        // path.
+        Interval R = D.widenWithThresholds(Interval(ALo, AHi),
+                                           Interval(BLo, BHi),
+                                           WideningThresholds);
+        WLo = R.Lo;
+        WHi = R.Hi;
+      } else {
+        bool ABot = ALo > AHi, BBot = BLo > BHi;
+        WLo = ABot ? BLo : (BBot ? ALo : (BLo < ALo ? L.KMin : ALo));
+        WHi = ABot ? BHi : (BBot ? AHi : (BHi > AHi ? L.KMax : AHi));
+      }
+      if (rowIsTop(WLo, WHi, L))
+        continue;
+      PO.Lo[S] = WLo;
+      PO.Hi[S] = WHi;
+      OutBits |= uint64_t(1) << Bit;
+    }
+    PO.Bits[W] = OutBits;
+    Num += static_cast<uint32_t>(__builtin_popcountll(OutBits));
+  }
+  PO.NumPresent = Num;
+  KernelBlocks.fetch_add(Blocks, std::memory_order_relaxed);
   return Out;
 }
 
@@ -294,72 +629,189 @@ AbstractStore StoreOps::narrow(const AbstractStore &A,
   if (A.samePayload(B))
     return A;
   const StorePayload *PA = A.P.get(), *PB = B.P.get();
+  const int64_t MinV = D.minValue(), MaxV = D.maxValue();
+  const size_t WA = wordsOf(PA), WB = wordsOf(PB);
+  uint64_t Blocks = 0;
 
-  auto NarrowValues = [&](const AbsValue &AV, const AbsValue &BV) {
-    if (AV.isInt())
-      return AbsValue(D.narrow(AV.asInt(), BV.asInt()));
-    // Boolean lattice is finite: meet acts as a narrowing.
-    return AbsValue(AV.asBool().meet(BV.asBool()));
+  // NarrowValues on raw rows. Integer lanes use the §6.1 operator (only
+  // omega bounds are refined); boolean lanes use the lattice meet,
+  // which over the pseudo-interval encoding is max-lo/min-hi. Both
+  // yield bottom as Lo > Hi.
+  auto NarrowRow = [&](size_t S, bool IsBool, int64_t &NLo, int64_t &NHi) {
+    int64_t ALo = PA->Lo[S], AHi = PA->Hi[S];
+    int64_t BLo = PB->Lo[S], BHi = PB->Hi[S];
+    if (IsBool) {
+      // meet: Top is the identity; disagreeing constants empty out.
+      bool ATop = ALo == 0 && AHi == 1, BTop = BLo == 0 && BHi == 1;
+      NLo = ATop ? BLo : (BTop ? ALo : std::max(ALo, BLo));
+      NHi = ATop ? BHi : (BTop ? AHi : std::min(AHi, BHi));
+      return;
+    }
+    if (ALo > AHi || BLo > BHi) { // either bottom -> bottom
+      NLo = 1;
+      NHi = 0;
+      return;
+    }
+    NLo = ALo == MinV ? BLo : std::min(ALo, BLo);
+    NHi = AHi == MaxV ? BHi : std::max(AHi, BHi);
   };
 
   // Delta pass: result == A when narrowing refines nothing — every slot
   // of A is already past its omega bounds w.r.t. B, and B adds no
   // constraint on slots where A is (implicitly or explicitly) top.
   bool EqA = true;
-  if (PA)
-    PA->forEach([&](unsigned Slot, const VarDecl *, const AbsValue &AV) {
-      if (!EqA)
-        return;
-      if (!PB || !PB->present(Slot))
-        return; // B's entry is top: x /\~ T = x
-      EqA = NarrowValues(AV, PB->Values[Slot]) == AV;
-    });
-  if (EqA && PB)
-    PB->forEach([&](unsigned Slot, const VarDecl *, const AbsValue &BV) {
-      if (!EqA || (PA && PA->present(Slot)))
-        return;
-      // A's entry is top: narrowing adopts B's bound, so equality needs
-      // that bound to be vacuous.
-      EqA = isTopValue(BV);
-    });
-  if (EqA)
+  for (size_t W = 0; EqA && W < WA; ++W) {
+    uint64_t MA = PA->Bits[W];
+    if (!MA)
+      continue;
+    ++Blocks;
+    uint64_t MB = W < WB && PB ? PB->Bits[W] : 0;
+    uint64_t BoolW = PA->BoolBits[W];
+    size_t Base = W * 64;
+    uint64_t M = MA & MB;
+    while (M) {
+      unsigned Bit = static_cast<unsigned>(__builtin_ctzll(M));
+      M &= M - 1;
+      size_t S = Base + Bit;
+      int64_t NLo, NHi;
+      NarrowRow(S, (BoolW >> Bit) & 1, NLo, NHi);
+      if (!rowsEqual(NLo, NHi, PA->Lo[S], PA->Hi[S])) {
+        EqA = false;
+        break;
+      }
+    }
+  }
+  if (EqA && PB) {
+    for (size_t W = 0; EqA && W < WB; ++W) {
+      uint64_t MB = PB->Bits[W];
+      if (!MB)
+        continue;
+      ++Blocks;
+      uint64_t MA = W < WA && PA ? PA->Bits[W] : 0;
+      uint64_t BoolW = PB->BoolBits[W];
+      size_t Base = W * 64;
+      uint64_t M = MB & ~MA;
+      while (M) {
+        unsigned Bit = static_cast<unsigned>(__builtin_ctzll(M));
+        M &= M - 1;
+        size_t S = Base + Bit;
+        // A's entry is top: narrowing adopts B's bound, so equality
+        // needs that bound to be vacuous.
+        if (!rowIsTop(PB->Lo[S], PB->Hi[S],
+                      laneOf(BoolW, Bit, MinV, MaxV))) {
+          EqA = false;
+          break;
+        }
+      }
+    }
+  }
+  if (EqA) {
+    KernelBlocks.fetch_add(Blocks, std::memory_order_relaxed);
     return A;
+  }
 
+  // General case. Slots of A are narrowed (B absent keeps A's row:
+  // x /\~ T = x); slots only in B refine omega bounds of the implicit
+  // top entry of A, which narrowing replaces entirely. Any bottom row
+  // collapses the whole store.
   AbstractStore Out;
+  Out.P = std::make_shared<StorePayload>();
+  StorePayload &PO = *Out.P;
+  const size_t CapA = PA ? PA->capacity() : 0;
+  const size_t CapB = PB ? PB->capacity() : 0;
+  const size_t Cap = std::max(CapA, CapB);
+  const size_t Words = (Cap + 63) / 64;
+  PO.Lo.resize(Cap);
+  PO.Hi.resize(Cap);
+  PO.Bits.assign(Words, 0);
+  PO.BoolBits.assign(Words, 0);
+  for (size_t W = 0; W < Words; ++W) {
+    uint64_t LA = W < WA ? PA->BoolBits[W] : 0;
+    uint64_t LB = W < WB ? PB->BoolBits[W] : 0;
+    PO.BoolBits[W] = LA | LB;
+  }
+  PO.Keys = PA ? PA->Keys : nullptr;
+  uint32_t Num = 0;
+  for (size_t W = 0; W < Words; ++W) {
+    uint64_t MA = W < WA ? PA->Bits[W] : 0;
+    uint64_t MB = W < WB ? PB->Bits[W] : 0;
+    if (!(MA | MB))
+      continue;
+    ++Blocks;
+    uint64_t BoolW = PO.BoolBits[W];
+    size_t Base = W * 64;
+    uint64_t OutBits = 0;
+    uint64_t M = MA | MB;
+    while (M) {
+      unsigned Bit = static_cast<unsigned>(__builtin_ctzll(M));
+      M &= M - 1;
+      size_t S = Base + Bit;
+      bool InA = (MA >> Bit) & 1, InB = (MB >> Bit) & 1;
+      int64_t NLo, NHi;
+      if (InA && InB) {
+        NarrowRow(S, (BoolW >> Bit) & 1, NLo, NHi);
+        if (NLo > NHi) {
+          KernelBlocks.fetch_add(Blocks, std::memory_order_relaxed);
+          return AbstractStore::bottom();
+        }
+      } else if (InA) {
+        NLo = PA->Lo[S]; // B's entry is top: x /\~ T = x
+        NHi = PA->Hi[S];
+      } else {
+        NLo = PB->Lo[S]; // A's entry is top: narrowing takes B's bound
+        NHi = PB->Hi[S];
+        if (NLo > NHi) {
+          KernelBlocks.fetch_add(Blocks, std::memory_order_relaxed);
+          return AbstractStore::bottom();
+        }
+        PO.noteKey(static_cast<unsigned>(S),
+                   PB->key(static_cast<unsigned>(S)));
+      }
+      PO.Lo[S] = NLo;
+      PO.Hi[S] = NHi;
+      OutBits |= uint64_t(1) << Bit;
+    }
+    PO.Bits[W] = OutBits;
+    Num += static_cast<uint32_t>(__builtin_popcountll(OutBits));
+  }
+  PO.NumPresent = Num;
+  KernelBlocks.fetch_add(Blocks, std::memory_order_relaxed);
+  return Out;
+}
+
+AbstractStore StoreOps::restrictTo(const AbstractStore &S,
+                                   const uint64_t *MaskWords, size_t NumWords,
+                                   uint64_t *PrunedSlots) const {
+  if (S.isBottom() || !S.P || S.P->NumPresent == 0)
+    return S;
+  const StorePayload *P = S.P.get();
+  const size_t Words = P->Bits.size();
+  // Identity probe first: converged sweeps must stay pointer-stable, so
+  // a store already inside the live mask is returned payload and all.
+  uint64_t Dropped = 0;
+  for (size_t W = 0; W < Words; ++W) {
+    uint64_t Live = W < NumWords ? MaskWords[W] : 0;
+    Dropped += static_cast<uint64_t>(
+        __builtin_popcountll(P->Bits[W] & ~Live));
+  }
+  if (!Dropped)
+    return S;
+  AbstractStore Out = S;
   Out.detach();
-  bool Bottom = false;
-  // Slots of A are narrowed; slots only in B refine omega bounds of the
-  // implicit top entry of A, which narrowing replaces entirely.
-  if (PA)
-    PA->forEach([&](unsigned Slot, const VarDecl *V, const AbsValue &AV) {
-      if (Bottom)
-        return;
-      if (!PB || !PB->present(Slot)) {
-        // B's entry is top: x /\~ T = x (keeps soundness and
-        // termination).
-        Out.P->put(Slot, V, AV);
-        return;
-      }
-      AbsValue N = NarrowValues(AV, PB->Values[Slot]);
-      if (N.isBottom()) {
-        Bottom = true;
-        return;
-      }
-      Out.P->put(Slot, V, std::move(N));
-    });
-  if (!Bottom && PB)
-    PB->forEach([&](unsigned Slot, const VarDecl *V, const AbsValue &BV) {
-      if (Bottom || (PA && PA->present(Slot)))
-        return;
-      // A's entry is top: both bounds at omega, so narrowing takes B's.
-      if (BV.isBottom()) {
-        Bottom = true;
-        return;
-      }
-      Out.P->put(Slot, V, BV);
-    });
-  if (Bottom)
-    return AbstractStore::bottom();
+  StorePayload &PO = *Out.P;
+  uint32_t Removed = 0;
+  for (size_t W = 0; W < Words; ++W) {
+    uint64_t Live = W < NumWords ? MaskWords[W] : 0;
+    uint64_t Extra = PO.Bits[W] & ~Live;
+    if (!Extra)
+      continue;
+    Removed += static_cast<uint32_t>(__builtin_popcountll(Extra));
+    PO.Bits[W] &= Live;
+  }
+  PO.NumPresent -= Removed;
+  PO.CachedHash.store(0, std::memory_order_relaxed);
+  if (PrunedSlots)
+    *PrunedSlots += Removed;
   return Out;
 }
 

@@ -12,17 +12,34 @@
 /// over all elements). Missing keys mean "unconstrained" (top), so the
 /// empty store is the top store; bottom (unreachable) is a separate flag.
 ///
-/// Representation: a copy-on-write payload shared through a shared_ptr,
-/// holding a flat vector of values indexed by each variable's dense
-/// *store slot* (VarDecl::storeSlot(), assigned contiguously per routine
-/// by VarNumbering) plus a presence bitmap. Copying a store is one
-/// refcount increment; mutation detaches (clones) the payload only when
-/// it is shared. The lattice operations in StoreOps are delta-aware:
-/// join/widen/narrow/meet return an input store (payload pointer and
-/// all) whenever the result is semantically identical to it, so the
-/// solver's convergence checks hit the O(1) pointer-equality fast path
-/// of equal()/leq(), and the memoized hash lives in the payload so COW
-/// copies never rehash.
+/// Representation: a copy-on-write payload shared through a shared_ptr.
+/// The payload is structure-of-arrays: two contiguous int64 rows (Lo/Hi)
+/// indexed by each variable's dense *store slot* (VarDecl::storeSlot()),
+/// a presence bitmap, and a lane bitmap marking boolean slots. Boolean
+/// values are encoded as pseudo-intervals over {0, 1}:
+///
+///     bottom = [1, 0]   false = [0, 0]   true = [1, 1]   T = [0, 1]
+///
+/// which makes every lattice operation a uniform min/max/compare over
+/// the rows — boolean join/meet/leq coincide with the interval formulas
+/// once the lane's domain bounds are taken as (0, 1) instead of
+/// (w-, w+). StoreOps exploits this: join/meet/widen/narrow/equal/hash
+/// are whole-vector kernels that walk 64-slot bitmap words (absent
+/// words are skipped wholesale) with branch-light inner loops over the
+/// raw rows, never materializing an AbsValue.
+///
+/// The slot -> VarDecl key table is *shared*, not per-payload: payload
+/// copies alias one immutable table (extended copy-on-write when a
+/// store introduces a slot the table does not cover), so a COW detach
+/// copies two int64 rows and two bitmaps — no pointer vector.
+///
+/// Copying a store is one refcount increment; mutation detaches
+/// (clones) the payload only when it is shared. The lattice operations
+/// in StoreOps are delta-aware: join/widen/narrow/meet return an input
+/// store (payload pointer and all) whenever the result is semantically
+/// identical to it, so the solver's convergence checks hit the O(1)
+/// pointer-equality fast path of equal()/leq(), and the memoized hash
+/// lives in the payload so COW copies never rehash.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -85,15 +102,22 @@ class StoreOps;
 
 namespace detail {
 
-/// The shared, slot-indexed body of a store. Values/Keys are capacity
-/// vectors indexed by store slot; Bits is the presence bitmap (a slot
-/// without its bit is an implicit top, and its Values/Keys entries are
-/// meaningless). Keys records the VarDecl of each present slot so the
-/// store can be iterated without the numbering at hand.
+/// The shared slot -> VarDecl table aliased by payloads (see file
+/// comment). Immutable once shared; extended copy-on-write.
+using StoreKeyTable = std::vector<const VarDecl *>;
+
+/// The shared, slot-indexed body of a store in structure-of-arrays
+/// form. Lo/Hi are the value rows (booleans encoded over {0, 1}); Bits
+/// is the presence bitmap (a slot without its bit is an implicit top
+/// and its row entries are meaningless); BoolBits marks boolean lanes
+/// for every slot ever written. Keys aliases the shared slot -> decl
+/// table so the store can be iterated without the numbering at hand.
 struct StorePayload {
-  std::vector<AbsValue> Values;
-  std::vector<const VarDecl *> Keys;
+  std::vector<int64_t> Lo;
+  std::vector<int64_t> Hi;
   std::vector<uint64_t> Bits;
+  std::vector<uint64_t> BoolBits;
+  std::shared_ptr<const StoreKeyTable> Keys;
   uint32_t NumPresent = 0;
   /// StoreOps::hash memoized per payload version; 0 = not yet computed.
   /// COW copies share the payload and therefore the cached hash, so the
@@ -104,17 +128,21 @@ struct StorePayload {
 
   StorePayload() = default;
   StorePayload(const StorePayload &O)
-      : Values(O.Values), Keys(O.Keys), Bits(O.Bits),
-        NumPresent(O.NumPresent) {
+      : Lo(O.Lo), Hi(O.Hi), Bits(O.Bits), BoolBits(O.BoolBits),
+        Keys(O.Keys), NumPresent(O.NumPresent) {
     CachedHash.store(O.CachedHash.load(std::memory_order_relaxed),
                      std::memory_order_relaxed);
   }
   StorePayload &operator=(const StorePayload &) = delete;
 
-  size_t capacity() const { return Values.size(); }
+  size_t capacity() const { return Lo.size(); }
 
   bool present(unsigned Slot) const {
     return Slot < capacity() && (Bits[Slot >> 6] >> (Slot & 63)) & 1;
+  }
+
+  bool isBoolLane(unsigned Slot) const {
+    return (BoolBits[Slot >> 6] >> (Slot & 63)) & 1;
   }
 
   void ensureCapacity(unsigned Slot) {
@@ -122,17 +150,98 @@ struct StorePayload {
       return;
     size_t NewCap = std::max<size_t>(Slot + 1, capacity() * 2);
     NewCap = std::max<size_t>(NewCap, 8);
-    Values.resize(NewCap);
-    Keys.resize(NewCap, nullptr);
+    Lo.resize(NewCap);
+    Hi.resize(NewCap);
     Bits.resize((NewCap + 63) / 64, 0);
+    BoolBits.resize((NewCap + 63) / 64, 0);
   }
 
-  void put(unsigned Slot, const VarDecl *V, AbsValue Value) {
-    ensureCapacity(Slot);
-    Values[Slot] = std::move(Value);
-    Keys[Slot] = V;
-    uint64_t &Word = Bits[Slot >> 6];
+  /// Boolean lattice value -> pseudo-interval rows.
+  static void encodeBool(BoolLattice B, int64_t &L, int64_t &H) {
+    L = 1, H = 0;
+    switch (B.kind()) {
+    case BoolLattice::Bottom:
+      return;
+    case BoolLattice::False:
+      L = 0, H = 0;
+      return;
+    case BoolLattice::True:
+      L = 1, H = 1;
+      return;
+    case BoolLattice::Top:
+      L = 0, H = 1;
+      return;
+    }
+    assert(false && "unknown boolean kind");
+  }
+
+  static BoolLattice decodeBool(int64_t L, int64_t H) {
+    if (L > H)
+      return BoolLattice::bottom();
+    if (L != H)
+      return BoolLattice::top();
+    return BoolLattice(L != 0);
+  }
+
+  /// The value of a present slot, rematerialized from the rows.
+  AbsValue value(unsigned Slot) const {
+    if (isBoolLane(Slot))
+      return AbsValue(decodeBool(Lo[Slot], Hi[Slot]));
+    return AbsValue(Interval(Lo[Slot], Hi[Slot]));
+  }
+
+  /// Records Slot -> V in the shared key table, extending a private
+  /// copy when the table is shared or does not cover the slot yet.
+  void noteKey(unsigned Slot, const VarDecl *V) {
+    if (Keys && Slot < Keys->size() && (*Keys)[Slot] == V)
+      return;
+    std::shared_ptr<StoreKeyTable> Mut;
+    if (Keys && Keys.use_count() == 1) {
+      // Sole owner: extend in place (no other payload can observe it).
+      Mut = std::const_pointer_cast<StoreKeyTable>(Keys);
+    } else {
+      Mut = Keys ? std::make_shared<StoreKeyTable>(*Keys)
+                 : std::make_shared<StoreKeyTable>();
+    }
+    if (Mut->size() <= Slot)
+      Mut->resize(Slot + 1, nullptr);
+    (*Mut)[Slot] = V;
+    Keys = std::move(Mut);
+  }
+
+  const VarDecl *key(unsigned Slot) const { return (*Keys)[Slot]; }
+
+  /// Writes the raw rows of a slot without touching the key table; the
+  /// caller guarantees the shared table already covers the slot (the
+  /// kernels do: output slots come from an input payload).
+  void putRaw(unsigned Slot, int64_t L, int64_t H, bool IsBool) {
+    Lo[Slot] = L;
+    Hi[Slot] = H;
     uint64_t Mask = uint64_t(1) << (Slot & 63);
+    if (IsBool)
+      BoolBits[Slot >> 6] |= Mask;
+    uint64_t &Word = Bits[Slot >> 6];
+    NumPresent += !(Word & Mask);
+    Word |= Mask;
+  }
+
+  void put(unsigned Slot, const VarDecl *V, const AbsValue &Value) {
+    ensureCapacity(Slot);
+    noteKey(Slot, V);
+    int64_t L, H;
+    bool IsBool = Value.isBool();
+    if (IsBool)
+      encodeBool(Value.asBool(), L, H);
+    else {
+      L = Value.asInt().Lo;
+      H = Value.asInt().Hi;
+    }
+    uint64_t Mask = uint64_t(1) << (Slot & 63);
+    uint64_t &LaneWord = BoolBits[Slot >> 6];
+    LaneWord = IsBool ? (LaneWord | Mask) : (LaneWord & ~Mask);
+    Lo[Slot] = L;
+    Hi[Slot] = H;
+    uint64_t &Word = Bits[Slot >> 6];
     NumPresent += !(Word & Mask);
     Word |= Mask;
   }
@@ -141,11 +250,12 @@ struct StorePayload {
     if (!present(Slot))
       return;
     Bits[Slot >> 6] &= ~(uint64_t(1) << (Slot & 63));
-    Keys[Slot] = nullptr;
     --NumPresent;
   }
 
-  /// Calls Fn(Slot, VarDecl, Value) for every present slot, ascending.
+  /// Calls Fn(Slot, VarDecl, AbsValue) for every present slot,
+  /// ascending. Rematerializes values; the lattice kernels read the
+  /// rows directly instead.
   template <typename Fn> void forEach(Fn &&F) const {
     for (size_t W = 0; W < Bits.size(); ++W) {
       uint64_t Word = Bits[W];
@@ -153,7 +263,7 @@ struct StorePayload {
         unsigned Slot =
             static_cast<unsigned>(W * 64) + __builtin_ctzll(Word);
         Word &= Word - 1;
-        F(Slot, Keys[Slot], Values[Slot]);
+        F(Slot, key(Slot), value(Slot));
       }
     }
   }
@@ -206,7 +316,7 @@ public:
     if (IsBottom)
       return;
     detach();
-    P->put(V->storeSlot(), V, std::move(Value));
+    P->put(V->storeSlot(), V, Value);
     invalidateHash();
   }
 
@@ -224,6 +334,18 @@ public:
     P.reset();
   }
 
+  /// Pre-seeds the payload's shared slot -> decl table (typically the
+  /// program-wide table owned by VarNumbering), so subsequent writes
+  /// never pay a per-store table extension. No-op on bottom or when a
+  /// table is already attached.
+  void adoptKeyTable(std::shared_ptr<const detail::StoreKeyTable> T) {
+    if (IsBottom || !T)
+      return;
+    detach();
+    if (!P->Keys)
+      P->Keys = std::move(T);
+  }
+
   /// True when both stores alias the same payload (or are both
   /// payload-free), i.e. equality is decidable without looking at any
   /// entry. The delta-aware lattice ops return their input store when
@@ -237,14 +359,17 @@ public:
 
   /// Rough byte footprint (Figure 4 memory accounting). The payload is
   /// counted in full; use the Seen overload to count shared payloads
-  /// once across a collection of stores.
+  /// (and the shared key table) once across a collection of stores.
   size_t approximateBytes() const {
-    return sizeof(*this) + payloadBytes();
+    return sizeof(*this) + payloadBytes() + keyTableBytes();
   }
   size_t approximateBytes(std::unordered_set<const void *> &Seen) const {
     size_t Bytes = sizeof(*this);
-    if (P && Seen.insert(P.get()).second)
+    if (P && Seen.insert(P.get()).second) {
       Bytes += payloadBytes();
+      if (P->Keys && Seen.insert(P->Keys.get()).second)
+        Bytes += keyTableBytes();
+    }
     return Bytes;
   }
 
@@ -255,8 +380,11 @@ private:
     if (!P)
       return 0;
     return sizeof(detail::StorePayload) +
-           P->capacity() * (sizeof(AbsValue) + sizeof(const VarDecl *)) +
-           P->Bits.size() * sizeof(uint64_t);
+           P->capacity() * 2 * sizeof(int64_t) +
+           (P->Bits.size() + P->BoolBits.size()) * sizeof(uint64_t);
+  }
+  size_t keyTableBytes() const {
+    return P && P->Keys ? P->Keys->size() * sizeof(const VarDecl *) : 0;
   }
 
   /// Makes the payload exclusively owned (clone on shared write).
@@ -335,6 +463,16 @@ public:
   AbstractStore narrow(const AbstractStore &A, const AbstractStore &B) const;
   /// @}
 
+  /// Drops every present slot of \p S whose bit is clear in the
+  /// \p MaskWords live bitmap (\p NumWords 64-bit words; slots past the
+  /// mask count as dead). Returns \p S itself — payload shared — when
+  /// nothing drops, so converged sweeps stay pointer-stable. Bottom and
+  /// top pass through. When \p PrunedSlots is non-null it accumulates
+  /// the number of dropped slots.
+  AbstractStore restrictTo(const AbstractStore &S, const uint64_t *MaskWords,
+                           size_t NumWords,
+                           uint64_t *PrunedSlots = nullptr) const;
+
   /// Sets V to Value, normalizing: bottom value -> bottom store.
   void assign(AbstractStore &S, const VarDecl *V, const AbsValue &Value) const;
 
@@ -344,10 +482,20 @@ public:
   AbsValue joinValues(const AbsValue &A, const AbsValue &B) const;
   AbsValue meetValues(const AbsValue &A, const AbsValue &B) const;
   bool leqValues(const AbsValue &A, const AbsValue &B) const;
+  /// One widening step on values, honoring the installed thresholds.
+  /// Public alongside the other scalar helpers: the kernel differential
+  /// tests use them as the per-key reference semantics.
+  AbsValue widenValues(const AbsValue &A, const AbsValue &B) const;
 
   /// Renders the store, e.g. "{ i -> [0, 100], b -> true }", in slot
   /// (per-routine declaration) order.
   std::string str(const AbstractStore &S) const;
+
+  /// Number of non-empty 64-slot bitmap words the vector kernels have
+  /// walked since construction (the store.kernel_blocks counter).
+  uint64_t kernelBlocks() const {
+    return KernelBlocks.load(std::memory_order_relaxed);
+  }
 
 private:
   /// True when \p Value is the top of its own kind (the full interval
@@ -357,11 +505,10 @@ private:
     return Value.isInt() ? D.isTop(Value.asInt()) : Value.asBool().isTop();
   }
 
-  /// One widening step on values, honoring the installed thresholds.
-  AbsValue widenValues(const AbsValue &A, const AbsValue &B) const;
-
   const IntervalDomain &D;
   std::vector<int64_t> WideningThresholds;
+  /// Kernel telemetry (relaxed; one add per kernel invocation).
+  mutable std::atomic<uint64_t> KernelBlocks{0};
 };
 
 } // namespace syntox

@@ -79,6 +79,13 @@ struct AnalysisOptions {
   /// the iteration counters differ. On by default — turn off to
   /// reproduce the pre-warm-start cold behavior (--no-warm-start).
   bool WarmStart = true;
+  /// Liveness-driven dead-slot pruning (see semantics/Liveness.h):
+  /// forward stores are restricted to each node's live-slot mask and
+  /// interprocedural copies loop only the accessed keys. Findings and
+  /// live-variable states are bitwise those of the unpruned analysis;
+  /// dead slots read as top (the UI flags them as pruned). On by
+  /// default — --no-prune restores the exhaustive stores.
+  bool PruneDeadSlots = true;
   /// Widening thresholds (empty = the standard §6.1 operator).
   std::vector<int64_t> WideningThresholds;
   /// Directory of the persistent warm-start cache (empty = disabled).
@@ -108,6 +115,10 @@ struct AnalysisOptions {
     Mix(ContextInsensitive);
     Mix(TerminationGoal);
     Mix(UseBackward);
+    // Pruning preserves findings and live-variable states bitwise, but
+    // the stored *stores* differ on dead slots, so warm-start state must
+    // not flow between pruned and unpruned runs.
+    Mix(PruneDeadSlots);
     return H;
   }
 
@@ -175,6 +186,10 @@ struct AnalysisOptions {
   }
   AnalysisOptions &warmStart(bool On) {
     WarmStart = On;
+    return *this;
+  }
+  AnalysisOptions &prune(bool On) {
+    PruneDeadSlots = On;
     return *this;
   }
   AnalysisOptions &wideningThresholds(std::vector<int64_t> T) {

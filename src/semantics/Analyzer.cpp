@@ -2,6 +2,8 @@
 
 #include "semantics/Analyzer.h"
 
+#include "semantics/Liveness.h"
+
 #include <algorithm>
 #include <atomic>
 #include <cassert>
@@ -107,13 +109,21 @@ Digraph buildBackwardDep(const SuperGraph &G) {
 struct ForwardSystem : SystemBase {
   const Transfer &Xfer;
   const std::vector<AbstractStore> *Envelope;
+  /// Per-node live-slot masks; null = no dead-slot pruning. The
+  /// restriction runs *after* the envelope meet, so requirement residue
+  /// a backward phase left on dead slots never re-enters the forward
+  /// values. Atomic counter: the parallel strategy evaluates
+  /// independent components concurrently.
+  const LivenessInfo *Live;
+  mutable std::atomic<uint64_t> PrunedSlots{0};
   Digraph Dep;
 
   ForwardSystem(const SuperGraph &G, const StoreOps &Ops,
                 const Transfer &Xfer, TransferCache *Cache,
-                const std::vector<AbstractStore> *Envelope)
+                const std::vector<AbstractStore> *Envelope,
+                const LivenessInfo *Live)
       : SystemBase(G, Ops, Cache), Xfer(Xfer), Envelope(Envelope),
-        Dep(buildForwardDep(G)) {}
+        Live(Live), Dep(buildForwardDep(G)) {}
 
   unsigned numNodes() const { return G.numNodes(); }
   const Digraph &graph() const { return Dep; }
@@ -152,6 +162,13 @@ struct ForwardSystem : SystemBase {
     }
     if (Envelope)
       Out = Ops.meet(Out, (*Envelope)[Node]);
+    if (Live) {
+      uint64_t Dropped = 0;
+      Out = Ops.restrictTo(Out, Live->maskFor(Node), Live->wordsPerNode(),
+                           &Dropped);
+      if (Dropped)
+        PrunedSlots.fetch_add(Dropped, std::memory_order_relaxed);
+    }
     return Out;
   }
 };
@@ -264,6 +281,11 @@ Analyzer::Analyzer(const ProgramCfg &Cfg, RoutineDecl *Program, Options Opts)
   }
   if (this->Opts.WarmStart)
     Graph->enableTransferMemo();
+  if (this->Opts.PruneDeadSlots) {
+    Live = std::make_unique<LivenessInfo>(*Graph, Cfg);
+    for (unsigned I = 0; I < Graph->instances().size(); ++I)
+      Graph->setAccessedKeys(I, Live->accessedShared(I));
+  }
 }
 
 Analyzer::Analyzer(const ProgramCfg &Cfg, RoutineDecl *Program)
@@ -425,7 +447,7 @@ Analyzer::solveForward(const std::vector<AbstractStore> *Env,
                        const std::vector<uint8_t> *Demand) {
   auto Start = std::chrono::steady_clock::now();
   tracePhase(/*Begin=*/true, Phase);
-  ForwardSystem Sys(*Graph, Ops, Xfer, Cache.get(), Env);
+  ForwardSystem Sys(*Graph, Ops, Xfer, Cache.get(), Env, Live.get());
   FixpointSolver<ForwardSystem>::Options SolverOpts;
   SolverOpts.Kind = Opts.HarrisonGfp ? FixpointKind::Gfp : FixpointKind::Lfp;
   SolverOpts.Strategy = Opts.Strategy;
@@ -455,6 +477,14 @@ Analyzer::solveForward(const std::vector<AbstractStore> *Env,
       std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
           .count();
   accumulateSolverStats(Solver.stats(), Sys.Unions, Phase);
+  if (Live) {
+    uint64_t Dropped = Sys.PrunedSlots.load(std::memory_order_relaxed);
+    PrunedSlotsRun += Dropped;
+    if (TraceRecorder *Rec = Opts.Telem.Trace;
+        Rec && Rec->wants(TraceEventKind::StorePrune))
+      Rec->record(TraceEventKind::StorePrune, Dropped,
+                  Live->liveSlotCount(), Phase.Name);
+  }
   if (Demand)
     DemandAudit.push_back({Phase.Name, *Demand, Solver.nodeLiveSteps()});
   tracePhase(/*Begin=*/false, Phase);
@@ -618,6 +648,8 @@ void Analyzer::runImpl(const std::vector<std::vector<uint8_t>> *Masks) {
   if (Masks)
     PublishedChain = ChainSlots; // COW stores: structural sharing
   uint64_t MemoHitsAtStart = Graph->transferMemoHits();
+  uint64_t KernelBlocksAtStart = Ops.kernelBlocks();
+  PrunedSlotsRun = 0;
 
   Snapshots.clear();
   DemandMask.clear();
@@ -716,6 +748,13 @@ void Analyzer::runImpl(const std::vector<std::vector<uint8_t>> *Masks) {
       M->counter("interproc.link_memo_hits")
           .inc(Graph->transferMemoHits() - MemoHitsAtStart);
     }
+    if (Live) {
+      M->gauge("store.live_slots")
+          .set(static_cast<int64_t>(Live->liveSlotCount()));
+      M->counter("store.pruned_slots").inc(PrunedSlotsRun);
+    }
+    M->counter("store.kernel_blocks")
+        .inc(Ops.kernelBlocks() - KernelBlocksAtStart);
     M->histogram("analysis.seconds").observe(Stats.CpuSeconds);
   }
 }

@@ -32,6 +32,8 @@
 
 namespace syntox {
 
+class LivenessInfo;
+
 class Analyzer {
 public:
   /// The analysis knobs — one struct shared by the whole stack (see
@@ -140,6 +142,13 @@ public:
 
   const AnalysisStats &stats() const { return Stats; }
 
+  /// The live-slot masks driving dead-slot pruning, or null when
+  /// pruning is off (--no-prune). UI layers use this to tell a
+  /// genuinely-top variable from a pruned one.
+  const LivenessInfo *liveness() const { return Live.get(); }
+  /// Slots dropped by store restriction during the last run()/runDemand().
+  uint64_t prunedSlots() const { return PrunedSlotsRun; }
+
   /// Per-phase envelope snapshots (phase name, stores) in execution
   /// order, for inspection and debugging of the iterated chain I_k.
   const std::vector<std::pair<std::string, std::vector<AbstractStore>>> &
@@ -222,6 +231,8 @@ private:
   Transfer Xfer;
   std::unique_ptr<TransferCache> Cache;
   std::unique_ptr<SuperGraph> Graph;
+  std::unique_ptr<LivenessInfo> Live;
+  uint64_t PrunedSlotsRun = 0;
   std::vector<AbstractStore> Forward;
   std::vector<AbstractStore> Envelope;
   std::vector<std::pair<std::string, std::vector<AbstractStore>>> Snapshots;

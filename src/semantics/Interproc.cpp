@@ -28,6 +28,17 @@ SuperGraph::SuperGraph(const ProgramCfg &Cfg, RoutineDecl *Program,
                        Telemetry Telem)
     : Cfg(Cfg), Numbering(Cfg), Ops(Ops), Exprs(Exprs), Telem(Telem),
       Xfer(Xfer), ContextInsensitive(ContextInsensitive) {
+  // The constant slot -> declaration table behind every store payload:
+  // VarNumbering just assigned the slots, so one pass over the owned
+  // variables fills it completely and no payload ever grows its own.
+  {
+    auto Table =
+        std::make_shared<detail::StoreKeyTable>(Numbering.numSlots(), nullptr);
+    for (const RoutineCfg *C : Cfg.cfgs())
+      for (VarDecl *V : C->routine()->ownedVars())
+        (*Table)[V->storeSlot()] = V;
+    KeyTable = std::move(Table);
+  }
   discoverInstances(Program);
   buildEdges();
   Ids = std::make_unique<StableIds>(*this, Cfg, Program);
@@ -82,6 +93,7 @@ unsigned SuperGraph::getOrCreateInstance(RoutineDecl *R, ActivationToken Tok) {
   for (const VarDecl *Root : Tok.Roots)
     Shared.insert(Root);
   Inst.SharedKeys.assign(Shared.begin(), Shared.end());
+  Inst.AccessedKeys = Inst.SharedKeys;
 
   InstanceByToken[Tok] = Inst.Id;
   // One token_unfold event per activation class created (§6.4): the
@@ -211,7 +223,8 @@ AbstractStore SuperGraph::copyIn(const CallLink &L,
   const Instance &Callee = Instances[L.CalleeInstance];
 
   AbstractStore S; // top: callee locals start undefined
-  for (const VarDecl *K : Callee.SharedKeys)
+  S.adoptKeyTable(KeyTable);
+  for (const VarDecl *K : Callee.AccessedKeys)
     Ops.assign(S, K, Ops.get(AtP, K));
   if (S.isBottom())
     return S;
@@ -246,8 +259,10 @@ AbstractStore SuperGraph::copyOut(const CallLink &L,
   if (AtExit.isBottom() || AtP.isBottom())
     return AbstractStore::bottom();
   const Instance &Callee = Instances[L.CalleeInstance];
+  // Keys the activation never touches keep their caller value: the
+  // callee state is exact on AccessedKeys and vacuous elsewhere.
   AbstractStore S = AtP;
-  for (const VarDecl *K : Callee.SharedKeys)
+  for (const VarDecl *K : Callee.AccessedKeys)
     Ops.assign(S, K, Ops.get(AtExit, K));
   if (L.ResultTemp && Callee.R->resultVar())
     Ops.assign(S, L.ResultTemp, Ops.get(AtExit, Callee.R->resultVar()));
@@ -261,7 +276,7 @@ AbstractStore SuperGraph::channelOut(const CallLink &L,
     return AbstractStore::bottom();
   const Instance &Callee = Instances[L.CalleeInstance];
   AbstractStore S = AtP;
-  for (const VarDecl *K : Callee.SharedKeys)
+  for (const VarDecl *K : Callee.AccessedKeys)
     Ops.assign(S, K, Ops.get(AtChan, K));
   return S;
 }
@@ -274,6 +289,7 @@ AbstractStore SuperGraph::bwdCopyIn(const CallLink &L,
   const Instance &Callee = Instances[L.CalleeInstance];
 
   AbstractStore S;
+  S.adoptKeyTable(KeyTable);
   for (const VarDecl *K : Callee.SharedKeys)
     Ops.assign(S, K, Ops.get(AtEntry, K));
   if (S.isBottom())
@@ -308,6 +324,7 @@ AbstractStore SuperGraph::bwdCopyOut(const CallLink &L,
     return AbstractStore::bottom();
   const Instance &Callee = Instances[L.CalleeInstance];
   AbstractStore S;
+  S.adoptKeyTable(KeyTable);
   for (const VarDecl *K : Callee.SharedKeys)
     Ops.assign(S, K, Ops.get(AtQ, K));
   if (S.isBottom())
@@ -324,6 +341,7 @@ SuperGraph::bwdChannelOut(const CallLink &L,
     return AbstractStore::bottom();
   const Instance &Callee = Instances[L.CalleeInstance];
   AbstractStore S;
+  S.adoptKeyTable(KeyTable);
   for (const VarDecl *K : Callee.SharedKeys)
     Ops.assign(S, K, Ops.get(AtTarget, K));
   return S;

@@ -69,6 +69,13 @@ struct Instance {
   /// variables of every proper ancestor routine plus the roots of the
   /// reference formals.
   std::vector<const VarDecl *> SharedKeys;
+  /// The SharedKeys subset the forward copy-in/copy-out actually loops:
+  /// defaults to all of SharedKeys, narrowed by the Analyzer to the
+  /// transitively accessed set when dead-slot pruning is on (see
+  /// semantics/Liveness.h). The backward duals always loop the full
+  /// SharedKeys — requirements on untouched ancestor variables still
+  /// flow through calls unchanged.
+  std::vector<const VarDecl *> AccessedKeys;
 };
 
 /// One call relationship between instances.
@@ -227,6 +234,21 @@ public:
   /// The dense store-slot numbering this supergraph's stores run on.
   const VarNumbering &varNumbering() const { return Numbering; }
 
+  /// The program-wide slot -> declaration table (one entry per
+  /// VarNumbering slot), shared by every store payload the
+  /// interprocedural transfers create (AbstractStore::adoptKeyTable):
+  /// a COW detach then shares the table instead of copying it.
+  const std::shared_ptr<const detail::StoreKeyTable> &keyTable() const {
+    return KeyTable;
+  }
+
+  /// Replaces instance \p InstanceId's AccessedKeys (a subset of its
+  /// SharedKeys, computed by the liveness pass).
+  void setAccessedKeys(unsigned InstanceId,
+                       std::vector<const VarDecl *> Keys) {
+    Instances[InstanceId].AccessedKeys = std::move(Keys);
+  }
+
   /// The content-addressed key layer over this supergraph (node,
   /// instance, edge and variable keys; see StableIds.h). Built once in
   /// the constructor.
@@ -263,6 +285,7 @@ private:
 
   const ProgramCfg &Cfg;
   VarNumbering Numbering; ///< assigns store slots; must precede analysis
+  std::shared_ptr<const detail::StoreKeyTable> KeyTable;
   const StoreOps &Ops;
   const ExprSemantics &Exprs;
   Telemetry Telem;

@@ -44,6 +44,8 @@ const char *syntox::traceEventKindName(TraceEventKind K) {
     return "demand_skip";
   case TraceEventKind::CacheMerge:
     return "cache_merge";
+  case TraceEventKind::StorePrune:
+    return "store_prune";
   }
   return "unknown";
 }
@@ -190,6 +192,8 @@ ChromeMapping chromeMapping(TraceEventKind K) {
     return {"i", "component"};
   case TraceEventKind::CacheMerge:
     return {"i", "cache"};
+  case TraceEventKind::StorePrune:
+    return {"i", "store"};
   }
   return {"i", "other"};
 }

@@ -70,11 +70,14 @@ enum class TraceEventKind : uint8_t {
   CacheMerge,     ///< transfer-cache arena merge barrier; Arg0 = entries
                   ///< inserted into the shared shards, Arg1 = entries
                   ///< combined with existing ones or discarded
+  StorePrune,     ///< dead-slot restriction summary of one forward
+                  ///< phase; Arg0 = slots dropped, Arg1 = live-slot
+                  ///< total of the masks, Label = phase name
 };
 
 /// Number of distinct event kinds (for masks and tables).
 constexpr unsigned NumTraceEventKinds =
-    static_cast<unsigned>(TraceEventKind::CacheMerge) + 1;
+    static_cast<unsigned>(TraceEventKind::StorePrune) + 1;
 
 /// Stable machine-readable name ("phase_begin", "cache_hit", ...).
 const char *traceEventKindName(TraceEventKind K);
@@ -119,7 +122,8 @@ public:
   static constexpr uint32_t DefaultEvents =
       AllEvents & ~(traceEventBit(TraceEventKind::CacheHit) |
                     traceEventBit(TraceEventKind::CacheMiss) |
-                    traceEventBit(TraceEventKind::StoreDetach));
+                    traceEventBit(TraceEventKind::StoreDetach) |
+                    traceEventBit(TraceEventKind::StorePrune));
 
   explicit TraceRecorder(uint32_t Mask = DefaultEvents);
   ~TraceRecorder();

@@ -113,15 +113,33 @@ TEST(AbstractDebuggerTest, SpecSatisfiabilityVerdict) {
 }
 
 TEST(AbstractDebuggerTest, MainStatesRendersStores) {
-  auto Dbg = makeDebugger("program p; var i : integer;\n"
-                          "begin i := 0; while i < 100 do i := i + 1 end.");
+  const char *Source = "program p; var i : integer;\n"
+                       "begin i := 0; while i < 100 do i := i + 1 end.";
+  // i is dead at the exit: the default liveness pruning stops tracking
+  // it there and the inspector flags it as pruned instead of rendering
+  // a value.
+  auto Dbg = makeDebugger(Source);
   ASSERT_NE(Dbg, nullptr);
   std::vector<PointState> States = Dbg->mainStates("exit");
   ASSERT_FALSE(States.empty());
-  bool Found = false;
+  bool Pruned = false;
   for (const PointState &S : States) {
     // Filtered query only contains matching points.
     EXPECT_EQ(S.PointDesc.find("while head"), std::string::npos);
+    for (const std::string &V : S.PrunedVars)
+      Pruned |= V == "i";
+  }
+  EXPECT_TRUE(Pruned);
+
+  // Unpruned, the exit store renders the loop's final value.
+  DiagnosticsEngine Diags;
+  auto Full = AbstractDebugger::create(
+      Source, Diags, AbstractDebugger::Options().prune(false));
+  ASSERT_NE(Full, nullptr) << Diags.str();
+  Full->analyze();
+  bool Found = false;
+  for (const PointState &S : Full->mainStates("exit")) {
+    EXPECT_TRUE(S.PrunedVars.empty());
     for (const StateBinding &B : S.Bindings)
       Found |= B.Var == "i" && B.Value == "[100, 100]";
   }
@@ -148,8 +166,15 @@ TEST(AbstractDebuggerTest, ChecksAccessible) {
 }
 
 TEST(AbstractDebuggerTest, McCarthyInvariantStudy) {
-  auto Dbg = makeDebugger(paper::McCarthyWithInvariant);
-  ASSERT_NE(Dbg, nullptr);
+  // m's last read is the writeln at the very end, which evaluates no
+  // checks, so m is dead at the exit and pruned by default; disable
+  // pruning to inspect the final value the invariant pins.
+  DiagnosticsEngine Diags;
+  auto Dbg =
+      AbstractDebugger::create(paper::McCarthyWithInvariant, Diags,
+                               AbstractDebugger::Options().prune(false));
+  ASSERT_NE(Dbg, nullptr) << Diags.str();
+  Dbg->analyze();
   // m = 91 is visible in the final state at the exit.
   bool Found = false;
   for (const PointState &S : Dbg->mainStates("exit of mccarthy"))

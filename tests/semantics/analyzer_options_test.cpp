@@ -47,12 +47,14 @@ TEST(AnalyzerOptionsTest, StrategiesAgreeOnObservableResults) {
 TEST(AnalyzerOptionsTest, NoNarrowingOvershoots) {
   const char *Source = "program p; var i : integer;\n"
                        "begin i := 0; while i < 100 do i := i + 1 end.";
-  auto A = analyzeProgram(Source, withOptions().narrowingPasses(0));
+  // i is dead at the exit: query unpruned (see analyzer_test.cpp).
+  auto A =
+      analyzeProgram(Source, withOptions().narrowingPasses(0).prune(false));
   const VarDecl *I = A.var("", "i");
   // Without narrowing the exit keeps the widened upper bound.
   EXPECT_EQ(A.fwdInt(A.node("", "exit of p"), I),
             Interval(100, INT64_MAX));
-  auto B = analyzeProgram(Source, withOptions());
+  auto B = analyzeProgram(Source, withOptions().prune(false));
   EXPECT_EQ(B.fwdInt(B.node("", "exit of p"), B.var("", "i")),
             Interval(100, 100));
 }
@@ -106,7 +108,8 @@ TEST(AnalyzerOptionsTest, ContextInsensitiveStillSound) {
 
 TEST(AnalyzerOptionsTest, ThresholdsPreserveResults) {
   auto A = analyzeProgram(paper::IntermittentProgramPlain,
-                          withOptions().wideningThresholds({0, 10, 100, 101}));
+                          withOptions().wideningThresholds({0, 10, 100, 101}).prune(
+                              false));
   const VarDecl *I = A.var("", "i");
   EXPECT_EQ(A.fwdInt(A.node("", "exit of intermit"), I),
             Interval(100, INT64_MAX));

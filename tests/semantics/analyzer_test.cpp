@@ -21,13 +21,20 @@ namespace {
 // Forward analysis basics
 //===----------------------------------------------------------------------===//
 
+// Several tests below assert the concrete value of a variable at a
+// point where it is *dead* (typically the program exit): under the
+// default liveness pruning those slots are intentionally untracked and
+// read as top, so these run with prune(false). They pin transfer
+// precision; liveness_prune_test pins pruned-vs-unpruned equivalence.
+
 TEST(ForwardAnalysisTest, CountingLoop) {
   auto A = analyzeProgram("program p; var i : integer;\n"
                           "begin\n"
                           "  i := 0;\n"
                           "  while i < 100 do\n"
                           "    i := i + 1\n"
-                          "end.");
+                          "end.",
+                          withOptions().prune(false));
   const VarDecl *I = A.var("", "i");
   unsigned Exit = A.node("", "exit of p");
   EXPECT_EQ(A.fwdInt(Exit, I), Interval(100, 100));
@@ -42,7 +49,8 @@ TEST(ForwardAnalysisTest, BranchJoin) {
                           "begin\n"
                           "  read(i);\n"
                           "  if i < 0 then j := 0 else j := 1\n"
-                          "end.");
+                          "end.",
+                          withOptions().prune(false));
   const VarDecl *J = A.var("", "j");
   unsigned Exit = A.node("", "exit of p");
   EXPECT_EQ(A.fwdInt(Exit, J), Interval(0, 1));
@@ -52,7 +60,8 @@ TEST(ForwardAnalysisTest, FunctionResultFlows) {
   auto A = analyzeProgram("program p; var x : integer;\n"
                           "function f(n : integer) : integer;\n"
                           "begin f := n + 1 end;\n"
-                          "begin x := f(41) end.");
+                          "begin x := f(41) end.",
+                          withOptions().prune(false));
   const VarDecl *X = A.var("", "x");
   unsigned Exit = A.node("", "exit of p");
   EXPECT_EQ(A.fwdInt(Exit, X), Interval(42, 42));
@@ -62,7 +71,8 @@ TEST(ForwardAnalysisTest, GlobalUpdatedThroughProcedure) {
   auto A = analyzeProgram("program p; var g : integer;\n"
                           "procedure bump;\n"
                           "begin g := g + 1 end;\n"
-                          "begin g := 0; bump; bump end.");
+                          "begin g := 0; bump; bump end.",
+                          withOptions().prune(false));
   const VarDecl *G = A.var("", "g");
   unsigned Exit = A.node("", "exit of p");
   EXPECT_EQ(A.fwdInt(Exit, G), Interval(2, 2));
@@ -85,7 +95,8 @@ TEST(ForwardAnalysisTest, AckermannConverges) {
 
 TEST(ForwardAnalysisTest, SubrangeReadRefines) {
   auto A = analyzeProgram("program p; var n : 1..100; m : integer;\n"
-                          "begin read(n); m := n end.");
+                          "begin read(n); m := n end.",
+                          withOptions().prune(false));
   const VarDecl *M = A.var("", "m");
   unsigned Exit = A.node("", "exit of p");
   // The subrange check after read(n) refines n, hence m.
@@ -100,7 +111,8 @@ TEST(AliasingTest, VarParamStrongUpdate) {
   auto A = analyzeProgram("program p; var g, h : integer;\n"
                           "procedure q(var x : integer);\n"
                           "begin x := 1 end;\n"
-                          "begin g := 0; h := 0; q(g) end.");
+                          "begin g := 0; h := 0; q(g) end.",
+                          withOptions().prune(false));
   unsigned Exit = A.node("", "exit of p");
   EXPECT_EQ(A.fwdInt(Exit, A.var("", "g")), Interval(1, 1));
   EXPECT_EQ(A.fwdInt(Exit, A.var("", "h")), Interval(0, 0));
@@ -111,7 +123,8 @@ TEST(AliasingTest, TwoFormalsSameActualAlias) {
   auto A = analyzeProgram("program p; var g, r : integer;\n"
                           "procedure q(var x : integer; var y : integer);\n"
                           "begin x := 1; r := y end;\n"
-                          "begin g := 0; r := 0; q(g, g) end.");
+                          "begin g := 0; r := 0; q(g, g) end.",
+                          withOptions().prune(false));
   unsigned Exit = A.node("", "exit of p");
   EXPECT_EQ(A.fwdInt(Exit, A.var("", "r")), Interval(1, 1));
   EXPECT_EQ(A.fwdInt(Exit, A.var("", "g")), Interval(1, 1));
@@ -121,7 +134,8 @@ TEST(AliasingTest, DistinctActualsDoNotAlias) {
   auto A = analyzeProgram("program p; var g, h, r : integer;\n"
                           "procedure q(var x : integer; var y : integer);\n"
                           "begin x := 1; r := y end;\n"
-                          "begin g := 0; h := 5; r := 0; q(g, h) end.");
+                          "begin g := 0; h := 5; r := 0; q(g, h) end.",
+                          withOptions().prune(false));
   unsigned Exit = A.node("", "exit of p");
   EXPECT_EQ(A.fwdInt(Exit, A.var("", "r")), Interval(5, 5));
   EXPECT_EQ(A.fwdInt(Exit, A.var("", "h")), Interval(5, 5));
@@ -134,7 +148,8 @@ TEST(AliasingTest, DifferentPartitionsGetDifferentInstances) {
   auto A = analyzeProgram("program p; var g, h : integer;\n"
                           "procedure q(var x : integer; var y : integer);\n"
                           "begin x := y + 1 end;\n"
-                          "begin g := 0; h := 10; q(g, g); q(g, h) end.");
+                          "begin g := 0; h := 10; q(g, g); q(g, h) end.",
+                          withOptions().prune(false));
   // Instances: main, q@site1 with roots (g,g), q@site2 with roots (g,h).
   EXPECT_EQ(A.An->graph().instances().size(), 3u);
   unsigned Exit = A.node("", "exit of p");
@@ -150,7 +165,8 @@ TEST(AliasingTest, VarParamChainsResolveToRoot) {
       "begin b := b + 1 end;\n"
       "procedure outer(var a : integer);\n"
       "begin inner(a) end;\n"
-      "begin g := 5; outer(g) end.");
+      "begin g := 5; outer(g) end.",
+      withOptions().prune(false));
   unsigned Exit = A.node("", "exit of p");
   EXPECT_EQ(A.fwdInt(Exit, A.var("", "g")), Interval(6, 6));
 }
@@ -165,7 +181,8 @@ TEST(NonLocalGotoTest, JumpOutOfProcedure) {
                           "var g : integer;\n"
                           "procedure q;\n"
                           "begin g := 5; goto 99; g := 7 end;\n"
-                          "begin g := 0; q; g := 1; 99: g := g + 10 end.");
+                          "begin g := 0; q; g := 1; 99: g := g + 10 end.",
+                          withOptions().prune(false));
   unsigned Exit = A.node("", "exit of p");
   // q never returns normally: 'g := 1' is dead; the label sees g = 5.
   EXPECT_EQ(A.fwdInt(Exit, A.var("", "g")), Interval(15, 15));
@@ -179,7 +196,8 @@ TEST(NonLocalGotoTest, ReRaiseThroughMiddleRoutine) {
                           "begin g := 42; goto 99 end;\n"
                           "procedure middle;\n"
                           "begin inner; g := 0 end;\n"
-                          "begin g := 1; middle; g := 2; 99: g := g + 1 end.");
+                          "begin g := 1; middle; g := 2; 99: g := g + 1 end.",
+                          withOptions().prune(false));
   unsigned Exit = A.node("", "exit of p");
   EXPECT_EQ(A.fwdInt(Exit, A.var("", "g")), Interval(43, 43));
 }
@@ -191,7 +209,8 @@ TEST(NonLocalGotoTest, ConditionalJumpJoins) {
                           "procedure q;\n"
                           "begin if n > 0 then begin g := 5; goto 99 end\n"
                           "      else g := 3 end;\n"
-                          "begin read(n); g := 0; q; 99: g := g + 10 end.");
+                          "begin read(n); g := 0; q; 99: g := g + 10 end.",
+                          withOptions().prune(false));
   unsigned Exit = A.node("", "exit of p");
   // Either the jump (g = 5) or the normal return (g = 3) reaches 99.
   EXPECT_EQ(A.fwdInt(Exit, A.var("", "g")), Interval(13, 15));
@@ -260,7 +279,8 @@ TEST(Figure1Test, IntermittentNeedsIAtMost9) {
 //===----------------------------------------------------------------------===//
 
 TEST(McCarthyTest, InvariantProvesResultIs91) {
-  auto A = analyzeProgram(paper::McCarthyWithInvariant);
+  auto A = analyzeProgram(paper::McCarthyWithInvariant,
+                          withOptions().prune(false));
   const VarDecl *M = A.var("", "m");
   unsigned Exit = A.node("", "exit of mccarthy");
   EXPECT_EQ(A.envInt(Exit, M), Interval(91, 91));
@@ -301,7 +321,8 @@ TEST(McCarthyTest, UnfoldingMatchesTokenCount) {
 TEST(AssertionTest, InvariantRefinesForward) {
   auto A = analyzeProgram("program p; var i : integer;\n"
                           "begin read(i); invariant(i >= 0);\n"
-                          "  i := i + 1 end.");
+                          "  i := i + 1 end.",
+                          withOptions().prune(false));
   const VarDecl *I = A.var("", "i");
   unsigned Exit = A.node("", "exit of p");
   EXPECT_EQ(A.fwdInt(Exit, I), Interval(1, INT64_MAX));
